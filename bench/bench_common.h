@@ -1,0 +1,50 @@
+// Shared helpers for the table/figure bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "benchkit/runner.h"
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace fastpso::benchkit {
+
+/// Standard bench configuration parsed from the command line.
+struct BenchOptions {
+  int particles = 5000;
+  int dim = 200;
+  int iters = 2000;          ///< reported iteration count (paper scale)
+  int executed_iters = 20;   ///< really executed per cell
+  std::uint64_t seed = 42;
+  std::string csv;           ///< optional CSV output path
+
+  static BenchOptions parse(const CliArgs& args, int default_executed) {
+    BenchOptions opt;
+    opt.particles = static_cast<int>(args.get_int("particles", 5000));
+    opt.dim = static_cast<int>(args.get_int("dim", 200));
+    opt.iters = static_cast<int>(args.get_int("iters", 2000));
+    opt.executed_iters = static_cast<int>(
+        args.get_int("executed-iters", default_executed));
+    if (args.get_bool("full", false)) {
+      opt.executed_iters = opt.iters;
+    }
+    opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    opt.csv = args.get_string("csv", "");
+    return opt;
+  }
+};
+
+inline void maybe_write_csv(const CsvWriter& csv, const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  if (csv.write(path)) {
+    std::cout << "csv written: " << path << "\n";
+  } else {
+    std::cout << "csv write FAILED: " << path << "\n";
+  }
+}
+
+}  // namespace fastpso::benchkit

@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: RNG throughput, parallel reductions, the three swarm-update
+// kernel variants, and the caching allocator. These measure real wall time
+// of the simulator on this machine — useful for regression-tracking the
+// repository itself (the paper-facing numbers live in the table benches).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/init.h"
+#include "core/launch_policy.h"
+#include "core/swarm_state.h"
+#include "core/swarm_update.h"
+#include "rng/philox.h"
+#include "rng/xoshiro.h"
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+#include "vgpu/memory_pool.h"
+#include "vgpu/reduce.h"
+
+namespace {
+
+using namespace fastpso;
+
+void BM_PhiloxBlock(benchmark::State& state) {
+  const rng::PhiloxStream stream(42, 0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.uniform4_at(i++));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_PhiloxBlock);
+
+void BM_Xoshiro(benchmark::State& state) {
+  rng::Xoshiro256 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_unit_float());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_ReduceArgmin(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  vgpu::Device device;
+  vgpu::DeviceArray<float> data(device, n);
+  rng::Xoshiro256 rng(7);
+  for (std::int64_t i = 0; i < n; ++i) {
+    data[i] = rng.next_unit_float();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vgpu::reduce_argmin(device, data.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReduceArgmin)->Arg(5000)->Arg(100000);
+
+void BM_SwarmUpdate(benchmark::State& state) {
+  const int n = 2000;
+  const int d = static_cast<int>(state.range(0));
+  const auto technique =
+      static_cast<core::UpdateTechnique>(state.range(1));
+  vgpu::Device device;
+  core::LaunchPolicy policy(device.spec());
+  core::SwarmState swarm(device, n, d);
+  core::initialize_swarm(device, policy, swarm, 42, -5.12f, 5.12f, 5.12f);
+  vgpu::DeviceArray<float> l_mat(device, swarm.elements());
+  vgpu::DeviceArray<float> g_mat(device, swarm.elements());
+  core::generate_weights(device, policy, swarm.elements(), 42, 0, l_mat,
+                         g_mat);
+  core::PsoParams params;
+  const core::UpdateCoefficients coeff =
+      core::make_coefficients(params, -5.12, 5.12);
+  for (auto _ : state) {
+    core::swarm_update(device, policy, swarm, l_mat, g_mat, coeff, technique);
+  }
+  state.SetItemsProcessed(state.iterations() * swarm.elements());
+}
+BENCHMARK(BM_SwarmUpdate)
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({50, 2})
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Args({200, 2});
+
+void BM_MemoryPoolCached(benchmark::State& state) {
+  vgpu::Device device;
+  device.pool().set_enabled(true);
+  constexpr std::size_t kBytes = 4u << 20;
+  for (auto _ : state) {
+    void* a = device.pool().alloc(kBytes);
+    void* b = device.pool().alloc(kBytes);
+    device.pool().free(a);
+    device.pool().free(b);
+  }
+}
+BENCHMARK(BM_MemoryPoolCached);
+
+void BM_MemoryPoolRealloc(benchmark::State& state) {
+  vgpu::Device device;
+  device.pool().set_enabled(false);
+  constexpr std::size_t kBytes = 4u << 20;
+  for (auto _ : state) {
+    void* a = device.pool().alloc(kBytes);
+    void* b = device.pool().alloc(kBytes);
+    device.pool().free(a);
+    device.pool().free(b);
+  }
+}
+BENCHMARK(BM_MemoryPoolRealloc);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Table 1: overall comparison of FastPSO against the other six
+// implementations on the four evaluation problems (paper Section 4.2).
+//
+// Reports modeled elapsed seconds (virtual paper machine, the
+// paper-comparable number), the speedup of fastpso over each baseline, and
+// the real wall seconds of the executed run for transparency.
+//
+//   ./table1_overall [--executed-iters 20] [--full] [--csv out.csv]
+
+#include "bench_common.h"
+
+using namespace fastpso;
+using namespace fastpso::benchkit;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const BenchOptions opt = BenchOptions::parse(args, /*default_executed=*/20);
+
+  const std::vector<std::string> problems = {"sphere", "griewank", "easom",
+                                             "threadconf"};
+  const auto impls = all_impls();
+
+  TextTable table("Table 1: overall comparison — modeled elapsed time (sec)");
+  std::vector<std::string> header = {"problem"};
+  for (Impl impl : impls) {
+    header.push_back(to_string(impl));
+  }
+  for (Impl impl : impls) {
+    if (impl != Impl::kFastPso) {
+      header.push_back(std::string("spd:") + to_string(impl));
+    }
+  }
+  table.set_header(header);
+
+  CsvWriter csv({"problem", "impl", "modeled_s", "wall_s", "iterations"});
+
+  for (const auto& problem : problems) {
+    std::vector<double> modeled(impls.size());
+    double fastpso_s = 0;
+    for (std::size_t k = 0; k < impls.size(); ++k) {
+      RunSpec spec;
+      spec.impl = impls[k];
+      spec.problem = problem;
+      spec.particles = opt.particles;
+      spec.dim = opt.dim;
+      spec.iters = opt.iters;
+      spec.executed_iters = opt.executed_iters;
+      spec.seed = opt.seed;
+      const RunOutcome outcome = run_spec(spec);
+      modeled[k] = outcome.modeled_seconds_full;
+      if (impls[k] == Impl::kFastPso) {
+        fastpso_s = outcome.modeled_seconds_full;
+      }
+      csv.add_row({problem, to_string(impls[k]),
+                   fmt_fixed(outcome.modeled_seconds_full, 4),
+                   fmt_fixed(outcome.wall_seconds, 3),
+                   std::to_string(outcome.result.iterations)});
+    }
+    std::vector<std::string> row = {problem};
+    for (double m : modeled) {
+      row.push_back(fmt_fixed(m, 2));
+    }
+    for (std::size_t k = 0; k < impls.size(); ++k) {
+      if (impls[k] != Impl::kFastPso) {
+        row.push_back(fmt_speedup(modeled[k] / fastpso_s));
+      }
+    }
+    table.add_row(row);
+  }
+
+  table.add_note("modeled on the paper machine (V100 + 2x E5-2640v4); "
+                 "executed " + std::to_string(opt.executed_iters) +
+                 " iters/cell, scaled to " + std::to_string(opt.iters));
+  table.add_note("paper: fastpso ~0.47-0.87s; gpu-pso 5-7x slower; CPU "
+                 "libraries ~100-260x slower");
+  table.print(std::cout);
+  maybe_write_csv(csv, opt.csv);
+  return 0;
+}

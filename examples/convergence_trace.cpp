@@ -1,0 +1,55 @@
+// Convergence tracing with the iteration callback: prints gbest over time
+// for FastPSO vs the unclamped pyswarms-style dynamics on the same problem,
+// showing why the bound constraint (Eq. 5 + adaptive anneal) matters for
+// the paper's omega=0.9, c1=c2=2 setting.
+//
+//   ./convergence_trace [--problem griewank] [--iters 400]
+
+#include <iomanip>
+#include <iostream>
+
+#include "baselines/baselines.h"
+#include "common/cli.h"
+#include "core/optimizer.h"
+#include "problems/problem.h"
+#include "vgpu/device.h"
+
+using namespace fastpso;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string problem_name = args.get_string("problem", "griewank");
+  const int iters = static_cast<int>(args.get_int("iters", 400));
+  const auto problem = problems::make_problem(problem_name);
+
+  core::PsoParams params;
+  params.particles = static_cast<int>(args.get_int("particles", 1000));
+  params.dim = static_cast<int>(args.get_int("dim", 30));
+  params.max_iter = iters;
+  const core::Objective objective =
+      core::objective_from_problem(*problem, params.dim);
+
+  std::cout << "problem: " << problem_name << " d=" << params.dim
+            << " n=" << params.particles << "\n\niter      fastpso gbest\n";
+  vgpu::Device device;
+  core::Optimizer optimizer(device, params);
+  const int stride = std::max(1, iters / 10);
+  const core::Result fast = optimizer.optimize(
+      objective, [&](int iter, double gbest) {
+        if (iter % stride == 0 || iter == iters - 1) {
+          std::cout << std::setw(5) << iter << "   " << gbest << "\n";
+        }
+        return true;
+      });
+
+  const core::Result pyswarms =
+      baselines::run_pyswarms_like(objective, params);
+
+  std::cout << "\nfinal gbest:\n  fastpso (velocity bound, Eq. 5): "
+            << fast.gbest_value << "\n  pyswarms-style (no clamping):  "
+            << pyswarms.gbest_value << "\n";
+  std::cout << "\nAt omega=0.9, c1=c2=2 the unclamped swarm diverges and "
+               "degenerates into\nrandom sampling — the mechanism behind "
+               "the paper's Table 2 error gap.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// The paper's case study (Section 4.6): tuning the thread/block
+// configuration of a GPU machine-learning library's 25 kernels with
+// FastPSO — here MiniGBM, the ThunderGBM substitute.
+//
+// Runs the full Table-5 flow for one dataset: train with ThunderGBM-style
+// defaults, tune the 50-dimensional ThreadConf objective with FastPSO,
+// retrain with the tuned configuration and report the speedup.
+//
+//   ./kernel_tuning [--dataset higgs] [--trees 12] [--particles 512]
+//                   [--iters 60]
+
+#include <iostream>
+
+#include "common/cli.h"
+#include "core/optimizer.h"
+#include "tgbm/minigbm.h"
+#include "tgbm/threadconf.h"
+#include "vgpu/device.h"
+
+using namespace fastpso;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string name = args.get_string("dataset", "higgs");
+
+  tgbm::DatasetSpec spec;
+  for (const auto& candidate : tgbm::table5_specs()) {
+    if (candidate.name == name) {
+      spec = candidate;
+    }
+  }
+  if (spec.name.empty()) {
+    std::cerr << "unknown dataset '" << name
+              << "' (choose covtype|susy|higgs|e2006)\n";
+    return 1;
+  }
+
+  tgbm::GbmParams gbm;
+  gbm.trees = static_cast<int>(args.get_int("trees", 12));
+
+  std::cout << "dataset " << spec.name << ": " << spec.rows << " rows x "
+            << spec.dims << " dims (materialized " << spec.actual_rows
+            << " x " << spec.actual_dims << ")\n";
+
+  const tgbm::Dataset data = tgbm::generate_dataset(spec, 42);
+  const tgbm::MiniGbm trainer(gbm);
+
+  // 1. Baseline: ThunderGBM-style default kernel configurations.
+  vgpu::Device device_default;
+  const tgbm::TrainResult base =
+      trainer.train(device_default, data, tgbm::default_configs());
+  std::cout << "default configs: modeled " << base.modeled_seconds
+            << " s, final RMSE " << base.final_rmse() << "\n";
+
+  // 2. FastPSO over the 50-dim ThreadConf space (25 kernels x 2 params).
+  tgbm::ThreadConfProblem problem(spec, gbm);
+  core::PsoParams pso;
+  pso.particles = static_cast<int>(args.get_int("particles", 512));
+  pso.dim = tgbm::kConfigDims;
+  pso.max_iter = static_cast<int>(args.get_int("iters", 60));
+  vgpu::Device tuner;
+  core::Optimizer optimizer(tuner, pso);
+  const core::Result tuned_result =
+      optimizer.optimize(core::objective_from_problem(problem, pso.dim));
+  const tgbm::ConfigSet tuned = tgbm::configs_from_position(
+      std::span<const float>(tuned_result.gbest_position));
+
+  std::cout << "\nPSO-tuned kernel configurations (block x items/thread):\n";
+  const auto sites = tgbm::kernel_sites(spec, gbm);
+  for (int k = 0; k < tgbm::kNumKernels; ++k) {
+    std::cout << "  " << sites[k].name << ": " << tuned[k].block_size << " x "
+              << tuned[k].items_per_thread << "\n";
+  }
+
+  // 3. Retrain with the tuned configuration.
+  vgpu::Device device_tuned;
+  const tgbm::TrainResult best = trainer.train(device_tuned, data, tuned);
+  std::cout << "\ntuned configs: modeled " << best.modeled_seconds
+            << " s, final RMSE " << best.final_rmse() << "\n"
+            << "speedup: " << base.modeled_seconds / best.modeled_seconds
+            << "x  (paper Table 5: 0.96x-1.25x with 40 trees)\n";
+  return 0;
+}

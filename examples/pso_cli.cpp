@@ -1,0 +1,142 @@
+// pso_cli — the kitchen-sink command line for this repository: run any
+// implementation on any problem with any engine option and get a
+// machine-readable result line plus the human-readable report.
+//
+//   ./pso_cli --impl fastpso --problem rastrigin --particles 2000 --dim 50 \
+//             --iters 500 [--technique shared-mem] [--topology ring]
+//             [--sync async] [--overlap] [--mixed-precision]
+//             [--no-velocity-clamp] [--target 1e-3] [--patience 100]
+//             [--shift 0.3] [--rotate] [--seed 42] [--list]
+//
+// `--impl` accepts: pyswarms scikit-opt gpu-pso hgpu-pso fastpso-seq
+// fastpso-omp fastpso. `--list` prints problems and implementations.
+
+#include <iostream>
+
+#include "benchkit/runner.h"
+#include "common/cli.h"
+#include "core/optimizer.h"
+#include "problems/transforms.h"
+#include "vgpu/device.h"
+
+using namespace fastpso;
+
+namespace {
+
+int list_everything() {
+  std::cout << "implementations:";
+  for (auto impl : benchkit::all_impls()) {
+    std::cout << " " << benchkit::to_string(impl);
+  }
+  std::cout << "\nproblems:";
+  for (const auto& name : problems::builtin_problem_names()) {
+    std::cout << " " << name;
+  }
+  std::cout << " threadconf\ntechniques: global-mem shared-mem tensorcore\n"
+            << "topologies: global ring\nsync modes: sync async\n";
+  return 0;
+}
+
+core::UpdateTechnique parse_technique(const std::string& name) {
+  if (name == "global-mem") return core::UpdateTechnique::kGlobalMemory;
+  if (name == "shared-mem") return core::UpdateTechnique::kSharedMemory;
+  if (name == "tensorcore") return core::UpdateTechnique::kTensorCore;
+  throw CheckError("unknown technique: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.get_bool("list", false)) {
+    return list_everything();
+  }
+
+  try {
+    const std::string impl_name = args.get_string("impl", "fastpso");
+    const std::string problem_name = args.get_string("problem", "sphere");
+
+    core::PsoParams params;
+    params.particles = static_cast<int>(args.get_int("particles", 2000));
+    params.dim = static_cast<int>(args.get_int("dim", 50));
+    params.max_iter = static_cast<int>(args.get_int("iters", 500));
+    params.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    params.technique =
+        parse_technique(args.get_string("technique", "global-mem"));
+    if (args.get_string("topology", "global") == "ring") {
+      params.topology = core::Topology::kRing;
+      params.ring_neighbors =
+          static_cast<int>(args.get_int("ring-neighbors", 2));
+    }
+    if (args.get_string("sync", "sync") == "async") {
+      params.synchronization = core::Synchronization::kAsynchronous;
+    }
+    params.overlap_init = args.get_bool("overlap", false);
+    params.mixed_precision = args.get_bool("mixed-precision", false);
+    params.velocity_clamp = !args.get_bool("no-velocity-clamp", false);
+    params.target_value =
+        args.get_double("target", params.target_value);
+    params.stall_patience =
+        static_cast<int>(args.get_int("patience", 0));
+    params.memory_caching = !args.get_bool("no-memory-caching", false);
+
+    // Problem, optionally shifted and/or rotated.
+    std::unique_ptr<problems::Problem> problem =
+        benchkit::make_any_problem(problem_name);
+    const double shift_fraction = args.get_double("shift", 0.0);
+    if (shift_fraction > 0.0) {
+      problem = problems::ShiftedProblem::random(
+          std::move(problem), shift_fraction, params.seed, params.dim);
+    }
+    if (args.get_bool("rotate", false)) {
+      problem = std::make_unique<problems::RotatedProblem>(
+          std::move(problem), params.dim, params.seed);
+    }
+    const core::Objective objective =
+        core::objective_from_problem(*problem, params.dim);
+
+    core::Result result;
+    const benchkit::Impl impl = benchkit::impl_from_string(impl_name);
+    if (impl == benchkit::Impl::kFastPso) {
+      // Direct path: honors every engine option.
+      vgpu::Device device;
+      core::Optimizer optimizer(device, params);
+      result = optimizer.optimize(objective);
+    } else {
+      benchkit::RunSpec spec;
+      spec.impl = impl;
+      spec.problem = problem_name;
+      spec.particles = params.particles;
+      spec.dim = params.dim;
+      spec.iters = params.max_iter;
+      spec.executed_iters = params.max_iter;
+      spec.seed = params.seed;
+      spec.technique = params.technique;
+      result = benchkit::run_spec(spec).result;
+    }
+
+    std::cout << "impl: " << impl_name << "  problem: " << problem->name()
+              << "  n=" << params.particles << " d=" << params.dim
+              << " iters=" << result.iterations << "\n"
+              << "gbest: " << result.gbest_value << "\n";
+    if (objective.has_optimum) {
+      std::cout << "error: " << result.error_to(objective.optimum) << "\n";
+    }
+    std::cout << "modeled: " << result.modeled_seconds
+              << " s   wall: " << result.wall_seconds << " s\n";
+    for (const auto& [step, seconds] : result.modeled_breakdown.buckets()) {
+      std::cout << "  " << step << ": " << seconds << " s\n";
+    }
+    // One machine-readable line for scripting.
+    std::cout << "RESULT impl=" << impl_name << " problem=" << problem->name()
+              << " n=" << params.particles << " d=" << params.dim
+              << " iters=" << result.iterations
+              << " gbest=" << result.gbest_value
+              << " modeled_s=" << result.modeled_seconds
+              << " wall_s=" << result.wall_seconds << "\n";
+    return 0;
+  } catch (const CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n(use --list for options)\n";
+    return 1;
+  }
+}

@@ -1,0 +1,63 @@
+// Quickstart: minimize a built-in benchmark function with FastPSO on the
+// virtual GPU and print the optimization result, the per-step time
+// breakdown and the device counters.
+//
+//   ./quickstart [--problem sphere] [--particles 5000] [--dim 200]
+//                [--iters 100] [--seed 42] [--technique global-mem]
+
+#include <iostream>
+
+#include "common/cli.h"
+#include "core/optimizer.h"
+#include "problems/problem.h"
+#include "vgpu/device.h"
+
+using namespace fastpso;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  core::PsoParams params;
+  params.particles = static_cast<int>(args.get_int("particles", 5000));
+  params.dim = static_cast<int>(args.get_int("dim", 200));
+  params.max_iter = static_cast<int>(args.get_int("iters", 100));
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string technique = args.get_string("technique", "global-mem");
+  if (technique == "shared-mem") {
+    params.technique = core::UpdateTechnique::kSharedMemory;
+  } else if (technique == "tensorcore") {
+    params.technique = core::UpdateTechnique::kTensorCore;
+  }
+
+  const std::string problem_name = args.get_string("problem", "sphere");
+  const auto problem = problems::make_problem(problem_name);
+  const core::Objective objective =
+      core::objective_from_problem(*problem, params.dim);
+
+  vgpu::Device device;  // virtual Tesla V100
+  std::cout << "device: " << device.spec().name << "\n"
+            << "problem: " << problem_name << "  n=" << params.particles
+            << " d=" << params.dim << " iters=" << params.max_iter << "\n";
+
+  core::Optimizer optimizer(device, params);
+  const core::Result result = optimizer.optimize(objective);
+
+  std::cout << "\ngbest value: " << result.gbest_value
+            << "  (optimum: " << objective.optimum
+            << ", error: " << result.error_to(objective.optimum) << ")\n";
+  std::cout << "wall time:    " << result.wall_seconds << " s (this machine)\n";
+  std::cout << "modeled time: " << result.modeled_seconds
+            << " s (virtual V100)\n\nmodeled breakdown:\n";
+  for (const auto& [step, seconds] : result.modeled_breakdown.buckets()) {
+    std::cout << "  " << step << ": " << seconds << " s\n";
+  }
+  const auto& c = result.counters;
+  std::cout << "\ncounters: launches=" << c.launches
+            << " flops=" << c.flops / 1e9 << " G"
+            << " dram_read=" << c.dram_read_fetched / (1 << 30) << " GiB"
+            << " dram_write=" << c.dram_write_fetched / (1 << 30) << " GiB\n";
+  std::cout << "read throughput (modeled): "
+            << c.dram_read_fetched / result.modeled_seconds / 1e9
+            << " GB/s\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// All comparison implementations from the paper's evaluation (Section 4.1):
+//
+//   fastpso-seq   — sequential C++ version of FastPSO
+//   fastpso-omp   — OpenMP-parallel version of FastPSO
+//   pyswarms      — re-implementation of pyswarms.single.GlobalBestPSO
+//                   (NumPy-vectorized, periodic bound handling, no velocity
+//                   clamp) with a CPython/NumPy cost model
+//   scikit-opt    — re-implementation of sko.PSO (NumPy-vectorized,
+//                   position clipping, improvement-based early stop)
+//   gpu-pso       — Hussain et al. 2016: particle-per-thread CUDA PSO with
+//                   coalesced fitness evaluation, on the virtual GPU
+//   hgpu-pso      — Wachowiak et al. 2017: heterogeneous PSO (GPU fitness
+//                   evaluation + multicore-CPU swarm logic), on the virtual
+//                   GPU plus the CPU model
+//
+// Every implementation really optimizes (Table 2 errors are genuine); the
+// modeled timing story is documented per implementation in the .cpp files
+// and in DESIGN.md §1.
+#pragma once
+
+#include "core/objective.h"
+#include "core/params.h"
+#include "core/result.h"
+#include "vgpu/device.h"
+
+namespace fastpso::baselines {
+
+/// Sequential C++ FastPSO (same algorithm, xoshiro RNG).
+core::Result run_fastpso_seq(const core::Objective& objective,
+                             const core::PsoParams& params);
+
+/// OpenMP C++ FastPSO (counter-based RNG so results are deterministic
+/// under any thread count).
+core::Result run_fastpso_omp(const core::Objective& objective,
+                             const core::PsoParams& params);
+
+/// pyswarms.single.GlobalBestPSO equivalent.
+core::Result run_pyswarms_like(const core::Objective& objective,
+                               const core::PsoParams& params);
+
+/// Options for the scikit-opt equivalent.
+struct ScikitOptions {
+  /// Iterations without gbest improvement before stopping (sko-style
+  /// precision-based early stop). <= 0 disables.
+  int patience = 250;
+};
+
+/// sko.PSO equivalent.
+core::Result run_scikit_opt_like(const core::Objective& objective,
+                                 const core::PsoParams& params,
+                                 const ScikitOptions& options = {});
+
+/// Hussain et al. particle-per-thread GPU PSO on `device`.
+core::Result run_gpu_pso(const core::Objective& objective,
+                         const core::PsoParams& params, vgpu::Device& device);
+
+/// Wachowiak et al. heterogeneous CPU+GPU PSO on `device`.
+core::Result run_hgpu_pso(const core::Objective& objective,
+                          const core::PsoParams& params, vgpu::Device& device);
+
+}  // namespace fastpso::baselines

@@ -1,0 +1,31 @@
+#include "baselines/cost_model.h"
+
+namespace fastpso::baselines {
+
+void CostLedger::record_op(double bytes_read, double bytes_written,
+                           int temporaries, double temp_bytes) {
+  ++ops_;
+  seconds_ += model_.dispatch_us * 1e-6;
+  const double traffic = bytes_read + bytes_written;
+  bytes_ += traffic;
+  seconds_ += traffic / (model_.eff_bw_gbps * 1e9);
+  if (temporaries > 0) {
+    seconds_ += temporaries * model_.alloc_us * 1e-6;
+    seconds_ +=
+        temporaries * temp_bytes / (model_.first_touch_bw_gbps * 1e9);
+  }
+}
+
+void CostLedger::record_python_loop(std::uint64_t iterations) {
+  seconds_ += static_cast<double>(iterations) * model_.python_loop_ns * 1e-9;
+}
+
+void CostLedger::record_overhead_us(double us) { seconds_ += us * 1e-6; }
+
+void CostLedger::reset() {
+  seconds_ = 0;
+  ops_ = 0;
+  bytes_ = 0;
+}
+
+}  // namespace fastpso::baselines

@@ -1,0 +1,118 @@
+#include "baselines/ndarray.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastpso::baselines {
+namespace {
+
+NdArray binary_op(CostLedger& ledger, const NdArray& a, const NdArray& b,
+                  double (*op)(double, double)) {
+  FASTPSO_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  NdArray out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = op(a[i], b[i]);
+  }
+  ledger.record_op(a.bytes() + b.bytes(), out.bytes(), /*temporaries=*/1,
+                   out.bytes());
+  return out;
+}
+
+}  // namespace
+
+NdArray add(CostLedger& ledger, const NdArray& a, const NdArray& b) {
+  return binary_op(ledger, a, b, [](double x, double y) { return x + y; });
+}
+
+NdArray sub(CostLedger& ledger, const NdArray& a, const NdArray& b) {
+  return binary_op(ledger, a, b, [](double x, double y) { return x - y; });
+}
+
+NdArray mul(CostLedger& ledger, const NdArray& a, const NdArray& b) {
+  return binary_op(ledger, a, b, [](double x, double y) { return x * y; });
+}
+
+NdArray scale(CostLedger& ledger, const NdArray& a, double s) {
+  NdArray out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] * s;
+  }
+  ledger.record_op(a.bytes(), out.bytes(), 1, out.bytes());
+  return out;
+}
+
+NdArray sub_rowvec(CostLedger& ledger, const NdArray& a,
+                   const std::vector<double>& row) {
+  FASTPSO_CHECK(row.size() == a.cols());
+  NdArray out(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      out(r, c) = a(r, c) - row[c];
+    }
+  }
+  ledger.record_op(a.bytes(), out.bytes(), 1, out.bytes());
+  return out;
+}
+
+void iadd(CostLedger& ledger, NdArray& a, const NdArray& b) {
+  FASTPSO_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] += b[i];
+  }
+  ledger.record_op(a.bytes() + b.bytes(), a.bytes(), /*temporaries=*/0);
+}
+
+void fill_uniform(CostLedger& ledger, NdArray& a, double lo, double hi,
+                  const std::function<double()>& next_unit) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = lo + (hi - lo) * next_unit();
+  }
+  ledger.record_op(0, a.bytes(), 1, a.bytes());
+}
+
+NdArray clip(CostLedger& ledger, const NdArray& a, double lo, double hi) {
+  NdArray out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = std::clamp(a[i], lo, hi);
+  }
+  ledger.record_op(a.bytes(), out.bytes(), 1, out.bytes());
+  return out;
+}
+
+NdArray wrap_periodic(CostLedger& ledger, const NdArray& a, double lo,
+                      double hi) {
+  const double width = hi - lo;
+  FASTPSO_CHECK(width > 0);
+  NdArray out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double x = a[i];
+    if (x < lo || x > hi) {
+      x = lo + std::fmod(std::fmod(x - lo, width) + width, width);
+    }
+    out[i] = x;
+  }
+  ledger.record_op(a.bytes(), out.bytes(), 1, out.bytes());
+  return out;
+}
+
+std::vector<double> reduce_rows(
+    CostLedger& ledger, const NdArray& a,
+    const std::function<double(const double*, std::size_t)>& fold) {
+  std::vector<double> out(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    out[r] = fold(a.data() + r * a.cols(), a.cols());
+  }
+  ledger.record_op(a.bytes(),
+                   static_cast<double>(a.rows()) * sizeof(double), 1,
+                   static_cast<double>(a.rows()) * sizeof(double));
+  return out;
+}
+
+std::size_t argmin(CostLedger& ledger, const std::vector<double>& v) {
+  FASTPSO_CHECK(!v.empty());
+  ledger.record_op(static_cast<double>(v.size()) * sizeof(double), 0, 0);
+  return static_cast<std::size_t>(
+      std::min_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace fastpso::baselines

@@ -1,0 +1,93 @@
+// A miniature NumPy: 2-D double arrays whose operations (a) really compute
+// and (b) charge a CostLedger the way the corresponding NumPy ufunc would
+// (dispatch + traffic + temporary allocation). The pyswarms-like and
+// scikit-opt-like baselines are written against this, so their execution
+// trace *is* the NumPy trace of the original libraries.
+//
+// Operations are free functions taking the ledger explicitly; every
+// value-returning op materializes a fresh temporary, as NumPy expressions
+// do (no expression fusion — that is the point).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "baselines/cost_model.h"
+#include "common/check.h"
+
+namespace fastpso::baselines {
+
+/// Row-major (rows x cols) double array.
+class NdArray {
+ public:
+  NdArray() = default;
+  NdArray(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] double bytes() const {
+    return static_cast<double>(size()) * sizeof(double);
+  }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- element-wise binary ops (fresh temporary, like NumPy) --------------
+NdArray add(CostLedger& ledger, const NdArray& a, const NdArray& b);
+NdArray sub(CostLedger& ledger, const NdArray& a, const NdArray& b);
+NdArray mul(CostLedger& ledger, const NdArray& a, const NdArray& b);
+
+// ---- scalar ops -----------------------------------------------------------
+NdArray scale(CostLedger& ledger, const NdArray& a, double s);
+
+// ---- broadcast: combine (n, d) with a (d,) row vector ----------------------
+NdArray sub_rowvec(CostLedger& ledger, const NdArray& a,
+                   const std::vector<double>& row);
+
+// ---- in-place ops (NumPy += — no temporary) -------------------------------
+void iadd(CostLedger& ledger, NdArray& a, const NdArray& b);
+
+// ---- fills -----------------------------------------------------------------
+/// Fills with U(lo, hi) using the supplied generator; models
+/// np.random.uniform (one pass + temporary).
+void fill_uniform(CostLedger& ledger, NdArray& a, double lo, double hi,
+                  const std::function<double()>& next_unit);
+
+// ---- clipping / wrapping ----------------------------------------------------
+/// np.clip to [lo, hi] (fresh temporary).
+NdArray clip(CostLedger& ledger, const NdArray& a, double lo, double hi);
+/// pyswarms "periodic" bound handling: wrap out-of-bounds coordinates back
+/// into [lo, hi) modulo the domain width (fresh temporary).
+NdArray wrap_periodic(CostLedger& ledger, const NdArray& a, double lo,
+                      double hi);
+
+// ---- reductions -------------------------------------------------------------
+/// Row-wise reduction to an (n,)-vector using `fold` over each row; models
+/// np.sum/np.prod(axis=1): one pass + small temporary. Used by the
+/// vectorized objective evaluations.
+std::vector<double> reduce_rows(
+    CostLedger& ledger, const NdArray& a,
+    const std::function<double(const double*, std::size_t)>& fold);
+
+/// Index of the minimum of a vector (np.argmin: one pass).
+std::size_t argmin(CostLedger& ledger, const std::vector<double>& v);
+
+}  // namespace fastpso::baselines

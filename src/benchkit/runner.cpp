@@ -1,0 +1,130 @@
+#include "benchkit/runner.h"
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "common/check.h"
+#include "core/objective.h"
+#include "core/optimizer.h"
+#include "tgbm/threadconf.h"
+#include "vgpu/device.h"
+
+namespace fastpso::benchkit {
+
+const char* to_string(Impl impl) {
+  switch (impl) {
+    case Impl::kPyswarms:
+      return "pyswarms";
+    case Impl::kScikitOpt:
+      return "scikit-opt";
+    case Impl::kGpuPso:
+      return "gpu-pso";
+    case Impl::kHgpuPso:
+      return "hgpu-pso";
+    case Impl::kFastPsoSeq:
+      return "fastpso-seq";
+    case Impl::kFastPsoOmp:
+      return "fastpso-omp";
+    case Impl::kFastPso:
+      return "fastpso";
+  }
+  FASTPSO_UNREACHABLE("unknown impl");
+}
+
+Impl impl_from_string(const std::string& name) {
+  for (Impl impl : all_impls()) {
+    if (name == to_string(impl)) {
+      return impl;
+    }
+  }
+  throw CheckError("unknown implementation: '" + name + "'");
+}
+
+std::vector<Impl> all_impls() {
+  return {Impl::kPyswarms,   Impl::kScikitOpt,  Impl::kGpuPso,
+          Impl::kHgpuPso,    Impl::kFastPsoSeq, Impl::kFastPsoOmp,
+          Impl::kFastPso};
+}
+
+std::vector<Impl> gpu_impls() {
+  return {Impl::kGpuPso, Impl::kHgpuPso, Impl::kFastPso};
+}
+
+std::unique_ptr<problems::Problem> make_any_problem(const std::string& name) {
+  if (name == "threadconf") {
+    return tgbm::make_threadconf_problem();
+  }
+  return problems::make_problem(name);
+}
+
+RunOutcome run_spec(const RunSpec& spec) {
+  const auto problem = make_any_problem(spec.problem);
+  const core::Objective objective =
+      core::objective_from_problem(*problem, spec.dim);
+
+  core::PsoParams params;
+  params.particles = spec.particles;
+  params.dim = spec.dim;
+  params.max_iter = spec.effective_executed();
+  params.seed = spec.seed;
+  params.technique = spec.technique;
+  params.memory_caching = spec.memory_caching;
+
+  core::Result result;
+  switch (spec.impl) {
+    case Impl::kPyswarms:
+      result = baselines::run_pyswarms_like(objective, params);
+      break;
+    case Impl::kScikitOpt:
+      result = baselines::run_scikit_opt_like(objective, params);
+      break;
+    case Impl::kGpuPso: {
+      vgpu::Device device;
+      result = baselines::run_gpu_pso(objective, params, device);
+      break;
+    }
+    case Impl::kHgpuPso: {
+      vgpu::Device device;
+      result = baselines::run_hgpu_pso(objective, params, device);
+      break;
+    }
+    case Impl::kFastPsoSeq:
+      result = baselines::run_fastpso_seq(objective, params);
+      break;
+    case Impl::kFastPsoOmp:
+      result = baselines::run_fastpso_omp(objective, params);
+      break;
+    case Impl::kFastPso: {
+      vgpu::Device device;
+      core::Optimizer optimizer(device, params);
+      result = optimizer.optimize(objective);
+      break;
+    }
+  }
+
+  RunOutcome outcome;
+  outcome.wall_seconds = result.wall_seconds;
+  outcome.has_error = objective.has_optimum;
+  outcome.error =
+      objective.has_optimum ? result.error_to(objective.optimum) : 0.0;
+
+  // Iteration scaling (see header). Early-stopped runs are not scaled.
+  const int executed = spec.effective_executed();
+  double scale = 1.0;
+  if (result.iterations >= executed && executed < spec.iters) {
+    scale = static_cast<double>(spec.iters) / executed;
+  }
+  outcome.modeled_seconds_full = result.modeled_seconds * scale;
+  outcome.modeled_breakdown_full = result.modeled_breakdown;
+  if (scale != 1.0) {
+    TimeBreakdown scaled;
+    for (const auto& [key, value] : result.modeled_breakdown.buckets()) {
+      scaled.add(key, value * scale);
+    }
+    outcome.modeled_breakdown_full = scaled;
+  }
+  outcome.result = std::move(result);
+  return outcome;
+}
+
+}  // namespace fastpso::benchkit

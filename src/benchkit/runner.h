@@ -1,0 +1,76 @@
+// Unified experiment runner: one entry point that runs any of the paper's
+// seven implementations on any problem and returns comparable results.
+// Every bench binary (bench/) is a thin driver over this.
+//
+// Iteration scaling: the paper's configuration is 2000 iterations; executing
+// all implementations at that scale for every table cell is wall-clock
+// prohibitive in this environment, so a RunSpec may execute
+// `executed_iters` < `iters` real iterations and report modeled time scaled
+// linearly to `iters` (per-iteration work dominates; the one-time init is
+// under 0.1% of a run). Early-stopping implementations (scikit-opt) are not
+// scaled past their stopping point. Benches accept --executed-iters to
+// change fidelity; --full runs everything unscaled.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "core/result.h"
+#include "problems/problem.h"
+
+namespace fastpso::benchkit {
+
+/// The seven implementations of Table 1, in the paper's column order.
+enum class Impl {
+  kPyswarms,
+  kScikitOpt,
+  kGpuPso,
+  kHgpuPso,
+  kFastPsoSeq,
+  kFastPsoOmp,
+  kFastPso,
+};
+
+const char* to_string(Impl impl);
+Impl impl_from_string(const std::string& name);
+std::vector<Impl> all_impls();
+/// The GPU-resident subset (for Table 3).
+std::vector<Impl> gpu_impls();
+
+/// One experiment cell.
+struct RunSpec {
+  Impl impl = Impl::kFastPso;
+  std::string problem = "sphere";
+  int particles = 5000;
+  int dim = 200;
+  int iters = 2000;           ///< reported (paper) iteration count
+  int executed_iters = 0;     ///< really executed; 0 means = iters
+  std::uint64_t seed = 42;
+  core::UpdateTechnique technique = core::UpdateTechnique::kGlobalMemory;
+  bool memory_caching = true;
+
+  [[nodiscard]] int effective_executed() const {
+    return executed_iters > 0 ? executed_iters : iters;
+  }
+};
+
+/// Result of one experiment cell, with iteration-scaled modeled numbers.
+struct RunOutcome {
+  core::Result result;                 ///< raw result of the executed run
+  double modeled_seconds_full = 0;     ///< scaled to RunSpec::iters
+  TimeBreakdown modeled_breakdown_full;
+  double wall_seconds = 0;
+  double error = 0;                    ///< |gbest - optimum|
+  bool has_error = false;              ///< optimum known?
+};
+
+/// Runs one cell. Throws CheckError for unknown problems/impls.
+RunOutcome run_spec(const RunSpec& spec);
+
+/// Creates any problem this repository knows: the built-ins of
+/// problems::make_problem plus "threadconf" (tgbm).
+std::unique_ptr<problems::Problem> make_any_problem(const std::string& name);
+
+}  // namespace fastpso::benchkit

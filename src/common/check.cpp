@@ -1,0 +1,17 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace fastpso::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "FASTPSO_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace fastpso::detail

@@ -1,0 +1,45 @@
+// Lightweight runtime-check macros used across the FastPSO code base.
+//
+// FASTPSO_CHECK(cond)          — always-on invariant check; throws CheckError.
+// FASTPSO_CHECK_MSG(cond, msg) — same, with a caller-supplied message.
+// FASTPSO_UNREACHABLE(msg)     — marks logically impossible paths.
+//
+// These are used instead of assert() so that misuse of the public API is
+// reported in Release builds too (the library is meant to be consumed by
+// downstream users who will not run Debug builds).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fastpso {
+
+/// Exception thrown when a FASTPSO_CHECK fails. Carries file/line context.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace fastpso
+
+#define FASTPSO_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::fastpso::detail::check_failed(#cond, __FILE__, __LINE__, "");        \
+    }                                                                        \
+  } while (false)
+
+#define FASTPSO_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::fastpso::detail::check_failed(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                                        \
+  } while (false)
+
+#define FASTPSO_UNREACHABLE(msg)                                             \
+  ::fastpso::detail::check_failed("unreachable", __FILE__, __LINE__, (msg))

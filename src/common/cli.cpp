@@ -1,0 +1,95 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace fastpso {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself a flag; otherwise a
+    // boolean `--flag`.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return flags_.count(key) > 0;
+}
+
+std::string CliArgs::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long long CliArgs::get_int(const std::string& key, long long fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw CheckError("flag --" + key + " expects an integer, got '" +
+                     it->second + "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw CheckError("flag --" + key + " expects a number, got '" +
+                     it->second + "'");
+  }
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  throw CheckError("flag --" + key + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<std::string> CliArgs::keys() const {
+  std::vector<std::string> out;
+  out.reserve(flags_.size());
+  for (const auto& [key, value] : flags_) {
+    (void)value;
+    out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace fastpso

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing used by the bench harnesses and
+// examples. Supports `--key value`, `--key=value` and boolean `--flag`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fastpso {
+
+/// Parsed command line. Unknown flags are kept and can be enumerated so a
+/// binary can reject typos explicitly.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// All flag keys seen, for validation against an allowlist.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fastpso

@@ -1,0 +1,57 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace fastpso {
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  FASTPSO_CHECK_MSG(row.size() == header_.size(),
+                    "CSV row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c ? "," : "") << csv_escape(header_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool CsvWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+std::string csv_escape(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace fastpso

@@ -1,0 +1,31 @@
+// CSV emission for bench results so plots can be regenerated outside C++.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fastpso {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  /// Writes the CSV to `path`; creates parent-less files only (the caller
+  /// is responsible for directories). Returns false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a CSV field (quotes fields containing comma/quote/newline).
+std::string csv_escape(const std::string& field);
+
+}  // namespace fastpso

@@ -1,0 +1,135 @@
+// Row-major host matrix types used to model swarm state (positions,
+// velocities, random-weight matrices) on the host side.
+//
+// The paper models the whole swarm as matrices P, V, L, G in R^{n x d}
+// (Section 3.4); HostMatrix<T> is the owning host representation and
+// MatrixView<T> / ConstMatrixView<T> are non-owning views used by kernels
+// and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fastpso {
+
+/// Non-owning mutable view over a row-major matrix.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return rows_ * cols_; }
+  [[nodiscard]] T* data() const { return data_; }
+
+  T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  /// Flat element access (row-major order).
+  T& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::span<T> row(std::size_t r) const {
+    return {data_ + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<T> flat() const { return {data_, size()}; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Non-owning read-only view over a row-major matrix.
+template <typename T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  // Implicit conversion from the mutable view.
+  ConstMatrixView(MatrixView<T> v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return rows_ * cols_; }
+  [[nodiscard]] const T* data() const { return data_; }
+
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::span<const T> row(std::size_t r) const {
+    return {data_ + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> flat() const { return {data_, size()}; }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Owning row-major matrix backed by std::vector.
+template <typename T>
+class HostMatrix {
+ public:
+  HostMatrix() = default;
+  HostMatrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), store_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+  [[nodiscard]] bool empty() const { return store_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    return store_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return store_[r * cols_ + c];
+  }
+  T& operator[](std::size_t i) { return store_[i]; }
+  const T& operator[](std::size_t i) const { return store_[i]; }
+
+  [[nodiscard]] T* data() { return store_.data(); }
+  [[nodiscard]] const T* data() const { return store_.data(); }
+
+  [[nodiscard]] std::span<T> row(std::size_t r) {
+    return {store_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const {
+    return {store_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] MatrixView<T> view() {
+    return {store_.data(), rows_, cols_};
+  }
+  [[nodiscard]] ConstMatrixView<T> view() const {
+    return {store_.data(), rows_, cols_};
+  }
+
+  void fill(T value) { store_.assign(store_.size(), value); }
+
+  /// Reshape without reallocating when total size is unchanged.
+  void reshape(std::size_t rows, std::size_t cols) {
+    FASTPSO_CHECK_MSG(rows * cols == store_.size(),
+                      "reshape must preserve element count");
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> store_;
+};
+
+}  // namespace fastpso

@@ -1,0 +1,29 @@
+#include "common/stopwatch.h"
+
+namespace fastpso {
+
+void TimeBreakdown::add(const std::string& key, double seconds) {
+  buckets_[key] += seconds;
+}
+
+double TimeBreakdown::get(const std::string& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? 0.0 : it->second;
+}
+
+double TimeBreakdown::total() const {
+  double sum = 0.0;
+  for (const auto& [key, value] : buckets_) {
+    (void)key;
+    sum += value;
+  }
+  return sum;
+}
+
+void TimeBreakdown::merge(const TimeBreakdown& other) {
+  for (const auto& [key, value] : other.buckets_) {
+    buckets_[key] += value;
+  }
+}
+
+}  // namespace fastpso

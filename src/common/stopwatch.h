@@ -1,0 +1,71 @@
+// Wall-clock stopwatch and a named accumulator used for the per-step
+// breakdown measurements (Figure 5 of the paper).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace fastpso {
+
+/// Simple monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall-clock time under named keys; used to break an
+/// optimizer run down into the paper's five steps
+/// (init / eval / pbest / gbest / swarm).
+class TimeBreakdown {
+ public:
+  /// Adds `seconds` to the bucket `key`.
+  void add(const std::string& key, double seconds);
+
+  /// Total seconds recorded under `key` (0 if never recorded).
+  [[nodiscard]] double get(const std::string& key) const;
+
+  /// Sum across all buckets.
+  [[nodiscard]] double total() const;
+
+  [[nodiscard]] const std::map<std::string, double>& buckets() const {
+    return buckets_;
+  }
+
+  void clear() { buckets_.clear(); }
+
+  /// Merges another breakdown into this one (bucket-wise addition).
+  void merge(const TimeBreakdown& other);
+
+ private:
+  std::map<std::string, double> buckets_;
+};
+
+/// RAII helper: measures a scope and adds it to a breakdown bucket.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimeBreakdown& sink, std::string key)
+      : sink_(sink), key_(std::move(key)) {}
+  ~ScopedTimer() { sink_.add(key_, watch_.elapsed_s()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeBreakdown& sink_;
+  std::string key_;
+  Stopwatch watch_;
+};
+
+}  // namespace fastpso

@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace fastpso {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  FASTPSO_CHECK_MSG(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  FASTPSO_CHECK_MSG(row.size() == header_.size(),
+                    "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 3;
+  }
+
+  os << "\n== " << title_ << " ==\n";
+  auto rule = std::string(total, '-');
+  os << rule << '\n';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::left << std::setw(static_cast<int>(widths[c]) + 3)
+       << header_[c];
+  }
+  os << '\n' << rule << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 3) << row[c];
+    }
+    os << '\n';
+  }
+  os << rule << '\n';
+  for (const auto& note : notes_) {
+    os << "note: " << note << '\n';
+  }
+}
+
+std::string fmt_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string fmt_sci(double value, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string fmt_speedup(double ratio, int digits) {
+  return fmt_fixed(ratio, digits) + "x";
+}
+
+}  // namespace fastpso

@@ -1,0 +1,53 @@
+// Plain-text table rendering for the benchmark harnesses. Each bench binary
+// regenerates one of the paper's tables/figures as an aligned text table
+// (and optionally CSV, see common/csv.h).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fastpso {
+
+/// A simple column-aligned text table with a title and optional notes.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a free-form note rendered under the table.
+  void add_note(const std::string& note) { notes_.push_back(note); }
+
+  /// Renders the table to `os` with aligned columns.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// Formats a double with `digits` significant decimals (fixed notation).
+std::string fmt_fixed(double value, int digits = 2);
+
+/// Formats a double in engineering style, e.g. "1.23e+05".
+std::string fmt_sci(double value, int digits = 2);
+
+/// Formats as "12.3x" speedup.
+std::string fmt_speedup(double ratio, int digits = 2);
+
+}  // namespace fastpso

@@ -1,0 +1,32 @@
+// Step (iii): pbest and gbest update (paper Section 3.3).
+//
+// pbest: one thread per particle compares the new target value against the
+// particle's best and updates value + best position (massively parallel, no
+// cross-particle dependencies).
+//
+// gbest: argmin + index over all pbest values via the GPU parallel reduction
+// (vgpu/reduce.h), then the winning particle's best position is copied into
+// the swarm-global best vector.
+#pragma once
+
+#include "core/launch_policy.h"
+#include "core/swarm_state.h"
+#include "vgpu/device.h"
+
+namespace fastpso::core {
+
+/// Outcome of one pbest pass.
+struct PbestStats {
+  std::int64_t improved = 0;  ///< particles whose pbest improved
+};
+
+/// Compares state.perror against state.pbest_err, updating pbest_err and
+/// pbest_pos for improved particles. Returns how many improved.
+PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
+                        SwarmState& state);
+
+/// Finds the swarm minimum over pbest_err and refreshes gbest_err /
+/// gbest_pos when it improved. Returns the (possibly unchanged) gbest error.
+float update_gbest(vgpu::Device& device, SwarmState& state);
+
+}  // namespace fastpso::core

@@ -1,0 +1,95 @@
+#include "core/diagnostics.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "vgpu/reduce.h"
+
+namespace fastpso::core {
+
+SwarmDiagnostics compute_diagnostics(vgpu::Device& device,
+                                     const LaunchPolicy& policy,
+                                     const SwarmState& state) {
+  const int n = state.n;
+  const int d = state.d;
+  const std::int64_t elements = state.elements();
+  SwarmDiagnostics diag;
+
+  // Centroid: column sums of P / n (one pass over the matrix).
+  std::vector<double> centroid(d, 0.0);
+  {
+    const LaunchDecision decision = policy.for_elements(d);
+    vgpu::KernelCostSpec cost;
+    cost.flops = static_cast<double>(elements);
+    cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
+    cost.dram_write_bytes = static_cast<double>(d) * sizeof(float);
+    const float* positions = state.positions.data();
+    device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
+      for (std::int64_t j = t.global_id(); j < d; j += t.grid_stride()) {
+        double acc = 0;
+        for (int i = 0; i < n; ++i) {
+          acc += positions[static_cast<std::int64_t>(i) * d + j];
+        }
+        centroid[j] = acc / n;
+      }
+    });
+  }
+
+  // Mean distance to centroid (per-particle kernel + reduction).
+  std::vector<float> distance(n, 0.0f);
+  {
+    const LaunchDecision decision = policy.for_particles(n);
+    vgpu::KernelCostSpec cost;
+    cost.flops = 3.0 * static_cast<double>(elements);
+    cost.transcendentals = n;  // the sqrt
+    cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
+    cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
+    const float* positions = state.positions.data();
+    device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
+      for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
+        double acc = 0;
+        for (int j = 0; j < d; ++j) {
+          const double delta = positions[i * d + j] - centroid[j];
+          acc += delta * delta;
+        }
+        distance[i] = static_cast<float>(std::sqrt(acc));
+      }
+    });
+  }
+  diag.position_diversity =
+      vgpu::reduce_sum(device, distance.data(), n) / n;
+
+  // Mean |v| over the velocity matrix.
+  std::vector<float> abs_velocity(elements);
+  {
+    const LaunchDecision decision = policy.for_elements(elements);
+    vgpu::KernelCostSpec cost;
+    cost.flops = static_cast<double>(elements);
+    cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
+    cost.dram_write_bytes = static_cast<double>(elements) * sizeof(float);
+    const float* velocities = state.velocities.data();
+    device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
+      for (std::int64_t i = t.global_id(); i < elements;
+           i += t.grid_stride()) {
+        abs_velocity[i] = std::abs(velocities[i]);
+      }
+    });
+  }
+  diag.mean_velocity_magnitude =
+      vgpu::reduce_sum(device, abs_velocity.data(), elements) /
+      static_cast<double>(elements);
+
+  // pbest spread: max - min over the per-particle bests.
+  float lo = std::numeric_limits<float>::infinity();
+  float hi = -std::numeric_limits<float>::infinity();
+  for (int i = 0; i < n; ++i) {
+    lo = std::min(lo, state.pbest_err[i]);
+    hi = std::max(hi, state.pbest_err[i]);
+  }
+  diag.pbest_spread = std::isfinite(hi - lo) ? hi - lo : 0.0;
+  return diag;
+}
+
+}  // namespace fastpso::core

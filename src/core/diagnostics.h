@@ -1,0 +1,31 @@
+// Swarm diagnostics: quantities practitioners use to judge a run's health
+// (extension beyond the paper). Computed with accounted device kernels so
+// they can be sampled inside optimization loops without breaking the
+// timing story.
+#pragma once
+
+#include "core/launch_policy.h"
+#include "core/swarm_state.h"
+#include "vgpu/device.h"
+
+namespace fastpso::core {
+
+/// A snapshot of swarm health.
+struct SwarmDiagnostics {
+  /// Mean Euclidean distance of particles from the swarm centroid —
+  /// the standard diversity measure; -> 0 as the swarm collapses.
+  double position_diversity = 0;
+  /// Mean |v| over all velocity components; large values mean the swarm is
+  /// still exploring, tiny values mean it has settled.
+  double mean_velocity_magnitude = 0;
+  /// Spread of the per-particle bests (max - min of pbest_err); small
+  /// spread means the particles agree about the landscape.
+  double pbest_spread = 0;
+};
+
+/// Computes diagnostics for the current swarm state on the device.
+SwarmDiagnostics compute_diagnostics(vgpu::Device& device,
+                                     const LaunchPolicy& policy,
+                                     const SwarmState& state);
+
+}  // namespace fastpso::core

@@ -1,0 +1,38 @@
+// The paper's CUDA evaluation-kernel schema (Section 3.2):
+//
+//   template<typename L>
+//   __global__ void evaluation_kernel(int dim, L lambda) {
+//     for (int i = blockIdx.x * blockDim.x + threadIdx.x;
+//          i < dim; i += blockDim.x * gridDim.x) {
+//       lambda(i);
+//     }
+//   }
+//
+// This header is the virtual-GPU rendition: both user-defined evaluation
+// functions and the built-in problems are launched through this one schema,
+// which grid-strides the lambda over the particle index space under the
+// resource-aware launch policy.
+#pragma once
+
+#include <cstdint>
+
+#include "core/launch_policy.h"
+#include "vgpu/device.h"
+
+namespace fastpso::core {
+
+/// Runs `lambda(i)` for every i in [0, count) on the device, grid-strided.
+/// `cost` declares the launch's total work for the performance model.
+template <typename L>
+void evaluation_kernel(vgpu::Device& device, const LaunchPolicy& policy,
+                       std::int64_t count, const vgpu::KernelCostSpec& cost,
+                       L&& lambda) {
+  const LaunchDecision decision = policy.for_particles(count);
+  device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
+    for (std::int64_t i = t.global_id(); i < count; i += t.grid_stride()) {
+      lambda(i);
+    }
+  });
+}
+
+}  // namespace fastpso::core

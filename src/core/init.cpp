@@ -1,0 +1,95 @@
+#include "core/init.h"
+
+#include <algorithm>
+
+#include <limits>
+
+#include "rng/philox.h"
+
+namespace fastpso::core {
+namespace {
+
+/// Cost of one "fill with uniform randoms" launch over `elements` floats.
+vgpu::KernelCostSpec fill_cost(std::int64_t elements) {
+  vgpu::KernelCostSpec cost;
+  cost.flops = kPhiloxFlopsPerValue * static_cast<double>(elements);
+  cost.dram_write_bytes = static_cast<double>(elements) * sizeof(float);
+  return cost;
+}
+
+/// Grid-stride fill of `out[0, elements)` with U(lo, hi) from `stream`.
+/// Each thread produces whole 4-lane Philox blocks (element i still gets
+/// the value uniform_at(i), independent of launch shape).
+void fill_uniform(vgpu::Device& device, const LaunchPolicy& policy,
+                  float* out, std::int64_t elements, std::uint64_t seed,
+                  std::uint64_t stream, float lo, float hi) {
+  const rng::PhiloxStream rng(seed, stream);
+  const std::int64_t blocks = (elements + 3) / 4;
+  const LaunchDecision decision = policy.for_elements(blocks);
+  const float span = hi - lo;
+  device.launch(decision.config, fill_cost(elements),
+                [&](const vgpu::ThreadCtx& t) {
+                  for (std::int64_t b = t.global_id(); b < blocks;
+                       b += t.grid_stride()) {
+                    const auto lanes =
+                        rng.uniform4_at(static_cast<std::uint64_t>(b));
+                    const std::int64_t base = b * 4;
+                    const int count =
+                        static_cast<int>(std::min<std::int64_t>(
+                            4, elements - base));
+                    for (int lane = 0; lane < count; ++lane) {
+                      out[base + lane] = lo + span * lanes[lane];
+                    }
+                  }
+                });
+}
+
+}  // namespace
+
+void initialize_swarm(vgpu::Device& device, const LaunchPolicy& policy,
+                      SwarmState& state, std::uint64_t seed, float lower,
+                      float upper, float vmax) {
+  const std::int64_t elements = state.elements();
+  fill_uniform(device, policy, state.positions.data(), elements, seed,
+               /*stream=*/0, lower, upper);
+  fill_uniform(device, policy, state.velocities.data(), elements, seed,
+               /*stream=*/1, -vmax, vmax);
+
+  // pbest starts at +inf so the first evaluation always improves it; the
+  // pbest positions start at the initial positions.
+  const LaunchDecision per_particle = policy.for_particles(state.n);
+  vgpu::KernelCostSpec cost;
+  cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
+  cost.dram_write_bytes =
+      static_cast<double>(elements + 2 * state.n) * sizeof(float);
+  const int n = state.n;
+  const int d = state.d;
+  float* pbest_err = state.pbest_err.data();
+  float* perror = state.perror.data();
+  const float* positions = state.positions.data();
+  float* pbest_pos = state.pbest_pos.data();
+  device.launch(per_particle.config, cost, [&](const vgpu::ThreadCtx& t) {
+    for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
+      pbest_err[i] = std::numeric_limits<float>::infinity();
+      perror[i] = 0.0f;
+      for (int j = 0; j < d; ++j) {
+        pbest_pos[i * d + j] = positions[i * d + j];
+      }
+    }
+  });
+  state.gbest_err = std::numeric_limits<float>::infinity();
+}
+
+void generate_weights(vgpu::Device& device, const LaunchPolicy& policy,
+                      std::int64_t elements, std::uint64_t seed, int iter,
+                      vgpu::DeviceArray<float>& l_mat,
+                      vgpu::DeviceArray<float>& g_mat) {
+  const std::uint64_t l_stream = 2 + 2 * static_cast<std::uint64_t>(iter);
+  const std::uint64_t g_stream = l_stream + 1;
+  fill_uniform(device, policy, l_mat.data(), elements, seed, l_stream, 0.0f,
+               1.0f);
+  fill_uniform(device, policy, g_mat.data(), elements, seed, g_stream, 0.0f,
+               1.0f);
+}
+
+}  // namespace fastpso::core

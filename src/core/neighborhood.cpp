@@ -1,0 +1,45 @@
+#include "core/neighborhood.h"
+
+#include "common/check.h"
+
+namespace fastpso::core {
+
+void update_ring_nbest(vgpu::Device& device, const LaunchPolicy& policy,
+                       const SwarmState& state, int neighbors,
+                       vgpu::DeviceArray<std::int32_t>& nbest_idx) {
+  const int n = state.n;
+  FASTPSO_CHECK_MSG(neighbors >= 1, "ring needs at least one neighbor");
+  FASTPSO_CHECK_MSG(2 * neighbors + 1 <= n,
+                    "ring window exceeds the swarm");
+  FASTPSO_CHECK(nbest_idx.size() >= static_cast<std::size_t>(n));
+
+  const LaunchDecision decision = policy.for_particles(n);
+  vgpu::KernelCostSpec cost;
+  cost.flops = static_cast<double>(n) * (2 * neighbors + 1);
+  // Each particle reads its window of pbest errors (served mostly from
+  // cache; count the window once) and writes one index.
+  cost.dram_read_bytes =
+      static_cast<double>(n) * (2 * neighbors + 1) * sizeof(float);
+  cost.dram_write_bytes = static_cast<double>(n) * sizeof(std::int32_t);
+
+  const float* pbest_err = state.pbest_err.data();
+  std::int32_t* out = nbest_idx.data();
+  device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
+    for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
+      std::int32_t best = static_cast<std::int32_t>(i);
+      float best_err = pbest_err[i];
+      for (int off = 1; off <= neighbors; ++off) {
+        for (int sign : {-1, 1}) {
+          const std::int64_t j = (i + sign * off + n) % n;
+          if (pbest_err[j] < best_err) {
+            best = static_cast<std::int32_t>(j);
+            best_err = pbest_err[j];
+          }
+        }
+      }
+      out[i] = best;
+    }
+  });
+}
+
+}  // namespace fastpso::core

@@ -1,0 +1,26 @@
+// Neighborhood-best computation for the lbest ring topology (extension
+// beyond the paper's gbest PSO).
+//
+// Under Topology::kRing each particle follows the best pbest within its
+// ring window {i-k, ..., i+k} (indices mod n) instead of the swarm-global
+// best. The kernel computes, per particle, the *index* of that neighbor;
+// the ring swarm-update kernel then gathers the attractor row through the
+// index, so no per-particle position copies are needed.
+#pragma once
+
+#include "core/launch_policy.h"
+#include "core/swarm_state.h"
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+
+namespace fastpso::core {
+
+/// Fills nbest_idx[i] with argmin of pbest_err over the ring window of
+/// half-width `neighbors` around particle i. Deterministic: only strictly
+/// better neighbors replace the incumbent, so ties resolve to the smallest
+/// ring offset (self first, then nearer neighbors, left before right).
+void update_ring_nbest(vgpu::Device& device, const LaunchPolicy& policy,
+                       const SwarmState& state, int neighbors,
+                       vgpu::DeviceArray<std::int32_t>& nbest_idx);
+
+}  // namespace fastpso::core

@@ -1,0 +1,56 @@
+// Objective ("swarm evaluation function") abstraction for the optimizer.
+//
+// The paper's Step (ii) supports customized evaluation functions through a
+// CUDA kernel schema (the `evaluation_kernel` template in Section 3.2).
+// Built-in problems and user-defined lambdas go through the same schema —
+// see core/eval_schema.h for the kernel itself.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "problems/problem.h"
+
+namespace fastpso::core {
+
+/// A minimization objective consumable by the optimizer: a per-particle
+/// function plus domain and cost metadata.
+struct Objective {
+  std::string name;
+
+  /// Evaluates one particle: `fn(x, dim)` with x pointing at `dim` floats.
+  std::function<double(const float* x, int dim)> fn;
+
+  /// Search domain (positions initialized uniformly in [lower, upper]).
+  double lower = -1.0;
+  double upper = 1.0;
+
+  /// Operation counts for the performance model.
+  problems::EvalCost cost;
+
+  /// Known optimum (used only for error reporting; NaN when unknown).
+  double optimum = 0.0;
+  bool has_optimum = false;
+};
+
+/// Wraps a built-in Problem as an Objective. The problem must outlive the
+/// objective (the lambda captures a reference).
+Objective objective_from_problem(const problems::Problem& problem, int dim);
+
+/// Builds a custom objective from a user lambda — the "customized swarm
+/// evaluation function" schema entry point.
+template <typename Fn>
+Objective make_objective(std::string name, double lower, double upper,
+                         Fn&& fn,
+                         problems::EvalCost cost = problems::EvalCost{}) {
+  Objective objective;
+  objective.name = std::move(name);
+  objective.lower = lower;
+  objective.upper = upper;
+  objective.fn = std::forward<Fn>(fn);
+  objective.cost = cost;
+  return objective;
+}
+
+}  // namespace fastpso::core

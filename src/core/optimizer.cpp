@@ -1,0 +1,413 @@
+#include "core/optimizer.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/best_update.h"
+#include "core/eval_schema.h"
+#include "core/init.h"
+#include "core/swarm_state.h"
+#include <algorithm>
+#include <limits>
+
+#include "core/neighborhood.h"
+#include "rng/philox.h"
+#include "core/swarm_update.h"
+#include "vgpu/memory_pool.h"
+
+namespace fastpso::core {
+
+Objective objective_from_problem(const problems::Problem& problem, int dim) {
+  Objective objective;
+  objective.name = problem.name();
+  objective.lower = problem.lower_bound();
+  objective.upper = problem.upper_bound();
+  objective.cost = problem.cost();
+  objective.optimum = problem.optimum_value(dim);
+  objective.has_optimum = problem.has_known_optimum();
+  objective.fn = [&problem](const float* x, int d) {
+    return problem.eval_f32(x, d);
+  };
+  return objective;
+}
+
+
+namespace {
+
+/// Shared early-stop bookkeeping for both synchronization modes.
+class StopTracker {
+ public:
+  explicit StopTracker(const PsoParams& params)
+      : target_(params.target_value),
+        tolerance_(params.stall_tolerance),
+        patience_(params.stall_patience) {}
+
+  /// Returns true when the run should stop after seeing `gbest`.
+  bool should_stop(double gbest) {
+    if (gbest <= target_) {
+      return true;
+    }
+    if (patience_ <= 0) {
+      return false;
+    }
+    if (gbest < best_seen_ - tolerance_) {
+      best_seen_ = gbest;
+      stalled_ = 0;
+      return false;
+    }
+    return ++stalled_ >= patience_;
+  }
+
+ private:
+  double target_;
+  double tolerance_;
+  int patience_;
+  double best_seen_ = std::numeric_limits<double>::infinity();
+  int stalled_ = 0;
+};
+
+}  // namespace
+
+Optimizer::Optimizer(vgpu::Device& device, PsoParams params)
+    : device_(device), params_(params), policy_(device.spec()) {
+  FASTPSO_CHECK_MSG(params_.particles > 0, "need at least one particle");
+  FASTPSO_CHECK_MSG(params_.dim > 0, "dimension must be positive");
+  FASTPSO_CHECK_MSG(params_.max_iter > 0, "need at least one iteration");
+  if (params_.topology == Topology::kRing) {
+    FASTPSO_CHECK_MSG(params_.technique == UpdateTechnique::kGlobalMemory,
+                      "ring topology requires the global-memory technique");
+    FASTPSO_CHECK_MSG(params_.ring_neighbors >= 1 &&
+                          2 * params_.ring_neighbors + 1 <= params_.particles,
+                      "invalid ring neighborhood");
+  }
+}
+
+Result Optimizer::optimize(const Objective& objective) {
+  return optimize(objective, IterationCallback{});
+}
+
+Result Optimizer::optimize(const Objective& objective,
+                           const IterationCallback& callback) {
+  FASTPSO_CHECK_MSG(static_cast<bool>(objective.fn),
+                    "objective has no evaluation function");
+  FASTPSO_CHECK_MSG(objective.upper > objective.lower,
+                    "objective domain is empty");
+  if (params_.synchronization == Synchronization::kAsynchronous) {
+    return optimize_async(objective, callback);
+  }
+  return optimize_sync(objective, callback);
+}
+
+Result Optimizer::optimize_sync(const Objective& objective,
+                                const IterationCallback& callback) {
+
+  device_.reset_counters();
+  device_.pool().set_enabled(params_.memory_caching);
+
+  const int n = params_.particles;
+  const int d = params_.dim;
+  const UpdateCoefficients coeff =
+      make_coefficients(params_, objective.lower, objective.upper);
+  // Velocity init range: the clamp bound when clamping, else the domain.
+  const float v_init = coeff.vmax > 0.0f
+                           ? coeff.vmax
+                           : static_cast<float>(objective.upper -
+                                                objective.lower);
+
+  Result result;
+  TimeBreakdown wall;
+  Stopwatch total_watch;
+
+  // ---- Step (i): allocation + initialization --------------------------
+  device_.set_phase("init");
+  SwarmState state(device_, n, d);
+  {
+    ScopedTimer timer(wall, "init");
+    initialize_swarm(device_, policy_, state, params_.seed,
+                     static_cast<float>(objective.lower),
+                     static_cast<float>(objective.upper), v_init);
+  }
+
+  // Evaluation cost declaration, reused every iteration.
+  vgpu::KernelCostSpec eval_cost;
+  eval_cost.flops = objective.cost.flops(d) * n;
+  eval_cost.transcendentals = objective.cost.transcendentals(d) * n;
+  eval_cost.dram_read_bytes =
+      static_cast<double>(state.elements()) * sizeof(float);
+  eval_cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
+
+  const float* positions = state.positions.data();
+  float* perror = state.perror.data();
+
+  // Ring topology working set (allocated only when used).
+  vgpu::DeviceArray<std::int32_t> nbest_idx;
+  if (params_.topology == Topology::kRing) {
+    nbest_idx = vgpu::DeviceArray<std::int32_t>(device_, n);
+  }
+
+  // Overlapped pipeline: double-buffered weight matrices + a second
+  // stream so Step (i) of iteration t+1 hides behind Steps (ii)-(iii) of
+  // iteration t. Same Philox streams, so results are bit-identical.
+  vgpu::DeviceArray<float> l_buf[2];
+  vgpu::DeviceArray<float> g_buf[2];
+  vgpu::Device::StreamId gen_stream = 0;
+  if (params_.overlap_init) {
+    gen_stream = device_.create_stream();
+    device_.set_phase("init");
+    ScopedTimer timer(wall, "init");
+    for (int b = 0; b < 2; ++b) {
+      l_buf[b] = vgpu::DeviceArray<float>(device_, state.elements());
+      g_buf[b] = vgpu::DeviceArray<float>(device_, state.elements());
+    }
+    generate_weights(device_, policy_, state.elements(), params_.seed, 0,
+                     l_buf[0], g_buf[0]);
+  }
+
+  StopTracker stop(params_);
+  int completed = 0;
+  for (int iter = 0; iter < params_.max_iter; ++iter) {
+    vgpu::DeviceArray<float> l_mat;
+    vgpu::DeviceArray<float> g_mat;
+    if (params_.overlap_init) {
+      // ---- Step (i), overlapped: next iteration's weights on stream 1 --
+      if (iter + 1 < params_.max_iter) {
+        ScopedTimer timer(wall, "init");
+        device_.set_phase("init");
+        device_.set_stream(gen_stream);
+        generate_weights(device_, policy_, state.elements(), params_.seed,
+                         iter + 1, l_buf[(iter + 1) % 2],
+                         g_buf[(iter + 1) % 2]);
+        device_.set_stream(0);
+      }
+    } else {
+      // ---- Step (i) continued: per-iteration weight matrices ----------
+      device_.set_phase("init");
+      ScopedTimer timer(wall, "init");
+      l_mat = vgpu::DeviceArray<float>(device_, state.elements());
+      g_mat = vgpu::DeviceArray<float>(device_, state.elements());
+      generate_weights(device_, policy_, state.elements(), params_.seed,
+                       iter, l_mat, g_mat);
+    }
+    vgpu::DeviceArray<float>& l_cur =
+        params_.overlap_init ? l_buf[iter % 2] : l_mat;
+    vgpu::DeviceArray<float>& g_cur =
+        params_.overlap_init ? g_buf[iter % 2] : g_mat;
+
+    // ---- Step (ii): evaluation through the kernel schema ---------------
+    device_.set_phase("eval");
+    {
+      ScopedTimer timer(wall, "eval");
+      evaluation_kernel(device_, policy_, n, eval_cost, [&](std::int64_t i) {
+        perror[i] =
+            static_cast<float>(objective.fn(positions + i * d, d));
+      });
+    }
+
+    // ---- Step (iii): pbest + gbest -------------------------------------
+    device_.set_phase("pbest");
+    {
+      ScopedTimer timer(wall, "pbest");
+      update_pbest(device_, policy_, state);
+    }
+    device_.set_phase("gbest");
+    {
+      ScopedTimer timer(wall, "gbest");
+      update_gbest(device_, state);
+    }
+
+    // ---- Step (iv): swarm update ---------------------------------------
+    if (params_.overlap_init) {
+      device_.sync_streams();  // the weights must have landed
+    }
+    device_.set_phase("swarm");
+    {
+      ScopedTimer timer(wall, "swarm");
+      const UpdateCoefficients it_coeff =
+          coefficients_for_iter(coeff, params_, iter);
+      if (params_.topology == Topology::kRing) {
+        update_ring_nbest(device_, policy_, state, params_.ring_neighbors,
+                          nbest_idx);
+        swarm_update_ring(device_, policy_, state, l_cur, g_cur, it_coeff,
+                          nbest_idx.data());
+      } else {
+        swarm_update(device_, policy_, state, l_cur, g_cur, it_coeff,
+                     params_.technique);
+      }
+    }
+
+    completed = iter + 1;
+    if (callback && !callback(iter, state.gbest_err)) {
+      break;
+    }
+    if (stop.should_stop(state.gbest_err)) {
+      break;
+    }
+  }
+
+  // Fetch the final answer from the device.
+  device_.set_phase("gbest");
+  result.gbest_position.resize(d);
+  state.gbest_pos.download(result.gbest_position);
+  result.gbest_value = state.gbest_err;
+  result.iterations = completed;
+  result.wall_seconds = total_watch.elapsed_s();
+  result.wall_breakdown = wall;
+  result.modeled_breakdown = device_.modeled_breakdown();
+  result.modeled_seconds = device_.modeled_seconds();
+  result.counters = device_.counters();
+  return result;
+}
+
+Result Optimizer::optimize_async(const Objective& objective,
+                                 const IterationCallback& callback) {
+  // Asynchronous PSO (cf. Koh et al. 2006 / Venter & Sobieszczanski 2006,
+  // surveyed in the paper's Section 5.1): evaluation, pbest/gbest update
+  // and the particle's own move are fused into one per-particle pass, so
+  // later particles in an iteration already see this iteration's improved
+  // global best. The fusion forces particle-level parallelism — one thread
+  // per particle, serialized gbest updates (atomics on real hardware) — so
+  // it deliberately gives up FastPSO's element-wise granularity; the
+  // ablation bench quantifies that trade.
+  device_.reset_counters();
+  device_.pool().set_enabled(params_.memory_caching);
+  FASTPSO_CHECK_MSG(params_.topology == Topology::kGlobal,
+                    "async mode supports the global topology only");
+
+  const int n = params_.particles;
+  const int d = params_.dim;
+  const UpdateCoefficients coeff =
+      make_coefficients(params_, objective.lower, objective.upper);
+  const float v_init = coeff.vmax > 0.0f
+                           ? coeff.vmax
+                           : static_cast<float>(objective.upper -
+                                                objective.lower);
+
+  Result result;
+  TimeBreakdown wall;
+  Stopwatch total_watch;
+
+  device_.set_phase("init");
+  SwarmState state(device_, n, d);
+  {
+    ScopedTimer timer(wall, "init");
+    initialize_swarm(device_, policy_, state, params_.seed,
+                     static_cast<float>(objective.lower),
+                     static_cast<float>(objective.upper), v_init);
+  }
+
+  // Per-particle launch shape: the fusion's inherent granularity.
+  vgpu::LaunchConfig per_particle;
+  per_particle.block = 256;
+  per_particle.grid = (n + per_particle.block - 1) / per_particle.block;
+
+  float* velocities = state.velocities.data();
+  float* positions = state.positions.data();
+  float* pbest_pos = state.pbest_pos.data();
+  float* pbest_err = state.pbest_err.data();
+  float* gbest_pos = state.gbest_pos.data();
+
+  // Seed gbest from the initial positions (one evaluation pass).
+  {
+    ScopedTimer timer(wall, "eval");
+    device_.set_phase("eval");
+    vgpu::KernelCostSpec cost;
+    cost.flops = objective.cost.flops(d) * n;
+    cost.transcendentals = objective.cost.transcendentals(d) * n;
+    cost.dram_read_bytes = static_cast<double>(state.elements()) *
+                           sizeof(float);
+    cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
+    device_.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
+      const std::int64_t i = t.global_id();
+      if (i < n) {
+        const float err =
+            static_cast<float>(objective.fn(positions + i * d, d));
+        pbest_err[i] = err;
+        if (err < state.gbest_err) {
+          state.gbest_err = err;
+          for (int j = 0; j < d; ++j) {
+            gbest_pos[j] = positions[i * d + j];
+          }
+        }
+      }
+    });
+  }
+
+  StopTracker stop(params_);
+  int completed = 0;
+  for (int iter = 0; iter < params_.max_iter; ++iter) {
+    device_.set_phase("swarm");
+    ScopedTimer timer(wall, "swarm");
+    const UpdateCoefficients it_coeff =
+        coefficients_for_iter(coeff, params_, iter);
+    const rng::PhiloxStream iter_rng(
+        params_.seed ^ 0x5851F42Du, 2 + static_cast<std::uint64_t>(iter));
+
+    vgpu::KernelCostSpec cost;
+    cost.flops = (10.0 + 2.0 * kPhiloxFlopsPerValue) *
+                     static_cast<double>(state.elements()) +
+                 objective.cost.flops(d) * n;
+    cost.transcendentals = objective.cost.transcendentals(d) * n;
+    cost.dram_read_bytes =
+        4.0 * static_cast<double>(state.elements()) * sizeof(float);
+    cost.dram_write_bytes =
+        2.5 * static_cast<double>(state.elements()) * sizeof(float);
+    device_.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
+      const std::int64_t i = t.global_id();
+      if (i >= n) {
+        return;
+      }
+      // Move with the freshest gbest (already updated by lower-indexed
+      // particles of this same iteration).
+      for (int j = 0; j < d; ++j) {
+        const std::int64_t e = i * d + j;
+        const auto r =
+            iter_rng.uniform_pair_at(static_cast<std::uint64_t>(e));
+        float nv = it_coeff.omega * velocities[e] +
+                   it_coeff.c1 * r[0] * (pbest_pos[e] - positions[e]) +
+                   it_coeff.c2 * r[1] * (gbest_pos[j] - positions[e]);
+        if (it_coeff.vmax > 0.0f) {
+          nv = std::clamp(nv, -it_coeff.vmax, it_coeff.vmax);
+        }
+        velocities[e] = nv;
+        positions[e] += nv;
+      }
+      const float err =
+          static_cast<float>(objective.fn(positions + i * d, d));
+      if (err < pbest_err[i]) {
+        pbest_err[i] = err;
+        for (int j = 0; j < d; ++j) {
+          pbest_pos[i * d + j] = positions[i * d + j];
+        }
+        if (err < state.gbest_err) {
+          state.gbest_err = err;  // serialized (atomic on real hardware)
+          for (int j = 0; j < d; ++j) {
+            gbest_pos[j] = positions[i * d + j];
+          }
+        }
+      }
+    });
+
+    completed = iter + 1;
+    if (callback && !callback(iter, state.gbest_err)) {
+      break;
+    }
+    if (stop.should_stop(state.gbest_err)) {
+      break;
+    }
+  }
+
+  device_.set_phase("gbest");
+  result.gbest_position.resize(d);
+  state.gbest_pos.download(result.gbest_position);
+  result.gbest_value = state.gbest_err;
+  result.iterations = completed;
+  result.wall_seconds = total_watch.elapsed_s();
+  result.wall_breakdown = wall;
+  result.modeled_breakdown = device_.modeled_breakdown();
+  result.modeled_seconds = device_.modeled_seconds();
+  result.counters = device_.counters();
+  return result;
+}
+
+}  // namespace fastpso::core

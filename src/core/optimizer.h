@@ -1,0 +1,63 @@
+// The FastPSO optimizer: orchestrates the four steps of Section 3 on the
+// virtual GPU.
+//
+//   Step (i)   swarm initialization + per-iteration weight matrices ("init")
+//   Step (ii)  swarm evaluation through the kernel schema        ("eval")
+//   Step (iii) pbest update + gbest parallel reduction ("pbest"/"gbest")
+//   Step (iv)  element-wise swarm update                        ("swarm")
+//
+// Quickstart:
+//
+//   vgpu::Device device;                       // virtual Tesla V100
+//   core::PsoParams params;
+//   params.particles = 5000; params.dim = 200;
+//   core::Optimizer optimizer(device, params);
+//   auto problem = problems::make_problem("sphere");
+//   auto result =
+//       optimizer.optimize(core::objective_from_problem(*problem, params.dim));
+//   // result.gbest_value, result.modeled_seconds, result.modeled_breakdown
+#pragma once
+
+#include <functional>
+
+#include "core/launch_policy.h"
+#include "core/objective.h"
+#include "core/params.h"
+#include "core/result.h"
+#include "vgpu/device.h"
+
+namespace fastpso::core {
+
+/// Optional per-iteration observer: (iteration, gbest) -> keep_going.
+/// Returning false stops the run early (extension beyond the paper; used by
+/// the convergence-trace example).
+using IterationCallback = std::function<bool(int iter, double gbest)>;
+
+class Optimizer {
+ public:
+  /// The device must outlive the optimizer.
+  Optimizer(vgpu::Device& device, PsoParams params);
+
+  /// Runs PSO on `objective` and returns the result. Reuses the device's
+  /// memory pool across calls (memory caching per params.memory_caching).
+  Result optimize(const Objective& objective);
+
+  /// As optimize(), invoking `callback` after each iteration.
+  Result optimize(const Objective& objective,
+                  const IterationCallback& callback);
+
+  [[nodiscard]] const PsoParams& params() const { return params_; }
+  [[nodiscard]] const LaunchPolicy& policy() const { return policy_; }
+
+ private:
+  Result optimize_sync(const Objective& objective,
+                       const IterationCallback& callback);
+  Result optimize_async(const Objective& objective,
+                        const IterationCallback& callback);
+
+  vgpu::Device& device_;
+  PsoParams params_;
+  LaunchPolicy policy_;
+};
+
+}  // namespace fastpso::core

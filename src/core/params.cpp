@@ -1,0 +1,39 @@
+#include "core/params.h"
+
+#include "common/check.h"
+
+namespace fastpso::core {
+
+const char* to_string(UpdateTechnique technique) {
+  switch (technique) {
+    case UpdateTechnique::kGlobalMemory:
+      return "global-mem";
+    case UpdateTechnique::kSharedMemory:
+      return "shared-mem";
+    case UpdateTechnique::kTensorCore:
+      return "tensorcore";
+  }
+  FASTPSO_UNREACHABLE("unknown update technique");
+}
+
+const char* to_string(Topology topology) {
+  switch (topology) {
+    case Topology::kGlobal:
+      return "global";
+    case Topology::kRing:
+      return "ring";
+  }
+  FASTPSO_UNREACHABLE("unknown topology");
+}
+
+const char* to_string(Synchronization synchronization) {
+  switch (synchronization) {
+    case Synchronization::kSynchronous:
+      return "sync";
+    case Synchronization::kAsynchronous:
+      return "async";
+  }
+  FASTPSO_UNREACHABLE("unknown synchronization");
+}
+
+}  // namespace fastpso::core

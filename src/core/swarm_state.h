@@ -1,0 +1,50 @@
+// Device-resident swarm state: the matrices P and V of Section 3.4 plus the
+// per-particle best bookkeeping of Section 3.3.
+//
+// Layout note: matrices are indexed row-major as [particle][dim] host-side.
+// The performance model treats them as the dim-major ("structure of arrays")
+// layout the real FastPSO uses, under which both the element-wise update and
+// the per-particle evaluation/pbest kernels are fully coalesced — hence
+// amplification 1.0 in the core kernels' cost specs. The in-simulator
+// storage order only affects host cache behaviour, not results.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+
+namespace fastpso::core {
+
+/// All per-swarm device allocations. Matrices are n x d, flat row-major.
+struct SwarmState {
+  SwarmState(vgpu::Device& device, int particles, int dim)
+      : n(particles),
+        d(dim),
+        positions(device, static_cast<std::size_t>(particles) * dim),
+        velocities(device, static_cast<std::size_t>(particles) * dim),
+        pbest_pos(device, static_cast<std::size_t>(particles) * dim),
+        pbest_err(device, particles),
+        perror(device, particles),
+        improved(device, particles),
+        gbest_pos(device, dim) {}
+
+  int n;
+  int d;
+
+  vgpu::DeviceArray<float> positions;   ///< P, n x d
+  vgpu::DeviceArray<float> velocities;  ///< V, n x d
+  vgpu::DeviceArray<float> pbest_pos;   ///< best position seen per particle
+  vgpu::DeviceArray<float> pbest_err;   ///< best error per particle
+  vgpu::DeviceArray<float> perror;      ///< current-iteration error
+  vgpu::DeviceArray<std::uint8_t> improved;  ///< pbest-improved flags
+  vgpu::DeviceArray<float> gbest_pos;   ///< best position seen by the swarm
+  float gbest_err = std::numeric_limits<float>::infinity();
+
+  [[nodiscard]] std::int64_t elements() const {
+    return static_cast<std::int64_t>(n) * d;
+  }
+};
+
+}  // namespace fastpso::core

@@ -1,0 +1,327 @@
+#include "core/swarm_update.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vgpu/block.h"
+#include "vgpu/wmma.h"
+
+namespace fastpso::core {
+namespace {
+
+/// Canonical per-element update, shared by the scalar paths so results are
+/// bit-identical between the global-memory and shared-memory variants.
+inline void update_element(float& v, float& p, float l, float g, float pb,
+                           float gb, const UpdateCoefficients& k) {
+  float nv = k.omega * v + k.c1 * l * (pb - p) + k.c2 * g * (gb - p);
+  if (k.vmax > 0.0f) {
+    nv = std::clamp(nv, -k.vmax, k.vmax);  // Eq. 5 bound constraint
+  }
+  v = nv;
+  float np = p + nv;
+  if (k.clamp_position) {
+    np = std::clamp(np, k.pos_lower, k.pos_upper);
+  }
+  p = np;
+}
+
+/// DRAM traffic + flops of one full swarm update over `elements` items.
+/// Reads: V, P, L, G, pbest_pos (5 matrices) + the gbest row (d floats,
+/// broadcast through cache). Writes: V', P'.
+vgpu::KernelCostSpec update_cost(std::int64_t elements, int d, int barriers,
+                                 bool tensor) {
+  vgpu::KernelCostSpec cost;
+  cost.flops = 10.0 * static_cast<double>(elements);
+  cost.dram_read_bytes =
+      (5.0 * static_cast<double>(elements) + d) * sizeof(float);
+  cost.dram_write_bytes = 2.0 * static_cast<double>(elements) * sizeof(float);
+  cost.barriers = barriers;
+  cost.uses_tensor_cores = tensor;
+  return cost;
+}
+
+void update_global(vgpu::Device& device, const LaunchPolicy& policy,
+                   SwarmState& state, const float* l_mat, const float* g_mat,
+                   const UpdateCoefficients& coeff) {
+  const std::int64_t elements = state.elements();
+  const int d = state.d;
+  const LaunchDecision decision = policy.for_elements(elements);
+  float* velocities = state.velocities.data();
+  float* positions = state.positions.data();
+  const float* pbest_pos = state.pbest_pos.data();
+  const float* gbest_pos = state.gbest_pos.data();
+
+  device.launch(decision.config, update_cost(elements, d, 0, false),
+                [&](const vgpu::ThreadCtx& t) {
+                  for (std::int64_t i = t.global_id(); i < elements;
+                       i += t.grid_stride()) {
+                    const int col = static_cast<int>(i % d);
+                    update_element(velocities[i], positions[i], l_mat[i],
+                                   g_mat[i], pbest_pos[i], gbest_pos[col],
+                                   coeff);
+                  }
+                });
+}
+
+void update_shared(vgpu::Device& device, const LaunchPolicy& policy,
+                   SwarmState& state, const float* l_mat, const float* g_mat,
+                   const UpdateCoefficients& coeff) {
+  const int n = state.n;
+  const int d = state.d;
+  const std::int64_t tile_rows = (n + kTileSize - 1) / kTileSize;
+  const std::int64_t tile_cols = (d + kTileSize - 1) / kTileSize;
+  const std::int64_t tiles = tile_rows * tile_cols;
+
+  // One block per tile (grid-stride over tiles), kTileSize^2 threads each.
+  vgpu::LaunchConfig cfg;
+  cfg.block = kTileSize * kTileSize;
+  cfg.grid = std::min<std::int64_t>(
+      tiles, policy.thread_cap() / cfg.block + (policy.thread_cap() % cfg.block != 0));
+  cfg.grid = std::max<std::int64_t>(cfg.grid, 1);
+
+  float* velocities = state.velocities.data();
+  float* positions = state.positions.data();
+  const float* pbest_pos = state.pbest_pos.data();
+  const float* gbest_pos = state.gbest_pos.data();
+
+  device.launch_blocks(
+      cfg, update_cost(state.elements(), d, 2, false),
+      [&](vgpu::BlockCtx& blk) {
+        constexpr int kTileElems = kTileSize * kTileSize;
+        auto sh_v = blk.shared_array<float>(kTileElems);
+        auto sh_p = blk.shared_array<float>(kTileElems);
+        auto sh_l = blk.shared_array<float>(kTileElems);
+        auto sh_g = blk.shared_array<float>(kTileElems);
+        auto sh_pb = blk.shared_array<float>(kTileElems);
+        auto sh_gb = blk.shared_array<float>(kTileSize);
+
+        for (std::int64_t tile = blk.block_idx(); tile < tiles;
+             tile += blk.grid_dim()) {
+          const std::int64_t row0 = (tile / tile_cols) * kTileSize;
+          const std::int64_t col0 = (tile % tile_cols) * kTileSize;
+          const int rows = static_cast<int>(
+              std::min<std::int64_t>(kTileSize, n - row0));
+          const int cols = static_cast<int>(
+              std::min<std::int64_t>(kTileSize, d - col0));
+
+          // Phase 1: stage the tile into shared memory.
+          blk.for_each_thread([&](const vgpu::ThreadCtx& t) {
+            const int r = t.thread_idx / kTileSize;
+            const int c = t.thread_idx % kTileSize;
+            if (r < rows && c < cols) {
+              const std::int64_t src = (row0 + r) * d + (col0 + c);
+              const int dst = r * kTileSize + c;
+              sh_v[dst] = velocities[src];
+              sh_p[dst] = positions[src];
+              sh_l[dst] = l_mat[src];
+              sh_g[dst] = g_mat[src];
+              sh_pb[dst] = pbest_pos[src];
+            }
+            if (r == 0 && c < cols) {
+              sh_gb[c] = gbest_pos[col0 + c];
+            }
+          });
+          blk.sync();
+
+          // Phase 2: element-wise update inside shared memory.
+          blk.for_each_thread([&](const vgpu::ThreadCtx& t) {
+            const int r = t.thread_idx / kTileSize;
+            const int c = t.thread_idx % kTileSize;
+            if (r < rows && c < cols) {
+              const int idx = r * kTileSize + c;
+              update_element(sh_v[idx], sh_p[idx], sh_l[idx], sh_g[idx],
+                             sh_pb[idx], sh_gb[c], coeff);
+            }
+          });
+          blk.sync();
+
+          // Phase 3: write the tile back to global memory.
+          blk.for_each_thread([&](const vgpu::ThreadCtx& t) {
+            const int r = t.thread_idx / kTileSize;
+            const int c = t.thread_idx % kTileSize;
+            if (r < rows && c < cols) {
+              const std::int64_t dst = (row0 + r) * d + (col0 + c);
+              const int src = r * kTileSize + c;
+              velocities[dst] = sh_v[src];
+              positions[dst] = sh_p[src];
+            }
+          });
+        }
+      });
+}
+
+void update_tensor(vgpu::Device& device, const LaunchPolicy& policy,
+                   SwarmState& state, const float* l_mat, const float* g_mat,
+                   const UpdateCoefficients& coeff) {
+  namespace wm = vgpu::wmma;
+  const int n = state.n;
+  const int d = state.d;
+  const std::int64_t tile_rows = (n + wm::kFragDim - 1) / wm::kFragDim;
+  const std::int64_t tile_cols = (d + wm::kFragDim - 1) / wm::kFragDim;
+  const std::int64_t tiles = tile_rows * tile_cols;
+
+  // One warp per tile: the fragment ops below are warp-level primitives.
+  vgpu::LaunchConfig cfg;
+  cfg.block = device.spec().warp_size;
+  cfg.grid = std::min<std::int64_t>(tiles,
+                                    policy.thread_cap() / cfg.block);
+  cfg.grid = std::max<std::int64_t>(cfg.grid, 1);
+
+  float* velocities = state.velocities.data();
+  float* positions = state.positions.data();
+  const float* pbest_pos = state.pbest_pos.data();
+  const float* gbest_pos = state.gbest_pos.data();
+
+  device.launch_blocks(
+      cfg, update_cost(state.elements(), d, 1, true), [&](vgpu::BlockCtx& blk) {
+        for (std::int64_t tile = blk.block_idx(); tile < tiles;
+             tile += blk.grid_dim()) {
+          const std::int64_t row0 = (tile / tile_cols) * wm::kFragDim;
+          const std::int64_t col0 = (tile % tile_cols) * wm::kFragDim;
+          const int rows = static_cast<int>(
+              std::min<std::int64_t>(wm::kFragDim, n - row0));
+          const int cols = static_cast<int>(
+              std::min<std::int64_t>(wm::kFragDim, d - col0));
+          const std::int64_t base = row0 * d + col0;
+
+          wm::Fragment<float> fv;
+          wm::Fragment<float> fp;
+          wm::Fragment<float> fl;
+          wm::Fragment<float> fg;
+          wm::Fragment<float> fpb;
+          wm::Fragment<float> feg;
+          wm::load_matrix_sync(fv, velocities + base, d, rows, cols);
+          wm::load_matrix_sync(fp, positions + base, d, rows, cols);
+          wm::load_matrix_sync(fl, l_mat + base, d, rows, cols);
+          wm::load_matrix_sync(fg, g_mat + base, d, rows, cols);
+          wm::load_matrix_sync(fpb, pbest_pos + base, d, rows, cols);
+          // Eg tile: every row is the gbest slice — a broadcast load (ld=0).
+          wm::load_matrix_sync(feg, gbest_pos + col0, 0, wm::kFragDim, cols);
+
+          // t1 = c1*(pbest - P); acc = L .* t1
+          wm::Fragment<float> t1;
+          wm::scale_add_sync(t1, coeff.c1, fpb, -coeff.c1, fp);
+          wm::Fragment<float> acc;
+          wm::fill_fragment(acc, 0.0f);
+          // t2 = c2*(Eg - P); acc += G .* t2
+          wm::Fragment<float> t2;
+          wm::scale_add_sync(t2, coeff.c2, feg, -coeff.c2, fp);
+          if (coeff.mixed_precision) {
+            // Volta semantics: FP16 multiplicands, FP32 accumulate.
+            wm::mma_elementwise_f16_sync(acc, fl, t1, acc);
+            wm::mma_elementwise_f16_sync(acc, fg, t2, acc);
+          } else {
+            wm::mma_elementwise_sync(acc, fl, t1, acc);
+            wm::mma_elementwise_sync(acc, fg, t2, acc);
+          }
+          // V' = omega*V + acc
+          wm::Fragment<float> fvn;
+          wm::scale_add_sync(fvn, coeff.omega, fv, 1.0f, acc);
+
+          // Epilogue: velocity clamp (Eq. 5) + position integrate + clamp.
+          for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+              float nv = fvn.at(r, c);
+              if (coeff.vmax > 0.0f) {
+                nv = std::clamp(nv, -coeff.vmax, coeff.vmax);
+              }
+              fvn.at(r, c) = nv;
+              float np = fp.at(r, c) + nv;
+              if (coeff.clamp_position) {
+                np = std::clamp(np, coeff.pos_lower, coeff.pos_upper);
+              }
+              fp.at(r, c) = np;
+            }
+          }
+
+          wm::store_matrix_sync(velocities + base, fvn, d, rows, cols);
+          wm::store_matrix_sync(positions + base, fp, d, rows, cols);
+        }
+      });
+}
+
+}  // namespace
+
+UpdateCoefficients make_coefficients(const PsoParams& params, double lower,
+                                     double upper) {
+  UpdateCoefficients coeff{};
+  coeff.omega = params.omega;
+  coeff.c1 = params.c1;
+  coeff.c2 = params.c2;
+  coeff.vmax = params.velocity_clamp
+                   ? params.vmax_fraction *
+                         static_cast<float>(upper - lower)
+                   : 0.0f;
+  coeff.pos_lower = static_cast<float>(lower);
+  coeff.pos_upper = static_cast<float>(upper);
+  coeff.clamp_position = params.position_clamp;
+  coeff.mixed_precision = params.mixed_precision;
+  return coeff;
+}
+
+void swarm_update_ring(vgpu::Device& device, const LaunchPolicy& policy,
+                       SwarmState& state,
+                       const vgpu::DeviceArray<float>& l_mat,
+                       const vgpu::DeviceArray<float>& g_mat,
+                       const UpdateCoefficients& coeff,
+                       const std::int32_t* nbest_idx) {
+  const std::int64_t elements = state.elements();
+  const int d = state.d;
+  const LaunchDecision decision = policy.for_elements(elements);
+  float* velocities = state.velocities.data();
+  float* positions = state.positions.data();
+  const float* pbest_pos = state.pbest_pos.data();
+
+  // Extra traffic vs. the gbest kernel: the attractor row is a gather from
+  // pbest_pos (one more stream of E elements) plus the index array.
+  vgpu::KernelCostSpec cost = update_cost(elements, d, 0, false);
+  cost.dram_read_bytes += static_cast<double>(elements) * sizeof(float) +
+                          static_cast<double>(state.n) * sizeof(std::int32_t);
+
+  device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
+    for (std::int64_t i = t.global_id(); i < elements;
+         i += t.grid_stride()) {
+      const std::int64_t row = i / d;
+      const int col = static_cast<int>(i % d);
+      const float attractor =
+          pbest_pos[static_cast<std::int64_t>(nbest_idx[row]) * d + col];
+      update_element(velocities[i], positions[i], l_mat.data()[i],
+                     g_mat.data()[i], pbest_pos[i], attractor, coeff);
+    }
+  });
+}
+
+UpdateCoefficients coefficients_for_iter(const UpdateCoefficients& base,
+                                         const PsoParams& params, int iter) {
+  UpdateCoefficients coeff = base;
+  if (coeff.vmax > 0.0f && params.adaptive_velocity_bound &&
+      params.max_iter > 1) {
+    const float progress =
+        static_cast<float>(iter) / static_cast<float>(params.max_iter);
+    const float anneal =
+        std::max(params.vmax_final_fraction, 1.0f - progress);
+    coeff.vmax *= anneal;
+  }
+  return coeff;
+}
+
+void swarm_update(vgpu::Device& device, const LaunchPolicy& policy,
+                  SwarmState& state, const vgpu::DeviceArray<float>& l_mat,
+                  const vgpu::DeviceArray<float>& g_mat,
+                  const UpdateCoefficients& coeff,
+                  UpdateTechnique technique) {
+  switch (technique) {
+    case UpdateTechnique::kGlobalMemory:
+      update_global(device, policy, state, l_mat.data(), g_mat.data(), coeff);
+      return;
+    case UpdateTechnique::kSharedMemory:
+      update_shared(device, policy, state, l_mat.data(), g_mat.data(), coeff);
+      return;
+    case UpdateTechnique::kTensorCore:
+      update_tensor(device, policy, state, l_mat.data(), g_mat.data(), coeff);
+      return;
+  }
+  FASTPSO_UNREACHABLE("unknown update technique");
+}
+
+}  // namespace fastpso::core

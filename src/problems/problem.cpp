@@ -1,0 +1,31 @@
+#include "problems/problem.h"
+
+#include "common/check.h"
+#include "problems/functions.h"
+
+namespace fastpso::problems {
+
+std::unique_ptr<Problem> make_problem(const std::string& name) {
+  if (name == "sphere") return std::make_unique<Sphere>();
+  if (name == "griewank") return std::make_unique<Griewank>();
+  if (name == "easom") return std::make_unique<Easom>();
+  if (name == "rastrigin") return std::make_unique<Rastrigin>();
+  if (name == "rosenbrock") return std::make_unique<Rosenbrock>();
+  if (name == "ackley") return std::make_unique<Ackley>();
+  if (name == "schwefel") return std::make_unique<Schwefel>();
+  if (name == "zakharov") return std::make_unique<Zakharov>();
+  if (name == "levy") return std::make_unique<Levy>();
+  if (name == "styblinski_tang") return std::make_unique<StyblinskiTang>();
+  throw CheckError("unknown problem: '" + name + "'");
+}
+
+std::vector<std::string> builtin_problem_names() {
+  return {"sphere",   "griewank",  "easom",    "rastrigin", "rosenbrock",
+          "ackley",   "schwefel",  "zakharov", "levy",      "styblinski_tang"};
+}
+
+std::vector<std::string> paper_problem_names() {
+  return {"sphere", "griewank", "easom", "threadconf"};
+}
+
+}  // namespace fastpso::problems

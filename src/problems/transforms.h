@@ -1,0 +1,87 @@
+// Problem transforms: shifted and rotated variants of the built-in
+// functions, in the style of the CEC benchmark suites. PSO exploits
+// separability and origin-centered optima; shifting moves the optimum off
+// the origin and rotation couples the dimensions, making the benchmark
+// honest. (Extension beyond the paper, which evaluates the plain
+// functions.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "problems/problem.h"
+
+namespace fastpso::problems {
+
+/// g(x) = f(x - shift): moves the inner problem's optimum to `shift`
+/// (which must lie inside the inner domain). The search domain is kept, so
+/// the optimum value is unchanged.
+class ShiftedProblem final : public Problem {
+ public:
+  /// Takes ownership of `inner`. `shift` is replicated/truncated to the
+  /// evaluated dimension; components must keep x-shift inside the domain.
+  ShiftedProblem(std::unique_ptr<Problem> inner, std::vector<double> shift);
+
+  /// Convenience: a deterministic pseudo-random shift of magnitude
+  /// `fraction` of the half-domain, seeded by `seed`.
+  static std::unique_ptr<ShiftedProblem> random(
+      std::unique_ptr<Problem> inner, double fraction, std::uint64_t seed,
+      int dim_hint = 64);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] double lower_bound() const override;
+  [[nodiscard]] double upper_bound() const override;
+  [[nodiscard]] double optimum_value(int dim) const override;
+  [[nodiscard]] bool has_known_optimum() const override;
+  [[nodiscard]] double eval_f32(const float* x, int dim) const override;
+  [[nodiscard]] double eval_f64(const double* x, int dim) const override;
+  [[nodiscard]] EvalCost cost() const override;
+
+  [[nodiscard]] double shift_at(int i) const {
+    return shift_[i % shift_.size()];
+  }
+
+ private:
+  std::unique_ptr<Problem> inner_;
+  std::vector<double> shift_;
+  std::string name_;
+};
+
+/// g(x) = f(R x) with R orthonormal: couples the coordinates so
+/// axis-aligned moves no longer decompose. R is a deterministic random
+/// rotation (QR of a Gaussian matrix) of size `dim x dim`, fixed at
+/// construction; evaluation requires that exact dimension.
+class RotatedProblem final : public Problem {
+ public:
+  /// Takes ownership of `inner`; builds a `dim x dim` rotation from `seed`.
+  RotatedProblem(std::unique_ptr<Problem> inner, int dim,
+                 std::uint64_t seed);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] double lower_bound() const override;
+  [[nodiscard]] double upper_bound() const override;
+  [[nodiscard]] double optimum_value(int dim) const override;
+  [[nodiscard]] bool has_known_optimum() const override;
+  [[nodiscard]] double eval_f32(const float* x, int dim) const override;
+  [[nodiscard]] double eval_f64(const double* x, int dim) const override;
+  [[nodiscard]] EvalCost cost() const override;
+
+  [[nodiscard]] int dim() const { return dim_; }
+  /// The rotation matrix (row-major dim x dim), for tests.
+  [[nodiscard]] const HostMatrix<double>& rotation() const {
+    return rotation_;
+  }
+
+ private:
+  std::unique_ptr<Problem> inner_;
+  int dim_;
+  HostMatrix<double> rotation_;
+  std::string name_;
+
+  template <typename T>
+  double eval_rotated(const T* x, int dim) const;
+};
+
+}  // namespace fastpso::problems

@@ -1,0 +1,95 @@
+// Philox4x32-10 counter-based random number generator (Salmon et al.,
+// "Parallel Random Numbers: As Easy as 1, 2, 3", SC'11), implemented from
+// scratch.
+//
+// This is the substrate for the paper's Step (i) — "parallel techniques to
+// initialize swarm particles with fast random number generation" — and for
+// regenerating the per-iteration random-weight matrices L and G. A
+// counter-based generator gives every (iteration, element) pair its own
+// independent, reproducible stream with no shared mutable state, which is
+// exactly what a massively parallel initializer needs: thread t can compute
+// random value #i directly from (key, counter=i) without any sequencing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fastpso::rng {
+
+/// One Philox4x32 counter block: four 32-bit lanes.
+using PhiloxBlock = std::array<std::uint32_t, 4>;
+/// Philox4x32 key: two 32-bit lanes.
+using PhiloxKey = std::array<std::uint32_t, 2>;
+
+/// Computes one Philox4x32-10 block: 10 rounds of the Philox S-P network.
+/// Pure function: identical (counter, key) always produces identical output.
+PhiloxBlock philox4x32(PhiloxBlock counter, PhiloxKey key);
+
+/// Convenience stream view over Philox: produces the i-th random uint32 /
+/// float of a keyed sequence with O(1) random access.
+///
+/// Layout: the 64-bit index is split into (block = index / 4, lane =
+/// index % 4); `block` is placed in counter lanes 0..1 and the stream id in
+/// lanes 2..3, so distinct streams never collide.
+class PhiloxStream {
+ public:
+  /// `seed` selects the key; `stream` separates independent sequences
+  /// (e.g. one per matrix per iteration).
+  explicit PhiloxStream(std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// The i-th uint32 of this stream.
+  [[nodiscard]] std::uint32_t uint_at(std::uint64_t index) const;
+
+  /// The i-th float, uniform in [0, 1). Uses the top 24 bits so every
+  /// representable value is exact in float.
+  [[nodiscard]] float uniform_at(std::uint64_t index) const;
+
+  /// The i-th double, uniform in [0, 1) (53 bits from two uint32 draws —
+  /// consumes indices 2*i and 2*i+1 of the underlying uint stream).
+  [[nodiscard]] double uniform_double_at(std::uint64_t index) const;
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] float uniform_at(std::uint64_t index, float lo,
+                                 float hi) const;
+
+  /// Standard normal via Box–Muller; consumes uint indices 2*i, 2*i+1.
+  [[nodiscard]] float normal_at(std::uint64_t index) const;
+
+  /// All four uniforms of one Philox block: element `block_index*4 + lane`
+  /// equals uniform_at(block_index*4 + lane). One Philox evaluation instead
+  /// of four — the fast path for bulk fills.
+  [[nodiscard]] std::array<float, 4> uniform4_at(
+      std::uint64_t block_index) const;
+
+  /// The pair (uniform_at(2*pair_index), uniform_at(2*pair_index+1)) from a
+  /// single Philox evaluation — the fast path for per-element (r1, r2)
+  /// draws in the update kernels.
+  [[nodiscard]] std::array<float, 2> uniform_pair_at(
+      std::uint64_t pair_index) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint64_t stream() const { return stream_; }
+
+ private:
+  [[nodiscard]] PhiloxBlock block_at(std::uint64_t block_index) const;
+
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+  PhiloxKey key_;
+};
+
+/// Converts a uint32 to a float uniform in [0,1) using the top 24 bits.
+[[nodiscard]] inline float uint32_to_unit_float(std::uint32_t x) {
+  return static_cast<float>(x >> 8) * (1.0f / 16777216.0f);
+}
+
+/// Converts two uint32s to a double uniform in [0,1) using 53 bits.
+[[nodiscard]] inline double uint32x2_to_unit_double(std::uint32_t hi,
+                                                    std::uint32_t lo) {
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(hi) << 21) ^ (lo >> 11);
+  return static_cast<double>(bits & ((1ULL << 53) - 1)) *
+         (1.0 / 9007199254740992.0);
+}
+
+}  // namespace fastpso::rng

@@ -1,0 +1,27 @@
+#include "rng/splitmix.h"
+
+namespace fastpso::rng {
+namespace {
+
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  return mix64(state_);
+}
+
+double SplitMix64::next_unit() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::uint64_t SplitMix64::mix(std::uint64_t seed, std::uint64_t n) {
+  return mix64(seed + (n + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace fastpso::rng

@@ -1,0 +1,28 @@
+// SplitMix64 (Steele, Lea, Flood 2014) — used for seeding and for cheap
+// sequential host-side randomness in the CPU baselines.
+#pragma once
+
+#include <cstdint>
+
+namespace fastpso::rng {
+
+/// SplitMix64: a tiny, fast, well-mixed 64-bit generator. Primarily used to
+/// expand one user seed into many independent sub-seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next();
+
+  /// Next double uniform in [0, 1).
+  double next_unit();
+
+  /// Stateless mix: the n-th output of a SplitMix64 seeded with `seed`.
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fastpso::rng

@@ -1,0 +1,35 @@
+// xoshiro256** (Blackman & Vigna 2018) — the fast sequential generator used
+// by the CPU baselines (fastpso-seq / fastpso-omp use per-thread instances).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fastpso::rng {
+
+/// xoshiro256**: 256 bits of state, excellent statistical quality, ~1ns per
+/// draw. State is seeded through SplitMix64 so any 64-bit seed is fine.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double next_unit();
+
+  /// Uniform float in [0, 1).
+  float next_unit_float();
+
+  /// Uniform double in [lo, hi).
+  double next_uniform(double lo, double hi);
+
+  /// Jump function: advances the stream by 2^128 draws; use to derive
+  /// non-overlapping per-thread streams from one seed.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace fastpso::rng

@@ -1,0 +1,122 @@
+#include "tgbm/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "rng/xoshiro.h"
+
+namespace fastpso::tgbm {
+namespace {
+
+/// Number of random step functions composing the synthetic target.
+constexpr int kStepTerms = 24;
+/// Materialized size caps for this environment.
+constexpr std::int64_t kMaxActualRows = 20000;
+constexpr int kMaxActualDims = 128;
+constexpr int kMaxActualSparseDims = 4096;
+
+DatasetSpec make_spec(std::string name, std::int64_t rows, int dims,
+                      double density = 1.0) {
+  DatasetSpec spec;
+  spec.name = std::move(name);
+  spec.rows = rows;
+  spec.dims = dims;
+  spec.actual_rows = std::min(rows, kMaxActualRows);
+  // CSR storage only pays for nonzeros, so sparse sets keep far more of
+  // their true dimensionality in memory.
+  spec.actual_dims =
+      std::min(dims, density < 1.0 ? kMaxActualSparseDims : kMaxActualDims);
+  spec.density = density;
+  return spec;
+}
+
+}  // namespace
+
+DatasetSpec covtype_spec() { return make_spec("covtype", 580000, 54); }
+DatasetSpec susy_spec() { return make_spec("susy", 5000000, 18); }
+DatasetSpec higgs_spec() { return make_spec("higgs", 11000000, 28); }
+DatasetSpec e2006_spec() {
+  // LIBSVM's E2006-tfidf is ~0.8% dense.
+  return make_spec("e2006", 16000, 150361, /*density=*/0.008);
+}
+
+std::vector<DatasetSpec> table5_specs() {
+  return {covtype_spec(), susy_spec(), higgs_spec(), e2006_spec()};
+}
+
+Dataset generate_dataset(const DatasetSpec& spec, std::uint64_t seed) {
+  FASTPSO_CHECK(spec.actual_rows > 0 && spec.actual_dims > 0);
+  FASTPSO_CHECK(spec.density > 0.0 && spec.density <= 1.0);
+  Dataset dataset;
+  dataset.spec = spec;
+  dataset.targets.resize(spec.actual_rows);
+
+  rng::Xoshiro256 gen(seed + 0x7461626Cu);
+
+  if (spec.is_sparse()) {
+    // CSR: each row gets ~density * dims nonzeros at sorted random columns
+    // with values in (0, 1] (zero stays the implicit value).
+    const int nnz_per_row = std::max<int>(
+        1, static_cast<int>(spec.density * spec.actual_dims));
+    dataset.sparse.row_ptr.reserve(spec.actual_rows + 1);
+    dataset.sparse.row_ptr.push_back(0);
+    std::vector<std::int32_t> cols;
+    for (std::int64_t r = 0; r < spec.actual_rows; ++r) {
+      cols.clear();
+      while (static_cast<int>(cols.size()) < nnz_per_row) {
+        const auto c = static_cast<std::int32_t>(gen.next() %
+                                                 spec.actual_dims);
+        cols.push_back(c);
+      }
+      std::sort(cols.begin(), cols.end());
+      cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+      for (std::int32_t c : cols) {
+        dataset.sparse.col.push_back(c);
+        dataset.sparse.val.push_back(
+            static_cast<float>(1.0 - gen.next_unit()));  // (0, 1]
+      }
+      dataset.sparse.row_ptr.push_back(
+          static_cast<std::int64_t>(dataset.sparse.col.size()));
+    }
+  } else {
+    dataset.features = HostMatrix<float>(
+        static_cast<std::size_t>(spec.actual_rows), spec.actual_dims);
+    for (std::int64_t r = 0; r < spec.actual_rows; ++r) {
+      for (int c = 0; c < spec.actual_dims; ++c) {
+        dataset.features(r, c) = static_cast<float>(gen.next_unit());
+      }
+    }
+  }
+
+  // Random step terms: target += weight * [x[f] > threshold].
+  struct Step {
+    int feature;
+    float threshold;
+    float weight;
+  };
+  std::vector<Step> steps(kStepTerms);
+  for (auto& step : steps) {
+    step.feature = static_cast<int>(gen.next() % spec.actual_dims);
+    step.threshold = static_cast<float>(gen.next_unit());
+    step.weight = static_cast<float>(gen.next_uniform(-2.0, 2.0));
+  }
+
+  for (std::int64_t r = 0; r < spec.actual_rows; ++r) {
+    double y = 0.0;
+    for (const auto& step : steps) {
+      if (dataset.feature(r, step.feature) > step.threshold) {
+        y += step.weight;
+      }
+    }
+    // Mild Gaussian noise via sum of uniforms.
+    double noise = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      noise += gen.next_unit() - 0.5;
+    }
+    dataset.targets[r] = static_cast<float>(y + 0.2 * noise);
+  }
+  return dataset;
+}
+
+}  // namespace fastpso::tgbm

@@ -1,0 +1,298 @@
+#include "tgbm/minigbm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace fastpso::tgbm {
+namespace {
+
+// Site indices into kernel_sites() — keep in sync with kernels.cpp.
+enum Site : int {
+  kFindCutPoints = 0,
+  kQuantize = 1,
+  kBuildCsr = 2,
+  kColsample = 3,
+  kRowSample = 4,
+  kInitNodeIndex = 5,
+  kUpdateGradients = 6,
+  kGradientReduce = 7,
+  kHistRoot = 8,
+  kHistNode = 9,
+  kHistSubtract = 10,
+  kBestSplitGain = 11,
+  kBestSplitReduce = 12,
+  kSplitBroadcast = 13,
+  kPartitionFlags = 14,
+  kPartitionScan = 15,
+  kPartitionScatter = 16,
+  kNodeIndexUpdate = 17,
+  kNodeStatsUpdate = 18,
+  kLeafValues = 19,
+  kUpdatePredictions = 20,
+  kLossEval = 21,
+  kCopyTree = 22,
+  kTreeSync = 23,
+  kFinalScore = 24,
+};
+
+/// One (gradient sum, count) histogram cell.
+struct HistCell {
+  double grad = 0;
+  double count = 0;
+};
+
+}  // namespace
+
+MiniGbm::MiniGbm(GbmParams params) : params_(params) {
+  FASTPSO_CHECK(params_.trees > 0);
+  FASTPSO_CHECK(params_.depth >= 1 && params_.depth <= 10);
+  FASTPSO_CHECK(params_.bins >= 2 && params_.bins <= 256);
+}
+
+TrainResult MiniGbm::train(vgpu::Device& device, const Dataset& data,
+                           const ConfigSet& configs) const {
+  const auto sites = kernel_sites(data.spec, params_);
+  const std::int64_t rows = data.spec.actual_rows;
+  const int dims = data.spec.actual_dims;
+  const int bins = params_.bins;
+  const int depth = params_.depth;
+  const int leaf_count = 1 << depth;
+
+  Stopwatch watch;
+  device.reset_counters();
+  device.set_phase("tgbm");
+
+  TrainResult result;
+  result.trees = params_.trees;
+
+  // Accounts one modeled launch of `site` under its tuned configuration;
+  // the real computation below runs as plain host loops over the
+  // materialized (reduced-scale) data. Costs are declared at paper scale.
+  auto account = [&](int site) {
+    const LaunchPlan plan =
+        plan_launch(sites[site], configs[site], device.spec());
+    device.account_launch(plan.config, plan.cost);
+    if (plan.shared_spill) {
+      ++result.spilled_launches;
+    }
+  };
+
+  const bool sparse = data.spec.is_sparse();
+
+  // ---- one-time preparation: quantize features to bins -----------------
+  // Dense: every value gets a bin. Sparse: only nonzeros are binned (into
+  // bins 1..bins-1, since CSR values are positive); the implicit zeros
+  // live in bin 0.
+  account(kFindCutPoints);
+  account(kQuantize);
+  account(kBuildCsr);
+  std::vector<std::uint8_t> binned;
+  std::vector<std::uint8_t> binned_nnz;
+  auto bin_of_value = [&](float x) {
+    if (sparse) {
+      const int b = 1 + static_cast<int>(x * (bins - 1));
+      return static_cast<std::uint8_t>(std::clamp(b, 1, bins - 1));
+    }
+    return static_cast<std::uint8_t>(
+        std::clamp(static_cast<int>(x * bins), 0, bins - 1));
+  };
+  if (sparse) {
+    binned_nnz.resize(data.sparse.nnz());
+    for (std::int64_t k = 0; k < data.sparse.nnz(); ++k) {
+      binned_nnz[k] = bin_of_value(data.sparse.val[k]);
+    }
+  } else {
+    binned.resize(static_cast<std::size_t>(rows) * dims);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (int f = 0; f < dims; ++f) {
+        binned[r * dims + f] = bin_of_value(data.features(r, f));
+      }
+    }
+  }
+  // Bin of (row, feature) independent of storage.
+  auto bin_at = [&](std::int64_t r, int f) -> int {
+    if (!sparse) {
+      return binned[r * dims + f];
+    }
+    const auto begin = data.sparse.col.begin() + data.sparse.row_ptr[r];
+    const auto end = data.sparse.col.begin() + data.sparse.row_ptr[r + 1];
+    const auto it = std::lower_bound(begin, end, f);
+    if (it != end && *it == f) {
+      return binned_nnz[it - data.sparse.col.begin()];
+    }
+    return 0;
+  };
+
+  std::vector<float> predictions(rows, 0.0f);
+  std::vector<float> gradients(rows, 0.0f);
+  std::vector<int> node_index(rows, 0);
+
+  // Per-node histograms and split decisions for the current level.
+  std::vector<HistCell> hist;
+  struct Split {
+    int feature = -1;
+    int bin = -1;
+    double gain = 0;
+  };
+
+  for (int tree = 0; tree < params_.trees; ++tree) {
+    account(kColsample);
+    account(kRowSample);
+
+    // Gradients of squared loss: g = prediction - target.
+    account(kUpdateGradients);
+    account(kGradientReduce);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      gradients[r] = predictions[r] - data.targets[r];
+    }
+
+    account(kInitNodeIndex);
+    std::fill(node_index.begin(), node_index.end(), 0);
+
+    for (int level = 0; level < depth; ++level) {
+      const int nodes = 1 << level;
+      hist.assign(static_cast<std::size_t>(nodes) * dims * bins, HistCell{});
+
+      // Histogram build (root kernel at level 0, node kernel below).
+      // Sparse rows only touch their nonzeros; the zero bin is implied.
+      account(level == 0 ? kHistRoot : kHistNode);
+      if (level > 0) {
+        account(kHistSubtract);
+      }
+      std::vector<HistCell> node_total(nodes);
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const int node = node_index[r];
+        const std::size_t base =
+            (static_cast<std::size_t>(node) * dims) * bins;
+        node_total[node].grad += gradients[r];
+        node_total[node].count += 1.0;
+        if (sparse) {
+          for (std::int64_t k = data.sparse.row_ptr[r];
+               k < data.sparse.row_ptr[r + 1]; ++k) {
+            HistCell& cell =
+                hist[base +
+                     static_cast<std::size_t>(data.sparse.col[k]) * bins +
+                     binned_nnz[k]];
+            cell.grad += gradients[r];
+            cell.count += 1.0;
+          }
+        } else {
+          for (int f = 0; f < dims; ++f) {
+            HistCell& cell = hist[base + static_cast<std::size_t>(f) * bins +
+                                  binned[r * dims + f]];
+            cell.grad += gradients[r];
+            cell.count += 1.0;
+          }
+        }
+      }
+
+      // Best split per node by variance gain.
+      account(kBestSplitGain);
+      account(kBestSplitReduce);
+      account(kSplitBroadcast);
+      std::vector<Split> splits(nodes);
+      for (int node = 0; node < nodes; ++node) {
+        const std::size_t base = (static_cast<std::size_t>(node) * dims) * bins;
+        const double total_grad = node_total[node].grad;
+        const double total_count = node_total[node].count;
+        if (total_count < 2) {
+          continue;  // too few rows to split
+        }
+        const double parent_score = total_grad * total_grad / total_count;
+        Split best;
+        for (int f = 0; f < dims; ++f) {
+          const std::size_t fbase = base + static_cast<std::size_t>(f) * bins;
+          double left_grad = 0;
+          double left_count = 0;
+          if (sparse) {
+            // Implicit zero bin: node totals minus the explicit bins.
+            double explicit_grad = 0;
+            double explicit_count = 0;
+            for (int b = 1; b < bins; ++b) {
+              explicit_grad += hist[fbase + b].grad;
+              explicit_count += hist[fbase + b].count;
+            }
+            left_grad = total_grad - explicit_grad;
+            left_count = total_count - explicit_count;
+          }
+          for (int b = 0; b + 1 < bins; ++b) {
+            if (!sparse || b > 0) {
+              left_grad += hist[fbase + b].grad;
+              left_count += hist[fbase + b].count;
+            }
+            const double right_count = total_count - left_count;
+            if (left_count < 1 || right_count < 1) {
+              continue;
+            }
+            const double right_grad = total_grad - left_grad;
+            const double gain = left_grad * left_grad / left_count +
+                                right_grad * right_grad / right_count -
+                                parent_score;
+            if (gain > best.gain) {
+              best = Split{f, b, gain};
+            }
+          }
+        }
+        splits[node] = best;
+      }
+
+      // Partition rows by their node's split decision.
+      account(kPartitionFlags);
+      account(kPartitionScan);
+      account(kPartitionScatter);
+      account(kNodeIndexUpdate);
+      account(kNodeStatsUpdate);
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const int node = node_index[r];
+        const Split& split = splits[node];
+        int child = 0;
+        if (split.feature >= 0) {
+          child = bin_at(r, split.feature) > split.bin ? 1 : 0;
+        }
+        node_index[r] = 2 * node + child;
+      }
+    }
+
+    // Leaf values: -lr * mean gradient per leaf.
+    account(kLeafValues);
+    std::vector<double> leaf_grad(leaf_count, 0.0);
+    std::vector<double> leaf_cnt(leaf_count, 0.0);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      leaf_grad[node_index[r]] += gradients[r];
+      leaf_cnt[node_index[r]] += 1.0;
+    }
+    std::vector<float> leaf_value(leaf_count, 0.0f);
+    for (int leaf = 0; leaf < leaf_count; ++leaf) {
+      if (leaf_cnt[leaf] > 0) {
+        leaf_value[leaf] = static_cast<float>(
+            -params_.learning_rate * leaf_grad[leaf] / leaf_cnt[leaf]);
+      }
+    }
+
+    account(kUpdatePredictions);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      predictions[r] += leaf_value[node_index[r]];
+    }
+
+    account(kLossEval);
+    account(kCopyTree);
+    account(kTreeSync);
+    double sq = 0.0;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const double e = predictions[r] - data.targets[r];
+      sq += e * e;
+    }
+    result.rmse_per_round.push_back(std::sqrt(sq / static_cast<double>(rows)));
+  }
+
+  account(kFinalScore);
+  result.modeled_seconds = device.modeled_seconds();
+  result.wall_seconds = watch.elapsed_s();
+  return result;
+}
+
+}  // namespace fastpso::tgbm

@@ -1,0 +1,13 @@
+#include "tgbm/threadconf.h"
+
+namespace fastpso::tgbm {
+
+ThreadConfProblem::ThreadConfProblem(DatasetSpec spec, GbmParams params,
+                                     vgpu::GpuSpec gpu)
+    : spec_(std::move(spec)), params_(params), gpu_(std::move(gpu)) {}
+
+std::unique_ptr<problems::Problem> make_threadconf_problem() {
+  return std::make_unique<ThreadConfProblem>();
+}
+
+}  // namespace fastpso::tgbm

@@ -1,0 +1,64 @@
+// The ThreadConf optimization problem (paper Section 4.1 & 4.6): find the
+// thread/block configuration of MiniGBM's 25 GPU kernels that minimizes
+// modeled training time.
+//
+// Positions live in [0,1]^d; consecutive pairs decode to one kernel's
+// (block size, items per thread) via tgbm::configs_from_position. The
+// canonical case-study dimensionality is 50 (25 kernels x 2); other
+// dimensions wrap cyclically so the problem composes with the paper's
+// d-sweeps (Figure 4 g/h).
+#pragma once
+
+#include <memory>
+
+#include "problems/problem.h"
+#include "tgbm/dataset.h"
+#include "tgbm/kernels.h"
+#include "vgpu/device_spec.h"
+
+namespace fastpso::tgbm {
+
+/// Modeled-training-time objective over kernel configurations.
+class ThreadConfProblem final
+    : public problems::ProblemBase<ThreadConfProblem> {
+ public:
+  /// Defaults to the HIGGS-shaped dataset and the paper's GBDT settings.
+  explicit ThreadConfProblem(DatasetSpec spec = higgs_spec(),
+                             GbmParams params = GbmParams{},
+                             vgpu::GpuSpec gpu = vgpu::tesla_v100());
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] double lower_bound() const override { return 0.0; }
+  [[nodiscard]] double upper_bound() const override { return 1.0; }
+  /// The true optimum is unknown (combinatorial landscape).
+  [[nodiscard]] bool has_known_optimum() const override { return false; }
+  [[nodiscard]] double optimum_value(int) const override { return 0.0; }
+  [[nodiscard]] problems::EvalCost cost() const override {
+    // ~25 launch-plan evaluations of a few dozen flops each per call; the
+    // per-dim share keeps the model roughly right across dimensions.
+    return {.flops_per_dim = 40.0, .transcendentals_per_dim = 0.0,
+            .flops_fixed = 500.0, .vector_passes = 3.0};
+  }
+
+  template <typename T>
+  [[nodiscard]] double eval_impl(const T* x, int dim) const {
+    const ConfigSet configs =
+        configs_from_position(std::span<const T>(x, static_cast<size_t>(dim)));
+    // Milliseconds so error magnitudes are comfortable in float32.
+    return modeled_train_seconds(spec_, params_, configs, gpu_) * 1e3;
+  }
+
+  [[nodiscard]] const DatasetSpec& dataset_spec() const { return spec_; }
+  [[nodiscard]] const GbmParams& gbm_params() const { return params_; }
+
+ private:
+  DatasetSpec spec_;
+  GbmParams params_;
+  vgpu::GpuSpec gpu_;
+  std::string name_ = "threadconf";
+};
+
+/// Factory matching problems::make_problem's signature style.
+std::unique_ptr<problems::Problem> make_threadconf_problem();
+
+}  // namespace fastpso::tgbm

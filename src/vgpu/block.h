@@ -1,0 +1,90 @@
+// Cooperative block execution with shared memory and barrier phases.
+//
+// The virtual GPU executes a block's threads as *phases*: the kernel body
+// calls `block.for_each_thread(...)` to run a piece of straight-line code on
+// every thread of the block, then `block.sync()` to mark a __syncthreads
+// boundary, then the next phase. Running each phase to completion before the
+// next starts gives exactly the cross-thread visibility guarantees of a real
+// barrier, provided threads do not race within a phase (same requirement as
+// real CUDA).
+//
+// Shared memory is a bump arena checked against the device's
+// shared_mem_per_block, so a kernel that over-allocates shared memory fails
+// loudly (as a real launch would).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "vgpu/device.h"
+
+namespace fastpso::vgpu {
+
+/// Per-block execution context handed to launch_blocks bodies.
+class BlockCtx {
+ public:
+  BlockCtx(std::int64_t block_idx, const LaunchConfig& cfg,
+           std::size_t shared_limit)
+      : block_idx_(block_idx), cfg_(cfg), shared_limit_(shared_limit) {
+    arena_.resize(shared_limit);
+  }
+
+  [[nodiscard]] std::int64_t block_idx() const { return block_idx_; }
+  [[nodiscard]] int block_dim() const { return cfg_.block; }
+  [[nodiscard]] std::int64_t grid_dim() const { return cfg_.grid; }
+
+  /// Allocates `count` Ts of shared memory for this block. Mirrors
+  /// `__shared__ T buf[count]`. Throws when the block's shared budget is
+  /// exceeded.
+  template <typename T>
+  std::span<T> shared_array(std::size_t count) {
+    const std::size_t align = alignof(T);
+    std::size_t offset = (arena_used_ + align - 1) / align * align;
+    const std::size_t bytes = count * sizeof(T);
+    FASTPSO_CHECK_MSG(offset + bytes <= shared_limit_,
+                      "shared memory budget exceeded");
+    arena_used_ = offset + bytes;
+    return {reinterpret_cast<T*>(arena_.data() + offset), count};
+  }
+
+  /// Runs `fn(ThreadCtx)` for every thread of this block (one phase).
+  template <typename Fn>
+  void for_each_thread(Fn&& fn) {
+    ThreadCtx ctx;
+    ctx.block_idx = block_idx_;
+    ctx.block_dim = cfg_.block;
+    ctx.grid_dim = cfg_.grid;
+    for (int t = 0; t < cfg_.block; ++t) {
+      ctx.thread_idx = t;
+      fn(static_cast<const ThreadCtx&>(ctx));
+    }
+  }
+
+  /// Marks a __syncthreads boundary between phases.
+  void sync() { ++sync_count_; }
+
+  [[nodiscard]] int sync_count() const { return sync_count_; }
+  [[nodiscard]] std::size_t shared_bytes_used() const { return arena_used_; }
+
+ private:
+  std::int64_t block_idx_;
+  LaunchConfig cfg_;
+  std::size_t shared_limit_;
+  std::vector<std::byte> arena_;
+  std::size_t arena_used_ = 0;
+  int sync_count_ = 0;
+};
+
+template <typename Body>
+void Device::launch_blocks(const LaunchConfig& cfg, const KernelCostSpec& cost,
+                           Body&& body) {
+  account_launch(cfg, cost);
+  for (std::int64_t b = 0; b < cfg.grid; ++b) {
+    BlockCtx block(b, cfg, spec_.shared_mem_per_block);
+    body(block);
+  }
+}
+
+}  // namespace fastpso::vgpu

@@ -1,0 +1,87 @@
+// RAII typed device memory, allocated through the device's caching pool.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/check.h"
+#include "vgpu/device.h"
+#include "vgpu/memory_pool.h"
+
+namespace fastpso::vgpu {
+
+/// A typed array in device memory. Allocation goes through Device::pool(),
+/// so repeated allocate/free cycles of the same size are cache hits when
+/// memory caching is enabled (Table 4).
+template <typename T>
+class DeviceArray {
+ public:
+  DeviceArray() = default;
+
+  DeviceArray(Device& device, std::size_t count) : device_(&device) {
+    resize(count);
+  }
+
+  ~DeviceArray() { reset(); }
+
+  DeviceArray(const DeviceArray&) = delete;
+  DeviceArray& operator=(const DeviceArray&) = delete;
+
+  DeviceArray(DeviceArray&& other) noexcept { *this = std::move(other); }
+  DeviceArray& operator=(DeviceArray&& other) noexcept {
+    if (this != &other) {
+      reset();
+      device_ = other.device_;
+      data_ = other.data_;
+      count_ = other.count_;
+      other.data_ = nullptr;
+      other.count_ = 0;
+    }
+    return *this;
+  }
+
+  void resize(std::size_t count) {
+    FASTPSO_CHECK_MSG(device_ != nullptr, "DeviceArray without a device");
+    reset();
+    if (count > 0) {
+      data_ = static_cast<T*>(device_->pool().alloc(count * sizeof(T)));
+      count_ = count;
+    }
+  }
+
+  void reset() {
+    if (data_ != nullptr) {
+      device_->pool().free(data_);
+      data_ = nullptr;
+      count_ = 0;
+    }
+  }
+
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t bytes() const { return count_ * sizeof(T); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] std::span<T> span() const { return {data_, count_}; }
+
+  T& operator[](std::size_t i) const { return data_[i]; }
+
+  /// Copies host data into the array (models cudaMemcpyHostToDevice).
+  void upload(std::span<const T> host) {
+    FASTPSO_CHECK(host.size() <= count_);
+    device_->memcpy_h2d(data_, host.data(), host.size() * sizeof(T));
+  }
+
+  /// Copies array contents to host (models cudaMemcpyDeviceToHost).
+  void download(std::span<T> host) const {
+    FASTPSO_CHECK(host.size() <= count_);
+    device_->memcpy_d2h(host.data(), data_, host.size() * sizeof(T));
+  }
+
+ private:
+  Device* device_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace fastpso::vgpu

@@ -1,0 +1,153 @@
+#include "vgpu/device.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "vgpu/memory_pool.h"
+
+namespace fastpso::vgpu {
+
+LaunchConfig LaunchConfig::for_elements(const GpuSpec& spec,
+                                        std::int64_t elements, int block,
+                                        std::int64_t max_blocks) {
+  FASTPSO_CHECK(elements > 0);
+  FASTPSO_CHECK(block > 0 && block <= spec.max_threads_per_block);
+  LaunchConfig cfg;
+  cfg.block = block;
+  cfg.grid = std::min<std::int64_t>((elements + block - 1) / block,
+                                    max_blocks);
+  return cfg;
+}
+
+Device::Device(GpuSpec spec)
+    : spec_(std::move(spec)), perf_(spec_) {
+  pool_ = std::make_unique<MemoryPool>(*this, /*enabled=*/true);
+}
+
+Device::~Device() {
+  // Release pool cache before checking for leaks from raw users.
+  pool_->release_cache();
+  for (auto& [ptr, bytes] : allocations_) {
+    (void)bytes;
+    std::free(ptr);
+  }
+}
+
+void* Device::raw_alloc(std::size_t bytes) {
+  FASTPSO_CHECK_MSG(bytes > 0, "zero-byte device allocation");
+  FASTPSO_CHECK_MSG(bytes_in_use_ + bytes <= spec_.global_mem_bytes,
+                    "device out of memory (" + spec_.name + ")");
+  void* p = std::malloc(bytes);
+  FASTPSO_CHECK_MSG(p != nullptr, "host allocation failed");
+  allocations_[p] = bytes;
+  bytes_in_use_ += bytes;
+  ++counters_.allocs;
+  add_modeled(perf_.alloc_seconds());
+  return p;
+}
+
+void Device::raw_free(void* p) {
+  auto it = allocations_.find(p);
+  FASTPSO_CHECK_MSG(it != allocations_.end(),
+                    "device free of unknown or already-freed pointer");
+  bytes_in_use_ -= it->second;
+  std::free(p);
+  allocations_.erase(it);
+  ++counters_.frees;
+  add_modeled(perf_.free_seconds());
+}
+
+void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+  ++counters_.transfers;
+  counters_.h2d_bytes += static_cast<double>(bytes);
+  add_modeled(perf_.transfer_seconds(static_cast<double>(bytes)));
+}
+
+void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+  ++counters_.transfers;
+  counters_.d2h_bytes += static_cast<double>(bytes);
+  add_modeled(perf_.transfer_seconds(static_cast<double>(bytes)));
+}
+
+void Device::memcpy_d2d(void* dst, const void* src, std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+  ++counters_.transfers;
+  counters_.dram_read_useful += static_cast<double>(bytes);
+  counters_.dram_write_useful += static_cast<double>(bytes);
+  counters_.dram_read_fetched += static_cast<double>(bytes);
+  counters_.dram_write_fetched += static_cast<double>(bytes);
+  // Read + write of `bytes` at effective DRAM bandwidth.
+  add_modeled(2.0 * static_cast<double>(bytes) /
+              (spec_.eff_dram_bw_gbps * 1e9));
+}
+
+void Device::reset_counters() {
+  counters_ = DeviceCounters{};
+  modeled_breakdown_.clear();
+  stream_clock_.assign(stream_clock_.size(), 0.0);
+}
+
+Device::StreamId Device::create_stream() {
+  stream_clock_.push_back(
+      *std::max_element(stream_clock_.begin(), stream_clock_.end()));
+  return static_cast<StreamId>(stream_clock_.size() - 1);
+}
+
+void Device::set_stream(StreamId stream) {
+  FASTPSO_CHECK_MSG(stream >= 0 &&
+                        stream < static_cast<StreamId>(stream_clock_.size()),
+                    "unknown stream");
+  current_stream_ = stream;
+}
+
+void Device::sync_streams() {
+  const double now =
+      *std::max_element(stream_clock_.begin(), stream_clock_.end());
+  stream_clock_.assign(stream_clock_.size(), now);
+}
+
+double Device::modeled_seconds() const {
+  return *std::max_element(stream_clock_.begin(), stream_clock_.end());
+}
+
+void Device::add_modeled_host_seconds(double seconds) {
+  FASTPSO_CHECK(seconds >= 0);
+  add_modeled(seconds);
+}
+
+void Device::account_launch(const LaunchConfig& cfg,
+                            const KernelCostSpec& cost) {
+  FASTPSO_CHECK(cfg.grid > 0);
+  FASTPSO_CHECK_MSG(cfg.block > 0 && cfg.block <= spec_.max_threads_per_block,
+                    "block size exceeds device limit");
+  ++counters_.launches;
+  counters_.barriers += static_cast<std::uint64_t>(cost.barriers);
+  counters_.flops += cost.flops;
+  counters_.transcendentals += cost.transcendentals;
+  counters_.dram_read_useful += cost.dram_read_bytes;
+  counters_.dram_write_useful += cost.dram_write_bytes;
+  counters_.dram_read_fetched += cost.fetched_read_bytes();
+  counters_.dram_write_fetched += cost.fetched_write_bytes();
+  const double seconds =
+      perf_.kernel_seconds(static_cast<double>(cfg.total_threads()), cost);
+  counters_.kernel_seconds += seconds;
+  add_modeled(seconds, /*device_wide=*/false);
+}
+
+void Device::add_modeled(double seconds, bool device_wide) {
+  counters_.modeled_seconds += seconds;
+  modeled_breakdown_.add(phase_, seconds);
+  if (device_wide) {
+    // Synchronizing operation: align all streams, then advance together.
+    const double now =
+        *std::max_element(stream_clock_.begin(), stream_clock_.end()) +
+        seconds;
+    stream_clock_.assign(stream_clock_.size(), now);
+  } else {
+    stream_clock_[current_stream_] += seconds;
+  }
+}
+
+}  // namespace fastpso::vgpu

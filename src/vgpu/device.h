@@ -1,0 +1,225 @@
+// The virtual GPU device: memory management, kernel launch, counters and
+// modeled time. See DESIGN.md §1 for why this exists (no physical GPU in the
+// reproduction environment) and vgpu/perf_model.h for the timing model.
+//
+// Kernels are ordinary C++ callables written against a CUDA-shaped thread
+// context, and they really execute — all numeric results in the repository
+// come from genuine computation. Only *time* is modeled.
+//
+// Usage sketch (grid-stride element-wise kernel, the paper's Section 3.4):
+//
+//   vgpu::Device dev;
+//   auto cfg = vgpu::LaunchConfig::for_elements(dev.spec(), n * d);
+//   vgpu::KernelCostSpec cost;
+//   cost.flops = 9.0 * n * d;
+//   cost.dram_read_bytes = ...;
+//   dev.launch(cfg, cost, [=](const vgpu::ThreadCtx& t) {
+//     for (std::int64_t i = t.global_id(); i < n * d; i += t.grid_stride()) {
+//       v[i] = omega * v[i] + ...;
+//     }
+//   });
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "vgpu/device_spec.h"
+#include "vgpu/perf_model.h"
+
+namespace fastpso::vgpu {
+
+/// CUDA-like launch configuration: `grid` blocks of `block` threads.
+struct LaunchConfig {
+  std::int64_t grid = 1;
+  int block = 256;
+
+  [[nodiscard]] std::int64_t total_threads() const {
+    return grid * static_cast<std::int64_t>(block);
+  }
+
+  /// One thread per element, capped at `max_blocks` (grid-stride beyond).
+  static LaunchConfig for_elements(const GpuSpec& spec, std::int64_t elements,
+                                   int block = 256,
+                                   std::int64_t max_blocks = 65535);
+};
+
+/// Per-thread view inside a kernel: CUDA's (blockIdx, threadIdx, blockDim,
+/// gridDim) plus the usual helpers.
+struct ThreadCtx {
+  std::int64_t block_idx = 0;
+  int thread_idx = 0;
+  int block_dim = 1;
+  std::int64_t grid_dim = 1;
+
+  [[nodiscard]] std::int64_t global_id() const {
+    return block_idx * block_dim + thread_idx;
+  }
+  [[nodiscard]] std::int64_t grid_stride() const {
+    return grid_dim * block_dim;
+  }
+};
+
+/// Aggregate activity counters. `useful` bytes are what the kernel needed;
+/// `fetched` bytes include coalescing amplification — the distinction is
+/// what lets Table 3's measured-throughput numbers be reproduced.
+struct DeviceCounters {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t launches = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t barriers = 0;
+  double flops = 0;
+  double transcendentals = 0;
+  double dram_read_useful = 0;
+  double dram_write_useful = 0;
+  double dram_read_fetched = 0;
+  double dram_write_fetched = 0;
+  double h2d_bytes = 0;
+  double d2h_bytes = 0;
+  double modeled_seconds = 0;
+  /// Modeled seconds spent inside kernels only (excludes transfers and
+  /// allocation overheads) — the denominator of nvprof-style throughput.
+  double kernel_seconds = 0;
+};
+
+class MemoryPool;  // vgpu/memory_pool.h
+
+/// A virtual GPU. Owns its "device memory" (host allocations bounded by the
+/// spec's capacity), a caching MemoryPool, activity counters and the
+/// performance model. Not thread-safe: one Device per optimizer instance.
+class Device {
+ public:
+  explicit Device(GpuSpec spec = tesla_v100());
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+  [[nodiscard]] const GpuPerfModel& perf() const { return perf_; }
+
+  // --- memory -----------------------------------------------------------
+  /// Models cudaMalloc: allocates `bytes` of device memory. Throws
+  /// CheckError when the device capacity would be exceeded.
+  void* raw_alloc(std::size_t bytes);
+  /// Models cudaFree. `p` must come from raw_alloc and not be freed twice.
+  void raw_free(void* p);
+
+  [[nodiscard]] std::size_t bytes_in_use() const { return bytes_in_use_; }
+  [[nodiscard]] std::size_t bytes_available() const {
+    return spec_.global_mem_bytes - bytes_in_use_;
+  }
+  [[nodiscard]] std::size_t live_allocations() const {
+    return allocations_.size();
+  }
+
+  /// The device's caching allocator (paper Section 4.4 / Table 4).
+  [[nodiscard]] MemoryPool& pool() { return *pool_; }
+
+  // --- transfers ---------------------------------------------------------
+  void memcpy_h2d(void* dst, const void* src, std::size_t bytes);
+  void memcpy_d2h(void* dst, const void* src, std::size_t bytes);
+  /// Device-to-device copy: moves at DRAM bandwidth (read + write), not
+  /// over PCIe. Device-synchronizing like the other copies.
+  void memcpy_d2d(void* dst, const void* src, std::size_t bytes);
+
+  // --- streams --------------------------------------------------------------
+  // Concurrent execution timelines, CUDA-stream style. Each kernel launch
+  // advances the clock of the *current* stream only; allocations,
+  // transfers and host work are device-synchronizing (they align all
+  // clocks, as cudaMalloc / default-stream transfers do). modeled_seconds()
+  // reports the furthest stream clock, so kernels issued on different
+  // streams overlap. With a single stream (the default) this reduces
+  // exactly to serial accumulation.
+  using StreamId = int;
+
+  /// Creates an additional stream; stream 0 always exists.
+  StreamId create_stream();
+  /// Routes subsequent launches to `stream`.
+  void set_stream(StreamId stream);
+  [[nodiscard]] StreamId stream() const { return current_stream_; }
+  [[nodiscard]] int stream_count() const {
+    return static_cast<int>(stream_clock_.size());
+  }
+  /// Device-wide barrier: every stream clock jumps to the maximum.
+  void sync_streams();
+
+  // --- phases / accounting ------------------------------------------------
+  /// Tags subsequent modeled time with `phase` (e.g. "swarm" / "eval"),
+  /// feeding the Figure 5 breakdown.
+  void set_phase(std::string phase) { phase_ = std::move(phase); }
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+
+  [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
+  void reset_counters();
+
+  /// Modeled elapsed device time: the furthest stream clock. Equals the
+  /// per-phase breakdown total when a single stream is used; smaller when
+  /// work overlapped across streams.
+  [[nodiscard]] double modeled_seconds() const;
+  /// Modeled seconds per phase tag (work-seconds; overlap not deducted).
+  [[nodiscard]] const TimeBreakdown& modeled_breakdown() const {
+    return modeled_breakdown_;
+  }
+
+  /// Adds host-side modeled time (e.g. the CPU half of the heterogeneous
+  /// baseline) into the current phase so totals stay comparable.
+  void add_modeled_host_seconds(double seconds);
+
+  // --- kernel launch ------------------------------------------------------
+  /// Launches `body` once per thread of `cfg`. The body receives a
+  /// ThreadCtx and is expected to grid-stride over its work.
+  template <typename Body>
+  void launch(const LaunchConfig& cfg, const KernelCostSpec& cost,
+              Body&& body) {
+    account_launch(cfg, cost);
+    ThreadCtx ctx;
+    ctx.block_dim = cfg.block;
+    ctx.grid_dim = cfg.grid;
+    for (std::int64_t b = 0; b < cfg.grid; ++b) {
+      ctx.block_idx = b;
+      for (int t = 0; t < cfg.block; ++t) {
+        ctx.thread_idx = t;
+        body(static_cast<const ThreadCtx&>(ctx));
+      }
+    }
+  }
+
+  /// Launches a cooperative block kernel: `body` is called once per block
+  /// with a BlockCtx that provides shared memory and barrier phases.
+  /// Declared here, defined in vgpu/block.h (needs BlockCtx).
+  template <typename Body>
+  void launch_blocks(const LaunchConfig& cfg, const KernelCostSpec& cost,
+                     Body&& body);
+
+  /// Accounting entry point shared by all launch styles (also used by
+  /// tests to drive the model directly).
+  void account_launch(const LaunchConfig& cfg, const KernelCostSpec& cost);
+
+ private:
+  friend class MemoryPool;
+
+  GpuSpec spec_;
+  GpuPerfModel perf_;
+  std::map<void*, std::size_t> allocations_;
+  std::size_t bytes_in_use_ = 0;
+  DeviceCounters counters_;
+  TimeBreakdown modeled_breakdown_;
+  std::string phase_ = "default";
+  std::unique_ptr<MemoryPool> pool_;
+  std::vector<double> stream_clock_ = {0.0};
+  StreamId current_stream_ = 0;
+
+  /// `device_wide` costs (allocs, transfers, host work) synchronize and
+  /// advance every stream; kernel costs advance only the current stream.
+  void add_modeled(double seconds, bool device_wide = true);
+};
+
+}  // namespace fastpso::vgpu

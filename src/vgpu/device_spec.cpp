@@ -1,0 +1,31 @@
+#include "vgpu/device_spec.h"
+
+namespace fastpso::vgpu {
+
+GpuSpec tesla_v100() {
+  GpuSpec spec;
+  spec.name = "Tesla V100-PCIe-16GB (virtual)";
+  return spec;  // defaults in the struct are the V100 numbers
+}
+
+GpuSpec test_gpu_small() {
+  GpuSpec spec;
+  spec.name = "test-gpu-small";
+  spec.sm_count = 2;
+  spec.cores_per_sm = 32;
+  spec.clock_ghz = 1.0;
+  spec.global_mem_bytes = 8u << 20;  // 8 MiB
+  spec.shared_mem_per_block = 4u << 10;
+  spec.max_threads_per_block = 128;
+  spec.eff_dram_bw_gbps = 10.0;
+  spec.bw_saturation_threads = 512.0;
+  return spec;
+}
+
+CpuSpec xeon_e5_2640v4() {
+  CpuSpec spec;
+  spec.name = "2x Xeon E5-2640v4 (virtual)";
+  return spec;  // defaults are the paper-host numbers
+}
+
+}  // namespace fastpso::vgpu

@@ -1,0 +1,91 @@
+#include "vgpu/half.h"
+
+namespace fastpso::vgpu {
+
+Half float_to_half(float value) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((f >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mantissa = f & 0x007FFFFFu;
+
+  Half out;
+  if (((f >> 23) & 0xFF) == 0xFF) {
+    // Inf / NaN: keep NaN-ness in the top mantissa bit.
+    out.bits = static_cast<std::uint16_t>(
+        sign | 0x7C00u | (mantissa ? 0x0200u : 0u));
+    return out;
+  }
+  if (exponent >= 0x1F) {
+    // Overflow -> signed infinity.
+    out.bits = static_cast<std::uint16_t>(sign | 0x7C00u);
+    return out;
+  }
+  if (exponent <= 0) {
+    // Subnormal or zero.
+    if (exponent < -10) {
+      out.bits = static_cast<std::uint16_t>(sign);
+      return out;
+    }
+    mantissa |= 0x00800000u;  // implicit leading one
+    const int shift = 14 - exponent;
+    std::uint32_t half_mant = mantissa >> shift;
+    // Round to nearest even.
+    const std::uint32_t rest = mantissa & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rest > halfway || (rest == halfway && (half_mant & 1u))) {
+      ++half_mant;
+    }
+    out.bits = static_cast<std::uint16_t>(sign | half_mant);
+    return out;
+  }
+
+  std::uint32_t half_mant = mantissa >> 13;
+  const std::uint32_t rest = mantissa & 0x1FFFu;
+  if (rest > 0x1000u || (rest == 0x1000u && (half_mant & 1u))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {  // mantissa carry bumps the exponent
+      half_mant = 0;
+      if (exponent + 1 >= 0x1F) {
+        out.bits = static_cast<std::uint16_t>(sign | 0x7C00u);
+        return out;
+      }
+      out.bits = static_cast<std::uint16_t>(
+          sign | (static_cast<std::uint32_t>(exponent + 1) << 10));
+      return out;
+    }
+  }
+  out.bits = static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(exponent) << 10) | half_mant);
+  return out;
+}
+
+float half_to_float(Half h) {
+  const std::uint32_t sign = (h.bits & 0x8000u) << 16;
+  const std::uint32_t exponent = (h.bits >> 10) & 0x1Fu;
+  std::uint32_t mantissa = h.bits & 0x3FFu;
+
+  std::uint32_t f;
+  if (exponent == 0x1F) {
+    f = sign | 0x7F800000u | (mantissa << 13);
+  } else if (exponent == 0) {
+    if (mantissa == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Normalize the subnormal.
+      int e = -1;
+      do {
+        ++e;
+        mantissa <<= 1;
+      } while ((mantissa & 0x400u) == 0);
+      mantissa &= 0x3FFu;
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          (mantissa << 13);
+    }
+  } else {
+    f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+}  // namespace fastpso::vgpu

@@ -1,0 +1,30 @@
+// IEEE 754 binary16 ("half") emulation for the mixed-precision tensor-core
+// path. Volta tensor cores multiply FP16 operands and accumulate in FP32;
+// PsoParams::mixed_precision reproduces those semantics by rounding the
+// multiplicand fragments through this type.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace fastpso::vgpu {
+
+/// Storage-only half-precision value with float conversions.
+struct Half {
+  std::uint16_t bits = 0;
+};
+
+/// Rounds a float to the nearest representable binary16 value
+/// (round-to-nearest-even; overflow saturates to +-inf).
+Half float_to_half(float value);
+
+/// Exact widening conversion binary16 -> binary32.
+float half_to_float(Half h);
+
+/// Convenience: the value after a round trip through half precision —
+/// what a tensor core actually multiplies.
+inline float round_through_half(float value) {
+  return half_to_float(float_to_half(value));
+}
+
+}  // namespace fastpso::vgpu

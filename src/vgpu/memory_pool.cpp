@@ -1,0 +1,74 @@
+#include "vgpu/memory_pool.h"
+
+#include "common/check.h"
+#include "vgpu/device.h"
+
+namespace fastpso::vgpu {
+
+MemoryPool::MemoryPool(Device& device, bool enabled)
+    : device_(device), enabled_(enabled) {}
+
+MemoryPool::~MemoryPool() {
+  // Outstanding blocks are the caller's bug, but the cache is ours.
+  release_cache();
+}
+
+void* MemoryPool::alloc(std::size_t bytes) {
+  FASTPSO_CHECK_MSG(bytes > 0, "zero-byte pool allocation");
+  if (enabled_) {
+    auto it = cache_.find(bytes);
+    if (it != cache_.end() && !it->second.empty()) {
+      void* p = it->second.back();
+      it->second.pop_back();
+      live_[p] = bytes;
+      ++hits_;
+      return p;
+    }
+  }
+  ++misses_;
+  void* p = device_.raw_alloc(bytes);
+  live_[p] = bytes;
+  return p;
+}
+
+void MemoryPool::free(void* p) {
+  auto it = live_.find(p);
+  FASTPSO_CHECK_MSG(it != live_.end(),
+                    "pool free of unknown or already-freed pointer");
+  const std::size_t bytes = it->second;
+  live_.erase(it);
+  if (enabled_) {
+    cache_[bytes].push_back(p);
+  } else {
+    device_.raw_free(p);
+  }
+}
+
+void MemoryPool::set_enabled(bool enabled) {
+  if (enabled_ && !enabled) {
+    release_cache();
+  }
+  enabled_ = enabled;
+}
+
+void MemoryPool::release_cache() {
+  for (auto& [size, blocks] : cache_) {
+    (void)size;
+    for (void* p : blocks) {
+      device_.raw_free(p);
+    }
+    blocks.clear();
+  }
+  cache_.clear();
+}
+
+std::size_t MemoryPool::cached_blocks() const {
+  std::size_t count = 0;
+  for (const auto& [size, blocks] : cache_) {
+    (void)size;
+    count += blocks.size();
+  }
+  return count;
+}
+
+}  // namespace fastpso::vgpu

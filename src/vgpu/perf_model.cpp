@@ -1,0 +1,113 @@
+#include "vgpu/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fastpso::vgpu {
+
+double stride_amplification(std::size_t stride_elems, std::size_t elem_bytes) {
+  FASTPSO_CHECK(stride_elems >= 1);
+  FASTPSO_CHECK(elem_bytes >= 1);
+  const double span =
+      static_cast<double>(stride_elems) * static_cast<double>(elem_bytes);
+  const double cap = kSectorBytes / static_cast<double>(elem_bytes);
+  // Consecutive threads touch addresses `span` bytes apart. Once the span
+  // exceeds a sector, each access drags in a full sector for elem_bytes of
+  // useful data.
+  if (span <= static_cast<double>(elem_bytes)) {
+    return 1.0;
+  }
+  return std::min(cap, span / static_cast<double>(elem_bytes));
+}
+
+KernelCostSpec& KernelCostSpec::operator+=(const KernelCostSpec& other) {
+  // Amplifications must be folded into byte counts before merging.
+  const double my_read = fetched_read_bytes();
+  const double my_write = fetched_write_bytes();
+  flops += other.flops;
+  transcendentals += other.transcendentals;
+  dram_read_bytes += other.dram_read_bytes;
+  dram_write_bytes += other.dram_write_bytes;
+  read_amplification = dram_read_bytes > 0
+                           ? (my_read + other.fetched_read_bytes()) /
+                                 dram_read_bytes
+                           : 1.0;
+  write_amplification = dram_write_bytes > 0
+                            ? (my_write + other.fetched_write_bytes()) /
+                                  dram_write_bytes
+                            : 1.0;
+  barriers += other.barriers;
+  uses_tensor_cores = uses_tensor_cores || other.uses_tensor_cores;
+  return *this;
+}
+
+double GpuPerfModel::compute_occupancy(double threads) const {
+  // Compute saturates once every lane has a couple of warps to interleave.
+  const double saturation = spec_.lanes() * 2.0;
+  return std::clamp(threads / saturation, 1.0 / saturation, 1.0);
+}
+
+double GpuPerfModel::memory_occupancy(double threads) const {
+  const double ratio =
+      std::clamp(threads / spec_.bw_saturation_threads, 1e-6, 1.0);
+  return std::pow(ratio, spec_.bw_occupancy_exponent);
+}
+
+double GpuPerfModel::kernel_seconds(double threads,
+                                    const KernelCostSpec& cost) const {
+  FASTPSO_CHECK(threads >= 1.0);
+
+  const double eff_flops = cost.uses_tensor_cores
+                               ? spec_.tensor_tflops * 1e12
+                               : spec_.peak_flops() * spec_.alu_efficiency;
+  const double flop_work =
+      cost.flops + cost.transcendentals * spec_.sfu_cost_flops;
+  const double t_compute =
+      flop_work / (eff_flops * compute_occupancy(threads));
+
+  const double bw = spec_.eff_dram_bw_gbps * 1e9 * memory_occupancy(threads);
+  const double t_memory = cost.fetched_bytes() / bw;
+
+  return std::max(t_compute, t_memory) + spec_.launch_overhead_us * 1e-6 +
+         cost.barriers * spec_.barrier_overhead_us * 1e-6;
+}
+
+double GpuPerfModel::transfer_seconds(double bytes) const {
+  // Fixed latency per transfer plus bandwidth term.
+  constexpr double kTransferLatencyUs = 8.0;
+  return kTransferLatencyUs * 1e-6 + bytes / (spec_.pcie_bw_gbps * 1e9);
+}
+
+double GpuPerfModel::alloc_seconds() const {
+  return spec_.alloc_overhead_us * 1e-6;
+}
+
+double GpuPerfModel::free_seconds() const {
+  return spec_.free_overhead_us * 1e-6;
+}
+
+double CpuPerfModel::region_seconds(int threads, double flops,
+                                    double transcendentals,
+                                    double bytes) const {
+  FASTPSO_CHECK(threads >= 1);
+  const int cores = std::min(threads, spec_.cores);
+  const double eff =
+      cores == 1 ? 1.0 : spec_.omp_efficiency;  // fork/join + imbalance
+  // CPU transcendentals run in the scalar libm at roughly 20 FLOP-equivalents.
+  constexpr double kCpuSfuCost = 12.0;
+  const double flop_work = flops + transcendentals * kCpuSfuCost;
+  const double t_compute =
+      flop_work / (spec_.eff_flops_per_core * cores * eff);
+  const double bw_gbps =
+      cores == 1 ? spec_.single_core_bw_gbps : spec_.multi_core_bw_gbps;
+  const double t_memory = bytes / (bw_gbps * 1e9);
+  return std::max(t_compute, t_memory) + region_overhead_seconds(cores);
+}
+
+double CpuPerfModel::region_overhead_seconds(int threads) const {
+  return threads > 1 ? spec_.omp_barrier_us * 1e-6 : 0.0;
+}
+
+}  // namespace fastpso::vgpu

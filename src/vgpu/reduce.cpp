@@ -1,0 +1,160 @@
+#include "vgpu/reduce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "vgpu/block.h"
+#include "vgpu/buffer.h"
+
+namespace fastpso::vgpu {
+namespace {
+
+constexpr int kReduceBlock = 256;
+
+/// Launch shape for a reduction over n elements: one block per
+/// kReduceBlock-element chunk, capped so the partial array stays small.
+LaunchConfig reduce_config(const GpuSpec& spec, std::int64_t n) {
+  auto cfg = LaunchConfig::for_elements(spec, n, kReduceBlock,
+                                        /*max_blocks=*/1024);
+  return cfg;
+}
+
+/// Cost of one reduction pass over n elements of `elem_bytes` each.
+KernelCostSpec reduce_cost(std::int64_t n, std::size_t elem_bytes,
+                           int barriers) {
+  KernelCostSpec cost;
+  cost.flops = static_cast<double>(n);  // one compare/accumulate per element
+  cost.dram_read_bytes = static_cast<double>(n) * elem_bytes;
+  cost.barriers = barriers;
+  return cost;
+}
+
+int log2_ceil(int x) {
+  int levels = 0;
+  while ((1 << levels) < x) {
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace
+
+ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
+  FASTPSO_CHECK(n > 0);
+  const auto cfg = reduce_config(device.spec(), n);
+  const auto blocks = cfg.grid;
+
+  std::vector<float> partial_val(blocks);
+  std::vector<std::int64_t> partial_idx(blocks);
+
+  device.launch_blocks(
+      cfg, reduce_cost(n, sizeof(float), log2_ceil(kReduceBlock)),
+      [&](BlockCtx& blk) {
+        auto sh_val = blk.shared_array<float>(kReduceBlock);
+        auto sh_idx = blk.shared_array<std::int64_t>(kReduceBlock);
+        // Phase 1: each thread folds its grid-stride slice.
+        blk.for_each_thread([&](const ThreadCtx& t) {
+          float best = std::numeric_limits<float>::infinity();
+          std::int64_t best_i = -1;
+          for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
+            if (data[i] < best || (data[i] == best && i < best_i)) {
+              best = data[i];
+              best_i = i;
+            }
+          }
+          sh_val[t.thread_idx] = best;
+          sh_idx[t.thread_idx] = best_i;
+        });
+        // Phase 2..log2(block): shared-memory tree reduction.
+        for (int stride = kReduceBlock / 2; stride > 0; stride /= 2) {
+          blk.sync();
+          blk.for_each_thread([&](const ThreadCtx& t) {
+            if (t.thread_idx < stride) {
+              const int other = t.thread_idx + stride;
+              const bool take =
+                  sh_val[other] < sh_val[t.thread_idx] ||
+                  (sh_val[other] == sh_val[t.thread_idx] &&
+                   sh_idx[other] >= 0 &&
+                   (sh_idx[t.thread_idx] < 0 ||
+                    sh_idx[other] < sh_idx[t.thread_idx]));
+              if (take) {
+                sh_val[t.thread_idx] = sh_val[other];
+                sh_idx[t.thread_idx] = sh_idx[other];
+              }
+            }
+          });
+        }
+        partial_val[blk.block_idx()] = sh_val[0];
+        partial_idx[blk.block_idx()] = sh_idx[0];
+      });
+
+  // Final single-block pass over the partials.
+  ArgMin result;
+  result.value = std::numeric_limits<float>::infinity();
+  result.index = -1;
+  LaunchConfig final_cfg;
+  final_cfg.grid = 1;
+  final_cfg.block = 1;
+  device.launch(final_cfg, reduce_cost(blocks, sizeof(float) + sizeof(std::int64_t), 0),
+                [&](const ThreadCtx&) {
+                  for (std::int64_t b = 0; b < blocks; ++b) {
+                    if (partial_val[b] < result.value ||
+                        (partial_val[b] == result.value &&
+                         partial_idx[b] >= 0 &&
+                         (result.index < 0 || partial_idx[b] < result.index))) {
+                      result.value = partial_val[b];
+                      result.index = partial_idx[b];
+                    }
+                  }
+                });
+  return result;
+}
+
+float reduce_min(Device& device, const float* data, std::int64_t n) {
+  return reduce_argmin(device, data, n).value;
+}
+
+double reduce_sum(Device& device, const float* data, std::int64_t n) {
+  FASTPSO_CHECK(n > 0);
+  const auto cfg = reduce_config(device.spec(), n);
+  const auto blocks = cfg.grid;
+  std::vector<double> partial(blocks, 0.0);
+
+  device.launch_blocks(
+      cfg, reduce_cost(n, sizeof(float), log2_ceil(kReduceBlock)),
+      [&](BlockCtx& blk) {
+        auto sh = blk.shared_array<double>(kReduceBlock);
+        blk.for_each_thread([&](const ThreadCtx& t) {
+          double acc = 0.0;
+          for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
+            acc += static_cast<double>(data[i]);
+          }
+          sh[t.thread_idx] = acc;
+        });
+        for (int stride = kReduceBlock / 2; stride > 0; stride /= 2) {
+          blk.sync();
+          blk.for_each_thread([&](const ThreadCtx& t) {
+            if (t.thread_idx < stride) {
+              sh[t.thread_idx] += sh[t.thread_idx + stride];
+            }
+          });
+        }
+        partial[blk.block_idx()] = sh[0];
+      });
+
+  double total = 0.0;
+  LaunchConfig final_cfg;
+  final_cfg.grid = 1;
+  final_cfg.block = 1;
+  device.launch(final_cfg, reduce_cost(blocks, sizeof(double), 0),
+                [&](const ThreadCtx&) {
+                  for (std::int64_t b = 0; b < blocks; ++b) {
+                    total += partial[b];
+                  }
+                });
+  return total;
+}
+
+}  // namespace fastpso::vgpu

@@ -1,0 +1,33 @@
+// GPU-style parallel reductions on the virtual device.
+//
+// The paper's gbest update is "a process of finding the minimum and its
+// corresponding index in all the pbest of the particles ... implemented
+// using a GPU-based parallel reduction" (Section 3.3). These reductions use
+// the classic two-pass shared-memory tree: each block reduces a grid-stride
+// slice into shared memory, then a single-block pass folds the per-block
+// partials.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/device.h"
+
+namespace fastpso::vgpu {
+
+/// Result of an argmin reduction: the minimum value and its (first) index.
+struct ArgMin {
+  float value = 0.0f;
+  std::int64_t index = -1;
+};
+
+/// Minimum + index over `data[0, n)` in device memory. Ties resolve to the
+/// smallest index (deterministic).
+ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n);
+
+/// Minimum value over `data[0, n)`.
+float reduce_min(Device& device, const float* data, std::int64_t n);
+
+/// Sum over `data[0, n)` (accumulated in double for stability).
+double reduce_sum(Device& device, const float* data, std::int64_t n);
+
+}  // namespace fastpso::vgpu

@@ -1,0 +1,15 @@
+#include "vgpu/wmma.h"
+
+#include "vgpu/half.h"
+
+namespace fastpso::vgpu::wmma {
+
+void mma_elementwise_f16_sync(Fragment<float>& d, const Fragment<float>& a,
+                              const Fragment<float>& b,
+                              const Fragment<float>& c) {
+  for (int i = 0; i < kFragSize; ++i) {
+    d.x[i] = round_through_half(a.x[i]) * round_through_half(b.x[i]) + c.x[i];
+  }
+}
+
+}  // namespace fastpso::vgpu::wmma

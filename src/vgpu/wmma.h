@@ -1,0 +1,110 @@
+// Warp-level matrix (tensor core) fragments — a wmma-shaped API for the
+// virtual GPU.
+//
+// The paper's tensor-core path (Section 3.5) treats the element-wise swarm
+// update as warp-level tiled matrix operations: 16x16 tiles of the state
+// matrices are loaded into fragments, combined with element-wise
+// multiply-add, and stored back. This header provides that fragment
+// vocabulary. Launches that use it set KernelCostSpec::uses_tensor_cores so
+// the performance model applies tensor-core throughput (and, as the paper
+// observes in Figure 6, the kernel stays memory-bound, so the end-to-end
+// gain is small).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace fastpso::vgpu::wmma {
+
+/// Tensor-core tile edge (16x16 fragments, as in CUDA WMMA).
+inline constexpr int kFragDim = 16;
+inline constexpr int kFragSize = kFragDim * kFragDim;
+
+/// A 16x16 register tile held by a (virtual) warp.
+template <typename T>
+struct Fragment {
+  std::array<T, kFragSize> x{};
+
+  T& at(int row, int col) { return x[row * kFragDim + col]; }
+  const T& at(int row, int col) const { return x[row * kFragDim + col]; }
+};
+
+/// Fills every element of the fragment with `value`
+/// (wmma::fill_fragment equivalent).
+template <typename T>
+void fill_fragment(Fragment<T>& frag, T value) {
+  frag.x.fill(value);
+}
+
+/// Loads a 16x16 tile from row-major memory with leading dimension `ld`.
+/// Rows/cols beyond (rows, cols) are zero-filled, supporting edge tiles.
+template <typename T>
+void load_matrix_sync(Fragment<T>& frag, const T* src, std::size_t ld,
+                      int rows = kFragDim, int cols = kFragDim) {
+  FASTPSO_CHECK(rows >= 0 && rows <= kFragDim);
+  FASTPSO_CHECK(cols >= 0 && cols <= kFragDim);
+  for (int r = 0; r < kFragDim; ++r) {
+    for (int c = 0; c < kFragDim; ++c) {
+      frag.at(r, c) = (r < rows && c < cols) ? src[r * ld + c] : T{};
+    }
+  }
+}
+
+/// Stores the (rows, cols) corner of the fragment to row-major memory.
+template <typename T>
+void store_matrix_sync(T* dst, const Fragment<T>& frag, std::size_t ld,
+                       int rows = kFragDim, int cols = kFragDim) {
+  FASTPSO_CHECK(rows >= 0 && rows <= kFragDim);
+  FASTPSO_CHECK(cols >= 0 && cols <= kFragDim);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      dst[r * ld + c] = frag.at(r, c);
+    }
+  }
+}
+
+/// d = a .* b + c, element-wise over the whole tile (the warp-level
+/// operation the swarm update maps onto).
+template <typename T>
+void mma_elementwise_sync(Fragment<T>& d, const Fragment<T>& a,
+                          const Fragment<T>& b, const Fragment<T>& c) {
+  for (int i = 0; i < kFragSize; ++i) {
+    d.x[i] = a.x[i] * b.x[i] + c.x[i];
+  }
+}
+
+/// d = alpha * a + beta * b, element-wise (axpy-style tile combine).
+template <typename T>
+void scale_add_sync(Fragment<T>& d, T alpha, const Fragment<T>& a, T beta,
+                    const Fragment<T>& b) {
+  for (int i = 0; i < kFragSize; ++i) {
+    d.x[i] = alpha * a.x[i] + beta * b.x[i];
+  }
+}
+
+/// Mixed-precision element-wise multiply-add: the multiplicands a and b
+/// are rounded through FP16 (Volta tensor-core input precision) and the
+/// product accumulates into FP32 c — d = half(a) .* half(b) + c.
+void mma_elementwise_f16_sync(Fragment<float>& d, const Fragment<float>& a,
+                              const Fragment<float>& b,
+                              const Fragment<float>& c);
+
+/// Classic warp-level GEMM tile op: d = a x b + c (true matrix multiply),
+/// provided for completeness of the tensor-core vocabulary.
+template <typename T>
+void mma_sync(Fragment<T>& d, const Fragment<T>& a, const Fragment<T>& b,
+              const Fragment<T>& c) {
+  for (int r = 0; r < kFragDim; ++r) {
+    for (int col = 0; col < kFragDim; ++col) {
+      T acc = c.at(r, col);
+      for (int k = 0; k < kFragDim; ++k) {
+        acc += a.at(r, k) * b.at(k, col);
+      }
+      d.at(r, col) = acc;
+    }
+  }
+}
+
+}  // namespace fastpso::vgpu::wmma

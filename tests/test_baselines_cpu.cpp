@@ -1,0 +1,114 @@
+// Tests for fastpso-seq and fastpso-omp (the paper's CPU versions).
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/optimizer.h"
+#include "problems/problem.h"
+
+namespace fastpso::baselines {
+namespace {
+
+core::PsoParams small_params(int n = 200, int d = 10, int iters = 400) {
+  core::PsoParams params;
+  params.particles = n;
+  params.dim = d;
+  params.max_iter = iters;
+  params.seed = 42;
+  return params;
+}
+
+core::Objective sphere_objective(int d) {
+  static const auto problem = problems::make_problem("sphere");
+  return core::objective_from_problem(*problem, d);
+}
+
+TEST(FastPsoSeq, ConvergesOnSphere) {
+  const core::Result result =
+      run_fastpso_seq(sphere_objective(10), small_params());
+  EXPECT_LT(result.error_to(0.0), 4.0);  // plateau ~0.12/dim
+}
+
+TEST(FastPsoOmp, ConvergesOnSphere) {
+  const core::Result result =
+      run_fastpso_omp(sphere_objective(10), small_params());
+  EXPECT_LT(result.error_to(0.0), 4.0);  // plateau ~0.12/dim
+}
+
+TEST(FastPsoSeq, DeterministicForSeed) {
+  const core::Result a =
+      run_fastpso_seq(sphere_objective(8), small_params(100, 8, 60));
+  const core::Result b =
+      run_fastpso_seq(sphere_objective(8), small_params(100, 8, 60));
+  EXPECT_EQ(a.gbest_value, b.gbest_value);
+  EXPECT_EQ(a.gbest_position, b.gbest_position);
+}
+
+TEST(FastPsoOmp, DeterministicForSeed) {
+  const core::Result a =
+      run_fastpso_omp(sphere_objective(8), small_params(100, 8, 60));
+  const core::Result b =
+      run_fastpso_omp(sphere_objective(8), small_params(100, 8, 60));
+  EXPECT_EQ(a.gbest_value, b.gbest_value);
+}
+
+TEST(FastPsoCpu, SeqAndOmpUseDifferentRandomStreams) {
+  // The paper's Table 2 shows slightly different errors for seq/omp —
+  // they are decorrelated runs of the same algorithm.
+  const core::Result seq =
+      run_fastpso_seq(sphere_objective(8), small_params(100, 8, 60));
+  const core::Result omp =
+      run_fastpso_omp(sphere_objective(8), small_params(100, 8, 60));
+  EXPECT_NE(seq.gbest_value, omp.gbest_value);
+}
+
+TEST(FastPsoCpu, OmpModeledFasterThanSeq) {
+  // Needs a big enough swarm that the bandwidth term dominates the OpenMP
+  // fork/join overhead (tiny swarms are genuinely faster sequentially).
+  const core::Result seq =
+      run_fastpso_seq(sphere_objective(100), small_params(5000, 100, 10));
+  const core::Result omp =
+      run_fastpso_omp(sphere_objective(100), small_params(5000, 100, 10));
+  EXPECT_LT(omp.modeled_seconds, seq.modeled_seconds);
+  // ...but not by much: streaming-bandwidth-limited (paper: ~1.3x).
+  EXPECT_LT(seq.modeled_seconds / omp.modeled_seconds, 4.0);
+}
+
+TEST(FastPsoCpu, BreakdownHasAllSteps) {
+  const core::Result result =
+      run_fastpso_seq(sphere_objective(10), small_params(100, 10, 20));
+  for (const char* step : {"init", "eval", "pbest", "gbest", "swarm"}) {
+    EXPECT_GT(result.modeled_breakdown.get(step), 0.0) << step;
+  }
+}
+
+TEST(FastPsoCpu, SwarmStepDominatesModeledTime) {
+  // Figure 5's headline: >80% of the CPU versions' time is the swarm
+  // update (plus weight generation); eval/pbest/gbest are minor.
+  const core::Result result =
+      run_fastpso_seq(sphere_objective(50), small_params(1000, 50, 20));
+  const double swarm = result.modeled_breakdown.get("swarm");
+  const double pbest = result.modeled_breakdown.get("pbest");
+  const double gbest = result.modeled_breakdown.get("gbest");
+  EXPECT_GT(swarm, 5.0 * (pbest + gbest));
+}
+
+TEST(FastPsoCpu, GbestPositionEvaluatesBack) {
+  const core::Objective objective = sphere_objective(10);
+  const core::Result result = run_fastpso_seq(objective, small_params());
+  const double reeval = objective.fn(
+      result.gbest_position.data(),
+      static_cast<int>(result.gbest_position.size()));
+  EXPECT_NEAR(reeval, result.gbest_value,
+              1e-5 * std::max(1.0, std::abs(reeval)));
+}
+
+TEST(FastPsoCpu, WallTimeReported) {
+  const core::Result result =
+      run_fastpso_seq(sphere_objective(6), small_params(50, 6, 10));
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_EQ(result.iterations, 10);
+}
+
+}  // namespace
+}  // namespace fastpso::baselines

@@ -1,0 +1,132 @@
+// Tests for the GPU baselines: gpu-pso (Hussain et al.) and hgpu-pso
+// (Wachowiak et al.) on the virtual device.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/optimizer.h"
+#include "problems/problem.h"
+#include "vgpu/device.h"
+
+namespace fastpso::baselines {
+namespace {
+
+core::PsoParams small_params(int n = 200, int d = 10, int iters = 400) {
+  core::PsoParams params;
+  params.particles = n;
+  params.dim = d;
+  params.max_iter = iters;
+  params.seed = 42;
+  return params;
+}
+
+core::Objective make(const std::string& name, int d) {
+  static std::vector<std::unique_ptr<problems::Problem>> keep_alive;
+  keep_alive.push_back(problems::make_problem(name));
+  return core::objective_from_problem(*keep_alive.back(), d);
+}
+
+TEST(GpuPso, ConvergesOnSphere) {
+  vgpu::Device device;
+  const core::Result result =
+      run_gpu_pso(make("sphere", 10), small_params(), device);
+  EXPECT_LT(result.error_to(0.0), 4.0);  // plateau ~0.12/dim
+}
+
+TEST(GpuPso, DeterministicForSeed) {
+  core::Result results[2];
+  for (auto& result : results) {
+    vgpu::Device device;
+    result = run_gpu_pso(make("sphere", 8), small_params(100, 8, 50),
+                         device);
+  }
+  EXPECT_EQ(results[0].gbest_value, results[1].gbest_value);
+}
+
+TEST(GpuPso, UncoalescedTrafficAmplified) {
+  vgpu::Device device;
+  const core::Result result =
+      run_gpu_pso(make("sphere", 64), small_params(128, 64, 5), device);
+  // Particle-major stride-64 reads fetch ~8x their useful bytes.
+  EXPECT_GT(result.counters.dram_read_fetched,
+            3.0 * result.counters.dram_read_useful);
+}
+
+TEST(GpuPso, UsesOneThreadPerParticleLaunches) {
+  // The defining design point: grid*block ~ n (not n*d).
+  vgpu::Device device;
+  core::PsoParams params = small_params(1000, 32, 3);
+  run_gpu_pso(make("sphere", 32), params, device);
+  // Kernel launches exist but none was sized for n*d threads.
+  EXPECT_GT(device.counters().launches, 0u);
+}
+
+TEST(GpuPso, SlowerThanFastPsoOnModeledTime) {
+  core::PsoParams params = small_params(2000, 100, 10);
+  vgpu::Device dev_baseline;
+  const core::Result baseline =
+      run_gpu_pso(make("sphere", 100), params, dev_baseline);
+  vgpu::Device dev_fast;
+  core::Optimizer optimizer(dev_fast, params);
+  const core::Result fast = optimizer.optimize(make("sphere", 100));
+  EXPECT_GT(baseline.modeled_seconds, 1.5 * fast.modeled_seconds);
+}
+
+TEST(HgpuPso, ConvergesOnSphere) {
+  vgpu::Device device;
+  const core::Result result =
+      run_hgpu_pso(make("sphere", 10), small_params(), device);
+  EXPECT_LT(result.error_to(0.0), 4.0);  // plateau ~0.12/dim
+}
+
+TEST(HgpuPso, DeterministicForSeed) {
+  core::Result results[2];
+  for (auto& result : results) {
+    vgpu::Device device;
+    result = run_hgpu_pso(make("sphere", 8), small_params(100, 8, 50),
+                          device);
+  }
+  EXPECT_EQ(results[0].gbest_value, results[1].gbest_value);
+}
+
+TEST(HgpuPso, TransfersPositionsEveryIteration) {
+  vgpu::Device device;
+  const int iters = 7;
+  const core::Result result =
+      run_hgpu_pso(make("sphere", 16), small_params(64, 16, iters), device);
+  // One H2D (positions) and one D2H (fitness) per iteration.
+  EXPECT_GE(result.counters.transfers, 2u * iters);
+  EXPECT_GT(result.counters.h2d_bytes,
+            static_cast<double>(iters) * 64 * 16 * sizeof(float) - 1);
+}
+
+TEST(HgpuPso, ErrorsComparableToGpuPso) {
+  // Both are clamped standard PSO; quality should be in the same league
+  // (Table 2: 23.72 vs 15.06 at paper scale).
+  vgpu::Device dev_a;
+  vgpu::Device dev_b;
+  const core::Result gpu =
+      run_gpu_pso(make("rastrigin", 8), small_params(300, 8, 200), dev_a);
+  const core::Result hgpu =
+      run_hgpu_pso(make("rastrigin", 8), small_params(300, 8, 200), dev_b);
+  EXPECT_LT(gpu.gbest_value, 40.0);
+  EXPECT_LT(hgpu.gbest_value, 40.0);
+}
+
+TEST(GpuBaselines, BreakdownsPresent) {
+  vgpu::Device dev_a;
+  const core::Result gpu =
+      run_gpu_pso(make("sphere", 8), small_params(64, 8, 5), dev_a);
+  for (const char* step : {"init", "eval", "pbest", "gbest", "swarm"}) {
+    EXPECT_GT(gpu.modeled_breakdown.get(step), 0.0) << "gpu " << step;
+  }
+  vgpu::Device dev_b;
+  const core::Result hgpu =
+      run_hgpu_pso(make("sphere", 8), small_params(64, 8, 5), dev_b);
+  for (const char* step : {"init", "eval", "pbest", "gbest", "swarm"}) {
+    EXPECT_GT(hgpu.modeled_breakdown.get(step), 0.0) << "hgpu " << step;
+  }
+}
+
+}  // namespace
+}  // namespace fastpso::baselines

@@ -1,0 +1,134 @@
+// Tests for the pyswarms-like and scikit-opt-like baselines: their
+// algorithmic behaviours (divergence at the paper's hyper-parameters, bound
+// handling, early stop) and their cost accounting.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/optimizer.h"
+#include "problems/problem.h"
+#include "vgpu/device.h"
+
+namespace fastpso::baselines {
+namespace {
+
+core::PsoParams paper_params(int n, int d, int iters) {
+  core::PsoParams params;  // omega=0.9, c1=c2=2 — the paper's settings
+  params.particles = n;
+  params.dim = d;
+  params.max_iter = iters;
+  params.seed = 42;
+  return params;
+}
+
+core::Objective make(const std::string& name, int d) {
+  const auto problem = problems::make_problem(name);
+  // Keep the problem alive for the objective's lambda.
+  static std::vector<std::unique_ptr<problems::Problem>> keep_alive;
+  keep_alive.push_back(problems::make_problem(name));
+  return core::objective_from_problem(*keep_alive.back(), d);
+}
+
+TEST(PyswarmsLike, RunsAndReportsBreakdown) {
+  const core::Result result =
+      run_pyswarms_like(make("sphere", 10), paper_params(100, 10, 30));
+  EXPECT_EQ(result.iterations, 30);
+  EXPECT_GT(result.modeled_seconds, 0.0);
+  for (const char* step : {"init", "eval", "pbest", "gbest", "swarm"}) {
+    EXPECT_GT(result.modeled_breakdown.get(step), 0.0) << step;
+  }
+}
+
+TEST(PyswarmsLike, DivergesAtPaperHyperparameters) {
+  // Without velocity clamping, omega=0.9 and c1=c2=2 blow the swarm up —
+  // the mechanism behind pyswarms' Table 2 error of ~1032 on Sphere.
+  const core::Result pyswarms =
+      run_pyswarms_like(make("sphere", 30), paper_params(300, 30, 500));
+  core::PsoParams params = paper_params(300, 30, 500);
+  vgpu::Device device;
+  core::Optimizer fastpso(device, params);
+  const core::Result clamped = fastpso.optimize(make("sphere", 30));
+  EXPECT_GT(pyswarms.gbest_value, 20.0);  // stuck at O(domain) error
+  EXPECT_LT(clamped.gbest_value, pyswarms.gbest_value / 1.5);
+}
+
+TEST(PyswarmsLike, GbestStillMonotone) {
+  // Even a diverging swarm's recorded best never worsens.
+  const core::Result a =
+      run_pyswarms_like(make("sphere", 10), paper_params(100, 10, 20));
+  const core::Result b =
+      run_pyswarms_like(make("sphere", 10), paper_params(100, 10, 60));
+  EXPECT_LE(b.gbest_value, a.gbest_value + 1e-9);
+}
+
+TEST(PyswarmsLike, DeterministicForSeed) {
+  const core::Result a =
+      run_pyswarms_like(make("griewank", 8), paper_params(50, 8, 20));
+  const core::Result b =
+      run_pyswarms_like(make("griewank", 8), paper_params(50, 8, 20));
+  EXPECT_EQ(a.gbest_value, b.gbest_value);
+}
+
+TEST(PyswarmsLike, ModeledTimeScalesWithProblemSize) {
+  const core::Result small =
+      run_pyswarms_like(make("sphere", 10), paper_params(100, 10, 20));
+  const core::Result big =
+      run_pyswarms_like(make("sphere", 50), paper_params(400, 50, 20));
+  EXPECT_GT(big.modeled_seconds, 4.0 * small.modeled_seconds);
+}
+
+TEST(ScikitOptLike, RunsAndConvergesSomewhere) {
+  const core::Result result =
+      run_scikit_opt_like(make("sphere", 10), paper_params(100, 10, 50));
+  EXPECT_GT(result.modeled_seconds, 0.0);
+  EXPECT_LE(result.iterations, 50);
+}
+
+TEST(ScikitOptLike, PositionsClippedKeepsErrorBoundedByDomain) {
+  // np.clip keeps every coordinate in [-5.12, 5.12], so the Sphere value
+  // can never exceed d * 5.12^2 — unlike pyswarms' wrapped flight.
+  const core::Result result =
+      run_scikit_opt_like(make("sphere", 20), paper_params(200, 20, 100));
+  EXPECT_LE(result.gbest_value, 20 * 5.12 * 5.12 + 1.0);
+}
+
+TEST(ScikitOptLike, EarlyStopsOnFlatEasomLandscape) {
+  // The generalized Easom underflows to exactly 0 almost everywhere, so
+  // gbest never improves after the first iteration and the sko-style
+  // patience fires — reproducing the paper's 12.77s Table 1 anomaly.
+  ScikitOptions options;
+  options.patience = 25;
+  const core::Result result = run_scikit_opt_like(
+      make("easom", 50), paper_params(100, 50, 2000), options);
+  EXPECT_LT(result.iterations, 60);
+}
+
+TEST(ScikitOptLike, NoEarlyStopWhenImprovingSteadily) {
+  ScikitOptions options;
+  options.patience = 25;
+  const core::Result result = run_scikit_opt_like(
+      make("sphere", 10), paper_params(200, 10, 60), options);
+  EXPECT_EQ(result.iterations, 60);  // random records keep arriving
+}
+
+TEST(ScikitOptLike, PatienceDisabledRunsFully) {
+  ScikitOptions options;
+  options.patience = 0;
+  const core::Result result = run_scikit_opt_like(
+      make("easom", 20), paper_params(50, 20, 40), options);
+  EXPECT_EQ(result.iterations, 40);
+}
+
+TEST(PythonBaselines, BothAreFarSlowerThanModeledFastPso) {
+  // Two-orders-of-magnitude claim at small scale.
+  core::PsoParams params = paper_params(500, 50, 10);
+  const core::Result pyswarms =
+      run_pyswarms_like(make("sphere", 50), params);
+  vgpu::Device device;
+  core::Optimizer optimizer(device, params);
+  const core::Result fast = optimizer.optimize(make("sphere", 50));
+  EXPECT_GT(pyswarms.modeled_seconds / fast.modeled_seconds, 10.0);
+}
+
+}  // namespace
+}  // namespace fastpso::baselines

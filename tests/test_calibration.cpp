@@ -1,0 +1,220 @@
+// Calibration ("shape") tests: assert that the modeled results reproduce
+// the paper's qualitative findings, with generous bands. These are the
+// reproduction's regression net — if a model constant drifts, these fail.
+//
+// All cells run at the paper's n=5000, d=200 with few executed iterations
+// scaled to 2000 (per-iteration work dominates).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "benchkit/runner.h"
+
+namespace fastpso::benchkit {
+namespace {
+
+/// Runs one Table-1-style cell (n=5000, d=200, scaled to 2000 iterations).
+RunOutcome cell(Impl impl, const std::string& problem,
+                int executed_iters = 4) {
+  RunSpec spec;
+  spec.impl = impl;
+  spec.problem = problem;
+  spec.particles = 5000;
+  spec.dim = 200;
+  spec.iters = 2000;
+  spec.executed_iters = executed_iters;
+  return run_spec(spec);
+}
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  // One shared set of Sphere runs for the whole fixture.
+  static std::map<Impl, RunOutcome>& sphere() {
+    static std::map<Impl, RunOutcome> cache = [] {
+      std::map<Impl, RunOutcome> out;
+      for (Impl impl : all_impls()) {
+        out.emplace(impl, cell(impl, "sphere"));
+      }
+      return out;
+    }();
+    return cache;
+  }
+};
+
+TEST_F(CalibrationTest, FastPsoAbsoluteTimeNearPaper) {
+  // Paper Table 1: fastpso Sphere 0.67 s. Band: within 2x.
+  const double s = sphere().at(Impl::kFastPso).modeled_seconds_full;
+  EXPECT_GT(s, 0.33);
+  EXPECT_LT(s, 1.4);
+}
+
+TEST_F(CalibrationTest, GpuPsoGapMatchesPaperBand) {
+  // Paper: FastPSO "transcends the existing GPU-based implementation by
+  // 5 to 7 times". Band: 4-10x.
+  const double ratio = sphere().at(Impl::kGpuPso).modeled_seconds_full /
+                       sphere().at(Impl::kFastPso).modeled_seconds_full;
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 10.0);
+}
+
+TEST_F(CalibrationTest, HgpuPsoSlowerThanGpuPso) {
+  // Paper Table 1: hgpu-pso 6.01 s vs gpu-pso 4.90 s on Sphere.
+  EXPECT_GT(sphere().at(Impl::kHgpuPso).modeled_seconds_full,
+            sphere().at(Impl::kGpuPso).modeled_seconds_full);
+}
+
+TEST_F(CalibrationTest, CpuLibrariesTwoOrdersOfMagnitudeSlower) {
+  const double fast = sphere().at(Impl::kFastPso).modeled_seconds_full;
+  const double pyswarms =
+      sphere().at(Impl::kPyswarms).modeled_seconds_full;
+  const double scikit =
+      sphere().at(Impl::kScikitOpt).modeled_seconds_full;
+  EXPECT_GT(pyswarms / fast, 50.0);
+  EXPECT_LT(pyswarms / fast, 500.0);
+  EXPECT_GT(scikit / fast, 50.0);
+}
+
+TEST_F(CalibrationTest, FastPsoOrderOfMagnitudeOverCpuVersions) {
+  // Paper: "FastPSO on the GPU is an order of magnitude faster than the
+  // CPU-based versions".
+  const double fast = sphere().at(Impl::kFastPso).modeled_seconds_full;
+  const double seq = sphere().at(Impl::kFastPsoSeq).modeled_seconds_full;
+  const double omp = sphere().at(Impl::kFastPsoOmp).modeled_seconds_full;
+  EXPECT_GT(seq / fast, 8.0);
+  EXPECT_GT(omp / fast, 6.0);
+}
+
+TEST_F(CalibrationTest, OpenMpGainsAreBandwidthLimited) {
+  // Paper: omp reduces seq by ~25-50%, not by 20x.
+  const double seq = sphere().at(Impl::kFastPsoSeq).modeled_seconds_full;
+  const double omp = sphere().at(Impl::kFastPsoOmp).modeled_seconds_full;
+  EXPECT_GT(seq / omp, 1.1);
+  EXPECT_LT(seq / omp, 3.0);
+}
+
+TEST_F(CalibrationTest, Table3ThroughputOrdering) {
+  // Paper Table 3: fastpso ~107 GB/s read throughput, the baselines ~60.
+  const auto fast = sphere().at(Impl::kFastPso);
+  const auto gpu = sphere().at(Impl::kGpuPso);
+  // nvprof-style: bytes fetched over time spent inside kernels.
+  const double fast_bw = fast.result.counters.dram_read_fetched /
+                         fast.result.counters.kernel_seconds / 1e9;
+  const double gpu_bw = gpu.result.counters.dram_read_fetched /
+                        gpu.result.counters.kernel_seconds / 1e9;
+  EXPECT_GT(fast_bw, gpu_bw);
+  EXPECT_GT(fast_bw, 60.0);
+  EXPECT_LT(fast_bw, 160.0);
+  EXPECT_GT(gpu_bw, 25.0);
+  EXPECT_LT(gpu_bw, 100.0);
+}
+
+TEST_F(CalibrationTest, SwarmStepDominatesCpuBreakdown) {
+  // Figure 5: >80% of the CPU versions is the swarm update (+ weight
+  // generation); we assert the swarm step alone is the largest bucket.
+  const auto& seq = sphere().at(Impl::kFastPsoSeq);
+  const double swarm = seq.modeled_breakdown_full.get("swarm");
+  for (const char* step : {"eval", "pbest", "gbest"}) {
+    EXPECT_GT(swarm, seq.modeled_breakdown_full.get(step)) << step;
+  }
+}
+
+TEST_F(CalibrationTest, FastPsoSwarmStepUnderTenthOfSecond) {
+  // Figure 5: fastpso's swarm step is <0.1 s (of a ~0.7 s run).
+  const auto& fast = sphere().at(Impl::kFastPso);
+  EXPECT_LT(fast.modeled_breakdown_full.get("swarm"), 0.6);
+  EXPECT_GT(fast.modeled_breakdown_full.get("swarm"),
+            fast.modeled_breakdown_full.get("gbest"));
+}
+
+TEST(CalibrationScaling, FastPsoFlatAcrossParticleCounts) {
+  // Figure 4 a/c/e/g: fastpso's time is nearly unchanged 2000->5000
+  // particles while CPU baselines grow ~linearly.
+  RunSpec spec;
+  spec.impl = Impl::kFastPso;
+  spec.problem = "sphere";
+  spec.dim = 50;
+  spec.iters = 2000;
+  spec.executed_iters = 4;
+  spec.particles = 2000;
+  const double small = run_spec(spec).modeled_seconds_full;
+  spec.particles = 5000;
+  const double large = run_spec(spec).modeled_seconds_full;
+  EXPECT_LT(large / small, 2.2);
+
+  spec.impl = Impl::kFastPsoSeq;
+  spec.particles = 2000;
+  const double seq_small = run_spec(spec).modeled_seconds_full;
+  spec.particles = 5000;
+  const double seq_large = run_spec(spec).modeled_seconds_full;
+  EXPECT_GT(seq_large / seq_small, 2.0);  // ~2.5x for 2.5x particles
+}
+
+TEST(CalibrationScaling, FastPsoFlatAcrossDimensions) {
+  // Figure 4 b/d/f/h: same story when d grows 50 -> 200 at n=2000.
+  RunSpec spec;
+  spec.impl = Impl::kFastPso;
+  spec.problem = "sphere";
+  spec.particles = 2000;
+  spec.iters = 2000;
+  spec.executed_iters = 4;
+  spec.dim = 50;
+  const double small = run_spec(spec).modeled_seconds_full;
+  spec.dim = 200;
+  const double large = run_spec(spec).modeled_seconds_full;
+  EXPECT_LT(large / small, 2.5);
+
+  spec.impl = Impl::kPyswarms;
+  spec.dim = 50;
+  const double py_small = run_spec(spec).modeled_seconds_full;
+  spec.dim = 200;
+  const double py_large = run_spec(spec).modeled_seconds_full;
+  EXPECT_GT(py_large / py_small, 2.5);
+}
+
+TEST(CalibrationMemcache, CachingWinsByAFewPercent) {
+  // Table 4: 3.7-5.1% end-to-end. Band: 1-15%.
+  RunSpec spec;
+  spec.impl = Impl::kFastPso;
+  spec.problem = "sphere";
+  spec.particles = 5000;
+  spec.dim = 200;
+  spec.iters = 2000;
+  spec.executed_iters = 20;
+  spec.memory_caching = true;
+  const double cached = run_spec(spec).modeled_seconds_full;
+  spec.memory_caching = false;
+  const double realloc = run_spec(spec).modeled_seconds_full;
+  const double gain = (realloc - cached) / cached;
+  EXPECT_GT(gain, 0.01);
+  EXPECT_LT(gain, 0.15);
+}
+
+TEST(CalibrationTechniques, GpuUpdateVariantsWithinFewPercent) {
+  // Figure 6: global-mem / shared-mem / tensorcore are all similar
+  // (memory-bound kernel).
+  std::map<core::UpdateTechnique, double> swarm_seconds;
+  for (auto technique : {core::UpdateTechnique::kGlobalMemory,
+                         core::UpdateTechnique::kSharedMemory,
+                         core::UpdateTechnique::kTensorCore}) {
+    RunSpec spec;
+    spec.impl = Impl::kFastPso;
+    spec.problem = "sphere";
+    spec.particles = 5000;
+    spec.dim = 200;
+    spec.iters = 2000;
+    spec.executed_iters = 4;
+    spec.technique = technique;
+    swarm_seconds[technique] =
+        run_spec(spec).modeled_breakdown_full.get("swarm");
+  }
+  const double global =
+      swarm_seconds[core::UpdateTechnique::kGlobalMemory];
+  for (const auto& [technique, seconds] : swarm_seconds) {
+    EXPECT_NEAR(seconds / global, 1.0, 0.25)
+        << to_string(technique);
+  }
+}
+
+}  // namespace
+}  // namespace fastpso::benchkit

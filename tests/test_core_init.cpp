@@ -1,0 +1,127 @@
+// Tests for Step (i): swarm initialization and per-iteration random-weight
+// generation (core/init.h).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/init.h"
+#include "core/launch_policy.h"
+#include "core/swarm_state.h"
+#include "vgpu/device.h"
+
+namespace fastpso::core {
+namespace {
+
+class InitTest : public ::testing::Test {
+ protected:
+  vgpu::Device device_;
+  LaunchPolicy policy_{device_.spec()};
+};
+
+TEST_F(InitTest, PositionsInDomainVelocitiesInVmax) {
+  SwarmState state(device_, 100, 20);
+  initialize_swarm(device_, policy_, state, 42, -5.12f, 5.12f, 2.0f);
+  for (std::int64_t i = 0; i < state.elements(); ++i) {
+    EXPECT_GE(state.positions[i], -5.12f);
+    EXPECT_LE(state.positions[i], 5.12f);
+    EXPECT_GE(state.velocities[i], -2.0f);
+    EXPECT_LE(state.velocities[i], 2.0f);
+  }
+}
+
+TEST_F(InitTest, PbestStartsAtInfinityAndInitialPositions) {
+  SwarmState state(device_, 50, 10);
+  initialize_swarm(device_, policy_, state, 7, 0.0f, 1.0f, 0.5f);
+  for (int i = 0; i < state.n; ++i) {
+    EXPECT_EQ(state.pbest_err[i], std::numeric_limits<float>::infinity());
+  }
+  for (std::int64_t i = 0; i < state.elements(); ++i) {
+    EXPECT_EQ(state.pbest_pos[i], state.positions[i]);
+  }
+  EXPECT_EQ(state.gbest_err, std::numeric_limits<float>::infinity());
+}
+
+TEST_F(InitTest, DeterministicInSeed) {
+  SwarmState a(device_, 64, 16);
+  SwarmState b(device_, 64, 16);
+  initialize_swarm(device_, policy_, a, 123, -1.0f, 1.0f, 0.5f);
+  initialize_swarm(device_, policy_, b, 123, -1.0f, 1.0f, 0.5f);
+  for (std::int64_t i = 0; i < a.elements(); ++i) {
+    EXPECT_EQ(a.positions[i], b.positions[i]);
+    EXPECT_EQ(a.velocities[i], b.velocities[i]);
+  }
+}
+
+TEST_F(InitTest, DifferentSeedsDiffer) {
+  SwarmState a(device_, 64, 16);
+  SwarmState b(device_, 64, 16);
+  initialize_swarm(device_, policy_, a, 1, -1.0f, 1.0f, 0.5f);
+  initialize_swarm(device_, policy_, b, 2, -1.0f, 1.0f, 0.5f);
+  int equal = 0;
+  for (std::int64_t i = 0; i < a.elements(); ++i) {
+    equal += a.positions[i] == b.positions[i] ? 1 : 0;
+  }
+  EXPECT_LT(equal, 10);
+}
+
+TEST_F(InitTest, LaunchShapeInvariance) {
+  // The same seed gives bit-identical state under a different device
+  // (hence different grid shape) — the counter-based RNG guarantee.
+  vgpu::Device small(vgpu::test_gpu_small());
+  LaunchPolicy small_policy(small.spec(), /*block=*/64);
+  SwarmState a(device_, 40, 12);
+  SwarmState b(small, 40, 12);
+  initialize_swarm(device_, policy_, a, 99, -3.0f, 3.0f, 1.0f);
+  initialize_swarm(small, small_policy, b, 99, -3.0f, 3.0f, 1.0f);
+  for (std::int64_t i = 0; i < a.elements(); ++i) {
+    EXPECT_EQ(a.positions[i], b.positions[i]);
+    EXPECT_EQ(a.velocities[i], b.velocities[i]);
+  }
+}
+
+TEST_F(InitTest, WeightsInUnitIntervalAndIterationDependent) {
+  const std::int64_t elements = 1000;
+  vgpu::DeviceArray<float> l0(device_, elements);
+  vgpu::DeviceArray<float> g0(device_, elements);
+  vgpu::DeviceArray<float> l1(device_, elements);
+  vgpu::DeviceArray<float> g1(device_, elements);
+  generate_weights(device_, policy_, elements, 42, 0, l0, g0);
+  generate_weights(device_, policy_, elements, 42, 1, l1, g1);
+  int same = 0;
+  for (std::int64_t i = 0; i < elements; ++i) {
+    EXPECT_GE(l0[i], 0.0f);
+    EXPECT_LT(l0[i], 1.0f);
+    EXPECT_GE(g0[i], 0.0f);
+    EXPECT_LT(g0[i], 1.0f);
+    same += l0[i] == l1[i] ? 1 : 0;
+  }
+  EXPECT_LT(same, 5);  // iterations draw from distinct streams
+}
+
+TEST_F(InitTest, LAndGAreDistinctStreams) {
+  const std::int64_t elements = 1000;
+  vgpu::DeviceArray<float> l(device_, elements);
+  vgpu::DeviceArray<float> g(device_, elements);
+  generate_weights(device_, policy_, elements, 42, 0, l, g);
+  int same = 0;
+  for (std::int64_t i = 0; i < elements; ++i) {
+    same += l[i] == g[i] ? 1 : 0;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST_F(InitTest, InitAccountsDeviceWork) {
+  device_.reset_counters();
+  device_.set_phase("init");
+  SwarmState state(device_, 1000, 50);
+  initialize_swarm(device_, policy_, state, 5, -1.0f, 1.0f, 1.0f);
+  EXPECT_GT(device_.counters().launches, 0u);
+  EXPECT_GT(device_.modeled_breakdown().get("init"), 0.0);
+  // Position + velocity fills write at least 2*n*d floats.
+  EXPECT_GE(device_.counters().dram_write_useful,
+            2.0 * state.elements() * sizeof(float));
+}
+
+}  // namespace
+}  // namespace fastpso::core

@@ -1,0 +1,86 @@
+// Tests for the resource-aware thread creation policy (paper Eq. 3).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/launch_policy.h"
+#include "vgpu/device.h"
+
+namespace fastpso::core {
+namespace {
+
+TEST(LaunchPolicy, OneThreadPerElementWhenSmall) {
+  LaunchPolicy policy(vgpu::tesla_v100(), 256);
+  const LaunchDecision decision = policy.for_elements(1000);
+  EXPECT_GE(decision.config.total_threads(), 1000);
+  EXPECT_EQ(decision.thread_workload, 1);
+}
+
+TEST(LaunchPolicy, CapsThreadsForHugeProblems) {
+  LaunchPolicy policy(vgpu::tesla_v100(), 256);
+  const std::int64_t elements = 100'000'000;
+  const LaunchDecision decision = policy.for_elements(elements);
+  EXPECT_LE(decision.config.total_threads(), policy.thread_cap());
+  // Eq. 3: tw = ceil(elements / threads).
+  const std::int64_t threads = decision.config.total_threads();
+  EXPECT_EQ(decision.thread_workload, (elements + threads - 1) / threads);
+  EXPECT_GT(decision.thread_workload, 1);
+}
+
+TEST(LaunchPolicy, ThreadCapScalesWithDevice) {
+  LaunchPolicy v100(vgpu::tesla_v100());
+  LaunchPolicy small(vgpu::test_gpu_small(), /*block=*/64);
+  EXPECT_GT(v100.thread_cap(), small.thread_cap());
+}
+
+TEST(LaunchPolicy, CapIsBlockAligned) {
+  for (int block : {32, 128, 256, 512}) {
+    LaunchPolicy policy(vgpu::tesla_v100(), block);
+    EXPECT_EQ(policy.thread_cap() % block, 0) << "block=" << block;
+  }
+}
+
+TEST(LaunchPolicy, InvalidInputsThrow) {
+  LaunchPolicy policy(vgpu::tesla_v100());
+  EXPECT_THROW((void)policy.for_elements(0), fastpso::CheckError);
+  EXPECT_THROW(LaunchPolicy(vgpu::tesla_v100(), 0), fastpso::CheckError);
+  EXPECT_THROW(LaunchPolicy(vgpu::tesla_v100(), 4096), fastpso::CheckError);
+}
+
+class PolicyCoverage : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PolicyCoverage, GridStrideCoversEveryElementOnce) {
+  // Property: executing the grid-stride idiom under the policy's launch
+  // decision touches each of the `elements` indices exactly once.
+  const std::int64_t elements = GetParam();
+  vgpu::Device device(vgpu::test_gpu_small());
+  LaunchPolicy policy(device.spec(), 64);
+  const LaunchDecision decision = policy.for_elements(elements);
+  std::vector<int> hits(elements, 0);
+  device.launch(decision.config, vgpu::KernelCostSpec{},
+                [&](const vgpu::ThreadCtx& t) {
+                  for (std::int64_t i = t.global_id(); i < elements;
+                       i += t.grid_stride()) {
+                    ++hits[i];
+                  }
+                });
+  for (std::int64_t i = 0; i < elements; ++i) {
+    ASSERT_EQ(hits[i], 1) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PolicyCoverage,
+                         ::testing::Values(1, 63, 64, 65, 1000, 8191, 8192,
+                                           8193, 50000));
+
+TEST(LaunchPolicy, ParticlesAliasElements) {
+  LaunchPolicy policy(vgpu::tesla_v100());
+  const auto a = policy.for_particles(5000);
+  const auto b = policy.for_elements(5000);
+  EXPECT_EQ(a.config.grid, b.config.grid);
+  EXPECT_EQ(a.config.block, b.config.block);
+}
+
+}  // namespace
+}  // namespace fastpso::core

@@ -1,0 +1,157 @@
+// Tests for the binary16 emulation (vgpu/half.h) and the mixed-precision
+// tensor-core update path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/init.h"
+#include "core/optimizer.h"
+#include "core/swarm_update.h"
+#include "problems/problem.h"
+#include "rng/xoshiro.h"
+#include "vgpu/device.h"
+#include "vgpu/half.h"
+#include "vgpu/wmma.h"
+
+namespace fastpso::vgpu {
+namespace {
+
+TEST(Half, ExactSmallValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -4.0f, 0.25f, 1024.0f}) {
+    EXPECT_EQ(round_through_half(v), v) << v;
+  }
+}
+
+TEST(Half, SignedZero) {
+  EXPECT_EQ(float_to_half(0.0f).bits, 0x0000);
+  EXPECT_EQ(float_to_half(-0.0f).bits, 0x8000);
+  EXPECT_EQ(half_to_float(Half{0x8000}), -0.0f);
+}
+
+TEST(Half, KnownEncodings) {
+  EXPECT_EQ(float_to_half(1.0f).bits, 0x3C00);
+  EXPECT_EQ(float_to_half(-2.0f).bits, 0xC000);
+  EXPECT_EQ(float_to_half(65504.0f).bits, 0x7BFF);  // max finite half
+  EXPECT_FLOAT_EQ(half_to_float(Half{0x3C00}), 1.0f);
+  EXPECT_FLOAT_EQ(half_to_float(Half{0x7BFF}), 65504.0f);
+}
+
+TEST(Half, OverflowSaturatesToInfinity) {
+  EXPECT_TRUE(std::isinf(round_through_half(1.0e6f)));
+  EXPECT_TRUE(std::isinf(round_through_half(-1.0e6f)));
+  EXPECT_LT(round_through_half(-1.0e6f), 0.0f);
+}
+
+TEST(Half, InfinityAndNanPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(round_through_half(inf)));
+  EXPECT_TRUE(std::isnan(
+      round_through_half(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(Half, SubnormalsRepresented) {
+  // Smallest positive subnormal half = 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(round_through_half(tiny), tiny);
+  // Far below that underflows to zero.
+  EXPECT_EQ(round_through_half(std::ldexp(1.0f, -30)), 0.0f);
+}
+
+TEST(Half, RelativeErrorWithin2ToTheMinus11) {
+  rng::Xoshiro256 rng(3);
+  for (int k = 0; k < 10000; ++k) {
+    const float v =
+        static_cast<float>(rng.next_uniform(-1000.0, 1000.0));
+    const float r = round_through_half(v);
+    if (std::abs(v) > 1e-3f) {
+      EXPECT_NEAR(r / v, 1.0f, 1.0f / 2048.0f) << v;
+    }
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1+2^-10):
+  // ties go to even mantissa, i.e. 1.0.
+  EXPECT_EQ(round_through_half(1.0f + std::ldexp(1.0f, -11)), 1.0f);
+  // Slightly above the halfway point rounds up.
+  EXPECT_EQ(round_through_half(1.0f + std::ldexp(1.2f, -11)),
+            1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Wmma, MixedPrecisionMmaMatchesRoundedReference) {
+  wmma::Fragment<float> a;
+  wmma::Fragment<float> b;
+  wmma::Fragment<float> c;
+  wmma::Fragment<float> d;
+  rng::Xoshiro256 rng(5);
+  for (int i = 0; i < wmma::kFragSize; ++i) {
+    a.x[i] = static_cast<float>(rng.next_uniform(-3, 3));
+    b.x[i] = static_cast<float>(rng.next_uniform(-3, 3));
+    c.x[i] = static_cast<float>(rng.next_uniform(-1, 1));
+  }
+  wmma::mma_elementwise_f16_sync(d, a, b, c);
+  for (int i = 0; i < wmma::kFragSize; ++i) {
+    const float expected =
+        round_through_half(a.x[i]) * round_through_half(b.x[i]) + c.x[i];
+    EXPECT_EQ(d.x[i], expected) << i;
+  }
+}
+
+TEST(MixedPrecision, UpdateCloseToFp32Path) {
+  Device dev_fp32;
+  Device dev_fp16;
+  core::LaunchPolicy policy32(dev_fp32.spec());
+  core::LaunchPolicy policy16(dev_fp16.spec());
+  core::SwarmState a(dev_fp32, 64, 32);
+  core::SwarmState b(dev_fp16, 64, 32);
+  core::initialize_swarm(dev_fp32, policy32, a, 9, -5.0f, 5.0f, 2.0f);
+  core::initialize_swarm(dev_fp16, policy16, b, 9, -5.0f, 5.0f, 2.0f);
+  for (int j = 0; j < a.d; ++j) {
+    a.gbest_pos[j] = 0.1f * j;
+    b.gbest_pos[j] = 0.1f * j;
+  }
+  DeviceArray<float> la(dev_fp32, a.elements());
+  DeviceArray<float> ga(dev_fp32, a.elements());
+  DeviceArray<float> lb(dev_fp16, b.elements());
+  DeviceArray<float> gb(dev_fp16, b.elements());
+  core::generate_weights(dev_fp32, policy32, a.elements(), 9, 0, la, ga);
+  core::generate_weights(dev_fp16, policy16, b.elements(), 9, 0, lb, gb);
+
+  core::PsoParams params;
+  core::UpdateCoefficients coeff = core::make_coefficients(params, -5, 5);
+  core::swarm_update(dev_fp32, policy32, a, la, ga, coeff,
+                     core::UpdateTechnique::kTensorCore);
+  coeff.mixed_precision = true;
+  core::swarm_update(dev_fp16, policy16, b, lb, gb, coeff,
+                     core::UpdateTechnique::kTensorCore);
+
+  double max_err = 0;
+  int diffs = 0;
+  for (std::int64_t i = 0; i < a.elements(); ++i) {
+    max_err = std::max<double>(
+        max_err, std::abs(a.velocities[i] - b.velocities[i]));
+    diffs += a.velocities[i] != b.velocities[i] ? 1 : 0;
+  }
+  EXPECT_GT(diffs, 0);       // precision genuinely differs...
+  EXPECT_LT(max_err, 0.05);  // ...but only at FP16 granularity
+}
+
+TEST(MixedPrecision, OptimizerStillConverges) {
+  Device device;
+  core::PsoParams params;
+  params.particles = 200;
+  params.dim = 10;
+  params.max_iter = 300;
+  params.technique = core::UpdateTechnique::kTensorCore;
+  params.mixed_precision = true;
+  core::Optimizer optimizer(device, params);
+  const auto problem = problems::make_problem("sphere");
+  const core::Result result =
+      optimizer.optimize(core::objective_from_problem(*problem, 10));
+  EXPECT_LT(result.error_to(0.0), 4.0);
+}
+
+}  // namespace
+}  // namespace fastpso::vgpu

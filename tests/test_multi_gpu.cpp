@@ -1,0 +1,129 @@
+// Tests for the multi-GPU strategies (paper Section 3.5).
+
+#include <gtest/gtest.h>
+
+#include "core/multi_gpu.h"
+#include "core/optimizer.h"
+#include "problems/problem.h"
+
+namespace fastpso::core {
+namespace {
+
+MultiGpuParams small_multi(int devices, MultiGpuStrategy strategy) {
+  MultiGpuParams params;
+  params.pso.particles = 240;
+  params.pso.dim = 8;
+  params.pso.max_iter = 250;
+  params.pso.seed = 42;
+  params.devices = devices;
+  params.strategy = strategy;
+  return params;
+}
+
+TEST(MultiGpu, TileMatrixConvergesOnSphere) {
+  MultiGpuOptimizer optimizer(
+      small_multi(2, MultiGpuStrategy::kTileMatrix));
+  const auto problem = problems::make_problem("sphere");
+  const Result result =
+      optimizer.optimize(objective_from_problem(*problem, 8));
+  EXPECT_LT(result.error_to(0.0), 2.5);
+}
+
+TEST(MultiGpu, ParticleSplitConvergesOnSphere) {
+  MultiGpuOptimizer optimizer(
+      small_multi(2, MultiGpuStrategy::kParticleSplit));
+  const auto problem = problems::make_problem("sphere");
+  const Result result =
+      optimizer.optimize(objective_from_problem(*problem, 8));
+  EXPECT_LT(result.error_to(0.0), 2.5);
+}
+
+TEST(MultiGpu, FourDevicesStillConverge) {
+  for (auto strategy : {MultiGpuStrategy::kTileMatrix,
+                        MultiGpuStrategy::kParticleSplit}) {
+    MultiGpuOptimizer optimizer(small_multi(4, strategy));
+    const auto problem = problems::make_problem("sphere");
+    const Result result =
+        optimizer.optimize(objective_from_problem(*problem, 8));
+    EXPECT_LT(result.error_to(0.0), 2.0) << to_string(strategy);
+  }
+}
+
+TEST(MultiGpu, DeviceSecondsReportedPerDevice) {
+  MultiGpuOptimizer optimizer(
+      small_multi(3, MultiGpuStrategy::kTileMatrix));
+  const auto problem = problems::make_problem("sphere");
+  const Result result =
+      optimizer.optimize(objective_from_problem(*problem, 8));
+  ASSERT_EQ(optimizer.device_seconds().size(), 3u);
+  double max_device = 0;
+  for (double s : optimizer.device_seconds()) {
+    EXPECT_GT(s, 0.0);
+    max_device = std::max(max_device, s);
+  }
+  // Concurrent devices: total modeled = max over devices + exchange.
+  EXPECT_GE(result.modeled_seconds, max_device);
+  double sum = 0;
+  for (double s : optimizer.device_seconds()) {
+    sum += s;
+  }
+  EXPECT_LT(result.modeled_seconds, sum);
+}
+
+TEST(MultiGpu, ShardsShareTheSameGbestEachIterationUnderTileMatrix) {
+  // Tile-matrix completes the reduction every iteration, so the returned
+  // best must beat or match a single-shard run of the same sub-swarm size.
+  MultiGpuOptimizer multi(small_multi(2, MultiGpuStrategy::kTileMatrix));
+  const auto problem = problems::make_problem("rastrigin");
+  const Result result =
+      multi.optimize(objective_from_problem(*problem, 8));
+  // Result position must evaluate back to the reported value.
+  const Objective objective = objective_from_problem(*problem, 8);
+  const double reeval = objective.fn(
+      result.gbest_position.data(),
+      static_cast<int>(result.gbest_position.size()));
+  EXPECT_NEAR(reeval, result.gbest_value,
+              1e-4 * std::max(1.0, std::abs(reeval)));
+}
+
+TEST(MultiGpu, SyncIntervalControlsExchange) {
+  // With a huge sync interval the particle-split strategy only exchanges
+  // at the end; it still returns the best across shards.
+  MultiGpuParams params = small_multi(2, MultiGpuStrategy::kParticleSplit);
+  params.sync_interval = 1000000;
+  MultiGpuOptimizer optimizer(params);
+  const auto problem = problems::make_problem("sphere");
+  const Result result =
+      optimizer.optimize(objective_from_problem(*problem, 8));
+  EXPECT_LT(result.error_to(0.0), 5.0);
+}
+
+TEST(MultiGpu, InvalidConfigsThrow) {
+  MultiGpuParams params = small_multi(0, MultiGpuStrategy::kTileMatrix);
+  EXPECT_THROW(MultiGpuOptimizer{params}, fastpso::CheckError);
+  params = small_multi(2, MultiGpuStrategy::kParticleSplit);
+  params.pso.particles = 1;
+  EXPECT_THROW(MultiGpuOptimizer{params}, fastpso::CheckError);
+  params = small_multi(2, MultiGpuStrategy::kParticleSplit);
+  params.sync_interval = 0;
+  EXPECT_THROW(MultiGpuOptimizer{params}, fastpso::CheckError);
+}
+
+TEST(MultiGpu, SingleDeviceDegenerateCaseWorks) {
+  MultiGpuOptimizer optimizer(
+      small_multi(1, MultiGpuStrategy::kTileMatrix));
+  const auto problem = problems::make_problem("sphere");
+  const Result result =
+      optimizer.optimize(objective_from_problem(*problem, 8));
+  EXPECT_LT(result.error_to(0.0), 2.5);
+  EXPECT_EQ(optimizer.device_seconds().size(), 1u);
+}
+
+TEST(MultiGpu, StrategyNames) {
+  EXPECT_STREQ(to_string(MultiGpuStrategy::kParticleSplit),
+               "particle-split");
+  EXPECT_STREQ(to_string(MultiGpuStrategy::kTileMatrix), "tile-matrix");
+}
+
+}  // namespace
+}  // namespace fastpso::core

@@ -1,0 +1,178 @@
+// Tests for the mini-NumPy substrate (baselines/ndarray.h) and its cost
+// ledger (baselines/cost_model.h).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cost_model.h"
+#include "baselines/ndarray.h"
+#include "rng/xoshiro.h"
+
+namespace fastpso::baselines {
+namespace {
+
+TEST(NdArray, ShapeAndIndexing) {
+  NdArray a(3, 4, 1.5);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 4u);
+  EXPECT_EQ(a.size(), 12u);
+  a(2, 3) = 9.0;
+  EXPECT_DOUBLE_EQ(a[2 * 4 + 3], 9.0);
+}
+
+TEST(NdArray, BinaryOpsCompute) {
+  CostLedger ledger;
+  NdArray a(2, 2, 3.0);
+  NdArray b(2, 2, 4.0);
+  EXPECT_DOUBLE_EQ(add(ledger, a, b)[0], 7.0);
+  EXPECT_DOUBLE_EQ(sub(ledger, a, b)[0], -1.0);
+  EXPECT_DOUBLE_EQ(mul(ledger, a, b)[0], 12.0);
+  EXPECT_DOUBLE_EQ(scale(ledger, a, 2.0)[0], 6.0);
+  EXPECT_EQ(ledger.ops(), 4u);
+}
+
+TEST(NdArray, ShapeMismatchThrows) {
+  CostLedger ledger;
+  NdArray a(2, 2);
+  NdArray b(2, 3);
+  EXPECT_THROW(add(ledger, a, b), fastpso::CheckError);
+}
+
+TEST(NdArray, SubRowvecBroadcasts) {
+  CostLedger ledger;
+  NdArray a(2, 3, 10.0);
+  const std::vector<double> row = {1.0, 2.0, 3.0};
+  const NdArray out = sub_rowvec(ledger, a, row);
+  EXPECT_DOUBLE_EQ(out(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(out(1, 2), 7.0);
+}
+
+TEST(NdArray, InPlaceAddHasNoTemporary) {
+  CostLedger with_temp;
+  CostLedger in_place;
+  NdArray a(100, 100, 1.0);
+  NdArray b(100, 100, 2.0);
+  (void)add(with_temp, a, b);
+  iadd(in_place, a, b);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_LT(in_place.seconds(), with_temp.seconds());
+}
+
+TEST(NdArray, ClipBounds) {
+  CostLedger ledger;
+  NdArray a(1, 3);
+  a[0] = -10.0;
+  a[1] = 0.5;
+  a[2] = 10.0;
+  const NdArray out = clip(ledger, a, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(NdArray, WrapPeriodicStaysInDomain) {
+  CostLedger ledger;
+  rng::Xoshiro256 rng(3);
+  NdArray a(10, 10);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.next_uniform(-1000.0, 1000.0);
+  }
+  const NdArray out = wrap_periodic(ledger, a, -5.12, 5.12);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_GE(out[i], -5.12);
+    ASSERT_LE(out[i], 5.12);
+  }
+}
+
+TEST(NdArray, WrapPeriodicIdentityInside) {
+  CostLedger ledger;
+  NdArray a(1, 2);
+  a[0] = 0.25;
+  a[1] = -0.5;
+  const NdArray out = wrap_periodic(ledger, a, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[1], -0.5);
+}
+
+TEST(NdArray, ReduceRowsSum) {
+  CostLedger ledger;
+  NdArray a(2, 3);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a[i] = static_cast<double>(i);
+  }
+  const auto sums = reduce_rows(ledger, a, [](const double* row,
+                                              std::size_t d) {
+    double acc = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      acc += row[i];
+    }
+    return acc;
+  });
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 12.0);
+}
+
+TEST(NdArray, ArgminFindsFirstMinimum) {
+  CostLedger ledger;
+  EXPECT_EQ(argmin(ledger, {3.0, 1.0, 1.0, 2.0}), 1u);
+  EXPECT_THROW(argmin(ledger, {}), fastpso::CheckError);
+}
+
+TEST(NdArray, FillUniformUsesGenerator) {
+  CostLedger ledger;
+  rng::Xoshiro256 rng(42);
+  NdArray a(50, 50);
+  fill_uniform(ledger, a, -2.0, 2.0, [&] { return rng.next_unit(); });
+  double mean = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_GE(a[i], -2.0);
+    ASSERT_LT(a[i], 2.0);
+    mean += a[i];
+  }
+  EXPECT_NEAR(mean / a.size(), 0.0, 0.1);
+}
+
+// ---- cost ledger ------------------------------------------------------------
+
+TEST(CostLedger, DispatchPlusTrafficPlusAlloc) {
+  PyCostModel model;
+  model.dispatch_us = 10.0;
+  model.eff_bw_gbps = 1.0;  // 1 GB/s to make the math simple
+  model.alloc_us = 5.0;
+  model.first_touch_bw_gbps = 1.0;
+  CostLedger ledger(model);
+  ledger.record_op(/*read=*/1e9, /*write=*/0, /*temporaries=*/1,
+                   /*temp_bytes=*/1e9);
+  // 10us dispatch + 1s traffic + 5us alloc + 1s first touch.
+  EXPECT_NEAR(ledger.seconds(), 2.000015, 1e-6);
+  EXPECT_EQ(ledger.ops(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.bytes_moved(), 1e9);
+}
+
+TEST(CostLedger, PythonLoopCost) {
+  PyCostModel model;
+  model.python_loop_ns = 100.0;
+  CostLedger ledger(model);
+  ledger.record_python_loop(1000000);
+  EXPECT_NEAR(ledger.seconds(), 0.1, 1e-9);
+}
+
+TEST(CostLedger, ResetClears) {
+  CostLedger ledger;
+  ledger.record_op(100, 100);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.seconds(), 0.0);
+  EXPECT_EQ(ledger.ops(), 0u);
+}
+
+TEST(CostLedger, OverheadAccumulates) {
+  CostLedger ledger;
+  ledger.record_overhead_us(50);
+  ledger.record_overhead_us(50);
+  EXPECT_NEAR(ledger.seconds(), 1e-4, 1e-12);
+}
+
+}  // namespace
+}  // namespace fastpso::baselines

@@ -1,0 +1,193 @@
+// Tests for the built-in optimization problems: known optima, sample
+// values, domain sanity and registry behaviour. Parameterized across all
+// built-ins where the property is generic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+#include "problems/functions.h"
+#include "problems/problem.h"
+
+namespace fastpso::problems {
+namespace {
+
+// ---- generic properties over every built-in -----------------------------
+
+class AllProblems : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { problem_ = make_problem(GetParam()); }
+  std::unique_ptr<Problem> problem_;
+};
+
+TEST_P(AllProblems, DomainIsNonEmpty) {
+  EXPECT_LT(problem_->lower_bound(), problem_->upper_bound());
+}
+
+TEST_P(AllProblems, NameMatchesRegistryKey) {
+  EXPECT_EQ(problem_->name(), GetParam());
+}
+
+TEST_P(AllProblems, CostIsPositive) {
+  const EvalCost cost = problem_->cost();
+  EXPECT_GT(cost.flops(10), 0.0);
+  EXPECT_GE(cost.transcendentals(10), 0.0);
+  EXPECT_GT(cost.vector_passes, 0.0);
+}
+
+TEST_P(AllProblems, Float32AndFloat64PathsAgree) {
+  const int d = 8;
+  std::vector<double> x64(d);
+  std::vector<float> x32(d);
+  for (int i = 0; i < d; ++i) {
+    x64[i] = problem_->lower_bound() +
+             (problem_->upper_bound() - problem_->lower_bound()) *
+                 (0.1 + 0.08 * i);
+    x32[i] = static_cast<float>(x64[i]);
+  }
+  const double f64 = problem_->eval_f64(x64.data(), d);
+  const double f32 = problem_->eval_f32(x32.data(), d);
+  const double scale = std::max({1.0, std::abs(f64), std::abs(f32)});
+  EXPECT_NEAR(f32 / scale, f64 / scale, 1e-4);
+}
+
+TEST_P(AllProblems, ValueAboveOptimumInsideDomain) {
+  if (!problem_->has_known_optimum()) {
+    GTEST_SKIP();
+  }
+  const int d = 6;
+  std::vector<float> x(d);
+  for (int i = 0; i < d; ++i) {
+    x[i] = static_cast<float>(problem_->lower_bound() * 0.3 +
+                              i * 0.11 * problem_->upper_bound() / d);
+  }
+  EXPECT_GE(problem_->eval_f32(x.data(), d) + 1e-6,
+            problem_->optimum_value(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Builtins, AllProblems,
+                         ::testing::ValuesIn(builtin_problem_names()));
+
+// ---- specific known values ------------------------------------------------
+
+TEST(Sphere, ValueAtOriginAndKnownPoint) {
+  Sphere sphere;
+  std::vector<double> zero(5, 0.0);
+  EXPECT_DOUBLE_EQ(sphere.eval_f64(zero.data(), 5), 0.0);
+  std::vector<double> x = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(sphere.eval_f64(x.data(), 2), 5.0);
+}
+
+TEST(Griewank, OptimumAtOrigin) {
+  Griewank griewank;
+  std::vector<double> zero(10, 0.0);
+  EXPECT_NEAR(griewank.eval_f64(zero.data(), 10), 0.0, 1e-12);
+}
+
+TEST(Griewank, KnownNonTrivialValue) {
+  Griewank griewank;
+  std::vector<double> x = {100.0};
+  // 100^2/4000 - cos(100) + 1
+  EXPECT_NEAR(griewank.eval_f64(x.data(), 1),
+              2.5 - std::cos(100.0) + 1.0, 1e-9);
+}
+
+TEST(Easom, OptimumAtPiForEvenDims) {
+  Easom easom;
+  std::vector<double> pi(4, std::numbers::pi);
+  EXPECT_NEAR(easom.eval_f64(pi.data(), 4), -1.0, 1e-9);
+  // Low dimensions use the classic optimum; beyond d=2 the paper's
+  // plateau convention applies (see functions.h).
+  EXPECT_DOUBLE_EQ(easom.optimum_value(2), -1.0);
+  EXPECT_DOUBLE_EQ(easom.optimum_value(1), 0.0);
+  EXPECT_DOUBLE_EQ(easom.optimum_value(4), 0.0);
+  EXPECT_DOUBLE_EQ(easom.optimum_value(200), 0.0);
+}
+
+TEST(Easom, FlatAlmostEverywhere) {
+  // The generalized Easom underflows to ~0 away from pi — the landscape
+  // behind the scikit-opt early-stop reproduction.
+  Easom easom;
+  std::vector<double> x(50, 0.0);
+  EXPECT_NEAR(easom.eval_f64(x.data(), 50), 0.0, 1e-30);
+}
+
+TEST(Rastrigin, OptimumAndRippleValue) {
+  Rastrigin rastrigin;
+  std::vector<double> zero(3, 0.0);
+  EXPECT_NEAR(rastrigin.eval_f64(zero.data(), 3), 0.0, 1e-12);
+  std::vector<double> x = {0.5};
+  // 10 + 0.25 - 10 cos(pi) = 10 + 0.25 + 10
+  EXPECT_NEAR(rastrigin.eval_f64(x.data(), 1), 20.25, 1e-9);
+}
+
+TEST(Rosenbrock, OptimumAtOnes) {
+  Rosenbrock rosenbrock;
+  std::vector<double> ones(6, 1.0);
+  EXPECT_DOUBLE_EQ(rosenbrock.eval_f64(ones.data(), 6), 0.0);
+  std::vector<double> x = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(rosenbrock.eval_f64(x.data(), 2), 1.0);
+}
+
+TEST(Ackley, OptimumAtOrigin) {
+  Ackley ackley;
+  std::vector<double> zero(8, 0.0);
+  EXPECT_NEAR(ackley.eval_f64(zero.data(), 8), 0.0, 1e-9);
+}
+
+TEST(Schwefel, NearZeroAtKnownOptimum) {
+  Schwefel schwefel;
+  std::vector<double> x(4, 420.9687);
+  EXPECT_NEAR(schwefel.eval_f64(x.data(), 4), 0.0, 1e-3);
+}
+
+TEST(Zakharov, OptimumAndSimpleValue) {
+  Zakharov zakharov;
+  std::vector<double> zero(5, 0.0);
+  EXPECT_DOUBLE_EQ(zakharov.eval_f64(zero.data(), 5), 0.0);
+  std::vector<double> x = {1.0};
+  // 1 + 0.5^2 + 0.5^4
+  EXPECT_DOUBLE_EQ(zakharov.eval_f64(x.data(), 1), 1.3125);
+}
+
+TEST(Levy, OptimumAtOnes) {
+  Levy levy;
+  std::vector<double> ones(7, 1.0);
+  EXPECT_NEAR(levy.eval_f64(ones.data(), 7), 0.0, 1e-12);
+}
+
+TEST(StyblinskiTang, OptimumScalesWithDimension) {
+  StyblinskiTang st;
+  std::vector<double> x(3, -2.903534);
+  EXPECT_NEAR(st.eval_f64(x.data(), 3), st.optimum_value(3), 1e-6);
+}
+
+// ---- registry -----------------------------------------------------------------
+
+TEST(Registry, AllNamesConstruct) {
+  for (const auto& name : builtin_problem_names()) {
+    EXPECT_NO_THROW(make_problem(name)) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_problem("nope"), fastpso::CheckError);
+}
+
+TEST(Registry, PaperProblemsListed) {
+  const auto names = paper_problem_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[3], "threadconf");
+}
+
+TEST(Registry, SpanEvaluationConvenience) {
+  auto sphere = make_problem("sphere");
+  std::vector<float> x = {3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(sphere->evaluate(std::span<const float>(x)), 25.0);
+}
+
+}  // namespace
+}  // namespace fastpso::problems

@@ -1,0 +1,275 @@
+// Property-based tests: invariants that must hold for arbitrary
+// configurations, exercised over parameterized grids and seeded random
+// inputs (deterministic — every case fixes its seed).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/best_update.h"
+#include "core/init.h"
+#include "core/launch_policy.h"
+#include "core/optimizer.h"
+#include "core/swarm_state.h"
+#include "core/swarm_update.h"
+#include "problems/problem.h"
+#include "rng/xoshiro.h"
+#include "vgpu/device.h"
+#include "vgpu/memory_pool.h"
+#include "vgpu/wmma.h"
+
+namespace fastpso {
+namespace {
+
+// ---- PSO invariants over random swarm shapes ---------------------------------
+
+struct SwarmShape {
+  int n;
+  int d;
+  std::uint64_t seed;
+};
+
+class SwarmInvariants : public ::testing::TestWithParam<SwarmShape> {};
+
+TEST_P(SwarmInvariants, PbestIsRunningMinimumOfPerror) {
+  const auto [n, d, seed] = GetParam();
+  vgpu::Device device;
+  core::LaunchPolicy policy(device.spec());
+  core::SwarmState state(device, n, d);
+  core::initialize_swarm(device, policy, state, seed, -1.0f, 1.0f, 0.5f);
+
+  rng::Xoshiro256 rng(seed);
+  std::vector<float> running_min(n, std::numeric_limits<float>::infinity());
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < n; ++i) {
+      state.perror[i] = rng.next_unit_float() * 50.0f;
+      running_min[i] = std::min(running_min[i], state.perror[i]);
+    }
+    core::update_pbest(device, policy, state);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(state.pbest_err[i], running_min[i]) << "particle " << i;
+    }
+  }
+}
+
+TEST_P(SwarmInvariants, GbestEqualsMinimumOfPbest) {
+  const auto [n, d, seed] = GetParam();
+  vgpu::Device device;
+  core::LaunchPolicy policy(device.spec());
+  core::SwarmState state(device, n, d);
+  core::initialize_swarm(device, policy, state, seed, -1.0f, 1.0f, 0.5f);
+  rng::Xoshiro256 rng(seed + 1);
+  for (int i = 0; i < n; ++i) {
+    state.perror[i] = rng.next_unit_float() * 10.0f;
+  }
+  core::update_pbest(device, policy, state);
+  const float gbest = core::update_gbest(device, state);
+  const float expected =
+      *std::min_element(state.pbest_err.data(), state.pbest_err.data() + n);
+  EXPECT_EQ(gbest, expected);
+}
+
+TEST_P(SwarmInvariants, PositionEqualsOldPlusNewVelocity) {
+  const auto [n, d, seed] = GetParam();
+  vgpu::Device device;
+  core::LaunchPolicy policy(device.spec());
+  core::SwarmState state(device, n, d);
+  core::initialize_swarm(device, policy, state, seed, -2.0f, 2.0f, 1.0f);
+  for (int j = 0; j < d; ++j) {
+    state.gbest_pos[j] = 0.0f;
+  }
+  std::vector<float> old_pos(state.positions.data(),
+                             state.positions.data() + state.elements());
+  vgpu::DeviceArray<float> l_mat(device, state.elements());
+  vgpu::DeviceArray<float> g_mat(device, state.elements());
+  core::generate_weights(device, policy, state.elements(), seed, 0, l_mat,
+                         g_mat);
+  core::PsoParams params;
+  const auto coeff = core::make_coefficients(params, -2.0, 2.0);
+  core::swarm_update(device, policy, state, l_mat, g_mat, coeff,
+                     core::UpdateTechnique::kGlobalMemory);
+  for (std::int64_t i = 0; i < state.elements(); ++i) {
+    ASSERT_EQ(state.positions[i], old_pos[i] + state.velocities[i]) << i;
+  }
+}
+
+TEST_P(SwarmInvariants, ZeroCoefficientsFreezeTheSwarm) {
+  const auto [n, d, seed] = GetParam();
+  vgpu::Device device;
+  core::LaunchPolicy policy(device.spec());
+  core::SwarmState state(device, n, d);
+  core::initialize_swarm(device, policy, state, seed, -2.0f, 2.0f, 1.0f);
+  for (int j = 0; j < d; ++j) {
+    state.gbest_pos[j] = 0.0f;
+  }
+  std::vector<float> old_pos(state.positions.data(),
+                             state.positions.data() + state.elements());
+  vgpu::DeviceArray<float> l_mat(device, state.elements());
+  vgpu::DeviceArray<float> g_mat(device, state.elements());
+  core::generate_weights(device, policy, state.elements(), seed, 0, l_mat,
+                         g_mat);
+  core::PsoParams params;
+  params.omega = 0.0f;
+  params.c1 = 0.0f;
+  params.c2 = 0.0f;
+  const auto coeff = core::make_coefficients(params, -2.0, 2.0);
+  core::swarm_update(device, policy, state, l_mat, g_mat, coeff,
+                     core::UpdateTechnique::kGlobalMemory);
+  for (std::int64_t i = 0; i < state.elements(); ++i) {
+    ASSERT_EQ(state.velocities[i], 0.0f);
+    ASSERT_EQ(state.positions[i], old_pos[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SwarmInvariants,
+    ::testing::Values(SwarmShape{1, 1, 1}, SwarmShape{7, 3, 2},
+                      SwarmShape{16, 16, 3}, SwarmShape{33, 7, 4},
+                      SwarmShape{100, 50, 5}, SwarmShape{257, 2, 6}));
+
+// ---- launch policy over a random grid --------------------------------------------
+
+TEST(PolicyProperty, ThreadsTimesWorkloadCoversElements) {
+  rng::Xoshiro256 rng(77);
+  core::LaunchPolicy policy(vgpu::tesla_v100());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t elements =
+        1 + static_cast<std::int64_t>(rng.next() % 50'000'000);
+    const auto decision = policy.for_elements(elements);
+    const std::int64_t threads = decision.config.total_threads();
+    ASSERT_GE(threads * decision.thread_workload, elements);
+    // Minimality: one fewer unit of workload would not cover.
+    ASSERT_LT(threads * (decision.thread_workload - 1), elements);
+    ASSERT_LE(threads, policy.thread_cap() + 255);  // block rounding slack
+  }
+}
+
+// ---- memory pool under random alloc/free traffic -----------------------------------
+
+TEST(PoolProperty, AccountingExactUnderRandomOps) {
+  vgpu::Device device;
+  vgpu::MemoryPool& pool = device.pool();
+  rng::Xoshiro256 rng(123);
+  std::map<void*, std::size_t> live;
+  std::size_t live_bytes = 0;
+  const std::size_t sizes[] = {64, 256, 1024, 4096};
+  for (int op = 0; op < 2000; ++op) {
+    const bool do_alloc = live.empty() || rng.next_unit() < 0.55;
+    if (do_alloc) {
+      const std::size_t bytes = sizes[rng.next() % 4];
+      void* p = pool.alloc(bytes);
+      ASSERT_TRUE(live.emplace(p, bytes).second)
+          << "pool returned a live pointer";
+      live_bytes += bytes;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.next() % live.size());
+      live_bytes -= it->second;
+      pool.free(it->first);
+      live.erase(it);
+    }
+    ASSERT_EQ(pool.outstanding(), live.size());
+    // Device memory >= live bytes (cached blocks keep it higher).
+    ASSERT_GE(device.bytes_in_use(), live_bytes);
+  }
+  for (auto& [p, bytes] : live) {
+    (void)bytes;
+    pool.free(p);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+// ---- wmma tiles over random geometry ---------------------------------------------
+
+TEST(WmmaProperty, LoadStoreRoundTripsForAnySubTile) {
+  namespace wm = vgpu::wmma;
+  rng::Xoshiro256 rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int rows = 1 + static_cast<int>(rng.next() % wm::kFragDim);
+    const int cols = 1 + static_cast<int>(rng.next() % wm::kFragDim);
+    const int ld = cols + static_cast<int>(rng.next() % 48);
+    std::vector<float> src(static_cast<std::size_t>(rows) * ld);
+    for (auto& v : src) {
+      v = rng.next_unit_float();
+    }
+    wm::Fragment<float> frag;
+    wm::load_matrix_sync(frag, src.data(), ld, rows, cols);
+    std::vector<float> dst(src.size(), -7.0f);
+    wm::store_matrix_sync(dst.data(), frag, ld, rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        ASSERT_EQ(dst[r * ld + c], src[r * ld + c]);
+      }
+      for (int c = cols; c < ld; ++c) {
+        ASSERT_EQ(dst[r * ld + c], -7.0f);  // outside the tile untouched
+      }
+    }
+  }
+}
+
+// ---- optimizer-level properties ---------------------------------------------------
+
+TEST(OptimizerProperty, MoreIterationsNeverWorsenGbest) {
+  const auto problem = problems::make_problem("griewank");
+  const core::Objective objective =
+      core::objective_from_problem(*problem, 10);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int iters : {10, 40, 160}) {
+    vgpu::Device device;
+    core::PsoParams params;
+    params.particles = 100;
+    params.dim = 10;
+    params.max_iter = iters;
+    params.seed = 5;
+    params.adaptive_velocity_bound = false;  // same trajectory prefix
+    core::Optimizer optimizer(device, params);
+    const double gbest = optimizer.optimize(objective).gbest_value;
+    EXPECT_LE(gbest, prev + 1e-12) << iters;
+    prev = gbest;
+  }
+}
+
+TEST(OptimizerProperty, MorePartic1esNeverHurtTheFirstIteration) {
+  // With a shared seed layout the first-iteration best over a superset of
+  // particle draws can only be at least as good.
+  const auto problem = problems::make_problem("sphere");
+  const core::Objective objective =
+      core::objective_from_problem(*problem, 8);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int n : {50, 100, 200}) {
+    vgpu::Device device;
+    core::PsoParams params;
+    params.particles = n;
+    params.dim = 8;
+    params.max_iter = 1;
+    params.seed = 31;
+    core::Optimizer optimizer(device, params);
+    const double gbest = optimizer.optimize(objective).gbest_value;
+    EXPECT_LE(gbest, prev + 1e-12) << n;
+    prev = gbest;
+  }
+}
+
+TEST(OptimizerProperty, ModeledTimeMonotoneInProblemSize) {
+  const auto problem = problems::make_problem("sphere");
+  double prev = 0;
+  for (int scale : {1, 2, 4}) {
+    vgpu::Device device;
+    core::PsoParams params;
+    params.particles = 500 * scale;
+    params.dim = 50;
+    params.max_iter = 5;
+    core::Optimizer optimizer(device, params);
+    const double modeled =
+        optimizer.optimize(core::objective_from_problem(*problem, 50))
+            .modeled_seconds;
+    EXPECT_GT(modeled, prev);
+    prev = modeled;
+  }
+}
+
+}  // namespace
+}  // namespace fastpso

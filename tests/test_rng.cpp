@@ -1,0 +1,268 @@
+// Unit + statistical tests for src/rng: Philox4x32-10, SplitMix64,
+// xoshiro256**. Statistical tests use fixed seeds and generous tolerances so
+// they are deterministic.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/philox.h"
+#include "rng/splitmix.h"
+#include "rng/xoshiro.h"
+
+namespace fastpso::rng {
+namespace {
+
+// ---- Philox core -----------------------------------------------------
+
+TEST(Philox, DeterministicForSameInputs) {
+  const PhiloxBlock a = philox4x32({1, 2, 3, 4}, {5, 6});
+  const PhiloxBlock b = philox4x32({1, 2, 3, 4}, {5, 6});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Philox, CounterChangesOutput) {
+  const PhiloxBlock a = philox4x32({0, 0, 0, 0}, {0, 0});
+  const PhiloxBlock b = philox4x32({1, 0, 0, 0}, {0, 0});
+  EXPECT_NE(a, b);
+}
+
+TEST(Philox, KeyChangesOutput) {
+  const PhiloxBlock a = philox4x32({0, 0, 0, 0}, {0, 0});
+  const PhiloxBlock b = philox4x32({0, 0, 0, 0}, {1, 0});
+  EXPECT_NE(a, b);
+}
+
+TEST(Philox, AvalancheSingleCounterBitFlipsManyOutputBits) {
+  const PhiloxBlock a = philox4x32({42, 0, 0, 0}, {7, 9});
+  const PhiloxBlock b = philox4x32({43, 0, 0, 0}, {7, 9});
+  int flipped = 0;
+  for (int lane = 0; lane < 4; ++lane) {
+    flipped += std::popcount(a[lane] ^ b[lane]);
+  }
+  // 128 output bits; a good PRF flips ~64. Accept a generous band.
+  EXPECT_GT(flipped, 40);
+  EXPECT_LT(flipped, 90);
+}
+
+// ---- PhiloxStream -------------------------------------------------------
+
+TEST(PhiloxStream, RandomAccessIsConsistent) {
+  const PhiloxStream stream(123, 5);
+  const float at7 = stream.uniform_at(7);
+  // Re-reading any index gives the same value, regardless of order.
+  EXPECT_EQ(stream.uniform_at(9), stream.uniform_at(9));
+  EXPECT_EQ(stream.uniform_at(7), at7);
+}
+
+TEST(PhiloxStream, StreamsAreIndependent) {
+  const PhiloxStream s0(123, 0);
+  const PhiloxStream s1(123, 1);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    equal += s0.uint_at(i) == s1.uint_at(i) ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);  // collisions essentially impossible
+}
+
+TEST(PhiloxStream, SeedsAreIndependent) {
+  const PhiloxStream s0(1, 0);
+  const PhiloxStream s1(2, 0);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    equal += s0.uint_at(i) == s1.uint_at(i) ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(PhiloxStream, UniformInUnitInterval) {
+  const PhiloxStream stream(99, 0);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const float u = stream.uniform_at(i);
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+}
+
+TEST(PhiloxStream, UniformRangeRespectsBounds) {
+  const PhiloxStream stream(99, 0);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const float u = stream.uniform_at(i, -5.12f, 5.12f);
+    EXPECT_GE(u, -5.12f);
+    EXPECT_LE(u, 5.12f);
+  }
+}
+
+TEST(PhiloxStream, MeanAndVarianceMatchUniform) {
+  const PhiloxStream stream(7, 3);
+  const int n = 200000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = stream.uniform_at(i);
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(PhiloxStream, ChiSquareUniformityOver64Bins) {
+  const PhiloxStream stream(2024, 0);
+  constexpr int kBins = 64;
+  constexpr int kSamples = 64000;
+  std::vector<int> counts(kBins, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<int>(stream.uniform_at(i) * kBins)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBins;
+  double chi2 = 0;
+  for (int count : counts) {
+    const double delta = count - expected;
+    chi2 += delta * delta / expected;
+  }
+  // 63 dof: mean 63, std ~11.2; 5-sigma band keeps this deterministic-safe.
+  EXPECT_LT(chi2, 63 + 5 * 11.3);
+}
+
+TEST(PhiloxStream, Uniform4MatchesScalarPath) {
+  const PhiloxStream stream(55, 9);
+  for (std::uint64_t block = 0; block < 64; ++block) {
+    const auto lanes = stream.uniform4_at(block);
+    for (int lane = 0; lane < 4; ++lane) {
+      EXPECT_EQ(lanes[lane], stream.uniform_at(block * 4 + lane));
+    }
+  }
+}
+
+TEST(PhiloxStream, UniformPairMatchesScalarPath) {
+  const PhiloxStream stream(55, 9);
+  for (std::uint64_t pair = 0; pair < 64; ++pair) {
+    const auto r = stream.uniform_pair_at(pair);
+    EXPECT_EQ(r[0], stream.uniform_at(2 * pair));
+    EXPECT_EQ(r[1], stream.uniform_at(2 * pair + 1));
+  }
+}
+
+TEST(PhiloxStream, DoubleHas53BitResolution) {
+  const PhiloxStream stream(3, 0);
+  std::set<double> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = stream.uniform_double_at(i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    seen.insert(u);
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions at double resolution
+}
+
+TEST(PhiloxStream, NormalMomentsRoughlyStandard) {
+  const PhiloxStream stream(17, 0);
+  const int n = 100000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double z = stream.normal_at(i);
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+// ---- SplitMix64 ----------------------------------------------------------
+
+TEST(SplitMix, KnownFirstOutputsForSeedZero) {
+  // Reference values from the canonical splitmix64 implementation
+  // (Vigna / Steele et al.).
+  SplitMix64 gen(0);
+  EXPECT_EQ(gen.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(gen.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(gen.next(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix, StatelessMixMatchesSequence) {
+  SplitMix64 gen(42);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.next(), SplitMix64::mix(42, i));
+  }
+}
+
+TEST(SplitMix, UnitIntervalOutputs) {
+  SplitMix64 gen(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = gen.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+// ---- xoshiro256** -----------------------------------------------------------
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(2024);
+  Xoshiro256 b(2024);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, UnitIntervalAndMean) {
+  Xoshiro256 gen(7);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = gen.next_unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, FloatPathInUnitInterval) {
+  Xoshiro256 gen(8);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = gen.next_unit_float();
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+  }
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256 a(77);
+  Xoshiro256 b(77);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256 gen(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = gen.next_uniform(-600.0, 600.0);
+    EXPECT_GE(u, -600.0);
+    EXPECT_LT(u, 600.0);
+  }
+}
+
+}  // namespace
+}  // namespace fastpso::rng

@@ -1,0 +1,154 @@
+// Tests for the virtual device's stream timelines and the overlapped
+// FastPSO pipeline built on them.
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "problems/problem.h"
+#include "vgpu/device.h"
+
+namespace fastpso::vgpu {
+namespace {
+
+KernelCostSpec memory_cost(double bytes) {
+  KernelCostSpec cost;
+  cost.dram_read_bytes = bytes;
+  return cost;
+}
+
+LaunchConfig big_launch() {
+  LaunchConfig cfg;
+  cfg.grid = 4096;
+  cfg.block = 256;
+  return cfg;
+}
+
+TEST(Streams, SingleStreamMatchesSerialSum) {
+  Device device;
+  for (int k = 0; k < 5; ++k) {
+    device.launch(big_launch(), memory_cost(1e8), [](const ThreadCtx&) {});
+  }
+  EXPECT_NEAR(device.modeled_seconds(), device.counters().modeled_seconds,
+              1e-15);
+}
+
+TEST(Streams, TwoStreamsOverlapKernels) {
+  Device device;
+  const auto s1 = device.create_stream();
+  // Two equal kernels on different streams: elapsed = one kernel, work = 2.
+  device.launch(big_launch(), memory_cost(1e8), [](const ThreadCtx&) {});
+  device.set_stream(s1);
+  device.launch(big_launch(), memory_cost(1e8), [](const ThreadCtx&) {});
+  device.set_stream(0);
+  EXPECT_NEAR(device.modeled_seconds(),
+              device.counters().modeled_seconds / 2.0,
+              0.01 * device.modeled_seconds());
+}
+
+TEST(Streams, SyncAlignsClocks) {
+  Device device;
+  const auto s1 = device.create_stream();
+  device.launch(big_launch(), memory_cost(2e8), [](const ThreadCtx&) {});
+  const double after_first = device.modeled_seconds();
+  device.sync_streams();
+  // Work issued on the other stream now starts after the sync point.
+  device.set_stream(s1);
+  device.launch(big_launch(), memory_cost(1e8), [](const ThreadCtx&) {});
+  EXPECT_GT(device.modeled_seconds(), after_first);
+}
+
+TEST(Streams, TransfersAreDeviceWide) {
+  Device device;
+  const auto s1 = device.create_stream();
+  device.set_stream(s1);
+  device.launch(big_launch(), memory_cost(1e8), [](const ThreadCtx&) {});
+  device.set_stream(0);
+  // A transfer synchronizes: it starts after the other stream's kernel.
+  auto* mem = static_cast<float*>(device.raw_alloc(1024));
+  float host[4] = {};
+  const double before = device.modeled_seconds();
+  device.memcpy_h2d(mem, host, sizeof(host));
+  EXPECT_GT(device.modeled_seconds(), before);
+  // Afterwards both streams share the same clock: more stream-0 work does
+  // not hide behind the stream-1 kernel anymore.
+  const double aligned = device.modeled_seconds();
+  device.launch(big_launch(), memory_cost(1e8), [](const ThreadCtx&) {});
+  EXPECT_GT(device.modeled_seconds(), aligned);
+  device.raw_free(mem);
+}
+
+TEST(Streams, UnknownStreamRejected) {
+  Device device;
+  EXPECT_THROW(device.set_stream(3), fastpso::CheckError);
+  EXPECT_THROW(device.set_stream(-1), fastpso::CheckError);
+}
+
+TEST(Streams, ResetClearsClocks) {
+  Device device;
+  device.create_stream();
+  device.launch(big_launch(), memory_cost(1e8), [](const ThreadCtx&) {});
+  device.reset_counters();
+  EXPECT_DOUBLE_EQ(device.modeled_seconds(), 0.0);
+  EXPECT_EQ(device.stream_count(), 2);  // streams survive the reset
+}
+
+// ---- overlapped FastPSO pipeline --------------------------------------------
+
+core::PsoParams overlap_params(bool overlap) {
+  core::PsoParams params;
+  params.particles = 1000;
+  params.dim = 50;
+  params.max_iter = 40;
+  params.overlap_init = overlap;
+  return params;
+}
+
+TEST(OverlapPipeline, BitIdenticalResults) {
+  const auto problem = problems::make_problem("griewank");
+  const core::Objective objective =
+      core::objective_from_problem(*problem, 50);
+  Device dev_plain;
+  core::Optimizer plain(dev_plain, overlap_params(false));
+  const core::Result rp = plain.optimize(objective);
+  Device dev_overlap;
+  core::Optimizer overlapped(dev_overlap, overlap_params(true));
+  const core::Result ro = overlapped.optimize(objective);
+  EXPECT_EQ(rp.gbest_value, ro.gbest_value);
+  EXPECT_EQ(rp.gbest_position, ro.gbest_position);
+}
+
+TEST(OverlapPipeline, HidesWeightGeneration) {
+  const auto problem = problems::make_problem("sphere");
+  const core::Objective objective =
+      core::objective_from_problem(*problem, 50);
+  Device dev_plain;
+  core::Optimizer plain(dev_plain, overlap_params(false));
+  const core::Result rp = plain.optimize(objective);
+  Device dev_overlap;
+  core::Optimizer overlapped(dev_overlap, overlap_params(true));
+  const core::Result ro = overlapped.optimize(objective);
+  // Elapsed modeled time drops; by at most the init bucket.
+  EXPECT_LT(ro.modeled_seconds, rp.modeled_seconds);
+  EXPECT_GT(ro.modeled_seconds,
+            rp.modeled_seconds - rp.modeled_breakdown.get("init"));
+}
+
+TEST(OverlapPipeline, WorkSecondsUnchanged) {
+  // Overlap moves work, it does not remove it: the per-phase totals stay
+  // comparable (the overlapped run allocates two buffers once instead of
+  // pool-cached pairs each iteration, so allow a small init delta).
+  const auto problem = problems::make_problem("sphere");
+  const core::Objective objective =
+      core::objective_from_problem(*problem, 50);
+  Device dev_plain;
+  core::Optimizer plain(dev_plain, overlap_params(false));
+  const core::Result rp = plain.optimize(objective);
+  Device dev_overlap;
+  core::Optimizer overlapped(dev_overlap, overlap_params(true));
+  const core::Result ro = overlapped.optimize(objective);
+  EXPECT_NEAR(ro.counters.modeled_seconds / rp.counters.modeled_seconds,
+              1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace fastpso::vgpu

@@ -1,0 +1,399 @@
+// Tests for the MiniGBM substrate: datasets, kernel-config cost model, the
+// real trainer and the ThreadConf problem.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.h"
+#include "tgbm/dataset.h"
+#include "tgbm/kernels.h"
+#include "tgbm/minigbm.h"
+#include "tgbm/threadconf.h"
+#include "vgpu/device.h"
+
+namespace fastpso::tgbm {
+namespace {
+
+// ---- datasets ------------------------------------------------------------
+
+TEST(Dataset, SpecsMatchPaperShapes) {
+  EXPECT_EQ(covtype_spec().rows, 580000);
+  EXPECT_EQ(covtype_spec().dims, 54);
+  EXPECT_EQ(susy_spec().rows, 5000000);
+  EXPECT_EQ(higgs_spec().dims, 28);
+  EXPECT_EQ(e2006_spec().dims, 150361);
+  EXPECT_EQ(table5_specs().size(), 4u);
+}
+
+TEST(Dataset, MaterializedScaleIsCapped) {
+  const DatasetSpec spec = higgs_spec();
+  EXPECT_LE(spec.actual_rows, 20000);
+  EXPECT_LE(spec.actual_dims, 128);
+  EXPECT_GT(spec.row_scale(), 1.0);
+}
+
+TEST(Dataset, GenerationIsDeterministic) {
+  const DatasetSpec spec = covtype_spec();
+  const Dataset a = generate_dataset(spec, 7);
+  const Dataset b = generate_dataset(spec, 7);
+  EXPECT_EQ(a.features(0, 0), b.features(0, 0));
+  EXPECT_EQ(a.targets[100], b.targets[100]);
+  const Dataset c = generate_dataset(spec, 8);
+  EXPECT_NE(a.targets[100], c.targets[100]);
+}
+
+TEST(Dataset, FeaturesInUnitIntervalTargetsFinite) {
+  const Dataset data = generate_dataset(covtype_spec(), 1);
+  for (int f = 0; f < data.spec.actual_dims; ++f) {
+    ASSERT_GE(data.features(0, f), 0.0f);
+    ASSERT_LT(data.features(0, f), 1.0f);
+  }
+  for (std::int64_t r = 0; r < 100; ++r) {
+    ASSERT_TRUE(std::isfinite(data.targets[r]));
+  }
+}
+
+// ---- kernel config model -----------------------------------------------------
+
+TEST(Kernels, TwentyFiveSitesWithPositiveWork) {
+  const auto sites = kernel_sites(higgs_spec(), GbmParams{});
+  EXPECT_EQ(sites.size(), static_cast<std::size_t>(kNumKernels));
+  for (const auto& site : sites) {
+    EXPECT_FALSE(site.name.empty());
+    EXPECT_GT(site.launches, 0.0);
+    EXPECT_GT(site.work_items, 0.0);
+  }
+}
+
+TEST(Kernels, ConfigDimsIsFifty) {
+  EXPECT_EQ(kConfigDims, 50);  // the paper's ThreadConf dimensionality
+}
+
+TEST(Kernels, DefaultConfigsAreValid) {
+  const ConfigSet configs = default_configs();
+  for (const auto& config : configs) {
+    EXPECT_EQ(config.block_size, 256);
+    EXPECT_EQ(config.items_per_thread, 1);
+  }
+}
+
+TEST(Kernels, PositionDecodingCoversRanges) {
+  std::vector<float> lo(kConfigDims, 0.0f);
+  std::vector<float> hi(kConfigDims, 0.999f);
+  const ConfigSet a = configs_from_position(std::span<const float>(lo));
+  const ConfigSet b = configs_from_position(std::span<const float>(hi));
+  EXPECT_EQ(a[0].block_size, 32);
+  EXPECT_EQ(a[0].items_per_thread, 1);
+  EXPECT_EQ(b[0].block_size, 1024);
+  EXPECT_EQ(b[0].items_per_thread, 16);
+}
+
+TEST(Kernels, OutOfRangePositionsClamped) {
+  std::vector<float> wild(kConfigDims);
+  for (int i = 0; i < kConfigDims; ++i) {
+    wild[i] = (i % 2 == 0) ? -100.0f : 100.0f;
+  }
+  const ConfigSet configs =
+      configs_from_position(std::span<const float>(wild));
+  for (const auto& config : configs) {
+    EXPECT_GE(config.block_size, 32);
+    EXPECT_LE(config.block_size, 1024);
+    EXPECT_GE(config.items_per_thread, 1);
+    EXPECT_LE(config.items_per_thread, 16);
+  }
+}
+
+TEST(Kernels, ShortPositionsWrapCyclically) {
+  std::vector<float> two = {0.0f, 0.0f};
+  const ConfigSet configs = configs_from_position(std::span<const float>(two));
+  for (const auto& config : configs) {
+    EXPECT_EQ(config.block_size, 32);
+    EXPECT_EQ(config.items_per_thread, 1);
+  }
+}
+
+TEST(Kernels, PlanDetectsSharedSpill) {
+  KernelSite site;
+  site.work_items = 1e6;
+  site.read_bytes_per_item = 64.0;
+  site.shared_bytes_per_item = 200.0;
+  const vgpu::GpuSpec gpu = vgpu::tesla_v100();
+  KernelConfig fits{.block_size = 128, .items_per_thread = 1};
+  KernelConfig spills{.block_size = 1024, .items_per_thread = 4};
+  EXPECT_FALSE(plan_launch(site, fits, gpu).shared_spill);
+  const LaunchPlan plan = plan_launch(site, spills, gpu);
+  EXPECT_TRUE(plan.shared_spill);
+  // Spill doubles the traffic.
+  EXPECT_GT(plan.cost.fetched_bytes(),
+            1.5 * plan_launch(site, fits, gpu).cost.fetched_bytes());
+}
+
+TEST(Kernels, BlockSizeClampedToDeviceLimit) {
+  KernelSite site;
+  site.work_items = 1000;
+  vgpu::GpuSpec gpu = vgpu::tesla_v100();
+  gpu.max_threads_per_block = 256;
+  const LaunchPlan plan =
+      plan_launch(site, KernelConfig{.block_size = 1024, .items_per_thread = 1},
+                  gpu);
+  EXPECT_LE(plan.config.block, 256);
+}
+
+TEST(Kernels, MoreItemsPerThreadMeansFewerThreads) {
+  KernelSite site;
+  site.work_items = 1e6;
+  const vgpu::GpuSpec gpu = vgpu::tesla_v100();
+  const auto one = plan_launch(
+      site, KernelConfig{.block_size = 256, .items_per_thread = 1}, gpu);
+  const auto eight = plan_launch(
+      site, KernelConfig{.block_size = 256, .items_per_thread = 8}, gpu);
+  EXPECT_GT(one.config.total_threads(), 6 * eight.config.total_threads());
+  // Fewer threads amortize the per-thread descriptor traffic.
+  EXPECT_LT(eight.cost.dram_read_bytes, one.cost.dram_read_bytes);
+}
+
+TEST(Kernels, ModeledTrainTimeIsPositiveAndConfigSensitive) {
+  const GbmParams params;
+  const vgpu::GpuSpec gpu = vgpu::tesla_v100();
+  const double base =
+      modeled_train_seconds(higgs_spec(), params, default_configs(), gpu);
+  EXPECT_GT(base, 0.0);
+  // A pathological config (tiny blocks, max items) must look worse.
+  ConfigSet bad;
+  bad.fill(KernelConfig{.block_size = 32, .items_per_thread = 16});
+  const double worse =
+      modeled_train_seconds(higgs_spec(), params, bad, gpu);
+  EXPECT_NE(base, worse);
+}
+
+TEST(Kernels, BiggerDatasetsCostMore) {
+  const GbmParams params;
+  const vgpu::GpuSpec gpu = vgpu::tesla_v100();
+  const double small =
+      modeled_train_seconds(covtype_spec(), params, default_configs(), gpu);
+  const double big =
+      modeled_train_seconds(higgs_spec(), params, default_configs(), gpu);
+  EXPECT_GT(big, small);
+}
+
+// ---- trainer -------------------------------------------------------------------
+
+TEST(MiniGbm, TrainingReducesRmse) {
+  GbmParams params;
+  params.trees = 8;
+  DatasetSpec spec = covtype_spec();
+  spec.actual_rows = 4000;  // keep the test fast
+  const Dataset data = generate_dataset(spec, 3);
+  vgpu::Device device;
+  const MiniGbm trainer(params);
+  const TrainResult result =
+      trainer.train(device, data, default_configs());
+  ASSERT_EQ(result.rmse_per_round.size(), 8u);
+  EXPECT_LT(result.final_rmse(), 0.8 * result.rmse_per_round.front());
+  // RMSE is monotone non-increasing under squared-loss boosting.
+  for (std::size_t i = 1; i < result.rmse_per_round.size(); ++i) {
+    EXPECT_LE(result.rmse_per_round[i], result.rmse_per_round[i - 1] + 1e-9);
+  }
+}
+
+TEST(MiniGbm, ModeledTimeMatchesAnalyticObjective) {
+  GbmParams params;
+  params.trees = 4;
+  DatasetSpec spec = covtype_spec();
+  spec.actual_rows = 2000;
+  const Dataset data = generate_dataset(spec, 3);
+  vgpu::Device device;
+  const MiniGbm trainer(params);
+  const TrainResult result = trainer.train(device, data, default_configs());
+  const double analytic = modeled_train_seconds(spec, params,
+                                                default_configs(),
+                                                device.spec());
+  EXPECT_NEAR(result.modeled_seconds / analytic, 1.0, 0.05);
+}
+
+TEST(MiniGbm, ConfigChangesModeledTimeNotResults) {
+  GbmParams params;
+  params.trees = 4;
+  DatasetSpec spec = covtype_spec();
+  spec.actual_rows = 2000;
+  const Dataset data = generate_dataset(spec, 3);
+  const MiniGbm trainer(params);
+  vgpu::Device dev_a;
+  const TrainResult a = trainer.train(dev_a, data, default_configs());
+  ConfigSet other;
+  other.fill(KernelConfig{.block_size = 64, .items_per_thread = 8});
+  vgpu::Device dev_b;
+  const TrainResult b = trainer.train(dev_b, data, other);
+  EXPECT_EQ(a.final_rmse(), b.final_rmse());  // math unchanged
+  EXPECT_NE(a.modeled_seconds, b.modeled_seconds);
+}
+
+TEST(MiniGbm, DeterministicTraining) {
+  GbmParams params;
+  params.trees = 3;
+  DatasetSpec spec = susy_spec();
+  spec.actual_rows = 2000;
+  const Dataset data = generate_dataset(spec, 5);
+  const MiniGbm trainer(params);
+  vgpu::Device dev_a;
+  vgpu::Device dev_b;
+  EXPECT_EQ(trainer.train(dev_a, data, default_configs()).final_rmse(),
+            trainer.train(dev_b, data, default_configs()).final_rmse());
+}
+
+TEST(MiniGbm, InvalidParamsThrow) {
+  GbmParams params;
+  params.trees = 0;
+  EXPECT_THROW(MiniGbm{params}, fastpso::CheckError);
+  params = GbmParams{};
+  params.bins = 1;
+  EXPECT_THROW(MiniGbm{params}, fastpso::CheckError);
+  params = GbmParams{};
+  params.depth = 0;
+  EXPECT_THROW(MiniGbm{params}, fastpso::CheckError);
+}
+
+// ---- ThreadConf problem ------------------------------------------------------------
+
+TEST(ThreadConf, EvaluatesPositiveMilliseconds) {
+  ThreadConfProblem problem;
+  std::vector<float> x(kConfigDims, 0.5f);
+  const double value = problem.eval_f32(x.data(), kConfigDims);
+  EXPECT_GT(value, 0.0);
+}
+
+TEST(ThreadConf, SensitiveToPosition) {
+  ThreadConfProblem problem;
+  std::vector<float> a(kConfigDims, 0.1f);
+  std::vector<float> b(kConfigDims, 0.9f);
+  EXPECT_NE(problem.eval_f32(a.data(), kConfigDims),
+            problem.eval_f32(b.data(), kConfigDims));
+}
+
+TEST(ThreadConf, WorksAtOtherDimensionalities) {
+  ThreadConfProblem problem;
+  std::vector<float> x(200, 0.4f);
+  EXPECT_GT(problem.eval_f32(x.data(), 200), 0.0);
+  std::vector<float> y(7, 0.4f);
+  EXPECT_GT(problem.eval_f32(y.data(), 7), 0.0);
+}
+
+TEST(ThreadConf, NoKnownOptimum) {
+  ThreadConfProblem problem;
+  EXPECT_FALSE(problem.has_known_optimum());
+  EXPECT_EQ(problem.name(), "threadconf");
+}
+
+TEST(ThreadConf, PsoTuningBeatsDefaults) {
+  // The Table 5 mechanism end-to-end at small scale: FastPSO finds configs
+  // whose modeled training time is at or below the defaults'.
+  ThreadConfProblem problem(higgs_spec());
+  core::PsoParams pso;
+  pso.particles = 128;
+  pso.dim = kConfigDims;
+  pso.max_iter = 40;
+  pso.seed = 42;
+  vgpu::Device device;
+  core::Optimizer optimizer(device, pso);
+  const core::Result result =
+      optimizer.optimize(core::objective_from_problem(problem, pso.dim));
+  const ConfigSet tuned = configs_from_position(
+      std::span<const float>(result.gbest_position));
+  const vgpu::GpuSpec gpu = vgpu::tesla_v100();
+  const double default_s = modeled_train_seconds(
+      higgs_spec(), problem.gbm_params(), default_configs(), gpu);
+  const double tuned_s = modeled_train_seconds(
+      higgs_spec(), problem.gbm_params(), tuned, gpu);
+  EXPECT_LE(tuned_s, default_s * 1.001);
+}
+
+
+// ---- sparse (CSR) path ---------------------------------------------------------
+
+namespace sparse_tests {
+
+TEST(SparseDataset, E2006IsSparse) {
+  const DatasetSpec spec = e2006_spec();
+  EXPECT_TRUE(spec.is_sparse());
+  EXPECT_LT(spec.density, 0.05);
+  EXPECT_GT(spec.actual_dims, 1000);  // CSR affords real dimensionality
+}
+
+TEST(SparseDataset, CsrStructureIsWellFormed) {
+  DatasetSpec spec = e2006_spec();
+  spec.actual_rows = 500;
+  const Dataset data = generate_dataset(spec, 11);
+  const auto& csr = data.sparse;
+  ASSERT_EQ(csr.rows(), 500);
+  EXPECT_EQ(csr.row_ptr.front(), 0);
+  EXPECT_EQ(csr.row_ptr.back(), csr.nnz());
+  for (std::int64_t r = 0; r < csr.rows(); ++r) {
+    ASSERT_LE(csr.row_ptr[r], csr.row_ptr[r + 1]);
+    // Columns sorted and unique within each row; values positive.
+    for (std::int64_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      ASSERT_GE(csr.col[k], 0);
+      ASSERT_LT(csr.col[k], spec.actual_dims);
+      ASSERT_GT(csr.val[k], 0.0f);
+      if (k > csr.row_ptr[r]) {
+        ASSERT_LT(csr.col[k - 1], csr.col[k]);
+      }
+    }
+  }
+  // Density lands in the right ballpark.
+  const double achieved =
+      csr.nnz_per_row() / static_cast<double>(spec.actual_dims);
+  EXPECT_NEAR(achieved, spec.density, 0.5 * spec.density);
+}
+
+TEST(SparseDataset, RandomAccessMatchesStorage) {
+  DatasetSpec spec = e2006_spec();
+  spec.actual_rows = 100;
+  const Dataset data = generate_dataset(spec, 3);
+  const auto& csr = data.sparse;
+  // Every stored nonzero is retrievable; a column just beside it that is
+  // not stored reads as zero.
+  for (std::int64_t k = csr.row_ptr[5]; k < csr.row_ptr[6]; ++k) {
+    EXPECT_EQ(csr.at(5, csr.col[k]), csr.val[k]);
+  }
+  EXPECT_EQ(data.feature(5, spec.actual_dims - 1),
+            csr.at(5, spec.actual_dims - 1));
+}
+
+TEST(SparseTrainer, ReducesRmseOnE2006Shape) {
+  GbmParams params;
+  params.trees = 6;
+  DatasetSpec spec = e2006_spec();
+  spec.actual_rows = 3000;
+  const Dataset data = generate_dataset(spec, 3);
+  vgpu::Device device;
+  const MiniGbm trainer(params);
+  const TrainResult result = trainer.train(device, data, default_configs());
+  ASSERT_EQ(result.rmse_per_round.size(), 6u);
+  EXPECT_LT(result.final_rmse(), 0.9 * result.rmse_per_round.front());
+  for (std::size_t i = 1; i < result.rmse_per_round.size(); ++i) {
+    EXPECT_LE(result.rmse_per_round[i], result.rmse_per_round[i - 1] + 1e-9);
+  }
+}
+
+TEST(SparseTrainer, DeterministicAndConfigInvariantResults) {
+  GbmParams params;
+  params.trees = 3;
+  DatasetSpec spec = e2006_spec();
+  spec.actual_rows = 1000;
+  const Dataset data = generate_dataset(spec, 5);
+  const MiniGbm trainer(params);
+  vgpu::Device dev_a;
+  vgpu::Device dev_b;
+  ConfigSet other;
+  other.fill(KernelConfig{.block_size = 128, .items_per_thread = 4});
+  const TrainResult a = trainer.train(dev_a, data, default_configs());
+  const TrainResult b = trainer.train(dev_b, data, other);
+  EXPECT_EQ(a.final_rmse(), b.final_rmse());
+  EXPECT_NE(a.modeled_seconds, b.modeled_seconds);
+}
+
+}  // namespace sparse_tests
+
+}  // namespace
+}  // namespace fastpso::tgbm

@@ -1,0 +1,175 @@
+// Tests for cooperative block execution (shared memory, barrier phases) and
+// the GPU-style parallel reductions built on it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "rng/xoshiro.h"
+#include "vgpu/block.h"
+#include "vgpu/device.h"
+#include "vgpu/reduce.h"
+
+namespace fastpso::vgpu {
+namespace {
+
+// ---- BlockCtx ------------------------------------------------------------
+
+TEST(BlockCtx, SharedArrayAllocatesWithinBudget) {
+  Device device(test_gpu_small());  // 4 KiB shared per block
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 32;
+  device.launch_blocks(cfg, KernelCostSpec{}, [&](BlockCtx& blk) {
+    auto a = blk.shared_array<float>(256);  // 1 KiB
+    auto b = blk.shared_array<double>(256); // 2 KiB
+    EXPECT_EQ(a.size(), 256u);
+    EXPECT_EQ(b.size(), 256u);
+    EXPECT_LE(blk.shared_bytes_used(), 4096u);
+  });
+}
+
+TEST(BlockCtx, SharedOverflowThrows) {
+  Device device(test_gpu_small());
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 32;
+  EXPECT_THROW(
+      device.launch_blocks(cfg, KernelCostSpec{},
+                           [&](BlockCtx& blk) {
+                             blk.shared_array<float>(2048);  // 8 KiB > 4 KiB
+                           }),
+      fastpso::CheckError);
+}
+
+TEST(BlockCtx, SharedMemoryVisibleAcrossPhases) {
+  Device device(test_gpu_small());
+  LaunchConfig cfg;
+  cfg.grid = 2;
+  cfg.block = 16;
+  device.launch_blocks(cfg, KernelCostSpec{}, [&](BlockCtx& blk) {
+    auto shared = blk.shared_array<int>(16);
+    blk.for_each_thread([&](const ThreadCtx& t) {
+      shared[t.thread_idx] = t.thread_idx * 10;
+    });
+    blk.sync();
+    blk.for_each_thread([&](const ThreadCtx& t) {
+      // Every thread sees every other thread's phase-1 writes.
+      const int other = (t.thread_idx + 1) % 16;
+      EXPECT_EQ(shared[other], other * 10);
+    });
+    EXPECT_EQ(blk.sync_count(), 1);
+  });
+}
+
+TEST(BlockCtx, EveryThreadRunsOncePerPhase) {
+  Device device(test_gpu_small());
+  LaunchConfig cfg;
+  cfg.grid = 3;
+  cfg.block = 8;
+  int total = 0;
+  device.launch_blocks(cfg, KernelCostSpec{}, [&](BlockCtx& blk) {
+    blk.for_each_thread([&](const ThreadCtx&) { ++total; });
+  });
+  EXPECT_EQ(total, 24);
+}
+
+TEST(BlockCtx, BlocksHaveDistinctSharedMemory) {
+  Device device(test_gpu_small());
+  LaunchConfig cfg;
+  cfg.grid = 4;
+  cfg.block = 4;
+  device.launch_blocks(cfg, KernelCostSpec{}, [&](BlockCtx& blk) {
+    auto shared = blk.shared_array<std::int64_t>(1);
+    shared[0] = blk.block_idx();
+    blk.for_each_thread([&](const ThreadCtx&) {
+      EXPECT_EQ(shared[0], blk.block_idx());
+    });
+  });
+}
+
+// ---- reductions -------------------------------------------------------------
+
+class ReduceSizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ReduceSizes, ArgminMatchesStd) {
+  const std::int64_t n = GetParam();
+  Device device;
+  std::vector<float> data(n);
+  rng::Xoshiro256 rng(1234 + n);
+  for (auto& x : data) {
+    x = rng.next_unit_float() * 100.0f - 50.0f;
+  }
+  const ArgMin result = reduce_argmin(device, data.data(), n);
+  const auto it = std::min_element(data.begin(), data.end());
+  EXPECT_EQ(result.value, *it);
+  EXPECT_EQ(result.index, it - data.begin());
+}
+
+TEST_P(ReduceSizes, SumMatchesAccumulate) {
+  const std::int64_t n = GetParam();
+  Device device;
+  std::vector<float> data(n);
+  rng::Xoshiro256 rng(99 + n);
+  for (auto& x : data) {
+    x = rng.next_unit_float();
+  }
+  const double expected =
+      std::accumulate(data.begin(), data.end(), 0.0,
+                      [](double acc, float v) { return acc + v; });
+  EXPECT_NEAR(reduce_sum(device, data.data(), n), expected,
+              1e-9 * std::max<double>(1.0, expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceSizes,
+                         ::testing::Values(1, 2, 7, 255, 256, 257, 1000,
+                                           4096, 5000, 100000));
+
+TEST(Reduce, ArgminTiesResolveToSmallestIndex) {
+  Device device;
+  std::vector<float> data(1000, 5.0f);
+  data[300] = 1.0f;
+  data[700] = 1.0f;
+  const ArgMin result = reduce_argmin(device, data.data(), 1000);
+  EXPECT_FLOAT_EQ(result.value, 1.0f);
+  EXPECT_EQ(result.index, 300);
+}
+
+TEST(Reduce, ArgminHandlesAllEqual) {
+  Device device;
+  std::vector<float> data(512, 3.5f);
+  const ArgMin result = reduce_argmin(device, data.data(), 512);
+  EXPECT_FLOAT_EQ(result.value, 3.5f);
+  EXPECT_EQ(result.index, 0);
+}
+
+TEST(Reduce, ArgminWithInfinities) {
+  Device device;
+  std::vector<float> data(100, std::numeric_limits<float>::infinity());
+  data[42] = 7.0f;
+  const ArgMin result = reduce_argmin(device, data.data(), 100);
+  EXPECT_FLOAT_EQ(result.value, 7.0f);
+  EXPECT_EQ(result.index, 42);
+}
+
+TEST(Reduce, MinReturnsValueOnly) {
+  Device device;
+  std::vector<float> data = {3.0f, -1.0f, 2.0f};
+  EXPECT_FLOAT_EQ(reduce_min(device, data.data(), 3), -1.0f);
+}
+
+TEST(Reduce, AccountsWorkOnDevice) {
+  Device device;
+  std::vector<float> data(10000, 1.0f);
+  device.reset_counters();
+  reduce_argmin(device, data.data(), 10000);
+  EXPECT_GE(device.counters().launches, 2u);  // partial + final pass
+  EXPECT_GT(device.counters().dram_read_useful, 10000.0 * sizeof(float) - 1);
+  EXPECT_GT(device.counters().barriers, 0u);
+}
+
+}  // namespace
+}  // namespace fastpso::vgpu

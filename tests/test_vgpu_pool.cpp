@@ -1,0 +1,146 @@
+// Unit tests for the caching MemoryPool (the paper's GPU memory caching,
+// Table 4).
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "vgpu/device.h"
+#include "vgpu/memory_pool.h"
+
+namespace fastpso::vgpu {
+namespace {
+
+TEST(MemoryPool, FirstAllocationIsAMiss) {
+  Device device;
+  MemoryPool& pool = device.pool();
+  void* p = pool.alloc(1024);
+  EXPECT_EQ(pool.cache_misses(), 1u);
+  EXPECT_EQ(pool.cache_hits(), 0u);
+  pool.free(p);
+}
+
+TEST(MemoryPool, SameSizeReallocationIsAHit) {
+  Device device;
+  MemoryPool& pool = device.pool();
+  void* p = pool.alloc(1024);
+  pool.free(p);
+  void* q = pool.alloc(1024);
+  EXPECT_EQ(pool.cache_hits(), 1u);
+  EXPECT_EQ(q, p);  // the exact block is reused
+  pool.free(q);
+}
+
+TEST(MemoryPool, DifferentSizeIsAMiss) {
+  Device device;
+  MemoryPool& pool = device.pool();
+  void* p = pool.alloc(1024);
+  pool.free(p);
+  void* q = pool.alloc(2048);
+  EXPECT_EQ(pool.cache_misses(), 2u);
+  pool.free(q);
+}
+
+TEST(MemoryPool, CachedBlocksStayOnDevice) {
+  Device device;
+  MemoryPool& pool = device.pool();
+  void* p = pool.alloc(4096);
+  pool.free(p);
+  // Cached, so device memory is still held.
+  EXPECT_EQ(device.bytes_in_use(), 4096u);
+  EXPECT_EQ(pool.cached_blocks(), 1u);
+  pool.release_cache();
+  EXPECT_EQ(device.bytes_in_use(), 0u);
+  EXPECT_EQ(pool.cached_blocks(), 0u);
+}
+
+TEST(MemoryPool, DisabledPoolPassesThrough) {
+  Device device;
+  MemoryPool& pool = device.pool();
+  pool.set_enabled(false);
+  void* p = pool.alloc(1024);
+  pool.free(p);
+  EXPECT_EQ(device.bytes_in_use(), 0u);  // freed straight back
+  void* q = pool.alloc(1024);
+  EXPECT_EQ(pool.cache_hits(), 0u);
+  EXPECT_EQ(pool.cache_misses(), 2u);
+  pool.free(q);
+}
+
+TEST(MemoryPool, DisablingReleasesCache) {
+  Device device;
+  MemoryPool& pool = device.pool();
+  void* p = pool.alloc(512);
+  pool.free(p);
+  EXPECT_EQ(pool.cached_blocks(), 1u);
+  pool.set_enabled(false);
+  EXPECT_EQ(pool.cached_blocks(), 0u);
+  EXPECT_EQ(device.bytes_in_use(), 0u);
+}
+
+TEST(MemoryPool, CachingIsCheaperThanRealloc) {
+  // The mechanism behind Table 4: repeated same-size allocations cost
+  // modeled device time without caching and nothing with it.
+  Device cached_dev;
+  cached_dev.pool().set_enabled(true);
+  for (int i = 0; i < 100; ++i) {
+    void* p = cached_dev.pool().alloc(1 << 20);
+    cached_dev.pool().free(p);
+  }
+  Device realloc_dev;
+  realloc_dev.pool().set_enabled(false);
+  for (int i = 0; i < 100; ++i) {
+    void* p = realloc_dev.pool().alloc(1 << 20);
+    realloc_dev.pool().free(p);
+  }
+  EXPECT_LT(cached_dev.modeled_seconds(), realloc_dev.modeled_seconds());
+  EXPECT_EQ(cached_dev.counters().allocs, 1u);
+  EXPECT_EQ(realloc_dev.counters().allocs, 100u);
+}
+
+TEST(MemoryPool, FreeOfUnknownPointerThrows) {
+  Device device;
+  int dummy = 0;
+  EXPECT_THROW(device.pool().free(&dummy), fastpso::CheckError);
+}
+
+TEST(MemoryPool, DoubleFreeThrows) {
+  Device device;
+  void* p = device.pool().alloc(64);
+  device.pool().free(p);
+  EXPECT_THROW(device.pool().free(p), fastpso::CheckError);
+}
+
+TEST(MemoryPool, OutstandingTracksLiveBlocks) {
+  Device device;
+  MemoryPool& pool = device.pool();
+  void* a = pool.alloc(128);
+  void* b = pool.alloc(128);
+  EXPECT_EQ(pool.outstanding(), 2u);
+  pool.free(a);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  pool.free(b);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(MemoryPool, ManyBlocksOfSameSizeCached) {
+  Device device;
+  MemoryPool& pool = device.pool();
+  void* a = pool.alloc(256);
+  void* b = pool.alloc(256);
+  pool.free(a);
+  pool.free(b);
+  EXPECT_EQ(pool.cached_blocks(), 2u);
+  void* c = pool.alloc(256);
+  void* e = pool.alloc(256);
+  EXPECT_EQ(pool.cache_hits(), 2u);
+  pool.free(c);
+  pool.free(e);
+}
+
+TEST(MemoryPool, ZeroByteAllocationRejected) {
+  Device device;
+  EXPECT_THROW(device.pool().alloc(0), fastpso::CheckError);
+}
+
+}  // namespace
+}  // namespace fastpso::vgpu

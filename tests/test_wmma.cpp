@@ -1,0 +1,158 @@
+// Tests for the tensor-core fragment API (vgpu/wmma.h).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vgpu/wmma.h"
+
+namespace fastpso::vgpu::wmma {
+namespace {
+
+TEST(Wmma, FillFragment) {
+  Fragment<float> frag;
+  fill_fragment(frag, 2.5f);
+  for (int i = 0; i < kFragSize; ++i) {
+    EXPECT_FLOAT_EQ(frag.x[i], 2.5f);
+  }
+}
+
+TEST(Wmma, LoadStoreRoundTrip) {
+  std::vector<float> src(kFragDim * kFragDim);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<float>(i);
+  }
+  Fragment<float> frag;
+  load_matrix_sync(frag, src.data(), kFragDim);
+  std::vector<float> dst(src.size(), -1.0f);
+  store_matrix_sync(dst.data(), frag, kFragDim);
+  EXPECT_EQ(src, dst);
+}
+
+TEST(Wmma, LoadWithLeadingDimension) {
+  // A 16x16 tile out of a 16x32 matrix.
+  constexpr int ld = 32;
+  std::vector<float> src(kFragDim * ld);
+  for (int r = 0; r < kFragDim; ++r) {
+    for (int c = 0; c < ld; ++c) {
+      src[r * ld + c] = static_cast<float>(r * 1000 + c);
+    }
+  }
+  Fragment<float> frag;
+  load_matrix_sync(frag, src.data() + 16, ld);  // right half
+  EXPECT_FLOAT_EQ(frag.at(0, 0), 16.0f);
+  EXPECT_FLOAT_EQ(frag.at(3, 5), 3021.0f);
+}
+
+TEST(Wmma, EdgeTileZeroFills) {
+  std::vector<float> src(kFragDim * kFragDim, 7.0f);
+  Fragment<float> frag;
+  load_matrix_sync(frag, src.data(), kFragDim, /*rows=*/3, /*cols=*/2);
+  EXPECT_FLOAT_EQ(frag.at(2, 1), 7.0f);
+  EXPECT_FLOAT_EQ(frag.at(3, 0), 0.0f);  // beyond rows
+  EXPECT_FLOAT_EQ(frag.at(0, 2), 0.0f);  // beyond cols
+}
+
+TEST(Wmma, PartialStoreLeavesRestUntouched) {
+  std::vector<float> dst(kFragDim * kFragDim, -1.0f);
+  Fragment<float> frag;
+  fill_fragment(frag, 9.0f);
+  store_matrix_sync(dst.data(), frag, kFragDim, /*rows=*/2, /*cols=*/2);
+  EXPECT_FLOAT_EQ(dst[0], 9.0f);
+  EXPECT_FLOAT_EQ(dst[1], 9.0f);
+  EXPECT_FLOAT_EQ(dst[2], -1.0f);
+  EXPECT_FLOAT_EQ(dst[kFragDim * 2], -1.0f);
+}
+
+TEST(Wmma, BroadcastLoadWithZeroLd) {
+  // ld = 0 repeats the same row — used for the Eg (gbest) broadcast tile.
+  std::vector<float> row(kFragDim);
+  for (int c = 0; c < kFragDim; ++c) {
+    row[c] = static_cast<float>(c * 2);
+  }
+  Fragment<float> frag;
+  load_matrix_sync(frag, row.data(), 0);
+  for (int r = 0; r < kFragDim; ++r) {
+    for (int c = 0; c < kFragDim; ++c) {
+      EXPECT_FLOAT_EQ(frag.at(r, c), row[c]);
+    }
+  }
+}
+
+TEST(Wmma, ElementwiseMmaComputesAMulBPlusC) {
+  Fragment<float> a;
+  Fragment<float> b;
+  Fragment<float> c;
+  Fragment<float> d;
+  for (int i = 0; i < kFragSize; ++i) {
+    a.x[i] = static_cast<float>(i);
+    b.x[i] = 2.0f;
+    c.x[i] = 1.0f;
+  }
+  mma_elementwise_sync(d, a, b, c);
+  for (int i = 0; i < kFragSize; ++i) {
+    EXPECT_FLOAT_EQ(d.x[i], 2.0f * i + 1.0f);
+  }
+}
+
+TEST(Wmma, ElementwiseMmaAccumulatesInPlace) {
+  Fragment<float> a;
+  Fragment<float> b;
+  Fragment<float> acc;
+  fill_fragment(a, 3.0f);
+  fill_fragment(b, 4.0f);
+  fill_fragment(acc, 0.0f);
+  mma_elementwise_sync(acc, a, b, acc);
+  mma_elementwise_sync(acc, a, b, acc);
+  for (int i = 0; i < kFragSize; ++i) {
+    EXPECT_FLOAT_EQ(acc.x[i], 24.0f);
+  }
+}
+
+TEST(Wmma, ScaleAdd) {
+  Fragment<float> a;
+  Fragment<float> b;
+  Fragment<float> d;
+  fill_fragment(a, 2.0f);
+  fill_fragment(b, 5.0f);
+  scale_add_sync(d, 0.5f, a, 2.0f, b);
+  for (int i = 0; i < kFragSize; ++i) {
+    EXPECT_FLOAT_EQ(d.x[i], 11.0f);
+  }
+}
+
+TEST(Wmma, TrueMatrixMultiplyMatchesNaive) {
+  Fragment<float> a;
+  Fragment<float> b;
+  Fragment<float> c;
+  Fragment<float> d;
+  fill_fragment(c, 0.0f);
+  for (int r = 0; r < kFragDim; ++r) {
+    for (int col = 0; col < kFragDim; ++col) {
+      a.at(r, col) = static_cast<float>((r + col) % 5);
+      b.at(r, col) = static_cast<float>((r * col) % 3);
+    }
+  }
+  mma_sync(d, a, b, c);
+  for (int r = 0; r < kFragDim; ++r) {
+    for (int col = 0; col < kFragDim; ++col) {
+      float expected = 0;
+      for (int k = 0; k < kFragDim; ++k) {
+        expected += a.at(r, k) * b.at(k, col);
+      }
+      EXPECT_FLOAT_EQ(d.at(r, col), expected);
+    }
+  }
+}
+
+TEST(Wmma, InvalidTileBoundsThrow) {
+  std::vector<float> buf(kFragDim * kFragDim);
+  Fragment<float> frag;
+  EXPECT_THROW(load_matrix_sync(frag, buf.data(), kFragDim, 17, 4),
+               fastpso::CheckError);
+  EXPECT_THROW(store_matrix_sync(buf.data(), frag, kFragDim, 4, -1),
+               fastpso::CheckError);
+}
+
+}  // namespace
+}  // namespace fastpso::vgpu::wmma
