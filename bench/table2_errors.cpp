@@ -11,6 +11,7 @@
 // bench finishes quickly; pass --particles/--dim/--iters for paper scale.
 //
 //   ./table2_errors [--particles 1000] [--dim 50] [--iters 600]
+//                   [--smoke]   (tiny fixed config for golden regression)
 
 #include "bench_common.h"
 
@@ -24,6 +25,11 @@ int main(int argc, char** argv) {
   opt.particles = static_cast<int>(args.get_int("particles", 1000));
   opt.dim = static_cast<int>(args.get_int("dim", 50));
   opt.iters = static_cast<int>(args.get_int("iters", 600));
+  if (opt.smoke) {
+    opt.particles = 100;
+    opt.dim = 10;
+    opt.iters = 60;
+  }
   opt.executed_iters = opt.iters;
 
   const std::vector<std::string> problems = {"sphere", "griewank", "easom"};

@@ -2,7 +2,7 @@
 // implementation on any problem with any engine option and get a
 // machine-readable result line plus the human-readable report.
 //
-//   ./pso_cli --impl fastpso --problem rastrigin --particles 2000 --dim 50 \
+//   ./pso_cli --impl fastpso --problem rastrigin --particles 2000 --dim 50
 //             --iters 500 [--technique shared-mem] [--topology ring]
 //             [--sync async] [--overlap] [--mixed-precision]
 //             [--no-velocity-clamp] [--target 1e-3] [--patience 100]

@@ -112,6 +112,8 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
                     0, 3.0 * static_cast<double>(elements) * sizeof(float)));
   }
 
+  std::vector<float> gbest_history;
+  gbest_history.reserve(static_cast<std::size_t>(params.max_iter));
   for (int iter = 0; iter < params.max_iter; ++iter) {
     // ---- Step (i) cont.: random-weight matrices L and G ----------------
     {
@@ -204,6 +206,7 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
       modeled.add("gbest",
                   cpu.region_seconds(1, static_cast<double>(n), 0,
                                      static_cast<double>(n) * sizeof(float)));
+      gbest_history.push_back(s.gbest);
     }
 
     // ---- Step (iv): swarm update ------------------------------------------
@@ -239,6 +242,7 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
   core::Result result;
   result.gbest_value = s.gbest;
   result.gbest_position = s.gbest_pos;
+  result.gbest_history = std::move(gbest_history);
   result.iterations = params.max_iter;
   result.wall_seconds = total_watch.elapsed_s();
   result.wall_breakdown = wall;

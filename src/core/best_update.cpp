@@ -1,8 +1,11 @@
 #include "core/best_update.h"
 
 #include "vgpu/reduce.h"
+#include "vgpu/san/tracked.h"
 
 namespace fastpso::core {
+
+namespace san = vgpu::san;
 
 PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
                         SwarmState& state) {
@@ -16,16 +19,28 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
     cost.flops = static_cast<double>(n);
     cost.dram_read_bytes = 2.0 * n * sizeof(float);
     cost.dram_write_bytes = n * (sizeof(float) + sizeof(std::uint8_t));
-    const float* perror = state.perror.data();
-    float* pbest_err = state.pbest_err.data();
-    std::uint8_t* improved = state.improved.data();
+    const auto perror = san::track(state.perror.data(),
+                                   static_cast<std::size_t>(n), "perror");
+    const auto pbest_err =
+        san::track(state.pbest_err.data(), static_cast<std::size_t>(n),
+                   "pbest_err");
+    const auto improved =
+        san::track(state.improved.data(), static_cast<std::size_t>(n),
+                   "improved");
+    san::expect_writes_exactly_once(pbest_err);
+    san::expect_writes_exactly_once(improved);
+    san::KernelScope scope("best_update/compare_flag");
     device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
       for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
-        const bool better = perror[i] < pbest_err[i];
+        san::count_flops(1.0);
+        const float pe = perror[i];
+        const float pb = pbest_err[i];
+        const bool better = pe < pb;
         improved[i] = better ? 1 : 0;
-        if (better) {
-          pbest_err[i] = perror[i];
-        }
+        // Unconditional select store: matches the declared write traffic
+        // (and the branchless store a real kernel would use to avoid
+        // divergence).
+        pbest_err[i] = better ? pe : pb;
       }
     });
   }
@@ -46,9 +61,14 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
         static_cast<double>(improved_count) * d * sizeof(float);
     cost.dram_write_bytes =
         static_cast<double>(improved_count) * d * sizeof(float);
-    const std::uint8_t* improved = state.improved.data();
-    const float* positions = state.positions.data();
-    float* pbest_pos = state.pbest_pos.data();
+    const auto improved =
+        san::track(state.improved.data(), static_cast<std::size_t>(n),
+                   "improved");
+    const auto positions =
+        san::track(state.positions.data(), state.elements(), "positions");
+    const auto pbest_pos =
+        san::track(state.pbest_pos.data(), state.elements(), "pbest_pos");
+    san::KernelScope scope("best_update/gather");
     device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
       for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
         if (improved[i]) {
@@ -70,14 +90,19 @@ float update_gbest(vgpu::Device& device, SwarmState& state) {
     state.gbest_err = best.value;
     // Copy the winner's best position into the global best vector.
     const int d = state.d;
-    const float* src = state.pbest_pos.data() + best.index * d;
-    float* dst = state.gbest_pos.data();
     vgpu::LaunchConfig cfg;
     cfg.grid = 1;
     cfg.block = std::min(d, device.spec().max_threads_per_block);
     vgpu::KernelCostSpec cost;
     cost.dram_read_bytes = static_cast<double>(d) * sizeof(float);
     cost.dram_write_bytes = static_cast<double>(d) * sizeof(float);
+    const auto src =
+        san::track(state.pbest_pos.data() + best.index * d,
+                   static_cast<std::size_t>(d), "gbest_src_row");
+    const auto dst = san::track(state.gbest_pos.data(),
+                                static_cast<std::size_t>(d), "gbest_pos");
+    san::expect_writes_exactly_once(dst);
+    san::KernelScope scope("best_update/gbest_copy");
     device.launch(cfg, cost, [&](const vgpu::ThreadCtx& t) {
       for (std::int64_t j = t.global_id(); j < d; j += t.grid_stride()) {
         dst[j] = src[j];

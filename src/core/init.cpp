@@ -5,9 +5,12 @@
 #include <limits>
 
 #include "rng/philox.h"
+#include "vgpu/san/tracked.h"
 
 namespace fastpso::core {
 namespace {
+
+namespace san = vgpu::san;
 
 /// Cost of one "fill with uniform randoms" launch over `elements` floats.
 vgpu::KernelCostSpec fill_cost(std::int64_t elements) {
@@ -27,6 +30,10 @@ void fill_uniform(vgpu::Device& device, const LaunchPolicy& policy,
   const std::int64_t blocks = (elements + 3) / 4;
   const LaunchDecision decision = policy.for_elements(blocks);
   const float span = hi - lo;
+  const auto tracked_out =
+      san::track(out, static_cast<std::size_t>(elements), "fill_out");
+  san::expect_writes_exactly_once(tracked_out);
+  san::KernelScope scope("init/fill_uniform");
   device.launch(decision.config, fill_cost(elements),
                 [&](const vgpu::ThreadCtx& t) {
                   for (std::int64_t b = t.global_id(); b < blocks;
@@ -37,8 +44,9 @@ void fill_uniform(vgpu::Device& device, const LaunchPolicy& policy,
                     const int count =
                         static_cast<int>(std::min<std::int64_t>(
                             4, elements - base));
+                    san::count_flops(kPhiloxFlopsPerValue * count);
                     for (int lane = 0; lane < count; ++lane) {
-                      out[base + lane] = lo + span * lanes[lane];
+                      tracked_out[base + lane] = lo + span * lanes[lane];
                     }
                   }
                 });
@@ -64,10 +72,19 @@ void initialize_swarm(vgpu::Device& device, const LaunchPolicy& policy,
       static_cast<double>(elements + 2 * state.n) * sizeof(float);
   const int n = state.n;
   const int d = state.d;
-  float* pbest_err = state.pbest_err.data();
-  float* perror = state.perror.data();
-  const float* positions = state.positions.data();
-  float* pbest_pos = state.pbest_pos.data();
+  const auto pbest_err =
+      san::track(state.pbest_err.data(), static_cast<std::size_t>(n),
+                 "pbest_err");
+  const auto perror = san::track(state.perror.data(),
+                                 static_cast<std::size_t>(n), "perror");
+  const auto positions =
+      san::track(state.positions.data(), elements, "positions");
+  const auto pbest_pos =
+      san::track(state.pbest_pos.data(), elements, "pbest_pos");
+  san::expect_writes_exactly_once(pbest_err);
+  san::expect_writes_exactly_once(perror);
+  san::expect_writes_exactly_once(pbest_pos);
+  san::KernelScope scope("init/pbest_reset");
   device.launch(per_particle.config, cost, [&](const vgpu::ThreadCtx& t) {
     for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
       pbest_err[i] = std::numeric_limits<float>::infinity();

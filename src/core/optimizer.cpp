@@ -15,6 +15,7 @@
 #include "rng/philox.h"
 #include "core/swarm_update.h"
 #include "vgpu/memory_pool.h"
+#include "vgpu/san/tracked.h"
 
 namespace fastpso::core {
 
@@ -237,6 +238,7 @@ Result Optimizer::optimize_sync(const Objective& objective,
     }
 
     completed = iter + 1;
+    result.gbest_history.push_back(state.gbest_err);
     if (callback && !callback(iter, state.gbest_err)) {
       break;
     }
@@ -301,11 +303,25 @@ Result Optimizer::optimize_async(const Objective& objective,
   per_particle.block = 256;
   per_particle.grid = (n + per_particle.block - 1) / per_particle.block;
 
-  float* velocities = state.velocities.data();
-  float* positions = state.positions.data();
-  float* pbest_pos = state.pbest_pos.data();
-  float* pbest_err = state.pbest_err.data();
-  float* gbest_pos = state.gbest_pos.data();
+  namespace san = vgpu::san;
+  float* raw_positions = state.positions.data();
+  const std::int64_t elements = state.elements();
+  // Tracked views for the fused kernels. gbest_pos is written under the
+  // serialized-update semantics a real GPU implements with atomics/locks,
+  // so it is classed kAtomic (race checks suppressed by declaration); the
+  // fused kernels' traffic is improved-count-dependent, so their launches
+  // are trace-only rather than cost-audited.
+  const auto velocities =
+      san::track(state.velocities.data(), elements, "velocities");
+  const auto positions = san::track(raw_positions, elements, "positions");
+  const auto pbest_pos =
+      san::track(state.pbest_pos.data(), elements, "pbest_pos");
+  const auto pbest_err =
+      san::track(state.pbest_err.data(), static_cast<std::size_t>(n),
+                 "pbest_err");
+  const auto gbest_pos =
+      san::track(state.gbest_pos.data(), static_cast<std::size_t>(d),
+                 "gbest_pos", san::BufferClass::kAtomic);
 
   // Seed gbest from the initial positions (one evaluation pass).
   {
@@ -314,14 +330,15 @@ Result Optimizer::optimize_async(const Objective& objective,
     vgpu::KernelCostSpec cost;
     cost.flops = objective.cost.flops(d) * n;
     cost.transcendentals = objective.cost.transcendentals(d) * n;
-    cost.dram_read_bytes = static_cast<double>(state.elements()) *
-                           sizeof(float);
+    cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
     cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
+    san::KernelScope scope("optimizer/async_seed",
+                           san::AuditMode::kTraceOnly);
     device_.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
       const std::int64_t i = t.global_id();
       if (i < n) {
         const float err =
-            static_cast<float>(objective.fn(positions + i * d, d));
+            static_cast<float>(objective.fn(raw_positions + i * d, d));
         pbest_err[i] = err;
         if (err < state.gbest_err) {
           state.gbest_err = err;
@@ -345,13 +362,15 @@ Result Optimizer::optimize_async(const Objective& objective,
 
     vgpu::KernelCostSpec cost;
     cost.flops = (10.0 + 2.0 * kPhiloxFlopsPerValue) *
-                     static_cast<double>(state.elements()) +
+                     static_cast<double>(elements) +
                  objective.cost.flops(d) * n;
     cost.transcendentals = objective.cost.transcendentals(d) * n;
     cost.dram_read_bytes =
-        4.0 * static_cast<double>(state.elements()) * sizeof(float);
+        4.0 * static_cast<double>(elements) * sizeof(float);
     cost.dram_write_bytes =
-        2.5 * static_cast<double>(state.elements()) * sizeof(float);
+        2.5 * static_cast<double>(elements) * sizeof(float);
+    san::KernelScope scope("optimizer/async_fused",
+                           san::AuditMode::kTraceOnly);
     device_.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
       const std::int64_t i = t.global_id();
       if (i >= n) {
@@ -363,17 +382,18 @@ Result Optimizer::optimize_async(const Objective& objective,
         const std::int64_t e = i * d + j;
         const auto r =
             iter_rng.uniform_pair_at(static_cast<std::uint64_t>(e));
+        const float pe = positions[e];
         float nv = it_coeff.omega * velocities[e] +
-                   it_coeff.c1 * r[0] * (pbest_pos[e] - positions[e]) +
-                   it_coeff.c2 * r[1] * (gbest_pos[j] - positions[e]);
+                   it_coeff.c1 * r[0] * (pbest_pos[e] - pe) +
+                   it_coeff.c2 * r[1] * (gbest_pos[j] - pe);
         if (it_coeff.vmax > 0.0f) {
           nv = std::clamp(nv, -it_coeff.vmax, it_coeff.vmax);
         }
         velocities[e] = nv;
-        positions[e] += nv;
+        positions[e] = pe + nv;
       }
       const float err =
-          static_cast<float>(objective.fn(positions + i * d, d));
+          static_cast<float>(objective.fn(raw_positions + i * d, d));
       if (err < pbest_err[i]) {
         pbest_err[i] = err;
         for (int j = 0; j < d; ++j) {
@@ -389,6 +409,7 @@ Result Optimizer::optimize_async(const Objective& objective,
     });
 
     completed = iter + 1;
+    result.gbest_history.push_back(state.gbest_err);
     if (callback && !callback(iter, state.gbest_err)) {
       break;
     }

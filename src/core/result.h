@@ -17,6 +17,11 @@ struct Result {
   std::vector<float> gbest_position;
   int iterations = 0;
 
+  /// gbest after each completed iteration (one entry per iteration run);
+  /// the differential tests compare these trajectories across
+  /// implementations.
+  std::vector<float> gbest_history;
+
   /// Real seconds on this machine (transparency metric).
   double wall_seconds = 0.0;
   /// Seconds under the paper-machine performance model (the

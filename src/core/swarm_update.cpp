@@ -4,21 +4,30 @@
 #include <cmath>
 
 #include "vgpu/block.h"
+#include "vgpu/san/tracked.h"
 #include "vgpu/wmma.h"
 
 namespace fastpso::core {
 namespace {
 
+namespace san = vgpu::san;
+
 /// Canonical per-element update, shared by the scalar paths so results are
 /// bit-identical between the global-memory and shared-memory variants.
-inline void update_element(float& v, float& p, float l, float g, float pb,
+/// Templated on the velocity/position reference so it accepts both plain
+/// float lvalues and sanitizer-tracked element proxies.
+template <typename VRef, typename PRef>
+inline void update_element(VRef&& v, PRef&& p, float l, float g, float pb,
                            float gb, const UpdateCoefficients& k) {
-  float nv = k.omega * v + k.c1 * l * (pb - p) + k.c2 * g * (gb - p);
+  san::count_flops(10.0);
+  const float pv = p;
+  float nv = k.omega * static_cast<float>(v) + k.c1 * l * (pb - pv) +
+             k.c2 * g * (gb - pv);
   if (k.vmax > 0.0f) {
     nv = std::clamp(nv, -k.vmax, k.vmax);  // Eq. 5 bound constraint
   }
   v = nv;
-  float np = p + nv;
+  float np = pv + nv;
   if (k.clamp_position) {
     np = std::clamp(np, k.pos_lower, k.pos_upper);
   }
@@ -46,19 +55,27 @@ void update_global(vgpu::Device& device, const LaunchPolicy& policy,
   const std::int64_t elements = state.elements();
   const int d = state.d;
   const LaunchDecision decision = policy.for_elements(elements);
-  float* velocities = state.velocities.data();
-  float* positions = state.positions.data();
-  const float* pbest_pos = state.pbest_pos.data();
-  const float* gbest_pos = state.gbest_pos.data();
+  const auto velocities =
+      san::track(state.velocities.data(), elements, "velocities");
+  const auto positions =
+      san::track(state.positions.data(), elements, "positions");
+  const auto l = san::track(l_mat, elements, "l_mat");
+  const auto g = san::track(g_mat, elements, "g_mat");
+  const auto pbest_pos =
+      san::track(state.pbest_pos.data(), elements, "pbest_pos");
+  const auto gbest_pos = san::track(state.gbest_pos.data(),
+                                    static_cast<std::size_t>(d), "gbest_pos");
+  san::expect_writes_exactly_once(velocities);
+  san::expect_writes_exactly_once(positions);
 
+  san::KernelScope scope("swarm_update/global");
   device.launch(decision.config, update_cost(elements, d, 0, false),
                 [&](const vgpu::ThreadCtx& t) {
                   for (std::int64_t i = t.global_id(); i < elements;
                        i += t.grid_stride()) {
                     const int col = static_cast<int>(i % d);
-                    update_element(velocities[i], positions[i], l_mat[i],
-                                   g_mat[i], pbest_pos[i], gbest_pos[col],
-                                   coeff);
+                    update_element(velocities[i], positions[i], l[i], g[i],
+                                   pbest_pos[i], gbest_pos[col], coeff);
                   }
                 });
 }
@@ -68,6 +85,7 @@ void update_shared(vgpu::Device& device, const LaunchPolicy& policy,
                    const UpdateCoefficients& coeff) {
   const int n = state.n;
   const int d = state.d;
+  const std::int64_t elements = state.elements();
   const std::int64_t tile_rows = (n + kTileSize - 1) / kTileSize;
   const std::int64_t tile_cols = (d + kTileSize - 1) / kTileSize;
   const std::int64_t tiles = tile_rows * tile_cols;
@@ -78,22 +96,40 @@ void update_shared(vgpu::Device& device, const LaunchPolicy& policy,
   cfg.grid = std::min<std::int64_t>(
       tiles, policy.thread_cap() / cfg.block + (policy.thread_cap() % cfg.block != 0));
   cfg.grid = std::max<std::int64_t>(cfg.grid, 1);
+  // Two __syncthreads per tile trip; the busiest block runs
+  // ceil(tiles / grid) trips.
+  const std::int64_t trips = (tiles + cfg.grid - 1) / cfg.grid;
 
-  float* velocities = state.velocities.data();
-  float* positions = state.positions.data();
-  const float* pbest_pos = state.pbest_pos.data();
-  const float* gbest_pos = state.gbest_pos.data();
+  const auto velocities =
+      san::track(state.velocities.data(), elements, "velocities");
+  const auto positions =
+      san::track(state.positions.data(), elements, "positions");
+  const auto l = san::track(l_mat, elements, "l_mat");
+  const auto g = san::track(g_mat, elements, "g_mat");
+  const auto pbest_pos =
+      san::track(state.pbest_pos.data(), elements, "pbest_pos");
+  const auto gbest_pos = san::track(state.gbest_pos.data(),
+                                    static_cast<std::size_t>(d), "gbest_pos");
+  san::expect_writes_exactly_once(velocities);
+  san::expect_writes_exactly_once(positions);
 
+  san::KernelScope scope("swarm_update/shared");
   device.launch_blocks(
-      cfg, update_cost(state.elements(), d, 2, false),
+      cfg, update_cost(elements, d, static_cast<int>(2 * trips), false),
       [&](vgpu::BlockCtx& blk) {
         constexpr int kTileElems = kTileSize * kTileSize;
-        auto sh_v = blk.shared_array<float>(kTileElems);
-        auto sh_p = blk.shared_array<float>(kTileElems);
-        auto sh_l = blk.shared_array<float>(kTileElems);
-        auto sh_g = blk.shared_array<float>(kTileElems);
-        auto sh_pb = blk.shared_array<float>(kTileElems);
-        auto sh_gb = blk.shared_array<float>(kTileSize);
+        auto sh_v = san::track_shared(blk.shared_array<float>(kTileElems),
+                                      "sh_v");
+        auto sh_p = san::track_shared(blk.shared_array<float>(kTileElems),
+                                      "sh_p");
+        auto sh_l = san::track_shared(blk.shared_array<float>(kTileElems),
+                                      "sh_l");
+        auto sh_g = san::track_shared(blk.shared_array<float>(kTileElems),
+                                      "sh_g");
+        auto sh_pb = san::track_shared(blk.shared_array<float>(kTileElems),
+                                       "sh_pb");
+        auto sh_gb = san::track_shared(blk.shared_array<float>(kTileSize),
+                                       "sh_gb");
 
         for (std::int64_t tile = blk.block_idx(); tile < tiles;
              tile += blk.grid_dim()) {
@@ -113,8 +149,8 @@ void update_shared(vgpu::Device& device, const LaunchPolicy& policy,
               const int dst = r * kTileSize + c;
               sh_v[dst] = velocities[src];
               sh_p[dst] = positions[src];
-              sh_l[dst] = l_mat[src];
-              sh_g[dst] = g_mat[src];
+              sh_l[dst] = l[src];
+              sh_g[dst] = g[src];
               sh_pb[dst] = pbest_pos[src];
             }
             if (r == 0 && c < cols) {
@@ -156,6 +192,7 @@ void update_tensor(vgpu::Device& device, const LaunchPolicy& policy,
   namespace wm = vgpu::wmma;
   const int n = state.n;
   const int d = state.d;
+  const std::int64_t elements = state.elements();
   const std::int64_t tile_rows = (n + wm::kFragDim - 1) / wm::kFragDim;
   const std::int64_t tile_cols = (d + wm::kFragDim - 1) / wm::kFragDim;
   const std::int64_t tiles = tile_rows * tile_cols;
@@ -167,13 +204,24 @@ void update_tensor(vgpu::Device& device, const LaunchPolicy& policy,
                                     policy.thread_cap() / cfg.block);
   cfg.grid = std::max<std::int64_t>(cfg.grid, 1);
 
-  float* velocities = state.velocities.data();
-  float* positions = state.positions.data();
-  const float* pbest_pos = state.pbest_pos.data();
-  const float* gbest_pos = state.gbest_pos.data();
+  const auto velocities =
+      san::track(state.velocities.data(), elements, "velocities");
+  const auto positions =
+      san::track(state.positions.data(), elements, "positions");
+  const auto l = san::track(l_mat, elements, "l_mat");
+  const auto g = san::track(g_mat, elements, "g_mat");
+  const auto pbest_pos =
+      san::track(state.pbest_pos.data(), elements, "pbest_pos");
+  const auto gbest_pos = san::track(state.gbest_pos.data(),
+                                    static_cast<std::size_t>(d), "gbest_pos");
+  san::expect_writes_exactly_once(velocities);
+  san::expect_writes_exactly_once(positions);
 
+  san::KernelScope scope("swarm_update/tensor");
+  // No __syncthreads: the *_sync fragment ops are warp-level, not block
+  // barriers.
   device.launch_blocks(
-      cfg, update_cost(state.elements(), d, 1, true), [&](vgpu::BlockCtx& blk) {
+      cfg, update_cost(elements, d, 0, true), [&](vgpu::BlockCtx& blk) {
         for (std::int64_t tile = blk.block_idx(); tile < tiles;
              tile += blk.grid_dim()) {
           const std::int64_t row0 = (tile / tile_cols) * wm::kFragDim;
@@ -190,13 +238,13 @@ void update_tensor(vgpu::Device& device, const LaunchPolicy& policy,
           wm::Fragment<float> fg;
           wm::Fragment<float> fpb;
           wm::Fragment<float> feg;
-          wm::load_matrix_sync(fv, velocities + base, d, rows, cols);
-          wm::load_matrix_sync(fp, positions + base, d, rows, cols);
-          wm::load_matrix_sync(fl, l_mat + base, d, rows, cols);
-          wm::load_matrix_sync(fg, g_mat + base, d, rows, cols);
-          wm::load_matrix_sync(fpb, pbest_pos + base, d, rows, cols);
+          san::load_matrix_sync(fv, velocities, base, d, rows, cols);
+          san::load_matrix_sync(fp, positions, base, d, rows, cols);
+          san::load_matrix_sync(fl, l, base, d, rows, cols);
+          san::load_matrix_sync(fg, g, base, d, rows, cols);
+          san::load_matrix_sync(fpb, pbest_pos, base, d, rows, cols);
           // Eg tile: every row is the gbest slice — a broadcast load (ld=0).
-          wm::load_matrix_sync(feg, gbest_pos + col0, 0, wm::kFragDim, cols);
+          san::load_matrix_sync(feg, gbest_pos, col0, 0, wm::kFragDim, cols);
 
           // t1 = c1*(pbest - P); acc = L .* t1
           wm::Fragment<float> t1;
@@ -219,6 +267,7 @@ void update_tensor(vgpu::Device& device, const LaunchPolicy& policy,
           wm::scale_add_sync(fvn, coeff.omega, fv, 1.0f, acc);
 
           // Epilogue: velocity clamp (Eq. 5) + position integrate + clamp.
+          san::count_flops(10.0 * rows * cols);
           for (int r = 0; r < rows; ++r) {
             for (int c = 0; c < cols; ++c) {
               float nv = fvn.at(r, c);
@@ -234,8 +283,8 @@ void update_tensor(vgpu::Device& device, const LaunchPolicy& policy,
             }
           }
 
-          wm::store_matrix_sync(velocities + base, fvn, d, rows, cols);
-          wm::store_matrix_sync(positions + base, fp, d, rows, cols);
+          san::store_matrix_sync(velocities, base, fvn, d, rows, cols);
+          san::store_matrix_sync(positions, base, fp, d, rows, cols);
         }
       });
 }
@@ -267,26 +316,41 @@ void swarm_update_ring(vgpu::Device& device, const LaunchPolicy& policy,
                        const std::int32_t* nbest_idx) {
   const std::int64_t elements = state.elements();
   const int d = state.d;
+  const std::int64_t n = state.n;
   const LaunchDecision decision = policy.for_elements(elements);
-  float* velocities = state.velocities.data();
-  float* positions = state.positions.data();
-  const float* pbest_pos = state.pbest_pos.data();
 
-  // Extra traffic vs. the gbest kernel: the attractor row is a gather from
-  // pbest_pos (one more stream of E elements) plus the index array.
+  const auto velocities =
+      san::track(state.velocities.data(), elements, "velocities");
+  const auto positions =
+      san::track(state.positions.data(), elements, "positions");
+  const auto l = san::track(l_mat, "l_mat");
+  const auto g = san::track(g_mat, "g_mat");
+  const auto pbest_pos =
+      san::track(state.pbest_pos.data(), elements, "pbest_pos");
+  const auto nbest = san::track(nbest_idx, static_cast<std::size_t>(n),
+                                "nbest_idx");
+  san::expect_writes_exactly_once(velocities);
+  san::expect_writes_exactly_once(positions);
+
+  // The attractor is a gather out of pbest_pos, which this kernel already
+  // streams in full — under the perfect-cache (unique-address) convention
+  // the gather adds no pbest traffic, only the neighborhood index array.
+  // The gbest broadcast row of the global variant is not read here.
   vgpu::KernelCostSpec cost = update_cost(elements, d, 0, false);
-  cost.dram_read_bytes += static_cast<double>(elements) * sizeof(float) +
-                          static_cast<double>(state.n) * sizeof(std::int32_t);
+  cost.dram_read_bytes +=
+      static_cast<double>(n) * sizeof(std::int32_t) -
+      static_cast<double>(d) * sizeof(float);
 
+  san::KernelScope scope("swarm_update/ring");
   device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
     for (std::int64_t i = t.global_id(); i < elements;
          i += t.grid_stride()) {
       const std::int64_t row = i / d;
       const int col = static_cast<int>(i % d);
       const float attractor =
-          pbest_pos[static_cast<std::int64_t>(nbest_idx[row]) * d + col];
-      update_element(velocities[i], positions[i], l_mat.data()[i],
-                     g_mat.data()[i], pbest_pos[i], attractor, coeff);
+          pbest_pos[static_cast<std::int64_t>(nbest[row]) * d + col];
+      update_element(velocities[i], positions[i], l[i], g[i], pbest_pos[i],
+                     attractor, coeff);
     }
   });
 }

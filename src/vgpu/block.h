@@ -58,12 +58,18 @@ class BlockCtx {
     ctx.grid_dim = cfg_.grid;
     for (int t = 0; t < cfg_.block; ++t) {
       ctx.thread_idx = t;
+      san::hook_thread_begin(block_idx_, t);
       fn(static_cast<const ThreadCtx&>(ctx));
     }
+    // Code after this phase runs at block scope again (thread 0).
+    san::hook_thread_begin(block_idx_, 0);
   }
 
   /// Marks a __syncthreads boundary between phases.
-  void sync() { ++sync_count_; }
+  void sync() {
+    ++sync_count_;
+    san::hook_barrier();
+  }
 
   [[nodiscard]] int sync_count() const { return sync_count_; }
   [[nodiscard]] std::size_t shared_bytes_used() const { return arena_used_; }
@@ -81,10 +87,13 @@ template <typename Body>
 void Device::launch_blocks(const LaunchConfig& cfg, const KernelCostSpec& cost,
                            Body&& body) {
   account_launch(cfg, cost);
+  san::hook_launch_begin(cfg, cost);
   for (std::int64_t b = 0; b < cfg.grid; ++b) {
+    san::hook_block_begin(b);
     BlockCtx block(b, cfg, spec_.shared_mem_per_block);
     body(block);
   }
+  san::hook_launch_end();
 }
 
 }  // namespace fastpso::vgpu

@@ -32,6 +32,7 @@
 #include "common/stopwatch.h"
 #include "vgpu/device_spec.h"
 #include "vgpu/perf_model.h"
+#include "vgpu/san/hooks.h"
 
 namespace fastpso::vgpu {
 
@@ -180,16 +181,20 @@ class Device {
   void launch(const LaunchConfig& cfg, const KernelCostSpec& cost,
               Body&& body) {
     account_launch(cfg, cost);
+    san::hook_launch_begin(cfg, cost);
     ThreadCtx ctx;
     ctx.block_dim = cfg.block;
     ctx.grid_dim = cfg.grid;
     for (std::int64_t b = 0; b < cfg.grid; ++b) {
       ctx.block_idx = b;
+      san::hook_block_begin(b);
       for (int t = 0; t < cfg.block; ++t) {
         ctx.thread_idx = t;
+        san::hook_thread_begin(b, t);
         body(static_cast<const ThreadCtx&>(ctx));
       }
     }
+    san::hook_launch_end();
   }
 
   /// Launches a cooperative block kernel: `body` is called once per block

@@ -1,0 +1,77 @@
+// Execution hooks connecting the virtual GPU's launch machinery to the
+// sanitizer (vgpu/san/sanitizer.h). Device::launch / launch_blocks and
+// BlockCtx notify the active recording Session — if any — about launch
+// boundaries, the (block, thread) identity whose code is currently running,
+// and __syncthreads barriers, so Tracked<T> accesses can be attributed and
+// ordered. When no Session is recording every hook is a single pointer
+// compare, so production/bench runs pay essentially nothing.
+//
+// This header is included by vgpu/device.h and must stay dependency-light:
+// it only forward-declares the launch types.
+#pragma once
+
+#include <cstdint>
+
+namespace fastpso::vgpu {
+struct LaunchConfig;
+struct KernelCostSpec;
+}  // namespace fastpso::vgpu
+
+namespace fastpso::vgpu::san {
+
+class Session;
+
+namespace detail {
+
+/// The Session currently recording, or nullptr. At most one Session records
+/// at a time (the vgpu is single-threaded by contract).
+extern Session* g_session;
+
+// Out-of-line slow paths, defined in sanitizer.cpp.
+void launch_begin(const LaunchConfig& cfg, const KernelCostSpec& cost);
+void launch_end();
+void block_begin(std::int64_t block_idx);
+void thread_begin(std::int64_t block_idx, int thread_idx);
+void barrier();
+
+}  // namespace detail
+
+/// True while a Session is recording.
+[[nodiscard]] inline bool active() { return detail::g_session != nullptr; }
+
+inline void hook_launch_begin(const LaunchConfig& cfg,
+                              const KernelCostSpec& cost) {
+  if (active()) {
+    detail::launch_begin(cfg, cost);
+  }
+}
+
+inline void hook_launch_end() {
+  if (active()) {
+    detail::launch_end();
+  }
+}
+
+/// Entering block `block_idx`; block-scope code (the parts of a
+/// launch_blocks body outside for_each_thread) is attributed to thread 0 of
+/// the block, matching the CUDA "if (tid == 0)" tail idiom it models.
+inline void hook_block_begin(std::int64_t block_idx) {
+  if (active()) {
+    detail::block_begin(block_idx);
+  }
+}
+
+inline void hook_thread_begin(std::int64_t block_idx, int thread_idx) {
+  if (active()) {
+    detail::thread_begin(block_idx, thread_idx);
+  }
+}
+
+/// A __syncthreads boundary in the current block.
+inline void hook_barrier() {
+  if (active()) {
+    detail::barrier();
+  }
+}
+
+}  // namespace fastpso::vgpu::san

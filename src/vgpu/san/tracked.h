@@ -1,0 +1,220 @@
+// Tracked buffer views: drop-in replacements for the raw pointers a vgpu
+// kernel body captures, recording per-thread read/write sets while a
+// san::Session is active and bounds-checking every access always.
+//
+// A Tracked<T> is constructed at the kernel call site from the raw pointer
+// and element count (san::track / san::track_shared). Indexing returns a
+// small proxy that records a read when converted to T and a write when
+// assigned, so the usual kernel idioms —
+//
+//   v[i] = k.omega * v[i] + ...;
+//   out[base + lane] = lo + span * lanes[lane];
+//
+// — work unchanged. Outside a session the proxy is a bounds-checked
+// passthrough (an out-of-bounds index throws CheckError instead of
+// corrupting memory); inside a session an out-of-bounds access is recorded
+// as a finding and redirected to a sink so the validator can report every
+// defect of the launch, not just the first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+
+#include "common/check.h"
+#include "vgpu/buffer.h"
+#include "vgpu/san/sanitizer.h"
+#include "vgpu/wmma.h"
+
+namespace fastpso::vgpu::san {
+
+template <typename T>
+class Tracked;
+
+/// Element proxy returned by Tracked<T>::operator[].
+template <typename T>
+class TrackedRef {
+ public:
+  using Value = std::remove_const_t<T>;
+
+  TrackedRef(const Tracked<T>* buf, std::int64_t index)
+      : buf_(buf), index_(index) {}
+
+  operator Value() const { return buf_->load(index_); }  // NOLINT(google-explicit-constructor)
+
+  TrackedRef& operator=(Value v)
+    requires(!std::is_const_v<T>)
+  {
+    buf_->store(index_, v);
+    return *this;
+  }
+  TrackedRef& operator=(const TrackedRef& other)
+    requires(!std::is_const_v<T>)
+  {
+    return *this = static_cast<Value>(other);
+  }
+  TrackedRef& operator+=(Value v)
+    requires(!std::is_const_v<T>)
+  {
+    return *this = static_cast<Value>(*this) + v;
+  }
+
+ private:
+  const Tracked<T>* buf_;
+  std::int64_t index_;
+};
+
+template <typename T>
+class Tracked {
+ public:
+  using Value = std::remove_const_t<T>;
+
+  Tracked() = default;
+
+  /// Wraps [data, data + count). Registers the buffer with the active
+  /// session (no-op outside one).
+  Tracked(T* data, std::size_t count, const char* name,
+          BufferClass cls = BufferClass::kGlobal)
+      : data_(data), count_(count), name_(name) {
+    buffer_id_ = detail::register_buffer(data, count, sizeof(T), name, cls);
+  }
+
+  [[nodiscard]] TrackedRef<T> operator[](std::int64_t i) const {
+    return TrackedRef<T>(this, i);
+  }
+
+  [[nodiscard]] Value load(std::int64_t i) const {
+    if (i < 0 || static_cast<std::size_t>(i) >= count_) [[unlikely]] {
+      return oob(i, detail::AccessKind::kRead), Value{};
+    }
+    if (buffer_id_ >= 0) {
+      detail::record_access(buffer_id_, i, detail::AccessKind::kRead);
+    }
+    return data_[i];
+  }
+
+  void store(std::int64_t i, Value v) const
+    requires(!std::is_const_v<T>)
+  {
+    if (i < 0 || static_cast<std::size_t>(i) >= count_) [[unlikely]] {
+      oob(i, detail::AccessKind::kWrite);
+      return;
+    }
+    if (buffer_id_ >= 0) {
+      detail::record_access(buffer_id_, i, detail::AccessKind::kWrite);
+    }
+    data_[i] = v;
+  }
+
+  /// The raw pointer, for escape hatches; accesses through it are not
+  /// recorded or checked.
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] const char* name() const { return name_; }
+  [[nodiscard]] int buffer_id() const { return buffer_id_; }
+
+ private:
+  void oob(std::int64_t i, detail::AccessKind kind) const {
+    if (!detail::report_oob(name_, i, count_, kind)) {
+      FASTPSO_CHECK_MSG(false, std::string("out-of-bounds access on '") +
+                                   name_ + "': index " + std::to_string(i) +
+                                   " of " + std::to_string(count_));
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+  const char* name_ = "";
+  int buffer_id_ = -1;
+};
+
+// ---- construction helpers ------------------------------------------------
+
+template <typename T>
+[[nodiscard]] Tracked<T> track(T* data, std::size_t count, const char* name,
+                               BufferClass cls = BufferClass::kGlobal) {
+  return Tracked<T>(data, count, name, cls);
+}
+
+template <typename T>
+[[nodiscard]] Tracked<T> track(const DeviceArray<T>& array,
+                               const char* name,
+                               BufferClass cls = BufferClass::kGlobal) {
+  return Tracked<T>(array.data(), array.size(), name, cls);
+}
+
+/// Tracks a block's shared-memory array (race-checked, excluded from the
+/// DRAM cost audit).
+template <typename T>
+[[nodiscard]] Tracked<T> track_shared(std::span<T> shared, const char* name) {
+  return Tracked<T>(shared.data(), shared.size(), name, BufferClass::kShared);
+}
+
+/// Declares that the next launch writes every element of `buf` exactly once
+/// (the grid-stride coverage contract of an element-wise kernel). No-op
+/// outside a session.
+template <typename T>
+void expect_writes_exactly_once(const Tracked<T>& buf) {
+  if (buf.buffer_id() >= 0) {
+    detail::expect_writes_exactly_once(buf.buffer_id());
+  }
+}
+
+// ---- wmma fragment helpers ----------------------------------------------
+// The tensor-core kernel moves whole 16x16 tiles through warp-level
+// fragment ops that take raw pointers. These wrappers record (and
+// bounds-check) the tile's element accesses, then forward to the wmma op.
+
+/// Loads frag from tracked[base + r*ld + c], r < rows, c < cols.
+template <typename T>
+void load_matrix_sync(wmma::Fragment<std::remove_const_t<T>>& frag,
+                      const Tracked<T>& src, std::int64_t base,
+                      std::size_t ld, int rows, int cols) {
+  FASTPSO_CHECK_MSG(base >= 0 &&
+                        (rows == 0 || cols == 0 ||
+                         base + static_cast<std::int64_t>(
+                                    (rows - 1) * ld + (cols - 1)) <
+                             static_cast<std::int64_t>(src.size())),
+                    std::string("wmma tile load out of bounds on '") +
+                        src.name() + "'");
+  if (active() && src.buffer_id() >= 0) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        detail::record_access(src.buffer_id(),
+                              base + static_cast<std::int64_t>(r * ld + c),
+                              detail::AccessKind::kRead);
+      }
+    }
+  }
+  wmma::load_matrix_sync(frag, src.data() + base, ld, rows, cols);
+}
+
+/// Stores the (rows, cols) corner of frag to tracked[base + r*ld + c].
+template <typename T>
+void store_matrix_sync(const Tracked<T>& dst, std::int64_t base,
+                       const wmma::Fragment<T>& frag, std::size_t ld,
+                       int rows, int cols)
+  requires(!std::is_const_v<T>)
+{
+  FASTPSO_CHECK_MSG(base >= 0 &&
+                        (rows == 0 || cols == 0 ||
+                         base + static_cast<std::int64_t>(
+                                    (rows - 1) * ld + (cols - 1)) <
+                             static_cast<std::int64_t>(dst.size())),
+                    std::string("wmma tile store out of bounds on '") +
+                        dst.name() + "'");
+  if (active() && dst.buffer_id() >= 0) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        detail::record_access(dst.buffer_id(),
+                              base + static_cast<std::int64_t>(r * ld + c),
+                              detail::AccessKind::kWrite);
+      }
+    }
+  }
+  wmma::store_matrix_sync(dst.data() + base, frag, ld, rows, cols);
+}
+
+}  // namespace fastpso::vgpu::san

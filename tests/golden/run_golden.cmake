@@ -1,0 +1,32 @@
+# Runs a bench binary in --smoke mode and diffs its CSV against the
+# checked-in golden file. Invoked by ctest (see bench/CMakeLists.txt):
+#
+#   cmake -DBENCH=<binary> -DOUT=<csv> -DGOLDEN=<golden csv> -P run_golden.cmake
+#
+# To refresh a golden after an intentional change:
+#   ./build/bench/<bench> --smoke --csv tests/golden/<name>.csv
+
+if(NOT BENCH OR NOT OUT OR NOT GOLDEN)
+  message(FATAL_ERROR "run_golden.cmake needs -DBENCH, -DOUT and -DGOLDEN")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}" --smoke --csv "${OUT}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --smoke failed (${run_rc}):\n${run_out}\n${run_err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT}" "${GOLDEN}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  execute_process(COMMAND diff -u "${GOLDEN}" "${OUT}" OUTPUT_VARIABLE diff_text
+                  ERROR_QUIET)
+  message(FATAL_ERROR
+    "golden mismatch: ${OUT} differs from ${GOLDEN}\n${diff_text}\n"
+    "If the change is intentional, refresh with:\n"
+    "  ${BENCH} --smoke --csv ${GOLDEN}")
+endif()

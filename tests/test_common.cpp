@@ -218,8 +218,8 @@ TEST(Cli, FallbacksWhenMissing) {
 TEST(Cli, BadNumberThrows) {
   const char* argv[] = {"prog", "--n", "abc"};
   CliArgs args(3, argv);
-  EXPECT_THROW(args.get_int("n", 0), CheckError);
-  EXPECT_THROW(args.get_double("n", 0), CheckError);
+  EXPECT_THROW(static_cast<void>(args.get_int("n", 0)), CheckError);
+  EXPECT_THROW(static_cast<void>(args.get_double("n", 0)), CheckError);
 }
 
 TEST(Cli, BoolParsing) {
@@ -227,7 +227,7 @@ TEST(Cli, BoolParsing) {
   CliArgs args(7, argv);
   EXPECT_TRUE(args.get_bool("a", false));
   EXPECT_FALSE(args.get_bool("b", true));
-  EXPECT_THROW(args.get_bool("c", false), CheckError);
+  EXPECT_THROW(static_cast<void>(args.get_bool("c", false)), CheckError);
 }
 
 TEST(Cli, KeysEnumeration) {

@@ -9,6 +9,7 @@
 #include <map>
 #include <vector>
 
+#include "common/check.h"
 #include "core/best_update.h"
 #include "core/init.h"
 #include "core/launch_policy.h"
@@ -19,6 +20,7 @@
 #include "rng/xoshiro.h"
 #include "vgpu/device.h"
 #include "vgpu/memory_pool.h"
+#include "vgpu/perf_model.h"
 #include "vgpu/wmma.h"
 
 namespace fastpso {
@@ -207,6 +209,95 @@ TEST(WmmaProperty, LoadStoreRoundTripsForAnySubTile) {
         ASSERT_EQ(dst[r * ld + c], -7.0f);  // outside the tile untouched
       }
     }
+  }
+}
+
+// ---- stride amplification --------------------------------------------------------
+
+TEST(StrideProperty, UnitStrideIsExactlyOne) {
+  for (std::size_t elem_bytes : {1u, 2u, 4u, 8u, 16u}) {
+    EXPECT_EQ(vgpu::stride_amplification(1, elem_bytes), 1.0) << elem_bytes;
+  }
+}
+
+TEST(StrideProperty, MonotoneNonDecreasingInStride) {
+  for (std::size_t elem_bytes : {1u, 2u, 4u, 8u}) {
+    double prev = 0.0;
+    for (std::size_t stride = 1; stride <= 256; ++stride) {
+      const double amp = vgpu::stride_amplification(stride, elem_bytes);
+      ASSERT_GE(amp, prev)
+          << "stride " << stride << " elem_bytes " << elem_bytes;
+      ASSERT_GE(amp, 1.0);
+      prev = amp;
+    }
+  }
+}
+
+TEST(StrideProperty, CappedAtSectorPerElement) {
+  // Past one sector between consecutive accesses, each element drags a
+  // full sector: the amplification saturates at kSectorBytes / elem_bytes.
+  for (std::size_t elem_bytes : {1u, 2u, 4u, 8u}) {
+    const double cap = vgpu::kSectorBytes / static_cast<double>(elem_bytes);
+    for (std::size_t stride : {64u, 1000u, 1u << 20u}) {
+      EXPECT_EQ(vgpu::stride_amplification(stride, elem_bytes), cap)
+          << "stride " << stride << " elem_bytes " << elem_bytes;
+    }
+    // Exactly at the sector boundary the ratio equals the cap too.
+    const std::size_t at_sector =
+        static_cast<std::size_t>(vgpu::kSectorBytes) / elem_bytes;
+    EXPECT_EQ(vgpu::stride_amplification(at_sector, elem_bytes), cap);
+  }
+}
+
+TEST(StrideProperty, RejectsDegenerateInputs) {
+  EXPECT_THROW(vgpu::stride_amplification(0, 4), CheckError);
+  EXPECT_THROW(vgpu::stride_amplification(4, 0), CheckError);
+}
+
+// ---- LaunchConfig::for_elements edge cases ---------------------------------------
+
+TEST(LaunchConfigProperty, ZeroElementsThrows) {
+  const auto spec = vgpu::tesla_v100();
+  EXPECT_THROW(vgpu::LaunchConfig::for_elements(spec, 0), CheckError);
+  EXPECT_THROW(vgpu::LaunchConfig::for_elements(spec, -5), CheckError);
+}
+
+TEST(LaunchConfigProperty, FewerElementsThanBlockUsesOneBlock) {
+  const auto spec = vgpu::tesla_v100();
+  for (std::int64_t elements : {1, 2, 100, 255}) {
+    const auto cfg = vgpu::LaunchConfig::for_elements(spec, elements, 256);
+    EXPECT_EQ(cfg.grid, 1) << elements;
+    EXPECT_EQ(cfg.block, 256);
+    EXPECT_GE(cfg.total_threads(), elements);
+  }
+}
+
+TEST(LaunchConfigProperty, ExactlyMaxBlocksTimesBlockSaturatesWithoutStride) {
+  const auto spec = vgpu::tesla_v100();
+  constexpr std::int64_t kMaxBlocks = 65535;
+  constexpr int kBlock = 128;
+  const auto cfg =
+      vgpu::LaunchConfig::for_elements(spec, kMaxBlocks * kBlock, kBlock);
+  EXPECT_EQ(cfg.grid, kMaxBlocks);
+  EXPECT_EQ(cfg.total_threads(), kMaxBlocks * kBlock);
+  // One element more and the grid is capped: grid-stride must cover it.
+  const auto over =
+      vgpu::LaunchConfig::for_elements(spec, kMaxBlocks * kBlock + 1, kBlock);
+  EXPECT_EQ(over.grid, kMaxBlocks);
+  EXPECT_LT(over.total_threads(), kMaxBlocks * kBlock + 1);
+}
+
+TEST(LaunchConfigProperty, GridCoversElementsBelowTheCap) {
+  const auto spec = vgpu::tesla_v100();
+  rng::Xoshiro256 rng(55);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t elements =
+        1 + static_cast<std::int64_t>(rng.next() % 1'000'000);
+    const int block = 32 * (1 + static_cast<int>(rng.next() % 32));
+    const auto cfg = vgpu::LaunchConfig::for_elements(spec, elements, block);
+    ASSERT_GE(cfg.total_threads(), elements);
+    ASSERT_LT((cfg.grid - 1) * static_cast<std::int64_t>(cfg.block),
+              elements);  // no fully idle trailing block
   }
 }
 
