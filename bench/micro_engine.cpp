@@ -1,0 +1,284 @@
+// micro_engine: engine-level microbenchmarks for the host execution fast
+// path (DESIGN.md §1). Three probes:
+//
+//   1. launch throughput — a trivial element-wise kernel dispatched through
+//      Device::launch_elements with the fast path on (flat index loop) and
+//      off (faithful per-virtual-thread grid-stride), in launches/sec.
+//   2. eval throughput — Problem::eval_batch (one virtual call per batch,
+//      devirtualized inner loop) vs. one virtual eval_f32 call per particle,
+//      in particle evaluations/sec.
+//   3. end-to-end wall-clock of the fixed table1 --smoke configuration
+//      (4 problems x 7 implementations, 64 particles, dim 8, 5 executed
+//      iterations), best of a few repetitions.
+//
+// Both launch paths issue the identical account_launch call, so modeled
+// seconds and DeviceCounters are unaffected by the toggle — this binary
+// measures host execution speed only.
+//
+//   ./micro_engine [--smoke] [--json BENCH_engine.json]
+//                  [--baseline bench/BENCH_engine_baseline.json]
+//
+// --smoke shrinks the repetition counts for CI and emits BENCH_engine.json.
+// --baseline compares against a checked-in conservative baseline and exits
+// non-zero when any metric regresses by more than 2x.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "problems/problem.h"
+#include "vgpu/device.h"
+
+using namespace fastpso;
+using namespace fastpso::benchkit;
+
+namespace {
+
+struct LaunchResult {
+  double fast_per_s = 0;
+  double legacy_per_s = 0;
+  double checksum = 0;  ///< defeats dead-code elimination
+};
+
+/// Trivial-body element-wise kernel, timed with the fast path on and off.
+/// The body is one fused multiply-add so the flat loop vectorizes; the
+/// legacy path pays the per-virtual-thread dispatch that the fast path
+/// removes. Same cfg, same cost, same account_launch on both sides.
+LaunchResult bench_launch(std::int64_t n_elems, int reps) {
+  vgpu::Device device;
+  std::vector<float> in(static_cast<std::size_t>(n_elems));
+  std::vector<float> out(static_cast<std::size_t>(n_elems), 0.0f);
+  for (std::int64_t i = 0; i < n_elems; ++i) {
+    in[static_cast<std::size_t>(i)] = static_cast<float>(i % 97) * 0.125f;
+  }
+  vgpu::LaunchConfig cfg;
+  cfg.block = 256;
+  cfg.grid = (n_elems + cfg.block - 1) / cfg.block;
+  vgpu::KernelCostSpec cost;
+  cost.flops = 2.0 * static_cast<double>(n_elems);
+  cost.dram_read_bytes = static_cast<double>(n_elems) * sizeof(float);
+  cost.dram_write_bytes = static_cast<double>(n_elems) * sizeof(float);
+  const float* src = in.data();
+  float* dst = out.data();
+
+  const bool saved = vgpu::fast_path_enabled();
+  LaunchResult r;
+  for (const bool fast : {true, false}) {
+    vgpu::set_fast_path_enabled(fast);
+    auto run = [&](int count) {
+      for (int rep = 0; rep < count; ++rep) {
+        device.launch_elements(cfg, cost, n_elems, [&](std::int64_t i) {
+          dst[i] = src[i] * 2.0f + 1.0f;
+        });
+      }
+    };
+    run(reps / 10 + 1);  // warmup
+    Stopwatch watch;
+    run(reps);
+    const double per_s = reps / watch.elapsed_s();
+    (fast ? r.fast_per_s : r.legacy_per_s) = per_s;
+    r.checksum += static_cast<double>(dst[static_cast<std::size_t>(
+        n_elems - 1)]);
+  }
+  vgpu::set_fast_path_enabled(saved);
+  return r;
+}
+
+struct EvalResult {
+  double batch_per_s = 0;    ///< particle evaluations/sec via eval_batch
+  double virtual_per_s = 0;  ///< one virtual eval_f32 call per particle
+  double checksum = 0;
+};
+
+EvalResult bench_eval(const std::string& problem_name, int n, int d,
+                      int reps) {
+  const std::unique_ptr<problems::Problem> problem =
+      problems::make_problem(problem_name);
+  std::vector<float> x(static_cast<std::size_t>(n) * d);
+  std::vector<float> out(static_cast<std::size_t>(n), 0.0f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(i % 251) * 0.01f - 1.0f;
+  }
+
+  EvalResult r;
+  const double evals = static_cast<double>(reps) * n;
+  {
+    problem->eval_batch(x.data(), n, d, out.data());  // warmup
+    Stopwatch watch;
+    for (int rep = 0; rep < reps; ++rep) {
+      problem->eval_batch(x.data(), n, d, out.data());
+    }
+    r.batch_per_s = evals / watch.elapsed_s();
+    r.checksum += static_cast<double>(out[static_cast<std::size_t>(n - 1)]);
+  }
+  {
+    const problems::Problem* base = problem.get();
+    auto run = [&] {
+      for (int i = 0; i < n; ++i) {
+        out[static_cast<std::size_t>(i)] = static_cast<float>(
+            base->eval_f32(x.data() + static_cast<std::size_t>(i) * d, d));
+      }
+    };
+    run();  // warmup
+    Stopwatch watch;
+    for (int rep = 0; rep < reps; ++rep) {
+      run();
+    }
+    r.virtual_per_s = evals / watch.elapsed_s();
+    r.checksum += static_cast<double>(out[static_cast<std::size_t>(n - 1)]);
+  }
+  return r;
+}
+
+/// Wall-clock of the exact table1_overall --smoke cell set; best of `reps`.
+double bench_table1_smoke(int reps) {
+  const std::vector<std::string> problems = {"sphere", "griewank", "easom",
+                                             "threadconf"};
+  const auto impls = all_impls();
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch watch;
+    for (const auto& problem : problems) {
+      for (Impl impl : impls) {
+        RunSpec spec;
+        spec.impl = impl;
+        spec.problem = problem;
+        spec.particles = 64;
+        spec.dim = 8;
+        spec.iters = 50;
+        spec.executed_iters = 5;
+        spec.seed = 42;
+        run_spec(spec);
+      }
+    }
+    const double elapsed = watch.elapsed_s();
+    if (rep == 0 || elapsed < best) {
+      best = elapsed;
+    }
+  }
+  return best;
+}
+
+/// Minimal extractor for the flat numeric fields this bench emits: finds
+/// `"key":` in `text` and parses the number that follows. Good enough for
+/// the baseline files we write ourselves; returns `fallback` when absent.
+double json_number(const std::string& text, const std::string& key,
+                   double fallback) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    return fallback;
+  }
+  pos = text.find(':', pos + needle.size());
+  if (pos == std::string::npos) {
+    return fallback;
+  }
+  return std::strtod(text.c_str() + pos + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const std::string json_path = args.get_string("json", "BENCH_engine.json");
+  const std::string baseline_path = args.get_string("baseline", "");
+
+  const std::int64_t launch_elems = 4096;
+  const int launch_reps = smoke ? 4000 : 20000;
+  const int eval_n = smoke ? 512 : 2048;
+  const int eval_d = 32;
+  const int eval_reps = smoke ? 1000 : 4000;
+  const int table1_reps = smoke ? 3 : 5;
+
+  const LaunchResult launch = bench_launch(launch_elems, launch_reps);
+  const EvalResult eval = bench_eval("sphere", eval_n, eval_d, eval_reps);
+  const double table1_wall = bench_table1_smoke(table1_reps);
+
+  const double launch_speedup = launch.fast_per_s / launch.legacy_per_s;
+  const double eval_speedup = eval.batch_per_s / eval.virtual_per_s;
+
+  TextTable table("micro_engine: host execution fast path");
+  table.set_header({"metric", "fast/batch", "legacy/virtual", "speedup"});
+  table.add_row({"launches/s (n=" + std::to_string(launch_elems) + ")",
+                 fmt_sci(launch.fast_per_s), fmt_sci(launch.legacy_per_s),
+                 fmt_speedup(launch_speedup)});
+  table.add_row({"evals/s (sphere " + std::to_string(eval_n) + "x" +
+                     std::to_string(eval_d) + ")",
+                 fmt_sci(eval.batch_per_s), fmt_sci(eval.virtual_per_s),
+                 fmt_speedup(eval_speedup)});
+  table.add_row({"table1 --smoke wall (s)", fmt_fixed(table1_wall, 4), "-",
+                 "-"});
+  table.add_note("identical account_launch on both paths: modeled seconds "
+                 "and counters do not depend on the toggle");
+  table.print(std::cout);
+
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(3);
+    json << "{\n"
+         << "  \"schema\": \"fastpso-bench-engine-v1\",\n"
+         << "  \"launch\": {\n"
+         << "    \"n_elems\": " << launch_elems << ",\n"
+         << "    \"reps\": " << launch_reps << ",\n"
+         << "    \"fast_launches_per_s\": " << launch.fast_per_s << ",\n"
+         << "    \"legacy_launches_per_s\": " << launch.legacy_per_s << ",\n"
+         << "    \"speedup\": " << launch_speedup << "\n"
+         << "  },\n"
+         << "  \"eval\": {\n"
+         << "    \"n\": " << eval_n << ",\n"
+         << "    \"dim\": " << eval_d << ",\n"
+         << "    \"batch_evals_per_s\": " << eval.batch_per_s << ",\n"
+         << "    \"virtual_evals_per_s\": " << eval.virtual_per_s << ",\n"
+         << "    \"speedup\": " << eval_speedup << "\n"
+         << "  },\n"
+         << "  \"table1_smoke\": {\n";
+    json.precision(6);
+    json << "    \"wall_s\": " << table1_wall << "\n"
+         << "  }\n"
+         << "}\n";
+    std::ofstream file(json_path);
+    file << json.str();
+    std::cout << (file ? "json written: " : "json write FAILED: ")
+              << json_path << "\n";
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream file(baseline_path);
+    if (!file) {
+      std::cerr << "baseline read FAILED: " << baseline_path << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const std::string text = buffer.str();
+    const double base_launch =
+        json_number(text, "fast_launches_per_s", 0.0);
+    const double base_eval = json_number(text, "batch_evals_per_s", 0.0);
+    const double base_wall = json_number(text, "wall_s", 0.0);
+    bool ok = true;
+    auto gate = [&](const char* name, bool pass, double have, double want) {
+      std::cout << "gate " << name << ": " << (pass ? "ok" : "REGRESSION")
+                << " (" << fmt_sci(have) << " vs limit " << fmt_sci(want)
+                << ")\n";
+      ok = ok && pass;
+    };
+    // >2x regression fails: throughputs may not halve, wall may not double.
+    gate("launch_throughput", launch.fast_per_s >= base_launch / 2.0,
+         launch.fast_per_s, base_launch / 2.0);
+    gate("eval_throughput", eval.batch_per_s >= base_eval / 2.0,
+         eval.batch_per_s, base_eval / 2.0);
+    gate("table1_smoke_wall", table1_wall <= base_wall * 2.0, table1_wall,
+         base_wall * 2.0);
+    if (!ok) {
+      std::cerr << "micro_engine: regression vs baseline " << baseline_path
+                << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

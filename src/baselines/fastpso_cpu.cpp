@@ -31,6 +31,11 @@ namespace {
 /// Modeled FLOP cost of one host RNG draw (xoshiro/Philox, amortized,
 /// partially vectorized by the compiler).
 constexpr double kCpuRngFlopsPerValue = 2.0;
+/// Below this many elements the OpenMP fork/join costs more than the loop;
+/// every parallel region here is element-independent (counter-based Philox,
+/// fixed static partition), so running it on one thread produces bit-
+/// identical results — only wall time changes.
+constexpr std::size_t kOmpMinElements = std::size_t{1} << 15;
 /// FLOPs of one element-wise velocity+position update.
 constexpr double kUpdateFlopsPerElement = 10.0;
 
@@ -86,7 +91,7 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
     ScopedTimer timer(wall, "init");
     if (use_omp) {
       const std::size_t blocks = (elements + 3) / 4;
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (elements >= kOmpMinElements)
       for (std::size_t b = 0; b < blocks; ++b) {
         const auto rp = omp_pos.uniform4_at(b);
         const auto rv = omp_vel.uniform4_at(b);
@@ -124,7 +129,7 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
         const rng::PhiloxStream g_rng(params.seed ^ 0xA5A5A5A5u,
                                       3 + 2 * static_cast<std::uint64_t>(iter));
         const std::size_t blocks = (elements + 3) / 4;
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (elements >= kOmpMinElements)
         for (std::size_t b = 0; b < blocks; ++b) {
           const auto rl = l_rng.uniform4_at(b);
           const auto rg = g_rng.uniform4_at(b);
@@ -153,10 +158,40 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
     // ---- Step (ii): evaluation ------------------------------------------
     {
       ScopedTimer timer(wall, "eval");
-#pragma omp parallel for schedule(static) if (use_omp)
-      for (int i = 0; i < n; ++i) {
-        s.perror[i] =
-            static_cast<float>(objective.fn(s.p.data() + i * d, d));
+      if (objective.batch_fn) {
+        // Devirtualized batch loop; under OpenMP each thread evaluates one
+        // contiguous chunk (same schedule(static) partition as below, so
+        // each out[i] is written by the same math either way).
+#ifdef _OPENMP
+        if (use_omp) {
+          // One thread evaluates begin==0, end==n: the same batch call the
+          // serial path makes, so the if() clause cannot change results.
+#pragma omp parallel if (elements >= kOmpMinElements)
+          {
+            const int threads = omp_get_num_threads();
+            const int tid = omp_get_thread_num();
+            const int chunk = (n + threads - 1) / threads;
+            const int begin = std::min(n, tid * chunk);
+            const int end = std::min(n, begin + chunk);
+            if (end > begin) {
+              objective.batch_fn(
+                  s.p.data() + static_cast<std::size_t>(begin) * d,
+                  end - begin, d, s.perror.data() + begin);
+            }
+          }
+        } else {
+          objective.batch_fn(s.p.data(), n, d, s.perror.data());
+        }
+#else
+        objective.batch_fn(s.p.data(), n, d, s.perror.data());
+#endif
+      } else {
+#pragma omp parallel for schedule(static) \
+    if (use_omp && elements >= kOmpMinElements)
+        for (int i = 0; i < n; ++i) {
+          s.perror[i] =
+              static_cast<float>(objective.fn(s.p.data() + i * d, d));
+        }
       }
       modeled.add("eval",
                   cpu.region_seconds(
@@ -169,7 +204,8 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
     std::size_t improved = 0;
     {
       ScopedTimer timer(wall, "pbest");
-#pragma omp parallel for schedule(static) reduction(+ : improved) if (use_omp)
+#pragma omp parallel for schedule(static) reduction(+ : improved) \
+    if (use_omp && elements >= kOmpMinElements)
       for (int i = 0; i < n; ++i) {
         if (s.perror[i] < s.pbest_err[i]) {
           s.pbest_err[i] = s.perror[i];
@@ -214,7 +250,8 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
       ScopedTimer timer(wall, "swarm");
       const core::UpdateCoefficients it_coeff =
           core::coefficients_for_iter(coeff, params, iter);
-#pragma omp parallel for schedule(static) if (use_omp)
+#pragma omp parallel for schedule(static) \
+    if (use_omp && elements >= kOmpMinElements)
       for (std::size_t i = 0; i < elements; ++i) {
         const int col = static_cast<int>(i % d);
         float nv = it_coeff.omega * s.v[i] +

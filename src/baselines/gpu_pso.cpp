@@ -88,11 +88,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
     float* v = vel.data();
     float* pb = pbest_pos.data();
     float* pe = pbest_err.data();
-    device.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
-      const std::int64_t i = t.global_id();
-      if (i >= n) {
-        return;
-      }
+    device.launch_elements(per_particle, cost, n, [&](std::int64_t i) {
       for (int j = 0; j < d; ++j) {
         const std::uint64_t e = static_cast<std::uint64_t>(i) * d + j;
         const auto r = init_rng.uniform_pair_at(e);
@@ -116,12 +112,17 @@ core::Result run_gpu_pso(const core::Objective& objective,
       cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
       const float* p = pos.data();
       float* pe = perror.data();
-      device.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
-        const std::int64_t i = t.global_id();
-        if (i < n) {
-          pe[i] = static_cast<float>(objective.fn(p + i * d, d));
-        }
-      });
+      if (vgpu::use_fast_path() && objective.batch_fn) {
+        device.account_launch(per_particle, cost);
+        objective.batch_fn(p, n, d, pe);
+      } else {
+        device.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
+          const std::int64_t i = t.global_id();
+          if (i < n) {
+            pe[i] = static_cast<float>(objective.fn(p + i * d, d));
+          }
+        });
+      }
     }
 
     // ---- pbest update (uncoalesced row copies) ----------------------------
@@ -147,11 +148,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
       float* pb = pbest_pos.data();
       float* pe = perror.data();
       float* pbe = pbest_err.data();
-      device.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
-        const std::int64_t i = t.global_id();
-        if (i >= n) {
-          return;
-        }
+      device.launch_elements(per_particle, cost, n, [&](std::int64_t i) {
         if (pe[i] < pbe[i]) {
           pbe[i] = pe[i];
           for (int j = 0; j < d; ++j) {
@@ -177,10 +174,8 @@ core::Result run_gpu_pso(const core::Objective& objective,
         vgpu::KernelCostSpec cost;
         cost.dram_read_bytes = static_cast<double>(d) * sizeof(float);
         cost.dram_write_bytes = static_cast<double>(d) * sizeof(float);
-        device.launch(cfg, cost, [&](const vgpu::ThreadCtx& t) {
-          for (std::int64_t j = t.global_id(); j < d; j += t.grid_stride()) {
-            dst[j] = src[j];
-          }
+        device.launch_elements(cfg, cost, d, [&](std::int64_t j) {
+          dst[j] = src[j];
         });
       }
     }
@@ -206,11 +201,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
       float* v = vel.data();
       const float* pb = pbest_pos.data();
       const float* gb = gbest_pos.data();
-      device.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
-        const std::int64_t i = t.global_id();
-        if (i >= n) {
-          return;
-        }
+      device.launch_elements(per_particle, cost, n, [&](std::int64_t i) {
         for (int j = 0; j < d; ++j) {
           const std::int64_t e = i * d + j;
           const auto r = iter_rng.uniform_pair_at(static_cast<std::uint64_t>(e));

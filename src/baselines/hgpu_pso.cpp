@@ -31,6 +31,10 @@ namespace {
 
 constexpr int kBlock = 256;
 constexpr double kCpuRngFlopsPerValue = 2.0;
+/// Below this many elements the OpenMP fork/join costs more than the update
+/// loop; every element's (r1, r2) comes from the counter-based Philox at its
+/// own index, so the thread count cannot change any result.
+constexpr std::size_t kOmpMinElements = std::size_t{1} << 15;
 
 }  // namespace
 
@@ -104,12 +108,17 @@ core::Result run_hgpu_pso(const core::Objective& objective,
       cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
       const float* p = d_pos.data();
       float* pe = d_err.data();
-      device.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
-        const std::int64_t i = t.global_id();
-        if (i < n) {
-          pe[i] = static_cast<float>(objective.fn(p + i * d, d));
-        }
-      });
+      if (vgpu::use_fast_path() && objective.batch_fn) {
+        device.account_launch(per_particle, cost);
+        objective.batch_fn(p, n, d, pe);
+      } else {
+        device.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
+          const std::int64_t i = t.global_id();
+          if (i < n) {
+            pe[i] = static_cast<float>(objective.fn(p + i * d, d));
+          }
+        });
+      }
       d_err.download(perror);
     }
 
@@ -165,7 +174,7 @@ core::Result run_hgpu_pso(const core::Objective& objective,
           params.seed + 0x2545F491u, 2 + static_cast<std::uint64_t>(iter));
       const core::UpdateCoefficients it_coeff =
           core::coefficients_for_iter(coeff, params, iter);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (elements >= kOmpMinElements)
       for (std::size_t e = 0; e < elements; ++e) {
         const int j = static_cast<int>(e % d);
         const auto rr = iter_rng.uniform_pair_at(e);

@@ -62,14 +62,6 @@ void iadd(CostLedger& ledger, NdArray& a, const NdArray& b) {
   ledger.record_op(a.bytes() + b.bytes(), a.bytes(), /*temporaries=*/0);
 }
 
-void fill_uniform(CostLedger& ledger, NdArray& a, double lo, double hi,
-                  const std::function<double()>& next_unit) {
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    a[i] = lo + (hi - lo) * next_unit();
-  }
-  ledger.record_op(0, a.bytes(), 1, a.bytes());
-}
-
 NdArray clip(CostLedger& ledger, const NdArray& a, double lo, double hi) {
   NdArray out(a.rows(), a.cols());
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -92,19 +84,6 @@ NdArray wrap_periodic(CostLedger& ledger, const NdArray& a, double lo,
     out[i] = x;
   }
   ledger.record_op(a.bytes(), out.bytes(), 1, out.bytes());
-  return out;
-}
-
-std::vector<double> reduce_rows(
-    CostLedger& ledger, const NdArray& a,
-    const std::function<double(const double*, std::size_t)>& fold) {
-  std::vector<double> out(a.rows());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    out[r] = fold(a.data() + r * a.cols(), a.cols());
-  }
-  ledger.record_op(a.bytes(),
-                   static_cast<double>(a.rows()) * sizeof(double), 1,
-                   static_cast<double>(a.rows()) * sizeof(double));
   return out;
 }
 

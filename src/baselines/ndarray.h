@@ -67,9 +67,17 @@ void iadd(CostLedger& ledger, NdArray& a, const NdArray& b);
 
 // ---- fills -----------------------------------------------------------------
 /// Fills with U(lo, hi) using the supplied generator; models
-/// np.random.uniform (one pass + temporary).
+/// np.random.uniform (one pass + temporary). Template so the per-element
+/// generator call inlines — the ledger charge (the modeled cost) is the same
+/// as any indirect version would record.
+template <typename NextUnit>
 void fill_uniform(CostLedger& ledger, NdArray& a, double lo, double hi,
-                  const std::function<double()>& next_unit);
+                  NextUnit&& next_unit) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = lo + (hi - lo) * next_unit();
+  }
+  ledger.record_op(0, a.bytes(), 1, a.bytes());
+}
 
 // ---- clipping / wrapping ----------------------------------------------------
 /// np.clip to [lo, hi] (fresh temporary).
@@ -82,10 +90,20 @@ NdArray wrap_periodic(CostLedger& ledger, const NdArray& a, double lo,
 // ---- reductions -------------------------------------------------------------
 /// Row-wise reduction to an (n,)-vector using `fold` over each row; models
 /// np.sum/np.prod(axis=1): one pass + small temporary. Used by the
-/// vectorized objective evaluations.
-std::vector<double> reduce_rows(
-    CostLedger& ledger, const NdArray& a,
-    const std::function<double(const double*, std::size_t)>& fold);
+/// vectorized objective evaluations. Template for the same reason as
+/// fill_uniform.
+template <typename Fold>
+std::vector<double> reduce_rows(CostLedger& ledger, const NdArray& a,
+                                Fold&& fold) {
+  std::vector<double> out(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    out[r] = fold(a.data() + r * a.cols(), a.cols());
+  }
+  ledger.record_op(a.bytes(),
+                   static_cast<double>(a.rows()) * sizeof(double), 1,
+                   static_cast<double>(a.rows()) * sizeof(double));
+  return out;
+}
 
 /// Index of the minimum of a vector (np.argmin: one pass).
 std::size_t argmin(CostLedger& ledger, const std::vector<double>& v);

@@ -19,30 +19,44 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
     cost.flops = static_cast<double>(n);
     cost.dram_read_bytes = 2.0 * n * sizeof(float);
     cost.dram_write_bytes = n * (sizeof(float) + sizeof(std::uint8_t));
-    const auto perror = san::track(state.perror.data(),
-                                   static_cast<std::size_t>(n), "perror");
-    const auto pbest_err =
-        san::track(state.pbest_err.data(), static_cast<std::size_t>(n),
-                   "pbest_err");
-    const auto improved =
-        san::track(state.improved.data(), static_cast<std::size_t>(n),
-                   "improved");
-    san::expect_writes_exactly_once(pbest_err);
-    san::expect_writes_exactly_once(improved);
-    san::KernelScope scope("best_update/compare_flag");
-    device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
-      for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
-        san::count_flops(1.0);
-        const float pe = perror[i];
-        const float pb = pbest_err[i];
-        const bool better = pe < pb;
-        improved[i] = better ? 1 : 0;
-        // Unconditional select store: matches the declared write traffic
-        // (and the branchless store a real kernel would use to avoid
-        // divergence).
-        pbest_err[i] = better ? pe : pb;
-      }
-    });
+    if (vgpu::use_fast_path()) {
+      const float* perror = state.perror.data();
+      float* pbest_err = state.pbest_err.data();
+      std::uint8_t* improved = state.improved.data();
+      device.launch_elements(
+          decision.config, cost, n, [&](std::int64_t i) {
+            const float pe = perror[i];
+            const float pb = pbest_err[i];
+            const bool better = pe < pb;
+            improved[i] = better ? 1 : 0;
+            pbest_err[i] = better ? pe : pb;
+          });
+    } else {
+      const auto perror = san::track(state.perror.data(),
+                                     static_cast<std::size_t>(n), "perror");
+      const auto pbest_err =
+          san::track(state.pbest_err.data(), static_cast<std::size_t>(n),
+                     "pbest_err");
+      const auto improved =
+          san::track(state.improved.data(), static_cast<std::size_t>(n),
+                     "improved");
+      san::expect_writes_exactly_once(pbest_err);
+      san::expect_writes_exactly_once(improved);
+      san::KernelScope scope("best_update/compare_flag");
+      device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
+        for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
+          san::count_flops(1.0);
+          const float pe = perror[i];
+          const float pb = pbest_err[i];
+          const bool better = pe < pb;
+          improved[i] = better ? 1 : 0;
+          // Unconditional select store: matches the declared write traffic
+          // (and the branchless store a real kernel would use to avoid
+          // divergence).
+          pbest_err[i] = better ? pe : pb;
+        }
+      });
+    }
   }
 
   // The improved count feeds the second launch's cost declaration. In real
@@ -61,23 +75,37 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
         static_cast<double>(improved_count) * d * sizeof(float);
     cost.dram_write_bytes =
         static_cast<double>(improved_count) * d * sizeof(float);
-    const auto improved =
-        san::track(state.improved.data(), static_cast<std::size_t>(n),
-                   "improved");
-    const auto positions =
-        san::track(state.positions.data(), state.elements(), "positions");
-    const auto pbest_pos =
-        san::track(state.pbest_pos.data(), state.elements(), "pbest_pos");
-    san::KernelScope scope("best_update/gather");
-    device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
-      for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
-        if (improved[i]) {
-          for (int j = 0; j < d; ++j) {
-            pbest_pos[i * d + j] = positions[i * d + j];
+    if (vgpu::use_fast_path()) {
+      const std::uint8_t* improved = state.improved.data();
+      const float* positions = state.positions.data();
+      float* pbest_pos = state.pbest_pos.data();
+      device.launch_elements(
+          decision.config, cost, n, [&](std::int64_t i) {
+            if (improved[i]) {
+              for (int j = 0; j < d; ++j) {
+                pbest_pos[i * d + j] = positions[i * d + j];
+              }
+            }
+          });
+    } else {
+      const auto improved =
+          san::track(state.improved.data(), static_cast<std::size_t>(n),
+                     "improved");
+      const auto positions =
+          san::track(state.positions.data(), state.elements(), "positions");
+      const auto pbest_pos =
+          san::track(state.pbest_pos.data(), state.elements(), "pbest_pos");
+      san::KernelScope scope("best_update/gather");
+      device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
+        for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
+          if (improved[i]) {
+            for (int j = 0; j < d; ++j) {
+              pbest_pos[i * d + j] = positions[i * d + j];
+            }
           }
         }
-      }
-    });
+      });
+    }
   }
 
   return {.improved = improved_count};
@@ -96,6 +124,14 @@ float update_gbest(vgpu::Device& device, SwarmState& state) {
     vgpu::KernelCostSpec cost;
     cost.dram_read_bytes = static_cast<double>(d) * sizeof(float);
     cost.dram_write_bytes = static_cast<double>(d) * sizeof(float);
+    if (vgpu::use_fast_path()) {
+      const float* src = state.pbest_pos.data() + best.index * d;
+      float* dst = state.gbest_pos.data();
+      device.launch_elements(cfg, cost, d, [&](std::int64_t j) {
+        dst[j] = src[j];
+      });
+      return state.gbest_err;
+    }
     const auto src =
         san::track(state.pbest_pos.data() + best.index * d,
                    static_cast<std::size_t>(d), "gbest_src_row");

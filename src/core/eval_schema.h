@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "core/launch_policy.h"
+#include "core/objective.h"
 #include "vgpu/device.h"
 
 namespace fastpso::core {
@@ -32,6 +33,28 @@ void evaluation_kernel(vgpu::Device& device, const LaunchPolicy& policy,
     for (std::int64_t i = t.global_id(); i < count; i += t.grid_stride()) {
       lambda(i);
     }
+  });
+}
+
+/// Evaluates `n` particle rows of `positions` into `out` through the
+/// evaluation-kernel schema: `out[i] = (float)fn(positions + i*d, d)`. On
+/// the fast path a batched objective runs one devirtualized inner loop
+/// (one dispatch per batch, identical accounting); otherwise — custom
+/// lambda objectives, sanitizer runs, fast path disabled — it falls back
+/// to the per-particle fn through evaluation_kernel.
+inline void evaluate_positions(vgpu::Device& device,
+                               const LaunchPolicy& policy,
+                               const Objective& objective,
+                               const float* positions, std::int64_t n, int d,
+                               const vgpu::KernelCostSpec& cost, float* out) {
+  if (vgpu::use_fast_path() && objective.batch_fn) {
+    const LaunchDecision decision = policy.for_particles(n);
+    device.account_launch(decision.config, cost);
+    objective.batch_fn(positions, static_cast<int>(n), d, out);
+    return;
+  }
+  evaluation_kernel(device, policy, n, cost, [&](std::int64_t i) {
+    out[i] = static_cast<float>(objective.fn(positions + i * d, d));
   });
 }
 

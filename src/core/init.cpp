@@ -30,6 +30,21 @@ void fill_uniform(vgpu::Device& device, const LaunchPolicy& policy,
   const std::int64_t blocks = (elements + 3) / 4;
   const LaunchDecision decision = policy.for_elements(blocks);
   const float span = hi - lo;
+  if (vgpu::use_fast_path()) {
+    // Flat loop over Philox blocks; element i gets uniform_at(i) exactly as
+    // on the tracked path, so the produced bits are identical.
+    device.launch_elements(
+        decision.config, fill_cost(elements), blocks, [&](std::int64_t b) {
+          const auto lanes = rng.uniform4_at(static_cast<std::uint64_t>(b));
+          const std::int64_t base = b * 4;
+          const int count =
+              static_cast<int>(std::min<std::int64_t>(4, elements - base));
+          for (int lane = 0; lane < count; ++lane) {
+            out[base + lane] = lo + span * lanes[lane];
+          }
+        });
+    return;
+  }
   const auto tracked_out =
       san::track(out, static_cast<std::size_t>(elements), "fill_out");
   san::expect_writes_exactly_once(tracked_out);
@@ -72,6 +87,22 @@ void initialize_swarm(vgpu::Device& device, const LaunchPolicy& policy,
       static_cast<double>(elements + 2 * state.n) * sizeof(float);
   const int n = state.n;
   const int d = state.d;
+  if (vgpu::use_fast_path()) {
+    float* pbest_err = state.pbest_err.data();
+    float* perror = state.perror.data();
+    const float* positions = state.positions.data();
+    float* pbest_pos = state.pbest_pos.data();
+    device.launch_elements(
+        per_particle.config, cost, n, [&](std::int64_t i) {
+          pbest_err[i] = std::numeric_limits<float>::infinity();
+          perror[i] = 0.0f;
+          for (int j = 0; j < d; ++j) {
+            pbest_pos[i * d + j] = positions[i * d + j];
+          }
+        });
+    state.gbest_err = std::numeric_limits<float>::infinity();
+    return;
+  }
   const auto pbest_err =
       san::track(state.pbest_err.data(), static_cast<std::size_t>(n),
                  "pbest_err");

@@ -129,13 +129,9 @@ Result MultiGpuOptimizer::optimize_tile_matrix(const Objective& objective) {
       eval_cost.dram_read_bytes =
           static_cast<double>(state.elements()) * sizeof(float);
       eval_cost.dram_write_bytes = static_cast<double>(count) * sizeof(float);
-      const float* positions = state.positions.data();
-      float* perror = state.perror.data();
-      evaluation_kernel(shard.device, *shard.policy, count, eval_cost,
-                        [&](std::int64_t i) {
-                          perror[i] = static_cast<float>(
-                              objective.fn(positions + i * d, d));
-                        });
+      evaluate_positions(shard.device, *shard.policy, objective,
+                         state.positions.data(), count, d, eval_cost,
+                         state.perror.data());
 
       shard.device.set_phase("pbest");
       update_pbest(shard.device, *shard.policy, state);
@@ -262,13 +258,9 @@ Result MultiGpuOptimizer::optimize_particle_split(const Objective& objective) {
       eval_cost.dram_read_bytes =
           static_cast<double>(state.elements()) * sizeof(float);
       eval_cost.dram_write_bytes = static_cast<double>(count) * sizeof(float);
-      const float* positions = state.positions.data();
-      float* perror = state.perror.data();
-      evaluation_kernel(shard.device, *shard.policy, count, eval_cost,
-                        [&](std::int64_t i) {
-                          perror[i] = static_cast<float>(
-                              objective.fn(positions + i * d, d));
-                        });
+      evaluate_positions(shard.device, *shard.policy, objective,
+                         state.positions.data(), count, d, eval_cost,
+                         state.perror.data());
 
       shard.device.set_phase("pbest");
       update_pbest(shard.device, *shard.policy, state);

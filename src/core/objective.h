@@ -22,6 +22,13 @@ struct Objective {
   /// Evaluates one particle: `fn(x, dim)` with x pointing at `dim` floats.
   std::function<double(const float* x, int dim)> fn;
 
+  /// Optional batched form: `batch_fn(X, n, dim, out)` evaluates `n`
+  /// particles stored row-major in X, writing `out[i] =
+  /// (float)fn(X + i*dim, dim)` with a devirtualized inner loop (one
+  /// dispatch per batch). Null for custom lambda objectives; callers fall
+  /// back to the per-particle fn.
+  std::function<void(const float* X, int n, int dim, float* out)> batch_fn;
+
   /// Search domain (positions initialized uniformly in [lower, upper]).
   double lower = -1.0;
   double upper = 1.0;

@@ -30,6 +30,9 @@ Objective objective_from_problem(const problems::Problem& problem, int dim) {
   objective.fn = [&problem](const float* x, int d) {
     return problem.eval_f32(x, d);
   };
+  objective.batch_fn = [&problem](const float* X, int n, int d, float* out) {
+    problem.eval_batch(X, n, d, out);
+  };
   return objective;
 }
 
@@ -199,10 +202,8 @@ Result Optimizer::optimize_sync(const Objective& objective,
     device_.set_phase("eval");
     {
       ScopedTimer timer(wall, "eval");
-      evaluation_kernel(device_, policy_, n, eval_cost, [&](std::int64_t i) {
-        perror[i] =
-            static_cast<float>(objective.fn(positions + i * d, d));
-      });
+      evaluate_positions(device_, policy_, objective, positions, n, d,
+                         eval_cost, perror);
     }
 
     // ---- Step (iii): pbest + gbest -------------------------------------

@@ -55,6 +55,20 @@ void update_global(vgpu::Device& device, const LaunchPolicy& policy,
   const std::int64_t elements = state.elements();
   const int d = state.d;
   const LaunchDecision decision = policy.for_elements(elements);
+  if (vgpu::use_fast_path()) {
+    float* velocities = state.velocities.data();
+    float* positions = state.positions.data();
+    const float* pbest_pos = state.pbest_pos.data();
+    const float* gbest_pos = state.gbest_pos.data();
+    device.launch_elements(
+        decision.config, update_cost(elements, d, 0, false), elements,
+        [&](std::int64_t i) {
+          const int col = static_cast<int>(i % d);
+          update_element(velocities[i], positions[i], l_mat[i], g_mat[i],
+                         pbest_pos[i], gbest_pos[col], coeff);
+        });
+    return;
+  }
   const auto velocities =
       san::track(state.velocities.data(), elements, "velocities");
   const auto positions =
@@ -318,6 +332,26 @@ void swarm_update_ring(vgpu::Device& device, const LaunchPolicy& policy,
   const int d = state.d;
   const std::int64_t n = state.n;
   const LaunchDecision decision = policy.for_elements(elements);
+  if (vgpu::use_fast_path()) {
+    vgpu::KernelCostSpec cost = update_cost(elements, d, 0, false);
+    cost.dram_read_bytes += static_cast<double>(n) * sizeof(std::int32_t) -
+                            static_cast<double>(d) * sizeof(float);
+    float* velocities = state.velocities.data();
+    float* positions = state.positions.data();
+    const float* pbest_pos = state.pbest_pos.data();
+    const float* l = l_mat.data();
+    const float* g = g_mat.data();
+    device.launch_elements(
+        decision.config, cost, elements, [&](std::int64_t i) {
+          const std::int64_t row = i / d;
+          const int col = static_cast<int>(i % d);
+          const float attractor =
+              pbest_pos[static_cast<std::int64_t>(nbest_idx[row]) * d + col];
+          update_element(velocities[i], positions[i], l[i], g[i],
+                         pbest_pos[i], attractor, coeff);
+        });
+    return;
+  }
 
   const auto velocities =
       san::track(state.velocities.data(), elements, "velocities");

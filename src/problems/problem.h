@@ -7,6 +7,7 @@
 // Step (ii).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <span>
 #include <string>
@@ -53,6 +54,17 @@ class Problem {
   /// Objective value at `x` (float64 state).
   [[nodiscard]] virtual double eval_f64(const double* x, int dim) const = 0;
 
+  /// Evaluates `n` particles stored row-major in `X` (n x d) into `out`.
+  /// Semantically `out[i] = (float)eval_f32(X + i*d, d)` — the batched form
+  /// exists so implementations can devirtualize the inner loop (one virtual
+  /// dispatch per batch instead of one per particle).
+  virtual void eval_batch(const float* X, int n, int d, float* out) const {
+    for (int i = 0; i < n; ++i) {
+      out[i] = static_cast<float>(eval_f32(X + static_cast<std::size_t>(i) * d,
+                                           d));
+    }
+  }
+
   /// Operation counts for one evaluation.
   [[nodiscard]] virtual EvalCost cost() const = 0;
 
@@ -77,6 +89,15 @@ class ProblemBase : public Problem {
   [[nodiscard]] double eval_f64(const double* x, int dim) const final {
     return static_cast<const Derived*>(this)->template eval_impl<double>(x,
                                                                          dim);
+  }
+  /// Devirtualized batch loop: the concrete eval_impl<float> is known at
+  /// compile time here, so the whole batch costs one virtual call.
+  void eval_batch(const float* X, int n, int d, float* out) const final {
+    const auto* self = static_cast<const Derived*>(this);
+    for (int i = 0; i < n; ++i) {
+      out[i] = static_cast<float>(self->template eval_impl<float>(
+          X + static_cast<std::size_t>(i) * d, d));
+    }
   }
 };
 

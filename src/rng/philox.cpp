@@ -4,89 +4,11 @@
 #include <numbers>
 
 namespace fastpso::rng {
-namespace {
-
-constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
-constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
-constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
-constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
-
-/// 32x32 -> 64 multiply split into (hi, lo).
-inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
-                    std::uint32_t& lo) {
-  const std::uint64_t product =
-      static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b);
-  hi = static_cast<std::uint32_t>(product >> 32);
-  lo = static_cast<std::uint32_t>(product);
-}
-
-inline PhiloxBlock philox_round(const PhiloxBlock& ctr, const PhiloxKey& key) {
-  std::uint32_t hi0;
-  std::uint32_t lo0;
-  std::uint32_t hi1;
-  std::uint32_t lo1;
-  mulhilo(kPhiloxM0, ctr[0], hi0, lo0);
-  mulhilo(kPhiloxM1, ctr[2], hi1, lo1);
-  return {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
-}
-
-}  // namespace
-
-PhiloxBlock philox4x32(PhiloxBlock counter, PhiloxKey key) {
-  for (int round = 0; round < 10; ++round) {
-    counter = philox_round(counter, key);
-    key[0] += kWeyl0;
-    key[1] += kWeyl1;
-  }
-  return counter;
-}
 
 PhiloxStream::PhiloxStream(std::uint64_t seed, std::uint64_t stream)
     : seed_(seed), stream_(stream) {
   key_ = {static_cast<std::uint32_t>(seed),
           static_cast<std::uint32_t>(seed >> 32)};
-}
-
-PhiloxBlock PhiloxStream::block_at(std::uint64_t block_index) const {
-  const PhiloxBlock counter = {
-      static_cast<std::uint32_t>(block_index),
-      static_cast<std::uint32_t>(block_index >> 32),
-      static_cast<std::uint32_t>(stream_),
-      static_cast<std::uint32_t>(stream_ >> 32),
-  };
-  return philox4x32(counter, key_);
-}
-
-std::uint32_t PhiloxStream::uint_at(std::uint64_t index) const {
-  const PhiloxBlock block = block_at(index / 4);
-  return block[index % 4];
-}
-
-float PhiloxStream::uniform_at(std::uint64_t index) const {
-  return uint32_to_unit_float(uint_at(index));
-}
-
-double PhiloxStream::uniform_double_at(std::uint64_t index) const {
-  return uint32x2_to_unit_double(uint_at(2 * index), uint_at(2 * index + 1));
-}
-
-float PhiloxStream::uniform_at(std::uint64_t index, float lo, float hi) const {
-  return lo + (hi - lo) * uniform_at(index);
-}
-
-std::array<float, 4> PhiloxStream::uniform4_at(
-    std::uint64_t block_index) const {
-  const PhiloxBlock block = block_at(block_index);
-  return {uint32_to_unit_float(block[0]), uint32_to_unit_float(block[1]),
-          uint32_to_unit_float(block[2]), uint32_to_unit_float(block[3])};
-}
-
-std::array<float, 2> PhiloxStream::uniform_pair_at(
-    std::uint64_t pair_index) const {
-  const PhiloxBlock block = block_at(pair_index / 2);
-  const int lane = static_cast<int>(pair_index % 2) * 2;
-  return {uint32_to_unit_float(block[lane]),
-          uint32_to_unit_float(block[lane + 1])};
 }
 
 float PhiloxStream::normal_at(std::uint64_t index) const {

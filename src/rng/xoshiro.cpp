@@ -3,43 +3,12 @@
 #include "rng/splitmix.h"
 
 namespace fastpso::rng {
-namespace {
-
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
 
 Xoshiro256::Xoshiro256(std::uint64_t seed) {
   SplitMix64 seeder(seed);
   for (auto& word : state_) {
     word = seeder.next();
   }
-}
-
-std::uint64_t Xoshiro256::next() {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Xoshiro256::next_unit() {
-  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
-}
-
-float Xoshiro256::next_unit_float() {
-  return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
-}
-
-double Xoshiro256::next_uniform(double lo, double hi) {
-  return lo + (hi - lo) * next_unit();
 }
 
 void Xoshiro256::jump() {

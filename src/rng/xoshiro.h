@@ -13,22 +13,44 @@ class Xoshiro256 {
  public:
   explicit Xoshiro256(std::uint64_t seed);
 
-  std::uint64_t next();
+  /// Inline (pure integer math): the CPU baselines draw once per element, so
+  /// the generator fuses into the surrounding fill loop.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double next_unit();
+  double next_unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
 
   /// Uniform float in [0, 1).
-  float next_unit_float();
+  float next_unit_float() {
+    return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+  }
 
   /// Uniform double in [lo, hi).
-  double next_uniform(double lo, double hi);
+  double next_uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_unit();
+  }
 
   /// Jump function: advances the stream by 2^128 draws; use to derive
   /// non-overlapping per-thread streams from one seed.
   void jump();
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_;
 };
 

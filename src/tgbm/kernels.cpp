@@ -16,11 +16,18 @@ constexpr double kThreadOverheadFlops = 24.0;
 /// tradeoff: more items per thread amortize the descriptor, fewer threads
 /// eventually lose occupancy.
 constexpr double kThreadOverheadBytes = 8.0;
-/// Allowed block sizes (powers of two up to the device limit).
-constexpr std::array<int, 6> kBlockChoices = {32, 64, 128, 256, 512, 1024};
-constexpr int kMaxItemsPerThread = 16;
-
 double clamp01(double x) { return std::clamp(x, 0.0, 0.999999); }
+
+/// Index of `block_size` in kBlockChoices, or -1 if it is not a decodable
+/// block size (hand-built configs).
+int block_choice_index(int block_size) {
+  for (std::size_t b = 0; b < kBlockChoices.size(); ++b) {
+    if (kBlockChoices[b] == block_size) {
+      return static_cast<int>(b);
+    }
+  }
+  return -1;
+}
 
 KernelConfig decode_pair(double a, double b) {
   KernelConfig config;
@@ -35,11 +42,34 @@ template <typename T>
 ConfigSet decode_position(std::span<const T> position) {
   FASTPSO_CHECK(!position.empty());
   ConfigSet configs;
-  for (int k = 0; k < kNumKernels; ++k) {
-    const std::size_t ia = (2 * k) % position.size();
-    const std::size_t ib = (2 * k + 1) % position.size();
+  const std::size_t size = position.size();
+  // The index pair (2k % size, (2k+1) % size) is periodic in k: period
+  // size/2 for even sizes, size for odd ones. Decode one period and repeat
+  // it — identical configs, and short positions (the d-sweeps) decode only
+  // their few distinct pairs instead of all 25. ia tracks (2k) % size
+  // incrementally; wrapping by subtraction avoids an integer divide per
+  // component on this per-particle hot path.
+  const std::size_t period = std::min<std::size_t>(
+      size % 2 == 0 ? size / 2 : size, kNumKernels);
+  std::size_t ia = 0;
+  for (std::size_t k = 0; k < period; ++k) {
+    std::size_t ib = ia + 1;
+    if (ib >= size) {
+      ib -= size;
+    }
     configs[k] = decode_pair(static_cast<double>(position[ia]),
                              static_cast<double>(position[ib]));
+    ia = ib + 1;
+    if (ia >= size) {
+      ia -= size;
+    }
+  }
+  std::size_t src = 0;
+  for (std::size_t k = period; k < kNumKernels; ++k) {
+    configs[k] = configs[src];
+    if (++src == period) {
+      src = 0;
+    }
   }
   return configs;
 }
@@ -163,19 +193,46 @@ ConfigSet configs_from_position(std::span<const double> position) {
   return decode_position(position);
 }
 
+TrainTimeModel::TrainTimeModel(const DatasetSpec& spec,
+                               const GbmParams& params, vgpu::GpuSpec gpu)
+    : model_(std::move(gpu)), sites_(kernel_sites(spec, params)) {
+  for (int k = 0; k < kNumKernels; ++k) {
+    for (std::size_t b = 0; b < kBlockChoices.size(); ++b) {
+      for (int i = 0; i < kMaxItemsPerThread; ++i) {
+        table_[k][b][i] = site_term(
+            k, KernelConfig{.block_size = kBlockChoices[b],
+                            .items_per_thread = i + 1});
+      }
+    }
+  }
+}
+
+double TrainTimeModel::site_term(int k, const KernelConfig& config) const {
+  const LaunchPlan plan = plan_launch(sites_[k], config, model_.spec());
+  return sites_[k].launches *
+         model_.kernel_seconds(
+             static_cast<double>(plan.config.total_threads()), plan.cost);
+}
+
+double TrainTimeModel::seconds(const ConfigSet& configs) const {
+  double total = 0.0;
+  for (int k = 0; k < kNumKernels; ++k) {
+    const KernelConfig& config = configs[k];
+    const int b = block_choice_index(config.block_size);
+    if (b >= 0 && config.items_per_thread >= 1 &&
+        config.items_per_thread <= kMaxItemsPerThread) [[likely]] {
+      total += table_[k][b][config.items_per_thread - 1];
+    } else {
+      total += site_term(k, config);
+    }
+  }
+  return total;
+}
+
 double modeled_train_seconds(const DatasetSpec& spec, const GbmParams& params,
                              const ConfigSet& configs,
                              const vgpu::GpuSpec& gpu) {
-  const vgpu::GpuPerfModel model(gpu);
-  const auto sites = kernel_sites(spec, params);
-  double total = 0.0;
-  for (int k = 0; k < kNumKernels; ++k) {
-    const LaunchPlan plan = plan_launch(sites[k], configs[k], gpu);
-    total += sites[k].launches *
-             model.kernel_seconds(
-                 static_cast<double>(plan.config.total_threads()), plan.cost);
-  }
-  return total;
+  return TrainTimeModel(spec, params, gpu).seconds(configs);
 }
 
 }  // namespace fastpso::tgbm

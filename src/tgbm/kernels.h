@@ -31,6 +31,7 @@
 
 #include "tgbm/dataset.h"
 #include "vgpu/device.h"
+#include "vgpu/perf_model.h"
 
 namespace fastpso::tgbm {
 
@@ -47,6 +48,14 @@ struct GbmParams {
   int bins = 64;
   std::uint64_t seed = 1;
 };
+
+/// Allowed block sizes (powers of two up to the device limit) and the
+/// items-per-thread range the position decode can produce. These bound the
+/// whole configuration space per kernel (6 x 16 points), which is what makes
+/// TrainTimeModel's precomputed score table possible.
+inline constexpr std::array<int, 6> kBlockChoices = {32, 64, 128, 256, 512,
+                                                     1024};
+inline constexpr int kMaxItemsPerThread = 16;
 
 /// One kernel's launch configuration.
 struct KernelConfig {
@@ -100,5 +109,39 @@ ConfigSet configs_from_position(std::span<const double> position);
 double modeled_train_seconds(const DatasetSpec& spec, const GbmParams& params,
                              const ConfigSet& configs,
                              const vgpu::GpuSpec& gpu);
+
+/// Precomputed evaluation state for modeled_train_seconds. The 25 sites and
+/// the GPU model depend only on (dataset, params, gpu), not on the configs
+/// being scored, yet deriving them per call costs ~50 heap allocations
+/// (site names, the spec copy inside GpuPerfModel). Better: because each
+/// kernel's configuration space is just kBlockChoices x kMaxItemsPerThread
+/// points, construction evaluates every site's time contribution for every
+/// reachable configuration up front; seconds() then sums 25 table lookups.
+/// Hot callers — the ThreadConf objective scores one position per particle
+/// per iteration — build one of these once and call seconds() per position.
+/// Each table entry is produced by the identical arithmetic, in the identical
+/// order, as modeled_train_seconds, so results are bit-for-bit the same.
+class TrainTimeModel {
+ public:
+  TrainTimeModel(const DatasetSpec& spec, const GbmParams& params,
+                 vgpu::GpuSpec gpu);
+
+  /// Modeled training seconds under `configs` (== modeled_train_seconds).
+  [[nodiscard]] double seconds(const ConfigSet& configs) const;
+
+ private:
+  /// One site's contribution: launches * kernel_seconds(plan(site, config)).
+  [[nodiscard]] double site_term(int k, const KernelConfig& config) const;
+
+  vgpu::GpuPerfModel model_;
+  std::array<KernelSite, kNumKernels> sites_;
+  /// table_[k][b][i] = site_term(k, {kBlockChoices[b], i + 1}). Configs
+  /// outside the decode space (hand-built KernelConfigs) fall back to
+  /// site_term directly.
+  std::array<std::array<std::array<double, kMaxItemsPerThread>,
+                        kBlockChoices.size()>,
+             kNumKernels>
+      table_{};
+};
 
 }  // namespace fastpso::tgbm

@@ -2,10 +2,33 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string_view>
 
 #include "vgpu/memory_pool.h"
 
 namespace fastpso::vgpu {
+
+namespace {
+// Process-wide toggle; the vgpu is single-threaded by contract, so a plain
+// bool is enough. Defaults to on (FASTPSO_FAST_PATH=0 in the environment
+// starts it off, for A/B timing) — tests flip it to pin the legacy engine.
+bool initial_fast_path() {
+  const char* env = std::getenv("FASTPSO_FAST_PATH");
+  return env == nullptr || std::string_view(env) != "0";
+}
+bool g_fast_path_enabled = initial_fast_path();
+}  // namespace
+
+bool fast_path_enabled() { return g_fast_path_enabled; }
+
+void set_fast_path_enabled(bool enabled) { g_fast_path_enabled = enabled; }
+
+std::byte* Device::shared_scratch(std::size_t bytes) {
+  if (shared_scratch_.size() < bytes) {
+    shared_scratch_.resize(bytes);
+  }
+  return shared_scratch_.data();
+}
 
 LaunchConfig LaunchConfig::for_elements(const GpuSpec& spec,
                                         std::int64_t elements, int block,

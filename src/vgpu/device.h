@@ -36,6 +36,22 @@
 
 namespace fastpso::vgpu {
 
+/// Host-side fast-path toggle (default on). When enabled and no sanitizer
+/// Session is recording, Device::launch_elements dispatches one flat index
+/// loop instead of materialising every virtual thread, and launch_blocks
+/// reuses a per-device shared-memory arena. Accounting (counters, cost
+/// specs, modeled seconds) is identical on both paths; only host wall-clock
+/// changes. Tests flip this off to drive the faithful per-thread engine.
+[[nodiscard]] bool fast_path_enabled();
+void set_fast_path_enabled(bool enabled);
+
+/// True when the flat fast path may be taken right now: the toggle is on
+/// and no sanitizer Session is recording (a Session always gets the
+/// faithful per-thread execution so traces are unchanged).
+[[nodiscard]] inline bool use_fast_path() {
+  return fast_path_enabled() && !san::active();
+}
+
 /// CUDA-like launch configuration: `grid` blocks of `block` threads.
 struct LaunchConfig {
   std::int64_t grid = 1;
@@ -181,20 +197,55 @@ class Device {
   void launch(const LaunchConfig& cfg, const KernelCostSpec& cost,
               Body&& body) {
     account_launch(cfg, cost);
-    san::hook_launch_begin(cfg, cost);
     ThreadCtx ctx;
     ctx.block_dim = cfg.block;
     ctx.grid_dim = cfg.grid;
+    if (san::active()) [[unlikely]] {
+      san::hook_launch_begin(cfg, cost);
+      for (std::int64_t b = 0; b < cfg.grid; ++b) {
+        ctx.block_idx = b;
+        san::hook_block_begin(b);
+        for (int t = 0; t < cfg.block; ++t) {
+          ctx.thread_idx = t;
+          san::hook_thread_begin(b, t);
+          body(static_cast<const ThreadCtx&>(ctx));
+        }
+      }
+      san::hook_launch_end();
+      return;
+    }
     for (std::int64_t b = 0; b < cfg.grid; ++b) {
       ctx.block_idx = b;
-      san::hook_block_begin(b);
       for (int t = 0; t < cfg.block; ++t) {
         ctx.thread_idx = t;
-        san::hook_thread_begin(b, t);
         body(static_cast<const ThreadCtx&>(ctx));
       }
     }
-    san::hook_launch_end();
+  }
+
+  /// Launches an element-wise kernel over `[0, n_elems)`. On the fast path
+  /// (no sanitizer Session, toggle on) this runs one flat index loop —
+  /// identical accounting, identical element visit-set, no ThreadCtx per
+  /// virtual thread. Otherwise it falls back to the faithful per-thread
+  /// grid-stride execution so sanitizer traces are unchanged. Bodies must
+  /// be order-independent across elements (true of every element-wise
+  /// kernel: each index owns its own outputs).
+  template <typename Body>
+  void launch_elements(const LaunchConfig& cfg, const KernelCostSpec& cost,
+                       std::int64_t n_elems, Body&& body) {
+    if (!use_fast_path()) [[unlikely]] {
+      launch(cfg, cost, [&](const ThreadCtx& t) {
+        for (std::int64_t i = t.global_id(); i < n_elems;
+             i += t.grid_stride()) {
+          body(i);
+        }
+      });
+      return;
+    }
+    account_launch(cfg, cost);
+    for (std::int64_t i = 0; i < n_elems; ++i) {
+      body(i);
+    }
   }
 
   /// Launches a cooperative block kernel: `body` is called once per block
@@ -207,6 +258,13 @@ class Device {
   /// Accounting entry point shared by all launch styles (also used by
   /// tests to drive the model directly).
   void account_launch(const LaunchConfig& cfg, const KernelCostSpec& cost);
+
+  /// Reusable shared-memory scratch arena for BlockCtx. Grows on demand,
+  /// never shrinks, and is NOT cleared between blocks — CUDA shared memory
+  /// carries no cross-block guarantees either, and every kernel in the
+  /// repo writes its shared arrays before reading them (the sanitizer's
+  /// race checker enforces exactly this contract).
+  [[nodiscard]] std::byte* shared_scratch(std::size_t bytes);
 
  private:
   friend class MemoryPool;
@@ -221,6 +279,7 @@ class Device {
   std::unique_ptr<MemoryPool> pool_;
   std::vector<double> stream_clock_ = {0.0};
   StreamId current_stream_ = 0;
+  std::vector<std::byte> shared_scratch_;
 
   /// `device_wide` costs (allocs, transfers, host work) synchronize and
   /// advance every stream; kernel costs advance only the current stream.

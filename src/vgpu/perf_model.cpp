@@ -1,7 +1,9 @@
 #include "vgpu/perf_model.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.h"
 
@@ -43,34 +45,53 @@ KernelCostSpec& KernelCostSpec::operator+=(const KernelCostSpec& other) {
   return *this;
 }
 
-double GpuPerfModel::compute_occupancy(double threads) const {
+GpuPerfModel::GpuPerfModel(GpuSpec spec) : spec_(std::move(spec)) {
   // Compute saturates once every lane has a couple of warps to interleave.
-  const double saturation = spec_.lanes() * 2.0;
-  return std::clamp(threads / saturation, 1.0 / saturation, 1.0);
+  compute_saturation_ = spec_.lanes() * 2.0;
+  compute_floor_ = 1.0 / compute_saturation_;
+  eff_flops_plain_ = spec_.peak_flops() * spec_.alu_efficiency;
+  eff_flops_tensor_ = spec_.tensor_tflops * 1e12;
+  bw_base_ = spec_.eff_dram_bw_gbps * 1e9;
+  launch_overhead_s_ = spec_.launch_overhead_us * 1e-6;
+}
+
+double GpuPerfModel::compute_occupancy(double threads) const {
+  return std::clamp(threads / compute_saturation_, compute_floor_, 1.0);
 }
 
 double GpuPerfModel::memory_occupancy(double threads) const {
   const double ratio =
       std::clamp(threads / spec_.bw_saturation_threads, 1e-6, 1.0);
-  return std::pow(ratio, spec_.bw_occupancy_exponent);
+  // Saturated launches are the common case; IEEE pow(1.0, y) == 1.0 exactly.
+  if (ratio == 1.0) {
+    return 1.0;
+  }
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(ratio);
+  const std::size_t slot = static_cast<std::size_t>(
+      (bits * 0x9E3779B97F4A7C15ull) >> 32) % kOccCacheSize;
+  OccEntry& entry = occ_cache_[slot];
+  if (entry.ratio != ratio) {
+    entry.ratio = ratio;
+    entry.occ = std::pow(ratio, spec_.bw_occupancy_exponent);
+  }
+  return entry.occ;
 }
 
 double GpuPerfModel::kernel_seconds(double threads,
                                     const KernelCostSpec& cost) const {
   FASTPSO_CHECK(threads >= 1.0);
 
-  const double eff_flops = cost.uses_tensor_cores
-                               ? spec_.tensor_tflops * 1e12
-                               : spec_.peak_flops() * spec_.alu_efficiency;
+  const double eff_flops =
+      cost.uses_tensor_cores ? eff_flops_tensor_ : eff_flops_plain_;
   const double flop_work =
       cost.flops + cost.transcendentals * spec_.sfu_cost_flops;
   const double t_compute =
       flop_work / (eff_flops * compute_occupancy(threads));
 
-  const double bw = spec_.eff_dram_bw_gbps * 1e9 * memory_occupancy(threads);
+  const double bw = bw_base_ * memory_occupancy(threads);
   const double t_memory = cost.fetched_bytes() / bw;
 
-  return std::max(t_compute, t_memory) + spec_.launch_overhead_us * 1e-6 +
+  return std::max(t_compute, t_memory) + launch_overhead_s_ +
          cost.barriers * spec_.barrier_overhead_us * 1e-6;
 }
 

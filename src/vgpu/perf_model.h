@@ -24,6 +24,7 @@
 // emerges from first principles rather than a fudge factor.
 #pragma once
 
+#include <array>
 #include <cstddef>
 
 #include "vgpu/device_spec.h"
@@ -67,7 +68,7 @@ struct KernelCostSpec {
 /// Converts launch shape + cost spec into modeled seconds on a GpuSpec.
 class GpuPerfModel {
  public:
-  explicit GpuPerfModel(GpuSpec spec) : spec_(std::move(spec)) {}
+  explicit GpuPerfModel(GpuSpec spec);
 
   [[nodiscard]] const GpuSpec& spec() const { return spec_; }
 
@@ -91,6 +92,27 @@ class GpuPerfModel {
 
  private:
   GpuSpec spec_;
+  // Spec-derived constants of kernel_seconds, hoisted to construction. Each
+  // is the *same expression* (same operands, same association) the per-call
+  // code used to evaluate, so modeled seconds are bit-identical; the model is
+  // on every launch's critical path and these re-derivations dominated it.
+  double eff_flops_plain_ = 0;     ///< peak_flops() * alu_efficiency
+  double eff_flops_tensor_ = 0;    ///< tensor_tflops * 1e12
+  double compute_saturation_ = 0;  ///< lanes() * 2.0
+  double compute_floor_ = 0;       ///< 1.0 / compute_saturation_
+  double bw_base_ = 0;             ///< eff_dram_bw_gbps * 1e9
+  double launch_overhead_s_ = 0;   ///< launch_overhead_us * 1e-6
+
+  // Direct-mapped memo for memory_occupancy's std::pow, keyed on the clamped
+  // occupancy ratio. Launch shapes repeat heavily (same kernels every
+  // iteration), and pow for the same ratio bits is deterministic, so caching
+  // cannot change any returned value. Mutable: the memo is invisible state.
+  struct OccEntry {
+    double ratio = -1.0;  ///< impossible ratio => never matches
+    double occ = 0.0;
+  };
+  static constexpr std::size_t kOccCacheSize = 16;  // power of two
+  mutable std::array<OccEntry, kOccCacheSize> occ_cache_{};
 };
 
 /// Analytic cost model for the CPU implementations (fastpso-seq/-omp).

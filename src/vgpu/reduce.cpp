@@ -1,6 +1,7 @@
 #include "vgpu/reduce.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -54,6 +55,34 @@ ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
   FASTPSO_CHECK(n > 0);
   const auto cfg = reduce_config(device.spec(), n);
   const auto blocks = cfg.grid;
+
+  if (use_fast_path()) {
+    // Both passes are accounted exactly as on the block path; the result is
+    // bitwise-identical because min is exact and every tie-break (legacy:
+    // per-thread smallest index, tree prefers smaller index, NaN and the
+    // all-infinity case never selected) reduces to "first strict minimum in
+    // ascending index order".
+    device.account_launch(
+        cfg, reduce_cost(n, sizeof(float), blocks,
+                         sizeof(float) + sizeof(std::int64_t),
+                         log2_ceil(kReduceBlock)));
+    ArgMin result;
+    result.value = std::numeric_limits<float>::infinity();
+    result.index = -1;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (data[i] < result.value) {
+        result.value = data[i];
+        result.index = i;
+      }
+    }
+    LaunchConfig final_cfg;
+    final_cfg.grid = 1;
+    final_cfg.block = 1;
+    device.account_launch(
+        final_cfg, reduce_cost(blocks, sizeof(float) + sizeof(std::int64_t),
+                               blocks, 0, 0));
+    return result;
+  }
 
   std::vector<float> partial_val(blocks);
   std::vector<std::int64_t> partial_idx(blocks);
@@ -157,6 +186,47 @@ double reduce_sum(Device& device, const float* data, std::int64_t n) {
   FASTPSO_CHECK(n > 0);
   const auto cfg = reduce_config(device.spec(), n);
   const auto blocks = cfg.grid;
+
+  if (use_fast_path()) {
+    // Double addition is not associative, so this path replays the exact
+    // legacy fold order (per-thread grid-stride accumulation, then the
+    // shared-memory tree, then a serial pass over the block partials) —
+    // just without tracked views, hooks or ThreadCtx per virtual thread.
+    device.account_launch(cfg,
+                          reduce_cost(n, sizeof(float), blocks,
+                                      sizeof(double),
+                                      log2_ceil(kReduceBlock)));
+    const std::int64_t stride_all =
+        blocks * static_cast<std::int64_t>(kReduceBlock);
+    std::array<double, kReduceBlock> sh;
+    std::vector<double> partial(blocks, 0.0);
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      for (int t = 0; t < kReduceBlock; ++t) {
+        double acc = 0.0;
+        for (std::int64_t i = b * kReduceBlock + t; i < n; i += stride_all) {
+          acc += static_cast<double>(data[i]);
+        }
+        sh[t] = acc;
+      }
+      for (int stride = kReduceBlock / 2; stride > 0; stride /= 2) {
+        for (int t = 0; t < stride; ++t) {
+          sh[t] += sh[t + stride];
+        }
+      }
+      partial[b] = sh[0];
+    }
+    LaunchConfig final_cfg;
+    final_cfg.grid = 1;
+    final_cfg.block = 1;
+    device.account_launch(final_cfg,
+                          reduce_cost(blocks, sizeof(double), blocks, 0, 0));
+    double total = 0.0;
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      total += partial[b];
+    }
+    return total;
+  }
+
   std::vector<double> partial(blocks, 0.0);
 
   const auto in = san::track(data, static_cast<std::size_t>(n), "reduce_in");

@@ -478,19 +478,23 @@ KernelScope::~KernelScope() {
   }
 }
 
-void count_flops(double n) {
+namespace detail {
+
+void count_flops_slow(double n) {
   Session* s = Session::current();
   if (s != nullptr && s->impl().in_launch) {
     s->impl().counted.flops += n;
   }
 }
 
-void count_transcendentals(double n) {
+void count_transcendentals_slow(double n) {
   Session* s = Session::current();
   if (s != nullptr && s->impl().in_launch) {
     s->impl().counted.transcendentals += n;
   }
 }
+
+}  // namespace detail
 
 namespace detail {
 

@@ -191,13 +191,28 @@ class KernelScope {
   bool pushed_ = false;
 };
 
+namespace detail {
+// Out-of-line slow paths (sanitizer.cpp); only reached while recording.
+void count_flops_slow(double n);
+void count_transcendentals_slow(double n);
+}  // namespace detail
+
 /// Adds `n` floating-point operations to the current launch's counted cost.
-/// No-op outside a recording session. Ported kernels call this with the
-/// kernel's nominal per-element cost at the site where the element is
-/// processed.
-void count_flops(double n);
+/// No-op outside a recording session — and inline, so the hot per-element
+/// call sites in kernels pay one predictable branch, not a function call.
+/// Ported kernels call this with the kernel's nominal per-element cost at
+/// the site where the element is processed.
+inline void count_flops(double n) {
+  if (active()) [[unlikely]] {
+    detail::count_flops_slow(n);
+  }
+}
 /// As count_flops, for transcendental (sin/cos/exp/pow) evaluations.
-void count_transcendentals(double n);
+inline void count_transcendentals(double n) {
+  if (active()) [[unlikely]] {
+    detail::count_transcendentals_slow(n);
+  }
+}
 
 // ---- internal API between Tracked<T> and the session -------------------
 namespace detail {
