@@ -19,6 +19,10 @@ struct BenchOptions {
   int executed_iters = 20;   ///< really executed per cell
   std::uint64_t seed = 42;
   std::string csv;           ///< optional CSV output path
+  /// Optional Chrome-trace output path (--prof-trace): benches that profile
+  /// write the canonical run's event timeline here (chrome://tracing /
+  /// Perfetto; see DESIGN.md §7).
+  std::string prof_trace;
   /// Golden-regression mode: a tiny fixed configuration whose CSV output is
   /// fully deterministic (each bench pins its own smoke shape and writes
   /// wall-clock fields as 0.000 so the file is machine-independent).
@@ -36,6 +40,7 @@ struct BenchOptions {
     }
     opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
     opt.csv = args.get_string("csv", "");
+    opt.prof_trace = args.get_string("prof-trace", "");
     opt.smoke = args.get_bool("smoke", false);
     return opt;
   }

@@ -2,9 +2,19 @@
 // init / eval / pbest / gbest / swarm for fastpso-seq, fastpso-omp and
 // fastpso, on the four problems at n=5000, d=200.
 //
-//   ./fig5_breakdown [--executed-iters 20]
+// The per-step numbers come from the vgpu::prof event timeline (every run
+// here executes with profiling on): each implementation's profile is
+// aggregated by phase and scaled to the reported iteration count. Because
+// profile events carry the exact doubles the performance model handed to
+// the breakdown, these figures are bit-identical to the pre-profiler
+// TimeBreakdown output.
+//
+//   ./fig5_breakdown [--executed-iters 20] [--prof-trace fig5_trace.json]
+//
+// --prof-trace writes the fastpso/sphere run's Chrome trace.
 
 #include "bench_common.h"
+#include "vgpu/prof/prof.h"
 
 using namespace fastpso;
 using namespace fastpso::benchkit;
@@ -12,6 +22,8 @@ using namespace fastpso::benchkit;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const BenchOptions opt = BenchOptions::parse(args, /*default_executed=*/20);
+
+  vgpu::prof::set_enabled(true);
 
   const std::vector<std::string> problems = {"sphere", "griewank", "easom",
                                              "threadconf"};
@@ -21,6 +33,7 @@ int main(int argc, char** argv) {
                                           "swarm"};
 
   CsvWriter csv({"problem", "impl", "step", "modeled_s"});
+  vgpu::prof::Profile trace;  // fastpso on sphere, for --prof-trace
 
   for (const auto& problem : problems) {
     TextTable table("Figure 5 breakdown (" + problem + ") — modeled sec");
@@ -40,21 +53,39 @@ int main(int argc, char** argv) {
       spec.iters = opt.iters;
       spec.executed_iters = opt.executed_iters;
       spec.seed = opt.seed;
-      const RunOutcome outcome = run_spec(spec);
+      RunOutcome outcome = run_spec(spec);
 
+      // Phase totals from the event timeline, scaled to RunSpec::iters.
+      const auto by_phase = outcome.result.profile.seconds_by_phase();
       std::vector<std::string> row = {to_string(impl)};
       for (const auto& step : steps) {
-        const double s = outcome.modeled_breakdown_full.get(step);
+        const auto it = by_phase.find(step);
+        const double s =
+            it != by_phase.end() ? it->second * outcome.scale : 0.0;
         row.push_back(fmt_fixed(s, 3));
         csv.add_row({problem, to_string(impl), step, fmt_fixed(s, 4)});
       }
-      row.push_back(fmt_fixed(outcome.modeled_breakdown_full.total(), 3));
+      double total = 0;
+      for (const auto& [step, seconds] : by_phase) {
+        total += seconds * outcome.scale;
+      }
+      row.push_back(fmt_fixed(total, 3));
       table.add_row(row);
+
+      if (impl == Impl::kFastPso && problem == "sphere") {
+        trace = std::move(outcome.result.profile);
+      }
     }
     table.add_note("paper shape: swarm update takes >80% of the CPU "
                    "versions; fastpso's swarm step is <0.1s of a ~0.7s run");
     table.print(std::cout);
   }
   maybe_write_csv(csv, opt.csv);
+  if (!opt.prof_trace.empty()) {
+    std::cout << (trace.write_chrome_trace(opt.prof_trace)
+                      ? "prof trace written: "
+                      : "prof trace write FAILED: ")
+              << opt.prof_trace << "\n";
+  }
   return 0;
 }

@@ -10,17 +10,23 @@
 //   3. end-to-end wall-clock of the fixed table1 --smoke configuration
 //      (4 problems x 7 implementations, 64 particles, dim 8, 5 executed
 //      iterations), best of a few repetitions.
+//   4. (--prof-overhead) launch throughput with the vgpu::prof profiler off
+//      vs on — the off number pins the "zero overhead when off" promise
+//      (one branch on the hot path), the on number reports the cost of
+//      event capture, plus the profile's modeled-vs-wall ratio.
 //
 // Both launch paths issue the identical account_launch call, so modeled
 // seconds and DeviceCounters are unaffected by the toggle — this binary
 // measures host execution speed only.
 //
-//   ./micro_engine [--smoke] [--json BENCH_engine.json]
+//   ./micro_engine [--smoke] [--prof-overhead] [--json BENCH_engine.json]
 //                  [--baseline bench/BENCH_engine_baseline.json]
 //
 // --smoke shrinks the repetition counts for CI and emits BENCH_engine.json.
 // --baseline compares against a checked-in conservative baseline and exits
-// non-zero when any metric regresses by more than 2x.
+// non-zero when any metric regresses by more than 2x; with --prof-overhead
+// it additionally fails if profiler-off launch throughput sits more than 5%
+// below the baseline (the profiler must stay free when disabled).
 
 #include <cstdlib>
 #include <fstream>
@@ -31,6 +37,7 @@
 #include "common/stopwatch.h"
 #include "problems/problem.h"
 #include "vgpu/device.h"
+#include "vgpu/prof/prof.h"
 
 using namespace fastpso;
 using namespace fastpso::benchkit;
@@ -133,6 +140,64 @@ EvalResult bench_eval(const std::string& problem_name, int n, int d,
   return r;
 }
 
+struct ProfOverheadResult {
+  double off_per_s = 0;       ///< fast-path launches/s, profiler disabled
+  double on_per_s = 0;        ///< fast-path launches/s, profiler enabled
+  double modeled_vs_wall = 0; ///< from the captured profile (on pass)
+  double checksum = 0;
+};
+
+/// Same trivial kernel as bench_launch, fast path pinned on, timed with the
+/// profiler disabled and enabled. The off pass is the contract: profiling
+/// costs one predicted branch when inactive, so off throughput must match
+/// plain fast-path launch throughput.
+ProfOverheadResult bench_prof_overhead(std::int64_t n_elems, int reps) {
+  vgpu::Device device;
+  std::vector<float> in(static_cast<std::size_t>(n_elems));
+  std::vector<float> out(static_cast<std::size_t>(n_elems), 0.0f);
+  for (std::int64_t i = 0; i < n_elems; ++i) {
+    in[static_cast<std::size_t>(i)] = static_cast<float>(i % 97) * 0.125f;
+  }
+  vgpu::LaunchConfig cfg;
+  cfg.block = 256;
+  cfg.grid = (n_elems + cfg.block - 1) / cfg.block;
+  vgpu::KernelCostSpec cost;
+  cost.flops = 2.0 * static_cast<double>(n_elems);
+  cost.dram_read_bytes = static_cast<double>(n_elems) * sizeof(float);
+  cost.dram_write_bytes = static_cast<double>(n_elems) * sizeof(float);
+  const float* src = in.data();
+  float* dst = out.data();
+
+  const bool saved_fast = vgpu::fast_path_enabled();
+  const bool saved_prof = vgpu::prof::active();
+  vgpu::set_fast_path_enabled(true);
+  ProfOverheadResult r;
+  for (const bool prof_on : {false, true}) {
+    vgpu::prof::set_enabled(prof_on);
+    auto run = [&](int count) {
+      for (int rep = 0; rep < count; ++rep) {
+        device.launch_elements(cfg, cost, n_elems, [&](std::int64_t i) {
+          dst[i] = src[i] * 2.0f + 1.0f;
+        });
+      }
+    };
+    run(reps / 10 + 1);            // warmup
+    (void)device.take_profile();   // timed pass starts with an empty timeline
+    Stopwatch watch;
+    run(reps);
+    const double per_s = reps / watch.elapsed_s();
+    (prof_on ? r.on_per_s : r.off_per_s) = per_s;
+    if (prof_on) {
+      r.modeled_vs_wall = device.take_profile().modeled_vs_wall();
+    }
+    r.checksum += static_cast<double>(dst[static_cast<std::size_t>(
+        n_elems - 1)]);
+  }
+  vgpu::prof::set_enabled(saved_prof);
+  vgpu::set_fast_path_enabled(saved_fast);
+  return r;
+}
+
 /// Wall-clock of the exact table1_overall --smoke cell set; best of `reps`.
 double bench_table1_smoke(int reps) {
   const std::vector<std::string> problems = {"sphere", "griewank", "easom",
@@ -184,6 +249,7 @@ double json_number(const std::string& text, const std::string& key,
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bool smoke = args.get_bool("smoke", false);
+  const bool prof_overhead = args.get_bool("prof-overhead", false);
   const std::string json_path = args.get_string("json", "BENCH_engine.json");
   const std::string baseline_path = args.get_string("baseline", "");
 
@@ -197,6 +263,10 @@ int main(int argc, char** argv) {
   const LaunchResult launch = bench_launch(launch_elems, launch_reps);
   const EvalResult eval = bench_eval("sphere", eval_n, eval_d, eval_reps);
   const double table1_wall = bench_table1_smoke(table1_reps);
+  ProfOverheadResult prof;
+  if (prof_overhead) {
+    prof = bench_prof_overhead(launch_elems, launch_reps);
+  }
 
   const double launch_speedup = launch.fast_per_s / launch.legacy_per_s;
   const double eval_speedup = eval.batch_per_s / eval.virtual_per_s;
@@ -212,6 +282,15 @@ int main(int argc, char** argv) {
                  fmt_speedup(eval_speedup)});
   table.add_row({"table1 --smoke wall (s)", fmt_fixed(table1_wall, 4), "-",
                  "-"});
+  if (prof_overhead) {
+    // "speedup" column = off/on: how much slower launches get with the
+    // profiler capturing events (1.0x would be free).
+    table.add_row({"launches/s prof off/on",
+                   fmt_sci(prof.off_per_s), fmt_sci(prof.on_per_s),
+                   fmt_speedup(prof.off_per_s / prof.on_per_s)});
+    table.add_row({"modeled-vs-wall (prof on)",
+                   fmt_speedup(prof.modeled_vs_wall), "-", "-"});
+  }
   table.add_note("identical account_launch on both paths: modeled seconds "
                  "and counters do not depend on the toggle");
   table.print(std::cout);
@@ -235,8 +314,17 @@ int main(int argc, char** argv) {
          << "    \"batch_evals_per_s\": " << eval.batch_per_s << ",\n"
          << "    \"virtual_evals_per_s\": " << eval.virtual_per_s << ",\n"
          << "    \"speedup\": " << eval_speedup << "\n"
-         << "  },\n"
-         << "  \"table1_smoke\": {\n";
+         << "  },\n";
+    if (prof_overhead) {
+      json << "  \"prof\": {\n"
+           << "    \"off_launches_per_s\": " << prof.off_per_s << ",\n"
+           << "    \"on_launches_per_s\": " << prof.on_per_s << ",\n"
+           << "    \"overhead_ratio\": " << prof.off_per_s / prof.on_per_s
+           << ",\n"
+           << "    \"modeled_vs_wall\": " << prof.modeled_vs_wall << "\n"
+           << "  },\n";
+    }
+    json << "  \"table1_smoke\": {\n";
     json.precision(6);
     json << "    \"wall_s\": " << table1_wall << "\n"
          << "  }\n"
@@ -274,6 +362,14 @@ int main(int argc, char** argv) {
          eval.batch_per_s, base_eval / 2.0);
     gate("table1_smoke_wall", table1_wall <= base_wall * 2.0, table1_wall,
          base_wall * 2.0);
+    if (prof_overhead) {
+      // Tighter bar than the 2x gates: with the profiler off the launch
+      // path must stay within 5% of the baseline throughput, otherwise the
+      // "disabled profiling is free" promise has been broken.
+      gate("prof_off_launch_throughput",
+           prof.off_per_s >= base_launch / 1.05, prof.off_per_s,
+           base_launch / 1.05);
+    }
     if (!ok) {
       std::cerr << "micro_engine: regression vs baseline " << baseline_path
                 << "\n";

@@ -8,9 +8,19 @@
 // bandwidth. Total FLOPs are similar across implementations because all run
 // the same PSO mathematics — the paper's own observation.
 //
-//   ./table3_throughput [--executed-iters 20]
+// All metrics are aggregated from the vgpu::prof event timeline (these runs
+// execute with profiling on). The profile records the exact doubles the
+// device counters accumulated, so the table is bit-identical to the
+// counter-derived output it replaced; a per-kernel "GPU activities" table
+// (nvprof style) for fastpso comes along for free.
+//
+//   ./table3_throughput [--executed-iters 20] [--prof-trace trace.json]
+//
+// --prof-trace writes the fastpso run's Chrome trace (the CI Sphere
+// artifact).
 
 #include "bench_common.h"
+#include "vgpu/prof/prof.h"
 
 using namespace fastpso;
 using namespace fastpso::benchkit;
@@ -19,10 +29,13 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const BenchOptions opt = BenchOptions::parse(args, /*default_executed=*/20);
 
+  vgpu::prof::set_enabled(true);
+
   TextTable table("Table 3: FLOPs and memory bandwidth (Sphere)");
   table.set_header({"metrics", "dram_read_throughput (GB/s)", "GFLOPs"});
   CsvWriter csv({"impl", "read_gbps", "gflops", "read_fetched_gb",
                  "modeled_s"});
+  vgpu::prof::Profile fastpso_profile;
 
   for (Impl impl : gpu_impls()) {
     RunSpec spec;
@@ -33,16 +46,17 @@ int main(int argc, char** argv) {
     spec.iters = opt.iters;
     spec.executed_iters = opt.executed_iters;
     spec.seed = opt.seed;
-    const RunOutcome outcome = run_spec(spec);
+    RunOutcome outcome = run_spec(spec);
 
-    // Scale the executed run's counters to the full iteration count.
+    // Scale the executed run's profile aggregates to the full iteration
+    // count (same scaling the counters used).
+    const vgpu::prof::Profile& prof = outcome.result.profile;
     const double scale = static_cast<double>(opt.iters) /
                          outcome.result.iterations;
-    const double read_fetched =
-        outcome.result.counters.dram_read_fetched * scale;
-    const double gflops = outcome.result.counters.flops * scale / 1e9;
+    const double read_fetched = prof.dram_read_fetched() * scale;
+    const double gflops = prof.flops() * scale / 1e9;
     // nvprof-style throughput: bytes moved / time spent inside kernels.
-    const double kernel_s = outcome.result.counters.kernel_seconds * scale;
+    const double kernel_s = prof.kernel_seconds() * scale;
     const double read_gbps = read_fetched / kernel_s / 1e9;
 
     table.add_row({to_string(impl), fmt_fixed(read_gbps, 2),
@@ -50,6 +64,9 @@ int main(int argc, char** argv) {
     csv.add_row({to_string(impl), fmt_fixed(read_gbps, 2),
                  fmt_fixed(gflops, 2), fmt_fixed(read_fetched / 1e9, 2),
                  fmt_fixed(outcome.modeled_seconds_full, 3)});
+    if (impl == Impl::kFastPso) {
+      fastpso_profile = std::move(outcome.result.profile);
+    }
   }
 
   table.add_note("paper: gpu-pso 61.83 GB/s, hgpu-pso 57.41 GB/s, fastpso "
@@ -57,6 +74,31 @@ int main(int argc, char** argv) {
                  "the paper counts FMA-reduced ops; shape: equal across "
                  "impls)");
   table.print(std::cout);
+
+  // nvprof "GPU activities"-style per-kernel table for fastpso.
+  TextTable kernels("fastpso per-kernel profile (executed run, top 8)");
+  kernels.set_header({"kernel", "launches", "modeled_s", "time%", "GFLOP",
+                      "read_GB"});
+  const double total_kernel_s = fastpso_profile.kernel_seconds();
+  for (const auto& row : fastpso_profile.top_kernels(8)) {
+    kernels.add_row(
+        {row.label, std::to_string(row.launches),
+         fmt_fixed(row.modeled_seconds, 4),
+         fmt_fixed(total_kernel_s > 0
+                       ? 100.0 * row.modeled_seconds / total_kernel_s
+                       : 0.0,
+                   1),
+         fmt_fixed(row.flops / 1e9, 2),
+         fmt_fixed(row.fetched_read_bytes / 1e9, 2)});
+  }
+  kernels.print(std::cout);
+
   maybe_write_csv(csv, opt.csv);
+  if (!opt.prof_trace.empty()) {
+    std::cout << (fastpso_profile.write_chrome_trace(opt.prof_trace)
+                      ? "prof trace written: "
+                      : "prof trace write FAILED: ")
+              << opt.prof_trace << "\n";
+  }
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "rng/philox.h"
 #include "rng/xoshiro.h"
 #include "vgpu/perf_model.h"
+#include "vgpu/prof/prof.h"
 
 namespace fastpso::baselines {
 namespace {
@@ -69,6 +70,17 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
 
   TimeBreakdown wall;
   TimeBreakdown modeled;
+  vgpu::prof::Profile profile;
+  // Folds one modeled host region into both the Figure 5 breakdown and (when
+  // profiling) the event timeline, with the *same* double so the profile's
+  // per-phase sums reproduce the breakdown exactly.
+  const auto account = [&](const char* phase, const char* label,
+                           double seconds) {
+    modeled.add(phase, seconds);
+    if (vgpu::prof::active()) {
+      profile.add_host(label, phase, seconds);
+    }
+  };
   Stopwatch total_watch;
 
   CpuSwarm s;
@@ -110,11 +122,11 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
       }
     }
     std::copy(s.p.begin(), s.p.end(), s.pbest_pos.begin());
-    modeled.add("init",
-                cpu.region_seconds(
-                    model_threads,
-                    kCpuRngFlopsPerValue * 2.0 * static_cast<double>(elements),
-                    0, 3.0 * static_cast<double>(elements) * sizeof(float)));
+    account("init", "init/swarm_init",
+            cpu.region_seconds(
+                model_threads,
+                kCpuRngFlopsPerValue * 2.0 * static_cast<double>(elements), 0,
+                3.0 * static_cast<double>(elements) * sizeof(float)));
   }
 
   std::vector<float> gbest_history;
@@ -147,12 +159,11 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
           s.g[i] = seq_rng.next_unit_float();
         }
       }
-      modeled.add(
-          "init",
-          cpu.region_seconds(
-              model_threads,
-              kCpuRngFlopsPerValue * 2.0 * static_cast<double>(elements), 0,
-              2.0 * static_cast<double>(elements) * sizeof(float)));
+      account("init", "init/weights",
+              cpu.region_seconds(
+                  model_threads,
+                  kCpuRngFlopsPerValue * 2.0 * static_cast<double>(elements),
+                  0, 2.0 * static_cast<double>(elements) * sizeof(float)));
     }
 
     // ---- Step (ii): evaluation ------------------------------------------
@@ -193,11 +204,11 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
               static_cast<float>(objective.fn(s.p.data() + i * d, d));
         }
       }
-      modeled.add("eval",
-                  cpu.region_seconds(
-                      model_threads, objective.cost.flops(d) * n,
-                      objective.cost.transcendentals(d) * n,
-                      static_cast<double>(elements + n) * sizeof(float)));
+      account("eval", "eval/objective",
+              cpu.region_seconds(
+                  model_threads, objective.cost.flops(d) * n,
+                  objective.cost.transcendentals(d) * n,
+                  static_cast<double>(elements + n) * sizeof(float)));
     }
 
     // ---- Step (iii): pbest + gbest ---------------------------------------
@@ -215,12 +226,11 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
           ++improved;
         }
       }
-      modeled.add(
-          "pbest",
-          cpu.region_seconds(model_threads, static_cast<double>(n), 0,
-                             (2.0 * n + 2.0 * static_cast<double>(improved) *
-                                            d) *
-                                 sizeof(float)));
+      account("pbest", "pbest/update",
+              cpu.region_seconds(
+                  model_threads, static_cast<double>(n), 0,
+                  (2.0 * n + 2.0 * static_cast<double>(improved) * d) *
+                      sizeof(float)));
     }
     {
       ScopedTimer timer(wall, "gbest");
@@ -239,9 +249,9 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
             s.pbest_pos.begin() + static_cast<std::ptrdiff_t>(best_i + 1) * d,
             s.gbest_pos.begin());
       }
-      modeled.add("gbest",
-                  cpu.region_seconds(1, static_cast<double>(n), 0,
-                                     static_cast<double>(n) * sizeof(float)));
+      account("gbest", "gbest/scan",
+              cpu.region_seconds(1, static_cast<double>(n), 0,
+                                 static_cast<double>(n) * sizeof(float)));
       gbest_history.push_back(s.gbest);
     }
 
@@ -267,12 +277,11 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
         }
         s.p[i] = np;
       }
-      modeled.add(
-          "swarm",
-          cpu.region_seconds(
-              model_threads,
-              kUpdateFlopsPerElement * static_cast<double>(elements), 0,
-              7.0 * static_cast<double>(elements) * sizeof(float)));
+      account("swarm", "swarm/update",
+              cpu.region_seconds(
+                  model_threads,
+                  kUpdateFlopsPerElement * static_cast<double>(elements), 0,
+                  7.0 * static_cast<double>(elements) * sizeof(float)));
     }
   }
 
@@ -285,6 +294,7 @@ core::Result run_fastpso_cpu(const core::Objective& objective,
   result.wall_breakdown = wall;
   result.modeled_breakdown = modeled;
   result.modeled_seconds = modeled.total();
+  result.profile = std::move(profile);
   return result;
 }
 

@@ -32,6 +32,7 @@
 #include "core/swarm_update.h"
 #include "rng/philox.h"
 #include "vgpu/buffer.h"
+#include "vgpu/prof/prof.h"
 #include "vgpu/reduce.h"
 
 namespace fastpso::baselines {
@@ -79,6 +80,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
   const rng::PhiloxStream init_rng(params.seed + 0x517CC1B7u, 0);
   {
     ScopedTimer timer(wall, "init");
+    vgpu::prof::KernelLabel label("gpu_pso/init");
     vgpu::KernelCostSpec cost;
     cost.flops = (13.0 * 2.0 + 4.0) * static_cast<double>(elements);
     cost.dram_write_bytes = 3.0 * static_cast<double>(elements) *
@@ -105,6 +107,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
     {
       ScopedTimer timer(wall, "eval");
       device.set_phase("eval");
+      vgpu::prof::KernelLabel label("gpu_pso/eval");
       vgpu::KernelCostSpec cost;
       cost.flops = objective.cost.flops(d) * n;
       cost.transcendentals = objective.cost.transcendentals(d) * n;
@@ -130,6 +133,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
     {
       ScopedTimer timer(wall, "pbest");
       device.set_phase("pbest");
+      vgpu::prof::KernelLabel label("gpu_pso/pbest");
       // Count improvements first so the traffic declaration is honest.
       for (int i = 0; i < n; ++i) {
         improved += perror[i] < pbest_err[i] ? 1 : 0;
@@ -166,6 +170,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
           vgpu::reduce_argmin(device, pbest_err.data(), n);
       if (best.value < gbest) {
         gbest = best.value;
+        vgpu::prof::KernelLabel label("gpu_pso/gbest_copy");
         const float* src = pbest_pos.data() + best.index * d;
         float* dst = gbest_pos.data();
         vgpu::LaunchConfig cfg;
@@ -184,6 +189,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
     {
       ScopedTimer timer(wall, "swarm");
       device.set_phase("swarm");
+      vgpu::prof::KernelLabel label("gpu_pso/swarm");
       const rng::PhiloxStream iter_rng(
           params.seed + 0x517CC1B7u,
           2 + static_cast<std::uint64_t>(iter));
@@ -230,6 +236,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
   result.modeled_breakdown = device.modeled_breakdown();
   result.modeled_seconds = device.modeled_seconds();
   result.counters = device.counters();
+  result.profile = device.take_profile();
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include "rng/philox.h"
 #include "vgpu/buffer.h"
 #include "vgpu/perf_model.h"
+#include "vgpu/prof/prof.h"
 
 namespace fastpso::baselines {
 namespace {
@@ -58,6 +59,16 @@ core::Result run_hgpu_pso(const core::Objective& objective,
   Stopwatch watch;
   TimeBreakdown wall;
   TimeBreakdown modeled_cpu;
+  vgpu::prof::Profile cpu_profile;
+  // The CPU half's modeled regions, mirrored into a host-event timeline
+  // when profiling (the same doubles modeled_cpu accumulates).
+  const auto account_cpu = [&](const char* phase, const char* label,
+                               double seconds, double flops = 0) {
+    modeled_cpu.add(phase, seconds);
+    if (vgpu::prof::active()) {
+      cpu_profile.add_host(label, phase, seconds, flops);
+    }
+  };
   double cpu_flops = 0;  // algorithm flops executed host-side
 
   // Host-side swarm (CPU owns the state).
@@ -84,11 +95,12 @@ core::Result run_hgpu_pso(const core::Objective& objective,
     }
     pbest_pos = pos;
     cpu_flops += kCpuRngFlopsPerValue * 2.0 * static_cast<double>(elements);
-    modeled_cpu.add(
-        "init", cpu.region_seconds(
-                    cores, kCpuRngFlopsPerValue * 2.0 *
-                               static_cast<double>(elements),
-                    0, 3.0 * static_cast<double>(elements) * sizeof(float)));
+    account_cpu(
+        "init", "hgpu/cpu_init",
+        cpu.region_seconds(
+            cores, kCpuRngFlopsPerValue * 2.0 * static_cast<double>(elements),
+            0, 3.0 * static_cast<double>(elements) * sizeof(float)),
+        kCpuRngFlopsPerValue * 2.0 * static_cast<double>(elements));
   }
 
   vgpu::LaunchConfig per_particle;
@@ -100,6 +112,7 @@ core::Result run_hgpu_pso(const core::Objective& objective,
     {
       ScopedTimer timer(wall, "eval");
       device.set_phase("eval");
+      vgpu::prof::KernelLabel label("hgpu/eval");
       d_pos.upload(pos);
       vgpu::KernelCostSpec cost;
       cost.flops = objective.cost.flops(d) * n;
@@ -135,12 +148,12 @@ core::Result run_hgpu_pso(const core::Objective& objective,
           ++improved;
         }
       }
-      modeled_cpu.add(
-          "pbest",
-          cpu.region_seconds(cores, static_cast<double>(n), 0,
-                             (2.0 * n + 2.0 * static_cast<double>(improved) *
-                                            d) *
-                                 sizeof(float)));
+      account_cpu(
+          "pbest", "hgpu/cpu_pbest",
+          cpu.region_seconds(
+              cores, static_cast<double>(n), 0,
+              (2.0 * n + 2.0 * static_cast<double>(improved) * d) *
+                  sizeof(float)));
     }
 
     // ---- CPU: gbest ---------------------------------------------------------
@@ -161,10 +174,9 @@ core::Result run_hgpu_pso(const core::Objective& objective,
             pbest_pos.begin() + static_cast<std::ptrdiff_t>(best_i + 1) * d,
             gbest_pos.begin());
       }
-      modeled_cpu.add("gbest",
-                      cpu.region_seconds(1, static_cast<double>(n), 0,
-                                         static_cast<double>(n) *
-                                             sizeof(float)));
+      account_cpu("gbest", "hgpu/cpu_gbest",
+                  cpu.region_seconds(1, static_cast<double>(n), 0,
+                                     static_cast<double>(n) * sizeof(float)));
     }
 
     // ---- CPU: OpenMP swarm update (inline randoms) ---------------------------
@@ -191,13 +203,14 @@ core::Result run_hgpu_pso(const core::Objective& objective,
       }
       cpu_flops += (10.0 + 2.0 * kCpuRngFlopsPerValue) *
                    static_cast<double>(elements);
-      modeled_cpu.add(
-          "swarm",
+      account_cpu(
+          "swarm", "hgpu/cpu_swarm",
           cpu.region_seconds(
               cores,
               (10.0 + 2.0 * kCpuRngFlopsPerValue) *
                   static_cast<double>(elements),
-              0, 5.0 * static_cast<double>(elements) * sizeof(float)));
+              0, 5.0 * static_cast<double>(elements) * sizeof(float)),
+          (10.0 + 2.0 * kCpuRngFlopsPerValue) * static_cast<double>(elements));
     }
   }
 
@@ -212,6 +225,13 @@ core::Result run_hgpu_pso(const core::Objective& objective,
   result.modeled_seconds = result.modeled_breakdown.total();
   result.counters = device.counters();
   result.counters.flops += cpu_flops;
+  // Device events first, then the CPU half's host regions. The combined
+  // modeled total can differ from merge()'s by ulps (different addition
+  // order); hgpu is not part of the exact-parity contract.
+  result.profile = device.take_profile();
+  for (auto& e : cpu_profile.events) {
+    result.profile.events.push_back(std::move(e));
+  }
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "baselines/ndarray.h"
 #include "common/stopwatch.h"
 #include "rng/xoshiro.h"
+#include "vgpu/prof/prof.h"
 
 namespace fastpso::baselines {
 namespace {
@@ -51,6 +52,14 @@ core::Result run_pyswarms_like(const core::Objective& objective,
   Stopwatch watch;
   TimeBreakdown wall;
   TimeBreakdown modeled;
+  vgpu::prof::Profile profile;
+  const auto account = [&](const char* phase, const char* label,
+                           double seconds) {
+    modeled.add(phase, seconds);
+    if (vgpu::prof::active()) {
+      profile.add_host(label, phase, seconds);
+    }
+  };
 
   // ---- init (pyswarms generate_swarm / generate_velocity) ---------------
   NdArray pos(n, d);
@@ -66,7 +75,7 @@ core::Result run_pyswarms_like(const core::Objective& objective,
     fill_uniform(ledger, vel, -(hi - lo), hi - lo, unit);
     pbest_pos = pos;
     ledger.record_op(pos.bytes(), pos.bytes(), 1, pos.bytes());  // copy
-    modeled.add("init", ledger.seconds());
+    account("init", "pyswarms/generate_swarm", ledger.seconds());
     ledger.reset();
   }
 
@@ -85,7 +94,7 @@ core::Result run_pyswarms_like(const core::Objective& objective,
         current_cost[i] = objective.fn(row32.data(), static_cast<int>(d));
       }
       charge_vectorized_eval(ledger, n, d, objective.cost.vector_passes);
-      modeled.add("eval", ledger.seconds());
+      account("eval", "pyswarms/objective", ledger.seconds());
       ledger.reset();
     }
 
@@ -104,7 +113,7 @@ core::Result run_pyswarms_like(const core::Objective& objective,
       ledger.record_op(2.0 * n * sizeof(double), n * sizeof(double), 1,
                        n * sizeof(double));
       ledger.record_op(2.0 * pos.bytes(), pos.bytes(), 1, pos.bytes());
-      modeled.add("pbest", ledger.seconds());
+      account("pbest", "pyswarms/compute_pbest", ledger.seconds());
       ledger.reset();
     }
 
@@ -118,7 +127,7 @@ core::Result run_pyswarms_like(const core::Objective& objective,
           gbest_pos[j] = pbest_pos(best, j);
         }
       }
-      modeled.add("gbest", ledger.seconds());
+      account("gbest", "pyswarms/compute_gbest", ledger.seconds());
       ledger.reset();
     }
 
@@ -143,7 +152,7 @@ core::Result run_pyswarms_like(const core::Objective& objective,
                 social);
       // position = wrap_periodic(position + velocity)
       pos = wrap_periodic(ledger, add(ledger, pos, vel), lo, hi);
-      modeled.add("swarm", ledger.seconds());
+      account("swarm", "pyswarms/compute_velocity", ledger.seconds());
       ledger.reset();
     }
   }
@@ -156,6 +165,7 @@ core::Result run_pyswarms_like(const core::Objective& objective,
   result.wall_breakdown = wall;
   result.modeled_breakdown = modeled;
   result.modeled_seconds = modeled.total();
+  result.profile = std::move(profile);
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include "baselines/ndarray.h"
 #include "common/stopwatch.h"
 #include "rng/xoshiro.h"
+#include "vgpu/prof/prof.h"
 
 namespace fastpso::baselines {
 
@@ -40,6 +41,14 @@ core::Result run_scikit_opt_like(const core::Objective& objective,
   Stopwatch watch;
   TimeBreakdown wall;
   TimeBreakdown modeled;
+  vgpu::prof::Profile profile;
+  const auto account = [&](const char* phase, const char* label,
+                           double seconds) {
+    modeled.add(phase, seconds);
+    if (vgpu::prof::active()) {
+      profile.add_host(label, phase, seconds);
+    }
+  };
 
   NdArray pos(n, d);
   NdArray vel(n, d);
@@ -56,7 +65,7 @@ core::Result run_scikit_opt_like(const core::Objective& objective,
     fill_uniform(ledger, vel, -(hi - lo), hi - lo, unit);
     pbest_pos = pos;
     ledger.record_op(pos.bytes(), pos.bytes(), 1, pos.bytes());
-    modeled.add("init", ledger.seconds());
+    account("init", "sko/init", ledger.seconds());
     ledger.reset();
   }
 
@@ -80,7 +89,7 @@ core::Result run_scikit_opt_like(const core::Objective& objective,
            ++pass) {
         ledger.record_op(matrix_bytes, matrix_bytes, 1, matrix_bytes);
       }
-      modeled.add("eval", ledger.seconds());
+      account("eval", "sko/cal_y", ledger.seconds());
       ledger.reset();
     }
 
@@ -97,7 +106,7 @@ core::Result run_scikit_opt_like(const core::Objective& objective,
       }
       ledger.record_python_loop(n);
       ledger.record_op(2.0 * pos.bytes(), pos.bytes(), 1, pos.bytes());
-      modeled.add("pbest", ledger.seconds());
+      account("pbest", "sko/update_pbest", ledger.seconds());
       ledger.reset();
     }
 
@@ -113,7 +122,7 @@ core::Result run_scikit_opt_like(const core::Objective& objective,
         }
         improved = true;
       }
-      modeled.add("gbest", ledger.seconds());
+      account("gbest", "sko/update_gbest", ledger.seconds());
       ledger.reset();
     }
 
@@ -135,7 +144,7 @@ core::Result run_scikit_opt_like(const core::Objective& objective,
                 social);
       // X = np.clip(X + V, lb, ub)
       pos = clip(ledger, add(ledger, pos, vel), lo, hi);
-      modeled.add("swarm", ledger.seconds());
+      account("swarm", "sko/update_V", ledger.seconds());
       ledger.reset();
     }
 
@@ -154,6 +163,7 @@ core::Result run_scikit_opt_like(const core::Objective& objective,
   result.wall_breakdown = wall;
   result.modeled_breakdown = modeled;
   result.modeled_seconds = modeled.total();
+  result.profile = std::move(profile);
   return result;
 }
 

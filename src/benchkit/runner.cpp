@@ -114,6 +114,7 @@ RunOutcome run_spec(const RunSpec& spec) {
   if (result.iterations >= executed && executed < spec.iters) {
     scale = static_cast<double>(spec.iters) / executed;
   }
+  outcome.scale = scale;
   outcome.modeled_seconds_full = result.modeled_seconds * scale;
   outcome.modeled_breakdown_full = result.modeled_breakdown;
   if (scale != 1.0) {

@@ -64,6 +64,10 @@ struct RunOutcome {
   double wall_seconds = 0;
   double error = 0;                    ///< |gbest - optimum|
   bool has_error = false;              ///< optimum known?
+  /// Executed-to-reported iteration scale factor (1.0 when unscaled).
+  /// Profile aggregates (result.profile) are per-executed-run; multiply by
+  /// this to get iters-scaled numbers comparable to modeled_seconds_full.
+  double scale = 1.0;
 };
 
 /// Runs one cell. Throws CheckError for unknown problems/impls.

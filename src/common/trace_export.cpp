@@ -1,0 +1,78 @@
+#include "common/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace fastpso {
+
+namespace {
+
+/// Microsecond timestamps with 4 decimals (0.1 ns grain): deterministic,
+/// and far finer than any modeled duration in the repository.
+std::string fmt_us(double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4f", us);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += "  {\"name\": \"";
+    out += json_escape(e.name);
+    out += "\", \"cat\": \"";
+    out += json_escape(e.cat);
+    out += "\", \"ph\": \"X\", \"ts\": ";
+    out += fmt_us(e.ts_us);
+    out += ", \"dur\": ";
+    out += fmt_us(e.dur_us);
+    out += ", \"pid\": ";
+    out += std::to_string(e.pid);
+    out += ", \"tid\": ";
+    out += std::to_string(e.tid);
+    if (!e.args.empty()) {
+      out += ", \"args\": {";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        out += '"';
+        out += json_escape(e.args[a].first);
+        out += "\": ";
+        out += e.args[a].second;
+        if (a + 1 < e.args.size()) {
+          out += ", ";
+        }
+      }
+      out += "}";
+    }
+    out += "}";
+    out += (i + 1 < events.size()) ? ",\n" : "\n";
+  }
+  out += "], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.good()) {
+    return false;
+  }
+  file << chrome_trace_json(events);
+  return file.good();
+}
+
+}  // namespace fastpso

@@ -1,0 +1,37 @@
+// Chrome-trace ("Trace Event Format") JSON emission, consumable by
+// chrome://tracing and Perfetto. Generic over the event source: vgpu::prof
+// converts its profile into TraceEvents and this module renders them with a
+// deterministic field order and number formatting so traces can be used as
+// golden regression files.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fastpso {
+
+/// One complete ("ph":"X") trace event. `args` values are pre-rendered JSON
+/// fragments (already quoted/escaped by the caller when they are strings).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0;   ///< start, microseconds
+  double dur_us = 0;  ///< duration, microseconds
+  int pid = 0;
+  int tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// Renders `{"traceEvents": [...]}` with stable key order; ts/dur printed
+/// with fixed sub-nanosecond precision so equal inputs give equal bytes.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Writes chrome_trace_json(events) to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace fastpso

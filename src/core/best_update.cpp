@@ -1,5 +1,6 @@
 #include "core/best_update.h"
 
+#include "vgpu/prof/prof.h"
 #include "vgpu/reduce.h"
 #include "vgpu/san/tracked.h"
 
@@ -23,6 +24,7 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
       const float* perror = state.perror.data();
       float* pbest_err = state.pbest_err.data();
       std::uint8_t* improved = state.improved.data();
+      vgpu::prof::KernelLabel klabel("best_update/compare_flag");
       device.launch_elements(
           decision.config, cost, n, [&](std::int64_t i) {
             const float pe = perror[i];
@@ -79,6 +81,7 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
       const std::uint8_t* improved = state.improved.data();
       const float* positions = state.positions.data();
       float* pbest_pos = state.pbest_pos.data();
+      vgpu::prof::KernelLabel klabel("best_update/gather");
       device.launch_elements(
           decision.config, cost, n, [&](std::int64_t i) {
             if (improved[i]) {
@@ -127,6 +130,7 @@ float update_gbest(vgpu::Device& device, SwarmState& state) {
     if (vgpu::use_fast_path()) {
       const float* src = state.pbest_pos.data() + best.index * d;
       float* dst = state.gbest_pos.data();
+      vgpu::prof::KernelLabel klabel("best_update/gbest_copy");
       device.launch_elements(cfg, cost, d, [&](std::int64_t j) {
         dst[j] = src[j];
       });

@@ -19,6 +19,7 @@
 #include "core/launch_policy.h"
 #include "core/objective.h"
 #include "vgpu/device.h"
+#include "vgpu/prof/prof.h"
 
 namespace fastpso::core {
 
@@ -47,9 +48,18 @@ inline void evaluate_positions(vgpu::Device& device,
                                const Objective& objective,
                                const float* positions, std::int64_t n, int d,
                                const vgpu::KernelCostSpec& cost, float* out) {
+  // Profiler-only label: a san::KernelScope here would opt the launch into
+  // sanitizer cost audits and change the sanitizer's golden traces.
+  vgpu::prof::KernelLabel label("eval/objective");
   if (vgpu::use_fast_path() && objective.batch_fn) {
     const LaunchDecision decision = policy.for_particles(n);
     device.account_launch(decision.config, cost);
+    if (vgpu::prof::active()) [[unlikely]] {
+      Stopwatch wall;
+      objective.batch_fn(positions, static_cast<int>(n), d, out);
+      device.prof_note_wall(wall.elapsed_s());
+      return;
+    }
     objective.batch_fn(positions, static_cast<int>(n), d, out);
     return;
   }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "rng/philox.h"
+#include "vgpu/prof/prof.h"
 #include "vgpu/san/tracked.h"
 
 namespace fastpso::core {
@@ -32,7 +33,9 @@ void fill_uniform(vgpu::Device& device, const LaunchPolicy& policy,
   const float span = hi - lo;
   if (vgpu::use_fast_path()) {
     // Flat loop over Philox blocks; element i gets uniform_at(i) exactly as
-    // on the tracked path, so the produced bits are identical.
+    // on the tracked path, so the produced bits are identical. Same profile
+    // label as the tracked path's KernelScope.
+    vgpu::prof::KernelLabel klabel("init/fill_uniform");
     device.launch_elements(
         decision.config, fill_cost(elements), blocks, [&](std::int64_t b) {
           const auto lanes = rng.uniform4_at(static_cast<std::uint64_t>(b));
@@ -92,6 +95,7 @@ void initialize_swarm(vgpu::Device& device, const LaunchPolicy& policy,
     float* perror = state.perror.data();
     const float* positions = state.positions.data();
     float* pbest_pos = state.pbest_pos.data();
+    vgpu::prof::KernelLabel klabel("init/pbest_reset");
     device.launch_elements(
         per_particle.config, cost, n, [&](std::int64_t i) {
           pbest_err[i] = std::numeric_limits<float>::infinity();

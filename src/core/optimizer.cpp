@@ -15,6 +15,7 @@
 #include "rng/philox.h"
 #include "core/swarm_update.h"
 #include "vgpu/memory_pool.h"
+#include "vgpu/prof/prof.h"
 #include "vgpu/san/tracked.h"
 
 namespace fastpso::core {
@@ -199,21 +200,21 @@ Result Optimizer::optimize_sync(const Objective& objective,
         params_.overlap_init ? g_buf[iter % 2] : g_mat;
 
     // ---- Step (ii): evaluation through the kernel schema ---------------
-    device_.set_phase("eval");
     {
+      vgpu::prof::Scope phase(device_, "eval");
       ScopedTimer timer(wall, "eval");
       evaluate_positions(device_, policy_, objective, positions, n, d,
                          eval_cost, perror);
     }
 
     // ---- Step (iii): pbest + gbest -------------------------------------
-    device_.set_phase("pbest");
     {
+      vgpu::prof::Scope phase(device_, "pbest");
       ScopedTimer timer(wall, "pbest");
       update_pbest(device_, policy_, state);
     }
-    device_.set_phase("gbest");
     {
+      vgpu::prof::Scope phase(device_, "gbest");
       ScopedTimer timer(wall, "gbest");
       update_gbest(device_, state);
     }
@@ -222,6 +223,9 @@ Result Optimizer::optimize_sync(const Objective& objective,
     if (params_.overlap_init) {
       device_.sync_streams();  // the weights must have landed
     }
+    // Plain set_phase, not a prof::Scope: "swarm" must persist past the
+    // block so the end-of-iteration weight-matrix frees stay attributed to
+    // it, exactly as before.
     device_.set_phase("swarm");
     {
       ScopedTimer timer(wall, "swarm");
@@ -259,6 +263,7 @@ Result Optimizer::optimize_sync(const Objective& objective,
   result.modeled_breakdown = device_.modeled_breakdown();
   result.modeled_seconds = device_.modeled_seconds();
   result.counters = device_.counters();
+  result.profile = device_.take_profile();
   return result;
 }
 
@@ -327,7 +332,7 @@ Result Optimizer::optimize_async(const Objective& objective,
   // Seed gbest from the initial positions (one evaluation pass).
   {
     ScopedTimer timer(wall, "eval");
-    device_.set_phase("eval");
+    vgpu::prof::Scope phase(device_, "eval");
     vgpu::KernelCostSpec cost;
     cost.flops = objective.cost.flops(d) * n;
     cost.transcendentals = objective.cost.transcendentals(d) * n;
@@ -429,6 +434,7 @@ Result Optimizer::optimize_async(const Objective& objective,
   result.modeled_breakdown = device_.modeled_breakdown();
   result.modeled_seconds = device_.modeled_seconds();
   result.counters = device_.counters();
+  result.profile = device_.take_profile();
   return result;
 }
 

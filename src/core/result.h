@@ -8,6 +8,7 @@
 
 #include "common/stopwatch.h"
 #include "vgpu/device.h"
+#include "vgpu/prof/prof.h"
 
 namespace fastpso::core {
 
@@ -34,6 +35,11 @@ struct Result {
 
   /// Device activity counters (zeroed for CPU-only implementations).
   vgpu::DeviceCounters counters;
+
+  /// Event timeline collected while FASTPSO_PROF was enabled (empty
+  /// otherwise). CPU implementations record modeled host regions into it
+  /// via Profile::add_host so the Figure 5 pipeline has one source.
+  vgpu::prof::Profile profile;
 
   /// |gbest - optimum| against a known optimum value.
   [[nodiscard]] double error_to(double optimum) const {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "vgpu/block.h"
+#include "vgpu/prof/prof.h"
 #include "vgpu/san/tracked.h"
 #include "vgpu/wmma.h"
 
@@ -60,6 +61,7 @@ void update_global(vgpu::Device& device, const LaunchPolicy& policy,
     float* positions = state.positions.data();
     const float* pbest_pos = state.pbest_pos.data();
     const float* gbest_pos = state.gbest_pos.data();
+    vgpu::prof::KernelLabel klabel("swarm_update/global");
     device.launch_elements(
         decision.config, update_cost(elements, d, 0, false), elements,
         [&](std::int64_t i) {
@@ -341,6 +343,7 @@ void swarm_update_ring(vgpu::Device& device, const LaunchPolicy& policy,
     const float* pbest_pos = state.pbest_pos.data();
     const float* l = l_mat.data();
     const float* g = g_mat.data();
+    vgpu::prof::KernelLabel klabel("swarm_update/ring");
     device.launch_elements(
         decision.config, cost, elements, [&](std::int64_t i) {
           const std::int64_t row = i / d;

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "vgpu/prof/prof.h"
 
 namespace fastpso::tgbm {
 namespace {
@@ -75,6 +76,7 @@ TrainResult MiniGbm::train(vgpu::Device& device, const Dataset& data,
   auto account = [&](int site) {
     const LaunchPlan plan =
         plan_launch(sites[site], configs[site], device.spec());
+    vgpu::prof::KernelLabel klabel(sites[site].name.c_str());
     device.account_launch(plan.config, plan.cost);
     if (plan.shared_spill) {
       ++result.spilled_launches;

@@ -103,20 +103,29 @@ template <typename Body>
 void Device::launch_blocks(const LaunchConfig& cfg, const KernelCostSpec& cost,
                            Body&& body) {
   account_launch(cfg, cost);
-  if (san::active()) [[unlikely]] {
-    san::hook_launch_begin(cfg, cost);
+  auto run = [&] {
+    if (san::active()) [[unlikely]] {
+      san::hook_launch_begin(cfg, cost);
+      for (std::int64_t b = 0; b < cfg.grid; ++b) {
+        san::hook_block_begin(b);
+        BlockCtx block(*this, b, cfg, spec_.shared_mem_per_block);
+        body(block);
+      }
+      san::hook_launch_end();
+      return;
+    }
     for (std::int64_t b = 0; b < cfg.grid; ++b) {
-      san::hook_block_begin(b);
       BlockCtx block(*this, b, cfg, spec_.shared_mem_per_block);
       body(block);
     }
-    san::hook_launch_end();
+  };
+  if (prof::active()) [[unlikely]] {
+    Stopwatch wall;
+    run();
+    prof_note_wall(wall.elapsed_s());
     return;
   }
-  for (std::int64_t b = 0; b < cfg.grid; ++b) {
-    BlockCtx block(*this, b, cfg, spec_.shared_mem_per_block);
-    body(block);
-  }
+  run();
 }
 
 }  // namespace fastpso::vgpu

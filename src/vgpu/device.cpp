@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <string_view>
+#include <utility>
 
 #include "vgpu/memory_pool.h"
+#include "vgpu/prof/prof.h"
 
 namespace fastpso::vgpu {
 
@@ -65,7 +67,12 @@ void* Device::raw_alloc(std::size_t bytes) {
   allocations_[p] = bytes;
   bytes_in_use_ += bytes;
   ++counters_.allocs;
-  add_modeled(perf_.alloc_seconds());
+  const double seconds = perf_.alloc_seconds();
+  if (prof::active()) [[unlikely]] {
+    prof_record_op(prof::EventKind::kAlloc, static_cast<double>(bytes),
+                   seconds, 0.0);
+  }
+  add_modeled(seconds);
   return p;
 }
 
@@ -73,43 +80,75 @@ void Device::raw_free(void* p) {
   auto it = allocations_.find(p);
   FASTPSO_CHECK_MSG(it != allocations_.end(),
                     "device free of unknown or already-freed pointer");
+  const double bytes = static_cast<double>(it->second);
   bytes_in_use_ -= it->second;
   std::free(p);
   allocations_.erase(it);
   ++counters_.frees;
-  add_modeled(perf_.free_seconds());
+  const double seconds = perf_.free_seconds();
+  if (prof::active()) [[unlikely]] {
+    prof_record_op(prof::EventKind::kFree, bytes, seconds, 0.0);
+  }
+  add_modeled(seconds);
 }
 
 void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
-  std::memcpy(dst, src, bytes);
+  const double seconds = perf_.transfer_seconds(static_cast<double>(bytes));
+  if (prof::active()) [[unlikely]] {
+    Stopwatch wall;
+    std::memcpy(dst, src, bytes);
+    prof_record_op(prof::EventKind::kMemcpyH2D, static_cast<double>(bytes),
+                   seconds, wall.elapsed_s());
+  } else {
+    std::memcpy(dst, src, bytes);
+  }
   ++counters_.transfers;
   counters_.h2d_bytes += static_cast<double>(bytes);
-  add_modeled(perf_.transfer_seconds(static_cast<double>(bytes)));
+  add_modeled(seconds);
 }
 
 void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
-  std::memcpy(dst, src, bytes);
+  const double seconds = perf_.transfer_seconds(static_cast<double>(bytes));
+  if (prof::active()) [[unlikely]] {
+    Stopwatch wall;
+    std::memcpy(dst, src, bytes);
+    prof_record_op(prof::EventKind::kMemcpyD2H, static_cast<double>(bytes),
+                   seconds, wall.elapsed_s());
+  } else {
+    std::memcpy(dst, src, bytes);
+  }
   ++counters_.transfers;
   counters_.d2h_bytes += static_cast<double>(bytes);
-  add_modeled(perf_.transfer_seconds(static_cast<double>(bytes)));
+  add_modeled(seconds);
 }
 
 void Device::memcpy_d2d(void* dst, const void* src, std::size_t bytes) {
-  std::memcpy(dst, src, bytes);
+  // Read + write of `bytes` at effective DRAM bandwidth.
+  const double seconds =
+      2.0 * static_cast<double>(bytes) / (spec_.eff_dram_bw_gbps * 1e9);
+  if (prof::active()) [[unlikely]] {
+    Stopwatch wall;
+    std::memcpy(dst, src, bytes);
+    prof_record_op(prof::EventKind::kMemcpyD2D, static_cast<double>(bytes),
+                   seconds, wall.elapsed_s());
+  } else {
+    std::memcpy(dst, src, bytes);
+  }
   ++counters_.transfers;
   counters_.dram_read_useful += static_cast<double>(bytes);
   counters_.dram_write_useful += static_cast<double>(bytes);
   counters_.dram_read_fetched += static_cast<double>(bytes);
   counters_.dram_write_fetched += static_cast<double>(bytes);
-  // Read + write of `bytes` at effective DRAM bandwidth.
-  add_modeled(2.0 * static_cast<double>(bytes) /
-              (spec_.eff_dram_bw_gbps * 1e9));
+  add_modeled(seconds);
 }
 
 void Device::reset_counters() {
   counters_ = DeviceCounters{};
   modeled_breakdown_.clear();
   stream_clock_.assign(stream_clock_.size(), 0.0);
+  if (profile_) {
+    profile_->clear();
+  }
 }
 
 Device::StreamId Device::create_stream() {
@@ -137,6 +176,9 @@ double Device::modeled_seconds() const {
 
 void Device::add_modeled_host_seconds(double seconds) {
   FASTPSO_CHECK(seconds >= 0);
+  if (prof::active()) [[unlikely]] {
+    prof_record_op(prof::EventKind::kHost, 0.0, seconds, 0.0);
+  }
   add_modeled(seconds);
 }
 
@@ -156,7 +198,71 @@ void Device::account_launch(const LaunchConfig& cfg,
   const double seconds =
       perf_.kernel_seconds(static_cast<double>(cfg.total_threads()), cost);
   counters_.kernel_seconds += seconds;
+  if (prof::active()) [[unlikely]] {
+    prof_record_kernel(cfg, cost, seconds);
+  }
   add_modeled(seconds, /*device_wide=*/false);
+}
+
+prof::Profile Device::take_profile() {
+  if (!profile_) {
+    return prof::Profile{};
+  }
+  prof::Profile out = std::move(*profile_);
+  profile_.reset();
+  return out;
+}
+
+void Device::prof_record_kernel(const LaunchConfig& cfg,
+                                const KernelCostSpec& cost, double seconds) {
+  if (!profile_) {
+    profile_ = std::make_unique<prof::Profile>();
+  }
+  prof::Event e;
+  e.kind = prof::EventKind::kKernel;
+  const char* label = prof::detail::current_label();
+  e.label = label != nullptr ? label : "<unlabeled>";
+  e.phase = phase_;
+  e.stream = current_stream_;
+  e.grid = cfg.grid;
+  e.block = cfg.block;
+  e.cost = cost;
+  e.t_begin = stream_clock_[current_stream_];
+  e.modeled_seconds = seconds;
+  const KernelTimeDetail detail =
+      perf_.kernel_detail(static_cast<double>(cfg.total_threads()), cost);
+  e.compute_occupancy = detail.compute_occupancy;
+  e.memory_occupancy = detail.memory_occupancy;
+  e.limiter =
+      detail.memory_bound() ? prof::Limiter::kMemory : prof::Limiter::kCompute;
+  profile_->events.push_back(std::move(e));
+}
+
+void Device::prof_record_op(prof::EventKind kind, double bytes, double seconds,
+                            double wall_seconds) {
+  if (!profile_) {
+    profile_ = std::make_unique<prof::Profile>();
+  }
+  prof::Event e;
+  e.kind = kind;
+  e.label = prof::to_string(kind);
+  e.phase = phase_;
+  e.stream = current_stream_;
+  e.bytes = bytes;
+  // Device-wide ops start where the furthest stream stands (they sync all
+  // clocks to max + seconds in add_modeled).
+  e.t_begin = *std::max_element(stream_clock_.begin(), stream_clock_.end());
+  e.modeled_seconds = seconds;
+  e.wall_seconds = wall_seconds;
+  profile_->events.push_back(std::move(e));
+}
+
+void Device::prof_note_wall(double seconds) {
+  // The just-accounted kernel is the last event; kernel bodies perform no
+  // device operations, so nothing can have been appended since.
+  if (profile_ && !profile_->events.empty()) {
+    profile_->events.back().wall_seconds += seconds;
+  }
 }
 
 void Device::add_modeled(double seconds, bool device_wide) {

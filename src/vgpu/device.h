@@ -32,9 +32,14 @@
 #include "common/stopwatch.h"
 #include "vgpu/device_spec.h"
 #include "vgpu/perf_model.h"
+#include "vgpu/prof/hooks.h"
 #include "vgpu/san/hooks.h"
 
 namespace fastpso::vgpu {
+
+namespace prof {
+struct Profile;  // vgpu/prof/prof.h
+}
 
 /// Host-side fast-path toggle (default on). When enabled and no sanitizer
 /// Session is recording, Device::launch_elements dispatches one flat index
@@ -190,6 +195,19 @@ class Device {
   /// baseline) into the current phase so totals stay comparable.
   void add_modeled_host_seconds(double seconds);
 
+  // --- profiling (vgpu/prof/prof.h) --------------------------------------
+  /// Hands over the event timeline collected while prof::active() was true
+  /// and starts a fresh one. Empty when profiling was never enabled.
+  [[nodiscard]] prof::Profile take_profile();
+
+  /// The live timeline, or nullptr when nothing has been recorded.
+  [[nodiscard]] const prof::Profile* profile() const { return profile_.get(); }
+
+  /// Adds host wall seconds of a just-executed kernel body to its event.
+  /// Used by the launch templates and by external dispatchers that pair
+  /// account_launch with their own execution (core::evaluate_positions).
+  void prof_note_wall(double seconds);
+
   // --- kernel launch ------------------------------------------------------
   /// Launches `body` once per thread of `cfg`. The body receives a
   /// ThreadCtx and is expected to grid-stride over its work.
@@ -200,27 +218,36 @@ class Device {
     ThreadCtx ctx;
     ctx.block_dim = cfg.block;
     ctx.grid_dim = cfg.grid;
-    if (san::active()) [[unlikely]] {
-      san::hook_launch_begin(cfg, cost);
+    auto run = [&] {
+      if (san::active()) [[unlikely]] {
+        san::hook_launch_begin(cfg, cost);
+        for (std::int64_t b = 0; b < cfg.grid; ++b) {
+          ctx.block_idx = b;
+          san::hook_block_begin(b);
+          for (int t = 0; t < cfg.block; ++t) {
+            ctx.thread_idx = t;
+            san::hook_thread_begin(b, t);
+            body(static_cast<const ThreadCtx&>(ctx));
+          }
+        }
+        san::hook_launch_end();
+        return;
+      }
       for (std::int64_t b = 0; b < cfg.grid; ++b) {
         ctx.block_idx = b;
-        san::hook_block_begin(b);
         for (int t = 0; t < cfg.block; ++t) {
           ctx.thread_idx = t;
-          san::hook_thread_begin(b, t);
           body(static_cast<const ThreadCtx&>(ctx));
         }
       }
-      san::hook_launch_end();
+    };
+    if (prof::active()) [[unlikely]] {
+      Stopwatch wall;
+      run();
+      prof_note_wall(wall.elapsed_s());
       return;
     }
-    for (std::int64_t b = 0; b < cfg.grid; ++b) {
-      ctx.block_idx = b;
-      for (int t = 0; t < cfg.block; ++t) {
-        ctx.thread_idx = t;
-        body(static_cast<const ThreadCtx&>(ctx));
-      }
-    }
+    run();
   }
 
   /// Launches an element-wise kernel over `[0, n_elems)`. On the fast path
@@ -243,6 +270,14 @@ class Device {
       return;
     }
     account_launch(cfg, cost);
+    if (prof::active()) [[unlikely]] {
+      Stopwatch wall;
+      for (std::int64_t i = 0; i < n_elems; ++i) {
+        body(i);
+      }
+      prof_note_wall(wall.elapsed_s());
+      return;
+    }
     for (std::int64_t i = 0; i < n_elems; ++i) {
       body(i);
     }
@@ -280,10 +315,21 @@ class Device {
   std::vector<double> stream_clock_ = {0.0};
   StreamId current_stream_ = 0;
   std::vector<std::byte> shared_scratch_;
+  /// Event timeline, allocated lazily on the first profiled operation so an
+  /// idle profiler costs nothing (vgpu/prof/prof.h).
+  std::unique_ptr<prof::Profile> profile_;
 
   /// `device_wide` costs (allocs, transfers, host work) synchronize and
   /// advance every stream; kernel costs advance only the current stream.
   void add_modeled(double seconds, bool device_wide = true);
+
+  // Out-of-line profiler slow paths (device.cpp); reached only while
+  // prof::active(). Events are recorded *before* add_modeled so t_begin is
+  // the pre-advance stream clock.
+  void prof_record_kernel(const LaunchConfig& cfg, const KernelCostSpec& cost,
+                          double seconds);
+  void prof_record_op(prof::EventKind kind, double bytes, double seconds,
+                      double wall_seconds);
 };
 
 }  // namespace fastpso::vgpu

@@ -95,6 +95,31 @@ double GpuPerfModel::kernel_seconds(double threads,
          cost.barriers * spec_.barrier_overhead_us * 1e-6;
 }
 
+KernelTimeDetail GpuPerfModel::kernel_detail(double threads,
+                                             const KernelCostSpec& cost)
+    const {
+  FASTPSO_CHECK(threads >= 1.0);
+  // Mirrors kernel_seconds term by term (same operands, same association)
+  // rather than refactoring it — kernel_seconds is on every launch's
+  // critical path and its result must stay bit-identical.
+  KernelTimeDetail d;
+  d.compute_occupancy = compute_occupancy(threads);
+  d.memory_occupancy = memory_occupancy(threads);
+
+  const double eff_flops =
+      cost.uses_tensor_cores ? eff_flops_tensor_ : eff_flops_plain_;
+  const double flop_work =
+      cost.flops + cost.transcendentals * spec_.sfu_cost_flops;
+  d.compute_seconds = flop_work / (eff_flops * d.compute_occupancy);
+
+  const double bw = bw_base_ * d.memory_occupancy;
+  d.memory_seconds = cost.fetched_bytes() / bw;
+
+  d.overhead_seconds = launch_overhead_s_;
+  d.barrier_seconds = cost.barriers * spec_.barrier_overhead_us * 1e-6;
+  return d;
+}
+
 double GpuPerfModel::transfer_seconds(double bytes) const {
   // Fixed latency per transfer plus bandwidth term.
   constexpr double kTransferLatencyUs = 8.0;

@@ -65,6 +65,27 @@ struct KernelCostSpec {
   KernelCostSpec& operator+=(const KernelCostSpec& other);
 };
 
+/// Term-by-term decomposition of kernel_seconds, for profiler attribution
+/// (vgpu::prof): which roofline term bounded the launch and at what
+/// occupancy. total() reproduces kernel_seconds bit-for-bit.
+struct KernelTimeDetail {
+  double compute_seconds = 0;   ///< flop work / effective compute rate
+  double memory_seconds = 0;    ///< fetched bytes / effective bandwidth
+  double overhead_seconds = 0;  ///< fixed launch overhead
+  double barrier_seconds = 0;   ///< barriers * per-barrier sync cost
+  double compute_occupancy = 0;
+  double memory_occupancy = 0;
+
+  [[nodiscard]] bool memory_bound() const {
+    return memory_seconds > compute_seconds;
+  }
+  [[nodiscard]] double total() const {
+    return (compute_seconds > memory_seconds ? compute_seconds
+                                             : memory_seconds) +
+           overhead_seconds + barrier_seconds;
+  }
+};
+
 /// Converts launch shape + cost spec into modeled seconds on a GpuSpec.
 class GpuPerfModel {
  public:
@@ -76,6 +97,13 @@ class GpuPerfModel {
   /// threads performing `cost` worth of work.
   [[nodiscard]] double kernel_seconds(double threads,
                                       const KernelCostSpec& cost) const;
+
+  /// kernel_seconds broken into its roofline terms. Evaluates the same
+  /// expressions over the same operands, so detail.total() is bit-identical
+  /// to kernel_seconds(threads, cost).
+  [[nodiscard]] KernelTimeDetail kernel_detail(double threads,
+                                               const KernelCostSpec& cost)
+      const;
 
   /// Occupancy factor for compute throughput in (0, 1].
   [[nodiscard]] double compute_occupancy(double threads) const;

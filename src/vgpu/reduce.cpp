@@ -8,6 +8,7 @@
 
 #include "vgpu/block.h"
 #include "vgpu/buffer.h"
+#include "vgpu/prof/prof.h"
 #include "vgpu/san/tracked.h"
 
 namespace fastpso::vgpu {
@@ -62,10 +63,13 @@ ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
     // per-thread smallest index, tree prefers smaller index, NaN and the
     // all-infinity case never selected) reduces to "first strict minimum in
     // ascending index order".
-    device.account_launch(
-        cfg, reduce_cost(n, sizeof(float), blocks,
-                         sizeof(float) + sizeof(std::int64_t),
-                         log2_ceil(kReduceBlock)));
+    {
+      prof::KernelLabel klabel("reduce/argmin_partial");
+      device.account_launch(
+          cfg, reduce_cost(n, sizeof(float), blocks,
+                           sizeof(float) + sizeof(std::int64_t),
+                           log2_ceil(kReduceBlock)));
+    }
     ArgMin result;
     result.value = std::numeric_limits<float>::infinity();
     result.index = -1;
@@ -78,9 +82,13 @@ ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
     LaunchConfig final_cfg;
     final_cfg.grid = 1;
     final_cfg.block = 1;
-    device.account_launch(
-        final_cfg, reduce_cost(blocks, sizeof(float) + sizeof(std::int64_t),
-                               blocks, 0, 0));
+    {
+      prof::KernelLabel klabel("reduce/argmin_final");
+      device.account_launch(
+          final_cfg,
+          reduce_cost(blocks, sizeof(float) + sizeof(std::int64_t), blocks,
+                      0, 0));
+    }
     return result;
   }
 
@@ -192,10 +200,13 @@ double reduce_sum(Device& device, const float* data, std::int64_t n) {
     // legacy fold order (per-thread grid-stride accumulation, then the
     // shared-memory tree, then a serial pass over the block partials) —
     // just without tracked views, hooks or ThreadCtx per virtual thread.
-    device.account_launch(cfg,
-                          reduce_cost(n, sizeof(float), blocks,
-                                      sizeof(double),
-                                      log2_ceil(kReduceBlock)));
+    {
+      prof::KernelLabel klabel("reduce/sum_partial");
+      device.account_launch(cfg,
+                            reduce_cost(n, sizeof(float), blocks,
+                                        sizeof(double),
+                                        log2_ceil(kReduceBlock)));
+    }
     const std::int64_t stride_all =
         blocks * static_cast<std::int64_t>(kReduceBlock);
     std::array<double, kReduceBlock> sh;
@@ -218,8 +229,11 @@ double reduce_sum(Device& device, const float* data, std::int64_t n) {
     LaunchConfig final_cfg;
     final_cfg.grid = 1;
     final_cfg.block = 1;
-    device.account_launch(final_cfg,
-                          reduce_cost(blocks, sizeof(double), blocks, 0, 0));
+    {
+      prof::KernelLabel klabel("reduce/sum_final");
+      device.account_launch(
+          final_cfg, reduce_cost(blocks, sizeof(double), blocks, 0, 0));
+    }
     double total = 0.0;
     for (std::int64_t b = 0; b < blocks; ++b) {
       total += partial[b];

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "vgpu/prof/hooks.h"
+
 namespace fastpso::vgpu::san {
 
 namespace detail {
@@ -468,6 +470,12 @@ KernelScope::KernelScope(const char* name, AuditMode mode) {
     s->impl().scope_modes.push_back(mode);
     pushed_ = true;
   }
+  // The same label names the kernel in the profiler's timeline, whether or
+  // not a sanitizer session is recording.
+  if (prof::active()) {
+    prof::detail::push_label(name);
+    prof_pushed_ = true;
+  }
 }
 
 KernelScope::~KernelScope() {
@@ -475,6 +483,9 @@ KernelScope::~KernelScope() {
   if (pushed_ && s != nullptr) {
     s->impl().scope_stack.pop_back();
     s->impl().scope_modes.pop_back();
+  }
+  if (prof_pushed_) {
+    prof::detail::pop_label();
   }
 }
 

@@ -189,6 +189,7 @@ class KernelScope {
 
  private:
   bool pushed_ = false;
+  bool prof_pushed_ = false;  ///< also on the profiler's label stack
 };
 
 namespace detail {

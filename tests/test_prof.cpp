@@ -1,0 +1,420 @@
+// The vgpu::prof event-trace contract (vgpu/prof): every modeled device
+// operation emits exactly one event carrying the same double the device
+// counters accumulated, so in-event-order aggregation over a Profile
+// reproduces DeviceCounters and the per-phase TimeBreakdown bit-for-bit;
+// the Chrome-trace export is deterministic for a fixed seed; and switching
+// the profiler off leaves the modeled run untouched.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchkit/runner.h"
+#include "common/csv.h"
+#include "core/objective.h"
+#include "core/optimizer.h"
+#include "core/params.h"
+#include "problems/problem.h"
+#include "vgpu/device.h"
+#include "vgpu/prof/prof.h"
+#include "vgpu/san/sanitizer.h"
+
+namespace fastpso::vgpu::prof {
+namespace {
+
+/// Flips the global profiler switch for one scope, restoring it on exit so
+/// no test leaks profiling state into the rest of the suite.
+class ProfSwitch {
+ public:
+  explicit ProfSwitch(bool on) : saved_(active()) { set_enabled(on); }
+  ~ProfSwitch() { set_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+/// One small Table-1-style cell: 64 particles, dim 8, 3 executed of 50
+/// reported iterations.
+benchkit::RunOutcome cell(benchkit::Impl impl, const std::string& problem) {
+  benchkit::RunSpec spec;
+  spec.impl = impl;
+  spec.problem = problem;
+  spec.particles = 64;
+  spec.dim = 8;
+  spec.iters = 50;
+  spec.executed_iters = 3;
+  spec.seed = 42;
+  return benchkit::run_spec(spec);
+}
+
+/// The fixed tiny pipeline shared with the sanitizer golden (sphere, n=8,
+/// d=3, 2 iterations, seed 42).
+core::Result tiny_sphere_run() {
+  Device device;
+  core::PsoParams params;
+  params.particles = 8;
+  params.dim = 3;
+  params.max_iter = 2;
+  params.seed = 42;
+  core::Optimizer optimizer(device, params);
+  const auto problem = problems::make_problem("sphere");
+  const auto objective = core::objective_from_problem(*problem, params.dim);
+  return optimizer.optimize(objective);
+}
+
+// ---- event emission ------------------------------------------------------
+
+TEST(ProfContract, OneKernelEventPerLaunchAcrossTable1Problems) {
+  ProfSwitch prof(true);
+  const std::vector<std::string> problems = {"sphere", "griewank", "easom",
+                                             "threadconf"};
+  for (const auto& problem : problems) {
+    const auto outcome = cell(benchkit::Impl::kFastPso, problem);
+    const Profile& p = outcome.result.profile;
+    EXPECT_EQ(p.kernel_count(), outcome.result.counters.launches)
+        << "fastpso on " << problem;
+    EXPECT_GT(p.kernel_count(), 0u) << problem;
+  }
+  // The baseline with its own device-driven launch structure.
+  const auto gpu = cell(benchkit::Impl::kGpuPso, "sphere");
+  EXPECT_EQ(gpu.result.profile.kernel_count(),
+            gpu.result.counters.launches);
+}
+
+TEST(ProfContract, EveryKernelEventIsLabeled) {
+  ProfSwitch prof(true);
+  for (benchkit::Impl impl :
+       {benchkit::Impl::kFastPso, benchkit::Impl::kGpuPso,
+        benchkit::Impl::kHgpuPso}) {
+    const auto outcome = cell(impl, "sphere");
+    for (const Event& e : outcome.result.profile.events) {
+      if (e.kind == EventKind::kKernel) {
+        EXPECT_NE(e.label, "<unlabeled>") << benchkit::to_string(impl);
+        EXPECT_FALSE(e.label.empty());
+      }
+    }
+  }
+}
+
+// ---- bitwise parity with the device counters -----------------------------
+
+TEST(ProfContract, InOrderAggregatesReproduceCountersBitwise) {
+  ProfSwitch prof(true);
+  // hgpu-pso is excluded from the exact set: its result merges the device
+  // timeline with a separately accumulated CPU timeline, so the combined
+  // in-order sum can differ from the merged counters by ulps (checked
+  // separately below).
+  for (benchkit::Impl impl :
+       {benchkit::Impl::kFastPso, benchkit::Impl::kGpuPso}) {
+    const auto outcome = cell(impl, "sphere");
+    const Profile& p = outcome.result.profile;
+    const DeviceCounters& c = outcome.result.counters;
+    EXPECT_EQ(p.kernel_seconds(), c.kernel_seconds)
+        << benchkit::to_string(impl);
+    EXPECT_EQ(p.modeled_seconds(), c.modeled_seconds)
+        << benchkit::to_string(impl);
+    EXPECT_EQ(p.flops(), c.flops) << benchkit::to_string(impl);
+    EXPECT_EQ(p.dram_read_fetched(), c.dram_read_fetched)
+        << benchkit::to_string(impl);
+    EXPECT_EQ(p.dram_write_fetched(), c.dram_write_fetched)
+        << benchkit::to_string(impl);
+  }
+  const auto hgpu = cell(benchkit::Impl::kHgpuPso, "sphere");
+  // hgpu's counters.modeled_seconds is device-only; the profile (device
+  // events + appended CPU host events) corresponds to the merged
+  // result.modeled_seconds. The merge associates additions differently, so
+  // equality holds only to rounding here.
+  EXPECT_NEAR(hgpu.result.profile.modeled_seconds(),
+              hgpu.result.modeled_seconds,
+              hgpu.result.modeled_seconds * 1e-12);
+  // Flop counts are integer-valued doubles, so even the merged sum is exact.
+  EXPECT_EQ(hgpu.result.profile.flops(), hgpu.result.counters.flops);
+}
+
+TEST(ProfContract, PhaseSumsReproduceTimeBreakdownBitwise) {
+  ProfSwitch prof(true);
+  // Device implementations and the CPU baselines both hand the profiler the
+  // exact double that went into the TimeBreakdown, in the same order, so
+  // each phase bucket must match bit-for-bit.
+  for (benchkit::Impl impl :
+       {benchkit::Impl::kFastPso, benchkit::Impl::kFastPsoSeq,
+        benchkit::Impl::kFastPsoOmp, benchkit::Impl::kPyswarms,
+        benchkit::Impl::kScikitOpt}) {
+    const auto outcome = cell(impl, "sphere");
+    const auto by_phase = outcome.result.profile.seconds_by_phase();
+    const auto& buckets = outcome.result.modeled_breakdown.buckets();
+    EXPECT_EQ(by_phase.size(), buckets.size()) << benchkit::to_string(impl);
+    for (const auto& [phase, seconds] : buckets) {
+      const auto it = by_phase.find(phase);
+      ASSERT_NE(it, by_phase.end())
+          << benchkit::to_string(impl) << " missing phase " << phase;
+      EXPECT_EQ(it->second, seconds)
+          << benchkit::to_string(impl) << " phase " << phase;
+    }
+  }
+}
+
+TEST(ProfContract, PerLabelKernelSumsMatchTotalToTheUlp) {
+  ProfSwitch prof(true);
+  const auto outcome = cell(benchkit::Impl::kFastPso, "sphere");
+  const Profile& p = outcome.result.profile;
+  double by_label = 0;
+  std::uint64_t launches = 0;
+  for (const auto& row : p.kernels_by_label()) {
+    by_label += row.modeled_seconds;
+    launches += row.launches;
+  }
+  // Grouping by label reorders the additions, so this sum is equal only to
+  // rounding (EXPECT_DOUBLE_EQ = 4 ulps); the in-order total is exact.
+  EXPECT_DOUBLE_EQ(by_label, p.kernel_seconds());
+  EXPECT_EQ(launches, p.kernel_count());
+  EXPECT_EQ(p.kernel_seconds(), outcome.result.counters.kernel_seconds);
+}
+
+// ---- profiler-off behavior -----------------------------------------------
+
+TEST(ProfContract, ProfilerOffLeavesRunAndCountersUntouched) {
+  core::Result off;
+  core::Result on;
+  {
+    ProfSwitch prof(false);
+    off = tiny_sphere_run();
+  }
+  {
+    ProfSwitch prof(true);
+    on = tiny_sphere_run();
+  }
+  EXPECT_TRUE(off.profile.empty());
+  EXPECT_FALSE(on.profile.empty());
+  // The profiler observes the modeled run without perturbing it: identical
+  // optimum, trajectory and counters either way.
+  EXPECT_EQ(off.gbest_value, on.gbest_value);
+  EXPECT_EQ(off.gbest_history, on.gbest_history);
+  EXPECT_EQ(off.counters.launches, on.counters.launches);
+  EXPECT_EQ(off.counters.modeled_seconds, on.counters.modeled_seconds);
+  EXPECT_EQ(off.counters.kernel_seconds, on.counters.kernel_seconds);
+  EXPECT_EQ(off.counters.flops, on.counters.flops);
+  EXPECT_EQ(off.modeled_seconds, on.modeled_seconds);
+}
+
+TEST(ProfContract, TakeProfileResetsTheTimeline) {
+  ProfSwitch prof(true);
+  Device device;
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 32;
+  KernelCostSpec cost;
+  cost.flops = 32;
+  device.launch(cfg, cost, [](const ThreadCtx&) {});
+  const Profile first = device.take_profile();
+  EXPECT_EQ(first.kernel_count(), 1u);
+  const Profile empty = device.take_profile();
+  EXPECT_TRUE(empty.empty());
+}
+
+// ---- determinism and the Chrome-trace schema -----------------------------
+
+TEST(ProfTrace, ByteIdenticalAcrossTwoSameSeedRuns) {
+  ProfSwitch prof(true);
+  const std::string a = tiny_sphere_run().profile.chrome_trace_json();
+  const std::string b = tiny_sphere_run().profile.chrome_trace_json();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+/// Pulls `"key": <number>` off a single trace line; nan when absent.
+double line_number(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return std::nan("");
+  }
+  return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+TEST(ProfTrace, ChromeTraceSchemaAndMonotoneTimestamps) {
+  ProfSwitch prof(true);
+  const core::Result result = tiny_sphere_run();
+  const std::string json = result.profile.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+
+  std::istringstream lines(json);
+  std::string line;
+  std::size_t events = 0;
+  std::map<int, double> last_ts_by_tid;
+  while (std::getline(lines, line)) {
+    if (line.find("\"ph\": \"X\"") == std::string::npos) {
+      continue;  // header/footer lines
+    }
+    ++events;
+    // Complete-event schema: every record carries name/cat/ph/ts/dur/pid/tid.
+    EXPECT_NE(line.find("\"name\": \""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"cat\": \""), std::string::npos) << line;
+    const double ts = line_number(line, "ts");
+    const double dur = line_number(line, "dur");
+    const double pid = line_number(line, "pid");
+    const double tid = line_number(line, "tid");
+    ASSERT_FALSE(std::isnan(ts)) << line;
+    ASSERT_FALSE(std::isnan(dur)) << line;
+    ASSERT_FALSE(std::isnan(pid)) << line;
+    ASSERT_FALSE(std::isnan(tid)) << line;
+    EXPECT_GE(dur, 0.0);
+    EXPECT_EQ(pid, 0.0);
+    // Within one stream (= tid) the modeled timeline never goes backwards.
+    const int tid_key = static_cast<int>(tid);
+    const auto it = last_ts_by_tid.find(tid_key);
+    if (it != last_ts_by_tid.end()) {
+      EXPECT_GE(ts, it->second) << line;
+    }
+    last_ts_by_tid[tid_key] = ts;
+  }
+  EXPECT_EQ(events, result.profile.events.size());
+}
+
+TEST(ProfTrace, CsvExportHasOneRowPerEvent) {
+  ProfSwitch prof(true);
+  const core::Result result = tiny_sphere_run();
+  CsvWriter csv(Profile::csv_header());
+  result.profile.to_csv(csv);
+  const std::string text = csv.to_string();
+  const std::size_t rows =
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+  EXPECT_EQ(rows, result.profile.events.size() + 1);  // + header
+}
+
+// ---- attribution ---------------------------------------------------------
+
+TEST(ProfAttribution, ScopeSetsAndRestoresPhase) {
+  ProfSwitch prof(true);
+  Device device;
+  device.set_phase("outer");
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 32;
+  {
+    Scope scope(device, "inner");
+    device.launch(cfg, KernelCostSpec{}, [](const ThreadCtx&) {});
+  }
+  device.launch(cfg, KernelCostSpec{}, [](const ThreadCtx&) {});
+  const Profile p = device.take_profile();
+  ASSERT_EQ(p.kernel_count(), 2u);
+  EXPECT_EQ(p.events[0].phase, "inner");
+  EXPECT_EQ(p.events[1].phase, "outer");
+}
+
+TEST(ProfAttribution, KernelLabelAndSanScopeBothName) {
+  ProfSwitch prof(true);
+  Device device;
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 32;
+  {
+    KernelLabel label("prof_only/k1");
+    device.launch(cfg, KernelCostSpec{}, [](const ThreadCtx&) {});
+  }
+  {
+    san::KernelScope scope("san_labeled/k2");
+    device.launch(cfg, KernelCostSpec{}, [](const ThreadCtx&) {});
+  }
+  const Profile p = device.take_profile();
+  ASSERT_EQ(p.kernel_count(), 2u);
+  EXPECT_EQ(p.events[0].label, "prof_only/k1");
+  EXPECT_EQ(p.events[1].label, "san_labeled/k2");
+}
+
+// ---- sanitizer interop ---------------------------------------------------
+
+TEST(ProfSanInterop, ProfilingDoesNotPerturbSanitizerVerdicts) {
+  // The same pipeline under a sanitizer session, with and without the
+  // profiler: identical (clean) report, byte-identical sanitizer trace.
+  auto san_json = [](bool prof_on) {
+    ProfSwitch prof(prof_on);
+    Device device;
+    core::PsoParams params;
+    params.particles = 8;
+    params.dim = 3;
+    params.max_iter = 2;
+    params.seed = 42;
+    core::Optimizer optimizer(device, params);
+    const auto problem = problems::make_problem("sphere");
+    const auto objective =
+        core::objective_from_problem(*problem, params.dim);
+    san::Session session;
+    optimizer.optimize(objective);
+    const san::Report& report = session.finish();
+    EXPECT_TRUE(report.clean()) << report.summary();
+    return report.to_json();
+  };
+  EXPECT_EQ(san_json(false), san_json(true));
+}
+
+TEST(ProfSanInterop, ProfileCollectedUnderSanitizerSessionIsLabeled) {
+  ProfSwitch prof(true);
+  Device device;
+  core::PsoParams params;
+  params.particles = 8;
+  params.dim = 3;
+  params.max_iter = 2;
+  params.seed = 42;
+  core::Optimizer optimizer(device, params);
+  const auto problem = problems::make_problem("sphere");
+  const auto objective = core::objective_from_problem(*problem, params.dim);
+  san::Session session;
+  core::Result result = optimizer.optimize(objective);
+  session.finish();
+  bool saw_fill = false;
+  for (const Event& e : result.profile.events) {
+    if (e.kind == EventKind::kKernel) {
+      EXPECT_NE(e.label, "<unlabeled>");
+      saw_fill = saw_fill || e.label == "init/fill_uniform";
+    }
+  }
+  EXPECT_TRUE(saw_fill);
+}
+
+// ---- golden trace --------------------------------------------------------
+
+#ifdef FASTPSO_GOLDEN_DIR
+// The profiler twin of SanGolden.PipelineTraceMatchesGoldenFile: the same
+// fixed tiny pipeline's Chrome trace must match the checked-in golden byte
+// for byte — catching silent changes to kernel labels, phases, cost specs,
+// modeled timestamps and the JSON encoding itself.
+//
+// Refresh after an intentional change:
+//   FASTPSO_REFRESH_GOLDEN=1 ./build/tests/test_prof
+//       --gtest_filter='ProfGolden.*'
+TEST(ProfGolden, SphereTraceMatchesGoldenFile) {
+  ProfSwitch prof(true);
+  const std::string json = tiny_sphere_run().profile.chrome_trace_json();
+
+  const std::string path =
+      std::string(FASTPSO_GOLDEN_DIR) + "/prof_trace_sphere.json";
+  const char* refresh = std::getenv("FASTPSO_REFRESH_GOLDEN");
+  if (refresh != nullptr && refresh[0] == '1') {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << json;
+    GTEST_SKIP() << "golden refreshed: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — generate with FASTPSO_REFRESH_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(json, golden.str())
+      << "trace diverged from golden; if intentional, refresh with "
+         "FASTPSO_REFRESH_GOLDEN=1";
+}
+#endif  // FASTPSO_GOLDEN_DIR
+
+}  // namespace
+}  // namespace fastpso::vgpu::prof
