@@ -9,7 +9,14 @@
 // left to gain (grid-stride folds the excess at no cost, while a real
 // unbounded launch would pay block-scheduling overhead).
 //
-//   ./ablation_launch_policy [--executed-iters 10]
+//   ./ablation_launch_policy [--executed-iters 10] [--graph]
+//
+// --graph repeats each cap's iteration loop under vgpu::Graph
+// capture/replay (DESIGN.md §8) and appends a graph-mode modeled column.
+// The swarm step is a single kernel, so its one-node graph faithfully
+// reports a *negative* amortization (one graph launch costs more than one
+// kernel launch saves) — graphs pay off for the multi-kernel pipeline, not
+// here. Eager columns and the default CSV schema are unchanged.
 
 #include "bench_common.h"
 #include "core/init.h"
@@ -19,6 +26,7 @@
 #include "core/swarm_update.h"
 #include "problems/problem.h"
 #include "vgpu/device.h"
+#include "vgpu/graph/graph.h"
 
 using namespace fastpso;
 using namespace fastpso::benchkit;
@@ -26,6 +34,10 @@ using namespace fastpso::benchkit;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const BenchOptions opt = BenchOptions::parse(args, /*default_executed=*/10);
+  const bool use_graph = args.get_bool("graph", false);
+  if (use_graph) {
+    vgpu::graph::set_enabled(true);
+  }
   const int n = opt.particles;
   const int d = opt.dim;
 
@@ -41,9 +53,15 @@ int main(int argc, char** argv) {
   TextTable table("Ablation: thread cap of the swarm-update launch "
                   "(sphere, n=" + std::to_string(n) + ", d=" +
                   std::to_string(d) + ")");
-  table.set_header({"cap", "threads launched", "tw (Eq. 3)",
-                    "swarm step modeled (s)"});
-  CsvWriter csv({"cap", "threads", "tw", "swarm_s"});
+  std::vector<std::string> header = {"cap", "threads launched", "tw (Eq. 3)",
+                                     "swarm step modeled (s)"};
+  std::vector<std::string> csv_header = {"cap", "threads", "tw", "swarm_s"};
+  if (use_graph) {
+    header.push_back("graph modeled (s)");
+    csv_header.push_back("graph_swarm_s");
+  }
+  table.set_header(header);
+  CsvWriter csv(csv_header);
 
   for (const auto& [label, cap] : caps) {
     vgpu::Device device;
@@ -61,24 +79,42 @@ int main(int argc, char** argv) {
 
     device.reset_counters();
     device.set_phase("swarm");
+    vgpu::graph::IterationRecorder recorder(device);
     for (int iter = 0; iter < opt.executed_iters; ++iter) {
+      recorder.begin_iteration();
       core::swarm_update(device, policy, state, l_mat, g_mat, coeff,
                          core::UpdateTechnique::kGlobalMemory);
+      recorder.end_iteration();
     }
     const double per_iter =
         device.modeled_seconds() / opt.executed_iters;
     const double full = per_iter * opt.iters;
     const auto decision = policy.for_elements(state.elements());
-    table.add_row({label, std::to_string(decision.config.total_threads()),
-                   std::to_string(decision.thread_workload),
-                   fmt_fixed(full, 3)});
-    csv.add_row({label, std::to_string(decision.config.total_threads()),
-                 std::to_string(decision.thread_workload),
-                 fmt_fixed(full, 4)});
+    std::vector<std::string> row = {
+        label, std::to_string(decision.config.total_threads()),
+        std::to_string(decision.thread_workload), fmt_fixed(full, 3)};
+    std::vector<std::string> csv_row = {
+        label, std::to_string(decision.config.total_threads()),
+        std::to_string(decision.thread_workload), fmt_fixed(full, 4)};
+    if (use_graph) {
+      const vgpu::graph::GraphStats g = recorder.stats();
+      const double graph_per_iter =
+          (device.modeled_seconds() - g.modeled_seconds_saved) /
+          opt.executed_iters;
+      row.push_back(fmt_fixed(graph_per_iter * opt.iters, 3));
+      csv_row.push_back(fmt_fixed(graph_per_iter * opt.iters, 4));
+    }
+    table.add_row(row);
+    csv.add_row(csv_row);
   }
 
   table.add_note("the particle-level row is the granularity of the prior "
                  "GPU PSO implementations; the Eq. 3 row is FastPSO");
+  if (use_graph) {
+    table.add_note("graph column: one-node graph per iteration; a single "
+                   "kernel cannot amortize the graph launch, so graph "
+                   "modeled >= eager here (cf. micro_engine --graph)");
+  }
   table.print(std::cout);
   maybe_write_csv(csv, opt.csv);
   return 0;

@@ -14,12 +14,19 @@
 //      vs on — the off number pins the "zero overhead when off" promise
 //      (one branch on the hot path), the on number reports the cost of
 //      event capture, plus the profile's modeled-vs-wall ratio.
+//   5. (--graph) steady-state launch throughput of a PSO-shaped iteration
+//      (six small launches across the five pipeline phases) accounted
+//      eagerly vs replayed through an instantiated vgpu::Graph
+//      (DESIGN.md §8). Small n_elems so per-launch setup dominates — the
+//      cost the graph replay amortizes. Also reports the modeled
+//      amortization credit as a fraction of eager modeled time.
 //
 // Both launch paths issue the identical account_launch call, so modeled
 // seconds and DeviceCounters are unaffected by the toggle — this binary
 // measures host execution speed only.
 //
-//   ./micro_engine [--smoke] [--prof-overhead] [--json BENCH_engine.json]
+//   ./micro_engine [--smoke] [--prof-overhead] [--graph]
+//                  [--json BENCH_engine.json]
 //                  [--baseline bench/BENCH_engine_baseline.json]
 //
 // --smoke shrinks the repetition counts for CI and emits BENCH_engine.json.
@@ -37,6 +44,7 @@
 #include "common/stopwatch.h"
 #include "problems/problem.h"
 #include "vgpu/device.h"
+#include "vgpu/graph/graph.h"
 #include "vgpu/prof/prof.h"
 
 using namespace fastpso;
@@ -198,6 +206,87 @@ ProfOverheadResult bench_prof_overhead(std::int64_t n_elems, int reps) {
   return r;
 }
 
+struct GraphResult {
+  double eager_per_s = 0;    ///< launches/s, eager fast-path accounting
+  double replay_per_s = 0;   ///< launches/s, graph replay accounting
+  double saved_fraction = 0; ///< modeled_seconds_saved / eager modeled time
+  double checksum = 0;
+};
+
+/// A PSO-shaped iteration — six small launches across the five pipeline
+/// phases — accounted eagerly vs replayed through an instantiated graph.
+/// Dispatch-only launches (account_launch, as the fast-path batched eval
+/// issues them): the probe isolates per-launch setup — occupancy
+/// resolution, breakdown lookup, clock bookkeeping — which is exactly the
+/// cost graph replay amortizes. Kernel bodies are identical work on both
+/// sides and would only dilute the ratio. n_elems is tiny so the modeled
+/// kernels are launch-overhead-dominated, the regime CUDA Graphs target.
+GraphResult bench_graph(std::int64_t n_elems, int iters) {
+  static const char* const kPhases[] = {"init",  "eval",  "pbest",
+                                        "gbest", "swarm", "swarm"};
+  constexpr int kLaunches = 6;
+  vgpu::LaunchConfig cfg;
+  cfg.block = 64;
+  cfg.grid = (n_elems + cfg.block - 1) / cfg.block;
+  vgpu::KernelCostSpec cost;
+  cost.flops = 2.0 * static_cast<double>(n_elems);
+  cost.dram_read_bytes = static_cast<double>(n_elems) * sizeof(float);
+  cost.dram_write_bytes = static_cast<double>(n_elems) * sizeof(float);
+
+  GraphResult r;
+  const auto iteration = [&](vgpu::Device& device) {
+    for (int k = 0; k < kLaunches; ++k) {
+      device.set_phase(kPhases[k]);
+      device.account_launch(cfg, cost);
+    }
+  };
+
+  {  // eager pass
+    vgpu::Device device;
+    for (int it = 0; it < iters / 10 + 1; ++it) {  // warmup
+      iteration(device);
+    }
+    Stopwatch watch;
+    for (int it = 0; it < iters; ++it) {
+      iteration(device);
+    }
+    r.eager_per_s =
+        static_cast<double>(iters) * kLaunches / watch.elapsed_s();
+    r.checksum += device.counters().modeled_seconds;
+  }
+
+  {  // graph pass: capture once, replay steady-state with one graph launch
+     // per iteration (the cudaGraphLaunch analogue) — no per-launch call
+     // sites, no positional matching, pre-resolved accounting per node.
+    vgpu::Device device;
+    vgpu::graph::Graph graph;
+    device.begin_capture(graph);
+    iteration(device);
+    device.end_capture();
+    vgpu::graph::GraphExec exec = graph.instantiate(device.perf());
+    const auto replay_iteration = [&] { device.replay_graph(exec); };
+    for (int it = 0; it < iters / 10 + 1; ++it) {  // warmup
+      replay_iteration();
+    }
+    const double modeled_before = device.counters().modeled_seconds;
+    const double saved_before = exec.stats().modeled_seconds_saved;
+    Stopwatch watch;
+    for (int it = 0; it < iters; ++it) {
+      replay_iteration();
+    }
+    r.replay_per_s =
+        static_cast<double>(iters) * kLaunches / watch.elapsed_s();
+    const double modeled =
+        device.counters().modeled_seconds - modeled_before;
+    r.saved_fraction =
+        modeled > 0
+            ? (exec.stats().modeled_seconds_saved - saved_before) / modeled
+            : 0.0;
+    r.checksum += device.counters().modeled_seconds;
+  }
+  return r;
+}
+
 /// Wall-clock of the exact table1_overall --smoke cell set; best of `reps`.
 double bench_table1_smoke(int reps) {
   const std::vector<std::string> problems = {"sphere", "griewank", "easom",
@@ -250,6 +339,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bool smoke = args.get_bool("smoke", false);
   const bool prof_overhead = args.get_bool("prof-overhead", false);
+  const bool graph_bench = args.get_bool("graph", false);
   const std::string json_path = args.get_string("json", "BENCH_engine.json");
   const std::string baseline_path = args.get_string("baseline", "");
 
@@ -266,6 +356,13 @@ int main(int argc, char** argv) {
   ProfOverheadResult prof;
   if (prof_overhead) {
     prof = bench_prof_overhead(launch_elems, launch_reps);
+  }
+  // Tiny per-launch work so launch setup dominates (the amortized cost).
+  const std::int64_t graph_elems = 128;
+  const int graph_iters = smoke ? 2000 : 10000;
+  GraphResult graph;
+  if (graph_bench) {
+    graph = bench_graph(graph_elems, graph_iters);
   }
 
   const double launch_speedup = launch.fast_per_s / launch.legacy_per_s;
@@ -290,6 +387,16 @@ int main(int argc, char** argv) {
                    fmt_speedup(prof.off_per_s / prof.on_per_s)});
     table.add_row({"modeled-vs-wall (prof on)",
                    fmt_speedup(prof.modeled_vs_wall), "-", "-"});
+  }
+  if (graph_bench) {
+    // "fast/batch" column = graph replay, "legacy/virtual" = eager.
+    table.add_row({"launches/s graph/eager (n=" +
+                       std::to_string(graph_elems) + ")",
+                   fmt_sci(graph.replay_per_s), fmt_sci(graph.eager_per_s),
+                   fmt_speedup(graph.replay_per_s / graph.eager_per_s)});
+    table.add_row({"modeled saved by graph",
+                   fmt_fixed(graph.saved_fraction * 100.0, 1) + "%", "-",
+                   "-"});
   }
   table.add_note("identical account_launch on both paths: modeled seconds "
                  "and counters do not depend on the toggle");
@@ -322,6 +429,19 @@ int main(int argc, char** argv) {
            << "    \"overhead_ratio\": " << prof.off_per_s / prof.on_per_s
            << ",\n"
            << "    \"modeled_vs_wall\": " << prof.modeled_vs_wall << "\n"
+           << "  },\n";
+    }
+    if (graph_bench) {
+      json << "  \"graph\": {\n"
+           << "    \"n_elems\": " << graph_elems << ",\n"
+           << "    \"iters\": " << graph_iters << ",\n"
+           << "    \"eager_launches_per_s\": " << graph.eager_per_s << ",\n"
+           << "    \"replay_launches_per_s\": " << graph.replay_per_s
+           << ",\n"
+           << "    \"speedup\": " << graph.replay_per_s / graph.eager_per_s
+           << ",\n"
+           << "    \"modeled_saved_fraction\": " << graph.saved_fraction
+           << "\n"
            << "  },\n";
     }
     json << "  \"table1_smoke\": {\n";
@@ -369,6 +489,17 @@ int main(int argc, char** argv) {
       gate("prof_off_launch_throughput",
            prof.off_per_s >= base_launch / 1.05, prof.off_per_s,
            base_launch / 1.05);
+    }
+    if (graph_bench) {
+      const double base_replay =
+          json_number(text, "replay_launches_per_s", 0.0);
+      gate("graph_replay_throughput", graph.replay_per_s >= base_replay / 2.0,
+           graph.replay_per_s, base_replay / 2.0);
+      // Replay must keep a real steady-state edge over eager accounting —
+      // the whole point of the graph layer (DESIGN.md §8).
+      gate("graph_replay_speedup",
+           graph.replay_per_s >= 1.5 * graph.eager_per_s, graph.replay_per_s,
+           1.5 * graph.eager_per_s);
     }
     if (!ok) {
       std::cerr << "micro_engine: regression vs baseline " << baseline_path

@@ -32,6 +32,7 @@
 #include "core/swarm_update.h"
 #include "rng/philox.h"
 #include "vgpu/buffer.h"
+#include "vgpu/graph/graph.h"
 #include "vgpu/prof/prof.h"
 #include "vgpu/reduce.h"
 
@@ -102,24 +103,54 @@ core::Result run_gpu_pso(const core::Objective& objective,
     });
   }
 
+  // Loop-invariant launch setup, hoisted out of the iteration loop: the
+  // kernels' cost declarations (only pbest's traffic is data-dependent) and
+  // the gbest-copy shape are identical every iteration.
+  vgpu::KernelCostSpec eval_cost;
+  eval_cost.flops = objective.cost.flops(d) * n;
+  eval_cost.transcendentals = objective.cost.transcendentals(d) * n;
+  eval_cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
+  eval_cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
+
+  vgpu::KernelCostSpec pbest_cost;
+  pbest_cost.flops = static_cast<double>(n);
+  pbest_cost.read_amplification = read_amp;
+  pbest_cost.write_amplification = write_amp;
+
+  vgpu::LaunchConfig gbest_cfg;
+  gbest_cfg.grid = 1;
+  gbest_cfg.block = std::min(d, device.spec().max_threads_per_block);
+  vgpu::KernelCostSpec gbest_cost;
+  gbest_cost.dram_read_bytes = static_cast<double>(d) * sizeof(float);
+  gbest_cost.dram_write_bytes = static_cast<double>(d) * sizeof(float);
+
+  vgpu::KernelCostSpec swarm_cost;
+  swarm_cost.flops = (10.0 + 2.0 * 13.0) * static_cast<double>(elements);
+  swarm_cost.dram_read_bytes =
+      (3.0 * static_cast<double>(elements) + d) * sizeof(float);
+  swarm_cost.dram_write_bytes =
+      2.0 * static_cast<double>(elements) * sizeof(float);
+  swarm_cost.read_amplification = read_amp;
+  swarm_cost.write_amplification = write_amp;
+
+  // Capture/replay of the steady-state loop (vgpu/graph; FASTPSO_GRAPH=1).
+  vgpu::graph::IterationRecorder recorder(device);
+
   for (int iter = 0; iter < params.max_iter; ++iter) {
+    recorder.begin_iteration();
     // ---- fitness evaluation (their coalesced kernel) --------------------
     {
       ScopedTimer timer(wall, "eval");
       device.set_phase("eval");
       vgpu::prof::KernelLabel label("gpu_pso/eval");
-      vgpu::KernelCostSpec cost;
-      cost.flops = objective.cost.flops(d) * n;
-      cost.transcendentals = objective.cost.transcendentals(d) * n;
-      cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
-      cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
       const float* p = pos.data();
       float* pe = perror.data();
       if (vgpu::use_fast_path() && objective.batch_fn) {
-        device.account_launch(per_particle, cost);
+        device.account_launch(per_particle, eval_cost);
         objective.batch_fn(p, n, d, pe);
       } else {
-        device.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
+        device.launch(per_particle, eval_cost,
+                      [&](const vgpu::ThreadCtx& t) {
           const std::int64_t i = t.global_id();
           if (i < n) {
             pe[i] = static_cast<float>(objective.fn(p + i * d, d));
@@ -138,16 +169,13 @@ core::Result run_gpu_pso(const core::Objective& objective,
       for (int i = 0; i < n; ++i) {
         improved += perror[i] < pbest_err[i] ? 1 : 0;
       }
-      vgpu::KernelCostSpec cost;
-      cost.flops = static_cast<double>(n);
+      vgpu::KernelCostSpec cost = pbest_cost;
       cost.dram_read_bytes =
           2.0 * n * sizeof(float) +
           static_cast<double>(improved) * d * sizeof(float);
       cost.dram_write_bytes =
           n * sizeof(float) +
           static_cast<double>(improved) * d * sizeof(float);
-      cost.read_amplification = read_amp;
-      cost.write_amplification = write_amp;
       const float* p = pos.data();
       float* pb = pbest_pos.data();
       float* pe = perror.data();
@@ -173,13 +201,8 @@ core::Result run_gpu_pso(const core::Objective& objective,
         vgpu::prof::KernelLabel label("gpu_pso/gbest_copy");
         const float* src = pbest_pos.data() + best.index * d;
         float* dst = gbest_pos.data();
-        vgpu::LaunchConfig cfg;
-        cfg.grid = 1;
-        cfg.block = std::min(d, device.spec().max_threads_per_block);
-        vgpu::KernelCostSpec cost;
-        cost.dram_read_bytes = static_cast<double>(d) * sizeof(float);
-        cost.dram_write_bytes = static_cast<double>(d) * sizeof(float);
-        device.launch_elements(cfg, cost, d, [&](std::int64_t j) {
+        device.launch_elements(gbest_cfg, gbest_cost, d,
+                               [&](std::int64_t j) {
           dst[j] = src[j];
         });
       }
@@ -195,19 +218,12 @@ core::Result run_gpu_pso(const core::Objective& objective,
           2 + static_cast<std::uint64_t>(iter));
       const core::UpdateCoefficients it_coeff =
           core::coefficients_for_iter(coeff, params, iter);
-      vgpu::KernelCostSpec cost;
-      cost.flops = (10.0 + 2.0 * 13.0) * static_cast<double>(elements);
-      cost.dram_read_bytes =
-          (3.0 * static_cast<double>(elements) + d) * sizeof(float);
-      cost.dram_write_bytes =
-          2.0 * static_cast<double>(elements) * sizeof(float);
-      cost.read_amplification = read_amp;
-      cost.write_amplification = write_amp;
       float* p = pos.data();
       float* v = vel.data();
       const float* pb = pbest_pos.data();
       const float* gb = gbest_pos.data();
-      device.launch_elements(per_particle, cost, n, [&](std::int64_t i) {
+      device.launch_elements(per_particle, swarm_cost, n,
+                             [&](std::int64_t i) {
         for (int j = 0; j < d; ++j) {
           const std::int64_t e = i * d + j;
           const auto r = iter_rng.uniform_pair_at(static_cast<std::uint64_t>(e));
@@ -224,6 +240,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
         }
       });
     }
+    recorder.end_iteration();
   }
 
   core::Result result;
@@ -237,6 +254,7 @@ core::Result run_gpu_pso(const core::Objective& objective,
   result.modeled_seconds = device.modeled_seconds();
   result.counters = device.counters();
   result.profile = device.take_profile();
+  result.graph = recorder.stats();
   return result;
 }
 

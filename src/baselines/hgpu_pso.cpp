@@ -24,6 +24,7 @@
 #include "core/swarm_update.h"
 #include "rng/philox.h"
 #include "vgpu/buffer.h"
+#include "vgpu/graph/graph.h"
 #include "vgpu/perf_model.h"
 #include "vgpu/prof/prof.h"
 
@@ -107,25 +108,33 @@ core::Result run_hgpu_pso(const core::Objective& objective,
   per_particle.block = kBlock;
   per_particle.grid = (n + kBlock - 1) / kBlock;
 
+  // Loop-invariant evaluation cost, hoisted out of the iteration loop.
+  vgpu::KernelCostSpec eval_cost;
+  eval_cost.flops = objective.cost.flops(d) * n;
+  eval_cost.transcendentals = objective.cost.transcendentals(d) * n;
+  eval_cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
+  eval_cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
+
+  // Capture/replay of the device half of the loop (H2D, eval kernel, D2H);
+  // the CPU phases account through modeled_cpu either way.
+  vgpu::graph::IterationRecorder recorder(device);
+
   for (int iter = 0; iter < params.max_iter; ++iter) {
+    recorder.begin_iteration();
     // ---- GPU evaluation: H2D positions, eval kernel, D2H fitness ---------
     {
       ScopedTimer timer(wall, "eval");
       device.set_phase("eval");
       vgpu::prof::KernelLabel label("hgpu/eval");
       d_pos.upload(pos);
-      vgpu::KernelCostSpec cost;
-      cost.flops = objective.cost.flops(d) * n;
-      cost.transcendentals = objective.cost.transcendentals(d) * n;
-      cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
-      cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
       const float* p = d_pos.data();
       float* pe = d_err.data();
       if (vgpu::use_fast_path() && objective.batch_fn) {
-        device.account_launch(per_particle, cost);
+        device.account_launch(per_particle, eval_cost);
         objective.batch_fn(p, n, d, pe);
       } else {
-        device.launch(per_particle, cost, [&](const vgpu::ThreadCtx& t) {
+        device.launch(per_particle, eval_cost,
+                      [&](const vgpu::ThreadCtx& t) {
           const std::int64_t i = t.global_id();
           if (i < n) {
             pe[i] = static_cast<float>(objective.fn(p + i * d, d));
@@ -212,6 +221,7 @@ core::Result run_hgpu_pso(const core::Objective& objective,
               0, 5.0 * static_cast<double>(elements) * sizeof(float)),
           (10.0 + 2.0 * kCpuRngFlopsPerValue) * static_cast<double>(elements));
     }
+    recorder.end_iteration();
   }
 
   core::Result result;
@@ -232,6 +242,7 @@ core::Result run_hgpu_pso(const core::Objective& objective,
   for (auto& e : cpu_profile.events) {
     result.profile.events.push_back(std::move(e));
   }
+  result.graph = recorder.stats();
   return result;
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -43,13 +44,44 @@ class TimeBreakdown {
     return buckets_;
   }
 
-  void clear() { buckets_.clear(); }
+  /// Stable pointer to `key`'s accumulator (created at 0 if absent) so hot
+  /// paths can skip the map lookup. Invalidated by clear(), not by add().
+  [[nodiscard]] double* slot(const std::string& key) {
+    return &buckets_[key];
+  }
+
+  TimeBreakdown() = default;
+  // Copies take a fresh epoch: the new object's slot pointers differ from
+  // the source's, so any cache keyed on (address, epoch) must re-resolve.
+  TimeBreakdown(const TimeBreakdown& other)
+      : buckets_(other.buckets_), epoch_(next_epoch()) {}
+  TimeBreakdown& operator=(const TimeBreakdown& other) {
+    buckets_ = other.buckets_;
+    epoch_ = next_epoch();
+    return *this;
+  }
+
+  /// Identifies the current set of slot pointers: process-unique, replaced
+  /// by clear() and assignment. Lets slot caches detect invalidation with
+  /// one compare instead of re-resolving every time.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  void clear() {
+    buckets_.clear();
+    epoch_ = next_epoch();
+  }
 
   /// Merges another breakdown into this one (bucket-wise addition).
   void merge(const TimeBreakdown& other);
 
  private:
+  static std::uint64_t next_epoch() {
+    static std::uint64_t counter = 0;
+    return ++counter;
+  }
+
   std::map<std::string, double> buckets_;
+  std::uint64_t epoch_ = next_epoch();
 };
 
 /// RAII helper: measures a scope and adds it to a breakdown bucket.

@@ -14,6 +14,7 @@
 #include "core/neighborhood.h"
 #include "rng/philox.h"
 #include "core/swarm_update.h"
+#include "vgpu/graph/graph.h"
 #include "vgpu/memory_pool.h"
 #include "vgpu/prof/prof.h"
 #include "vgpu/san/tracked.h"
@@ -169,9 +170,15 @@ Result Optimizer::optimize_sync(const Objective& objective,
                      l_buf[0], g_buf[0]);
   }
 
+  // Capture-once/replay-many of the per-iteration launch sequence
+  // (vgpu/graph): iteration 1 records while running eagerly, iterations
+  // 2..T replay with pre-resolved accounting. Inert unless FASTPSO_GRAPH=1.
+  vgpu::graph::IterationRecorder recorder(device_);
+
   StopTracker stop(params_);
   int completed = 0;
   for (int iter = 0; iter < params_.max_iter; ++iter) {
+    recorder.begin_iteration();
     vgpu::DeviceArray<float> l_mat;
     vgpu::DeviceArray<float> g_mat;
     if (params_.overlap_init) {
@@ -241,6 +248,7 @@ Result Optimizer::optimize_sync(const Objective& objective,
                      params_.technique);
       }
     }
+    recorder.end_iteration();
 
     completed = iter + 1;
     result.gbest_history.push_back(state.gbest_err);
@@ -264,6 +272,7 @@ Result Optimizer::optimize_sync(const Objective& objective,
   result.modeled_seconds = device_.modeled_seconds();
   result.counters = device_.counters();
   result.profile = device_.take_profile();
+  result.graph = recorder.stats();
   return result;
 }
 
@@ -356,9 +365,17 @@ Result Optimizer::optimize_async(const Objective& objective,
     });
   }
 
+  // Per-iteration capture/replay, as in the sync loop. The async fused
+  // iteration is a single launch, so the graph is tiny — the replay still
+  // skips the per-launch setup, but the amortization model may report a
+  // (faithful) negative saving: one cudaGraphLaunch costs more than one
+  // kernel launch's overhead.
+  vgpu::graph::IterationRecorder recorder(device_);
+
   StopTracker stop(params_);
   int completed = 0;
   for (int iter = 0; iter < params_.max_iter; ++iter) {
+    recorder.begin_iteration();
     device_.set_phase("swarm");
     ScopedTimer timer(wall, "swarm");
     const UpdateCoefficients it_coeff =
@@ -413,6 +430,7 @@ Result Optimizer::optimize_async(const Objective& objective,
         }
       }
     });
+    recorder.end_iteration();
 
     completed = iter + 1;
     result.gbest_history.push_back(state.gbest_err);
@@ -435,6 +453,7 @@ Result Optimizer::optimize_async(const Objective& objective,
   result.modeled_seconds = device_.modeled_seconds();
   result.counters = device_.counters();
   result.profile = device_.take_profile();
+  result.graph = recorder.stats();
   return result;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/stopwatch.h"
 #include "vgpu/device.h"
+#include "vgpu/graph/graph.h"
 #include "vgpu/prof/prof.h"
 
 namespace fastpso::core {
@@ -40,6 +41,17 @@ struct Result {
   /// otherwise). CPU implementations record modeled host regions into it
   /// via Profile::add_host so the Figure 5 pipeline has one source.
   vgpu::prof::Profile profile;
+
+  /// Capture/replay bookkeeping when FASTPSO_GRAPH was enabled (all-default
+  /// otherwise). modeled_seconds_saved is the amortization credit the graph
+  /// model reports; it is never folded into modeled_seconds.
+  vgpu::graph::GraphStats graph;
+
+  /// Graph-mode modeled seconds: eager modeled time minus the amortized
+  /// launch overhead a CUDA-Graph replay would save.
+  [[nodiscard]] double graph_modeled_seconds() const {
+    return modeled_seconds - graph.modeled_seconds_saved;
+  }
 
   /// |gbest - optimum| against a known optimum value.
   [[nodiscard]] double error_to(double optimum) const {

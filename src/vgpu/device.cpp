@@ -5,6 +5,7 @@
 #include <string_view>
 #include <utility>
 
+#include "vgpu/graph/graph.h"
 #include "vgpu/memory_pool.h"
 #include "vgpu/prof/prof.h"
 
@@ -93,6 +94,11 @@ void Device::raw_free(void* p) {
 }
 
 void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
+  if (graph_mode_ == GraphMode::kCapturing) [[unlikely]] {
+    capture_graph_->record_memcpy(graph::NodeKind::kMemcpyH2D, dst, src,
+                                  static_cast<double>(bytes),
+                                  current_stream_, phase_);
+  }
   const double seconds = perf_.transfer_seconds(static_cast<double>(bytes));
   if (prof::active()) [[unlikely]] {
     Stopwatch wall;
@@ -108,6 +114,11 @@ void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
 }
 
 void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
+  if (graph_mode_ == GraphMode::kCapturing) [[unlikely]] {
+    capture_graph_->record_memcpy(graph::NodeKind::kMemcpyD2H, dst, src,
+                                  static_cast<double>(bytes),
+                                  current_stream_, phase_);
+  }
   const double seconds = perf_.transfer_seconds(static_cast<double>(bytes));
   if (prof::active()) [[unlikely]] {
     Stopwatch wall;
@@ -123,6 +134,11 @@ void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
 }
 
 void Device::memcpy_d2d(void* dst, const void* src, std::size_t bytes) {
+  if (graph_mode_ == GraphMode::kCapturing) [[unlikely]] {
+    capture_graph_->record_memcpy(graph::NodeKind::kMemcpyD2D, dst, src,
+                                  static_cast<double>(bytes),
+                                  current_stream_, phase_);
+  }
   // Read + write of `bytes` at effective DRAM bandwidth.
   const double seconds =
       2.0 * static_cast<double>(bytes) / (spec_.eff_dram_bw_gbps * 1e9);
@@ -184,6 +200,11 @@ void Device::add_modeled_host_seconds(double seconds) {
 
 void Device::account_launch(const LaunchConfig& cfg,
                             const KernelCostSpec& cost) {
+  if (graph_mode_ != GraphMode::kOff) [[unlikely]] {
+    if (graph_account(cfg, cost)) {
+      return;
+    }
+  }
   FASTPSO_CHECK(cfg.grid > 0);
   FASTPSO_CHECK_MSG(cfg.block > 0 && cfg.block <= spec_.max_threads_per_block,
                     "block size exceeds device limit");
@@ -202,6 +223,152 @@ void Device::account_launch(const LaunchConfig& cfg,
     prof_record_kernel(cfg, cost, seconds);
   }
   add_modeled(seconds, /*device_wide=*/false);
+}
+
+bool Device::graph_account(const LaunchConfig& cfg,
+                           const KernelCostSpec& cost) {
+  if (graph_mode_ == GraphMode::kCapturing) {
+    capture_graph_->record_kernel(cfg.grid, cfg.block, current_stream_,
+                                  phase_, prof::detail::current_label(),
+                                  cost);
+    return false;  // the eager path still performs all accounting
+  }
+  const graph::GraphExec::ExecNode* node = replay_exec_->match_kernel(
+      cfg.grid, cfg.block, current_stream_, phase_);
+  if (node == nullptr) {
+    // Sequence diverged (or ran past the node list): eager fallback.
+    replay_exec_->note_eager_launch();
+    return false;
+  }
+  // Replay fast path. The matched node's grid/block equal this launch's, so
+  // the launch-shape checks already passed at capture; cost values come
+  // from the call site, and the node contributes only shape-derived
+  // precomputes — every accounted value is byte-identical to eager mode.
+  ++counters_.launches;
+  counters_.barriers += static_cast<std::uint64_t>(cost.barriers);
+  counters_.flops += cost.flops;
+  counters_.transcendentals += cost.transcendentals;
+  counters_.dram_read_useful += cost.dram_read_bytes;
+  counters_.dram_write_useful += cost.dram_write_bytes;
+  counters_.dram_read_fetched += cost.fetched_read_bytes();
+  counters_.dram_write_fetched += cost.fetched_write_bytes();
+  double t_compute = 0;
+  double t_memory = 0;
+  const double seconds =
+      perf_.kernel_seconds_resolved(node->shape, cost, &t_compute, &t_memory);
+  counters_.kernel_seconds += seconds;
+  if (prof::active()) [[unlikely]] {
+    prof_record_kernel_replay(cfg.grid, cfg.block, current_stream_, phase_,
+                              prof::detail::current_label(), cost, seconds,
+                              node->shape.compute_occupancy,
+                              node->shape.memory_occupancy,
+                              t_memory > t_compute);
+  }
+  counters_.modeled_seconds += seconds;
+  *node->slot += seconds;
+  stream_clock_[current_stream_] += seconds;
+  return true;
+}
+
+void Device::graph_capture_body(std::function<void()> body) {
+  capture_graph_->attach_body(std::move(body));
+}
+
+void Device::begin_capture(graph::Graph& g) {
+  FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kOff,
+                    "begin_capture during an open capture/replay");
+  capture_graph_ = &g;
+  graph_mode_ = GraphMode::kCapturing;
+}
+
+void Device::end_capture() {
+  FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kCapturing,
+                    "end_capture without begin_capture");
+  capture_graph_ = nullptr;
+  graph_mode_ = GraphMode::kOff;
+}
+
+void Device::begin_replay(graph::GraphExec& exec) {
+  FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kOff,
+                    "begin_replay during an open capture/replay");
+  exec.begin_replay(modeled_breakdown_, stream_count());
+  replay_exec_ = &exec;
+  graph_mode_ = GraphMode::kReplaying;
+}
+
+bool Device::end_replay() {
+  FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kReplaying,
+                    "end_replay without begin_replay");
+  const bool clean = replay_exec_->end_replay();
+  replay_exec_ = nullptr;
+  graph_mode_ = GraphMode::kOff;
+  return clean;
+}
+
+void Device::replay_graph(graph::GraphExec& exec) {
+  FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kOff,
+                    "replay_graph during an open capture/replay");
+  exec.begin_standalone(modeled_breakdown_, stream_count());
+  for (const graph::GraphExec::ExecNode& en : exec.nodes()) {
+    const graph::Node& node = en.node;
+    switch (node.kind) {
+      case graph::NodeKind::kKernel: {
+        ++counters_.launches;
+        counters_.barriers += static_cast<std::uint64_t>(node.cost.barriers);
+        counters_.flops += node.cost.flops;
+        counters_.transcendentals += node.cost.transcendentals;
+        counters_.dram_read_useful += node.cost.dram_read_bytes;
+        counters_.dram_write_useful += node.cost.dram_write_bytes;
+        counters_.dram_read_fetched += node.cost.fetched_read_bytes();
+        counters_.dram_write_fetched += node.cost.fetched_write_bytes();
+        double t_compute = 0;
+        double t_memory = 0;
+        const double seconds = perf_.kernel_seconds_resolved(
+            en.shape, node.cost, &t_compute, &t_memory);
+        counters_.kernel_seconds += seconds;
+        if (prof::active()) [[unlikely]] {
+          prof_record_kernel_replay(
+              node.grid, node.block, node.stream, node.phase,
+              node.label.empty() ? nullptr : node.label.c_str(), node.cost,
+              seconds, en.shape.compute_occupancy,
+              en.shape.memory_occupancy, t_memory > t_compute);
+        }
+        counters_.modeled_seconds += seconds;
+        *en.slot += seconds;
+        stream_clock_[node.stream] += seconds;
+        if (node.body) {
+          if (prof::active()) [[unlikely]] {
+            Stopwatch wall;
+            node.body();
+            prof_note_wall(wall.elapsed_s());
+          } else {
+            node.body();
+          }
+        }
+        break;
+      }
+      case graph::NodeKind::kMemcpyH2D:
+      case graph::NodeKind::kMemcpyD2H:
+      case graph::NodeKind::kMemcpyD2D: {
+        // Memcpys replay through the eager entry points (they are
+        // device-synchronizing, so there is no setup to amortize); restore
+        // the captured phase first so attribution matches.
+        if (phase_ != node.phase) {
+          set_phase(node.phase);
+        }
+        const auto bytes = static_cast<std::size_t>(node.bytes);
+        if (node.kind == graph::NodeKind::kMemcpyH2D) {
+          memcpy_h2d(node.dst, node.src, bytes);
+        } else if (node.kind == graph::NodeKind::kMemcpyD2H) {
+          memcpy_d2h(node.dst, node.src, bytes);
+        } else {
+          memcpy_d2d(node.dst, node.src, bytes);
+        }
+        break;
+      }
+    }
+  }
+  exec.end_standalone();
 }
 
 prof::Profile Device::take_profile() {
@@ -235,6 +402,34 @@ void Device::prof_record_kernel(const LaunchConfig& cfg,
   e.memory_occupancy = detail.memory_occupancy;
   e.limiter =
       detail.memory_bound() ? prof::Limiter::kMemory : prof::Limiter::kCompute;
+  profile_->events.push_back(std::move(e));
+}
+
+void Device::prof_record_kernel_replay(std::int64_t grid, int block,
+                                       int stream, const std::string& phase,
+                                       const char* label,
+                                       const KernelCostSpec& cost,
+                                       double seconds,
+                                       double compute_occupancy,
+                                       double memory_occupancy,
+                                       bool memory_bound) {
+  if (!profile_) {
+    profile_ = std::make_unique<prof::Profile>();
+  }
+  prof::Event e;
+  e.kind = prof::EventKind::kKernel;
+  e.label = label != nullptr ? label : "<unlabeled>";
+  e.phase = phase;
+  e.stream = stream;
+  e.grid = grid;
+  e.block = block;
+  e.cost = cost;
+  e.t_begin = stream_clock_[stream];
+  e.modeled_seconds = seconds;
+  e.compute_occupancy = compute_occupancy;
+  e.memory_occupancy = memory_occupancy;
+  e.limiter =
+      memory_bound ? prof::Limiter::kMemory : prof::Limiter::kCompute;
   profile_->events.push_back(std::move(e));
 }
 

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -39,6 +40,11 @@ namespace fastpso::vgpu {
 
 namespace prof {
 struct Profile;  // vgpu/prof/prof.h
+}
+
+namespace graph {
+class Graph;      // vgpu/graph/graph.h
+class GraphExec;  // vgpu/graph/graph.h
 }
 
 /// Host-side fast-path toggle (default on). When enabled and no sanitizer
@@ -208,6 +214,28 @@ class Device {
   /// account_launch with their own execution (core::evaluate_positions).
   void prof_note_wall(double seconds);
 
+  // --- execution graphs (vgpu/graph/graph.h) ------------------------------
+  // Capture-once/replay-many of a launch sequence, CUDA-Graph style. While
+  // capturing, every account_launch/memcpy is recorded into `g` in addition
+  // to its normal eager accounting. While replaying, re-issued launches are
+  // matched against the instantiated node list and accounted through its
+  // precomputed records (byte-identical values, none of the per-launch
+  // setup); unmatched launches fall through to eager accounting.
+  void begin_capture(graph::Graph& g);
+  void end_capture();
+  /// Also captures kernel bodies on the launch_elements fast path so the
+  /// graph supports standalone replay_graph(). The caller guarantees that
+  /// everything those bodies reference outlives the graph.
+  void set_capture_bodies(bool capture) { capture_bodies_ = capture; }
+  void begin_replay(graph::GraphExec& exec);
+  /// Returns whether the replay matched cleanly (no divergence).
+  bool end_replay();
+  /// Standalone replay: re-executes the whole node list in order —
+  /// pre-resolved accounting per node, captured bodies/memcpys re-run.
+  /// Only meaningful for graphs captured with set_capture_bodies(true) (or
+  /// pure accounting graphs); requires no capture/replay to be open.
+  void replay_graph(graph::GraphExec& exec);
+
   // --- kernel launch ------------------------------------------------------
   /// Launches `body` once per thread of `cfg`. The body receives a
   /// ThreadCtx and is expected to grid-stride over its work.
@@ -270,6 +298,16 @@ class Device {
       return;
     }
     account_launch(cfg, cost);
+    if (graph_mode_ == GraphMode::kCapturing && capture_bodies_)
+        [[unlikely]] {
+      // Copy of the body for standalone replay; lifetime of everything it
+      // references is the caller's promise (set_capture_bodies).
+      graph_capture_body([n_elems, body]() mutable {
+        for (std::int64_t i = 0; i < n_elems; ++i) {
+          body(i);
+        }
+      });
+    }
     if (prof::active()) [[unlikely]] {
       Stopwatch wall;
       for (std::int64_t i = 0; i < n_elems; ++i) {
@@ -319,6 +357,21 @@ class Device {
   /// idle profiler costs nothing (vgpu/prof/prof.h).
   std::unique_ptr<prof::Profile> profile_;
 
+  /// Graph capture/replay session state. kOff is the steady state; the
+  /// account_launch hot path pays exactly one predicted-not-taken compare
+  /// for it.
+  enum class GraphMode : std::uint8_t { kOff, kCapturing, kReplaying };
+  GraphMode graph_mode_ = GraphMode::kOff;
+  bool capture_bodies_ = false;
+  graph::Graph* capture_graph_ = nullptr;
+  graph::GraphExec* replay_exec_ = nullptr;
+
+  /// Capture/replay half of account_launch (device.cpp). Returns true when
+  /// a replay match consumed the launch (fast-path accounting done).
+  bool graph_account(const LaunchConfig& cfg, const KernelCostSpec& cost);
+  /// Attaches a standalone-replay body to the node just captured.
+  void graph_capture_body(std::function<void()> body);
+
   /// `device_wide` costs (allocs, transfers, host work) synchronize and
   /// advance every stream; kernel costs advance only the current stream.
   void add_modeled(double seconds, bool device_wide = true);
@@ -328,6 +381,15 @@ class Device {
   // the pre-advance stream clock.
   void prof_record_kernel(const LaunchConfig& cfg, const KernelCostSpec& cost,
                           double seconds);
+  /// Replay-path variant: occupancies and roofline terms come pre-resolved
+  /// from the graph node instead of a kernel_detail call. Label/phase follow
+  /// `label`/`phase` (node values for standalone replay, live values for
+  /// paired replay — identical to eager either way).
+  void prof_record_kernel_replay(std::int64_t grid, int block, int stream,
+                                 const std::string& phase, const char* label,
+                                 const KernelCostSpec& cost, double seconds,
+                                 double compute_occupancy,
+                                 double memory_occupancy, bool memory_bound);
   void prof_record_op(prof::EventKind kind, double bytes, double seconds,
                       double wall_seconds);
 };

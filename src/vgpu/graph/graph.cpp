@@ -1,0 +1,287 @@
+#include "vgpu/graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+#include "vgpu/device.h"
+
+namespace fastpso::vgpu::graph {
+
+namespace {
+// Process-wide toggle, FASTPSO_FAST_PATH-style; the vgpu is single-threaded
+// by contract. Defaults to off so every eager-mode golden stays untouched.
+bool initial_graph_enabled() {
+  const char* env = std::getenv("FASTPSO_GRAPH");
+  return env != nullptr && std::string_view(env) == "1";
+}
+bool g_graph_enabled = initial_graph_enabled();
+}  // namespace
+
+bool enabled() { return g_graph_enabled; }
+
+void set_enabled(bool enable) { g_graph_enabled = enable; }
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kKernel:
+      return "kernel";
+    case NodeKind::kMemcpyH2D:
+      return "memcpy_h2d";
+    case NodeKind::kMemcpyD2H:
+      return "memcpy_d2h";
+    case NodeKind::kMemcpyD2D:
+      return "memcpy_d2d";
+  }
+  return "?";
+}
+
+// --- Graph ----------------------------------------------------------------
+
+void Graph::record_kernel(std::int64_t grid, int block, int stream,
+                          const std::string& phase, const char* label,
+                          const KernelCostSpec& cost) {
+  Node node;
+  node.kind = NodeKind::kKernel;
+  node.grid = grid;
+  node.block = block;
+  node.stream = stream;
+  node.phase = phase;
+  node.label = label != nullptr ? label : "";
+  node.cost = cost;
+  nodes_.push_back(std::move(node));
+}
+
+void Graph::record_memcpy(NodeKind kind, void* dst, const void* src,
+                          double bytes, int stream,
+                          const std::string& phase) {
+  FASTPSO_CHECK(kind != NodeKind::kKernel);
+  Node node;
+  node.kind = kind;
+  node.stream = stream;
+  node.phase = phase;
+  node.dst = dst;
+  node.src = src;
+  node.bytes = bytes;
+  nodes_.push_back(std::move(node));
+}
+
+void Graph::attach_body(std::function<void()> body) {
+  FASTPSO_CHECK_MSG(!nodes_.empty(), "attach_body on an empty graph");
+  nodes_.back().body = std::move(body);
+}
+
+GraphExec Graph::instantiate(const GpuPerfModel& perf) const {
+  GraphExec exec;
+  exec.nodes_.reserve(nodes_.size());
+  const GpuSpec& spec = perf.spec();
+  for (const Node& node : nodes_) {
+    // Structural audit — the static half of the sanitizer's cost-spec
+    // invariants. The captured launches already executed eagerly (so the
+    // dynamic FASTPSO_CHECKs passed); a failure here means the capture
+    // machinery itself recorded garbage.
+    FASTPSO_CHECK_MSG(node.stream >= 0, "graph node on a negative stream");
+    if (node.kind == NodeKind::kKernel) {
+      FASTPSO_CHECK_MSG(node.grid > 0, "graph node with empty grid");
+      FASTPSO_CHECK_MSG(
+          node.block > 0 && node.block <= spec.max_threads_per_block,
+          "graph node block size exceeds device limit");
+      const KernelCostSpec& c = node.cost;
+      FASTPSO_CHECK_MSG(
+          std::isfinite(c.flops) && c.flops >= 0 &&
+              std::isfinite(c.transcendentals) && c.transcendentals >= 0 &&
+              std::isfinite(c.dram_read_bytes) && c.dram_read_bytes >= 0 &&
+              std::isfinite(c.dram_write_bytes) && c.dram_write_bytes >= 0,
+          "graph node with non-finite or negative cost spec");
+      FASTPSO_CHECK_MSG(
+          c.read_amplification >= 1.0 && c.write_amplification >= 1.0,
+          "graph node with amplification below 1");
+      FASTPSO_CHECK_MSG(c.barriers >= 0,
+                        "graph node with negative barrier count");
+    } else {
+      FASTPSO_CHECK_MSG(std::isfinite(node.bytes) && node.bytes >= 0,
+                        "graph memcpy node with bad byte count");
+    }
+
+    GraphExec::ExecNode exec_node;
+    exec_node.node = node;
+    if (node.kind == NodeKind::kKernel) {
+      exec_node.shape = perf.resolve_shape(
+          static_cast<double>(node.grid) * node.block);
+      ++exec.kernel_nodes_;
+    }
+    exec.nodes_.push_back(std::move(exec_node));
+  }
+  exec.launch_overhead_s_ = spec.launch_overhead_us * 1e-6;
+  exec.node_gap_s_ = spec.graph_node_overhead_us * 1e-6;
+  exec.graph_launch_s_ = spec.graph_launch_overhead_us * 1e-6;
+  exec.stats_.instantiated = true;
+  exec.stats_.nodes = static_cast<int>(exec.nodes_.size());
+  return exec;
+}
+
+// --- GraphExec ------------------------------------------------------------
+
+void GraphExec::resolve_slots(TimeBreakdown& breakdown) {
+  // Steady state: same breakdown, no clear() since the last replay — the
+  // cached slots are still valid and the map lookups are skipped.
+  if (resolved_breakdown_ == &breakdown &&
+      resolved_epoch_ == breakdown.epoch()) {
+    return;
+  }
+  // Consecutive nodes usually share a phase; memoize the last lookup.
+  const std::string* last_phase = nullptr;
+  double* last_slot = nullptr;
+  for (ExecNode& n : nodes_) {
+    if (last_phase == nullptr || *last_phase != n.node.phase) {
+      last_slot = breakdown.slot(n.node.phase);
+      last_phase = &n.node.phase;
+    }
+    n.slot = last_slot;
+  }
+  resolved_breakdown_ = &breakdown;
+  resolved_epoch_ = breakdown.epoch();
+}
+
+void GraphExec::begin_replay(TimeBreakdown& breakdown, int stream_count) {
+  FASTPSO_CHECK_MSG(!replay_open_, "nested graph replay");
+  for (const ExecNode& n : nodes_) {
+    FASTPSO_CHECK_MSG(n.node.stream < stream_count,
+                      "graph node stream does not exist on this device");
+  }
+  resolve_slots(breakdown);
+  cursor_ = 0;
+  pending_matched_ = 0;
+  replay_diverged_ = false;
+  replay_open_ = true;
+}
+
+const GraphExec::ExecNode* GraphExec::match_kernel(
+    std::int64_t grid, int block, int stream, const std::string& phase) {
+  if (replay_diverged_) {
+    return nullptr;
+  }
+  const std::size_t limit =
+      std::min(nodes_.size(), cursor_ + kMatchWindow + 1);
+  for (std::size_t j = cursor_; j < limit; ++j) {
+    const ExecNode& candidate = nodes_[j];
+    const Node& n = candidate.node;
+    if (n.kind == NodeKind::kKernel && n.grid == grid && n.block == block &&
+        n.stream == stream && n.phase == phase) {
+      // Everything the caller consumes from the node (occupancies,
+      // breakdown slot) is a pure function of these matched keys, so even a
+      // positionally mis-paired match cannot change any accounted value.
+      stats_.skipped_nodes += j - cursor_;
+      cursor_ = j + 1;
+      ++pending_matched_;
+      ++stats_.replayed_launches;
+      return &candidate;
+    }
+  }
+  replay_diverged_ = true;
+  stats_.diverged = true;
+  return nullptr;
+}
+
+bool GraphExec::end_replay() {
+  FASTPSO_CHECK_MSG(replay_open_, "end_replay without begin_replay");
+  replay_open_ = false;
+  stats_.skipped_nodes += nodes_.size() - cursor_;
+  if (replay_diverged_) {
+    // A diverged iteration ran (partly) eagerly; in CUDA terms the graph
+    // launch was abandoned, so no amortization credit.
+    return false;
+  }
+  ++stats_.replays;
+  stats_.modeled_seconds_saved +=
+      static_cast<double>(pending_matched_) *
+          (launch_overhead_s_ - node_gap_s_) -
+      graph_launch_s_;
+  return true;
+}
+
+void GraphExec::begin_standalone(TimeBreakdown& breakdown, int stream_count) {
+  begin_replay(breakdown, stream_count);
+}
+
+void GraphExec::end_standalone() {
+  // Standalone replay executes every node in order: all kernel nodes count
+  // as matched, nothing is skipped.
+  pending_matched_ = static_cast<std::uint64_t>(kernel_nodes_);
+  stats_.replayed_launches += pending_matched_;
+  cursor_ = nodes_.size();
+  replay_open_ = false;
+  ++stats_.replays;
+  stats_.modeled_seconds_saved +=
+      static_cast<double>(pending_matched_) *
+          (launch_overhead_s_ - node_gap_s_) -
+      graph_launch_s_;
+}
+
+// --- IterationRecorder ----------------------------------------------------
+
+IterationRecorder::IterationRecorder(Device& device)
+    : IterationRecorder(device, enabled()) {}
+
+IterationRecorder::IterationRecorder(Device& device, bool enable)
+    : device_(device), state_(enable ? State::kIdle : State::kDisabled) {}
+
+IterationRecorder::~IterationRecorder() {
+  // Safety net for early exits (callback break, exception): close whatever
+  // session is open so the device leaves graph mode.
+  if (state_ == State::kCapturing) {
+    device_.end_capture();
+  } else if (state_ == State::kReplaying) {
+    (void)device_.end_replay();
+  }
+}
+
+void IterationRecorder::begin_iteration() {
+  switch (state_) {
+    case State::kIdle:
+      graph_.clear();
+      device_.begin_capture(graph_);
+      state_ = State::kCapturing;
+      break;
+    case State::kArmed:
+      device_.begin_replay(*exec_);
+      state_ = State::kReplaying;
+      break;
+    default:
+      break;
+  }
+}
+
+void IterationRecorder::end_iteration() {
+  switch (state_) {
+    case State::kCapturing:
+      device_.end_capture();
+      if (graph_.empty()) {
+        state_ = State::kEager;
+        break;
+      }
+      exec_ = std::make_unique<GraphExec>(
+          graph_.instantiate(device_.perf()));
+      state_ = State::kArmed;
+      break;
+    case State::kReplaying:
+      state_ = device_.end_replay() ? State::kArmed : State::kEager;
+      break;
+    default:
+      break;
+  }
+}
+
+GraphStats IterationRecorder::stats() const {
+  GraphStats s = exec_ != nullptr ? exec_->stats() : GraphStats{};
+  s.enabled = state_ != State::kDisabled;
+  if (exec_ == nullptr) {
+    s.nodes = static_cast<int>(graph_.size());
+  }
+  return s;
+}
+
+}  // namespace fastpso::vgpu::graph

@@ -1,0 +1,249 @@
+// CUDA-Graph-style capture & replay for the virtual GPU.
+//
+// Motivation (paper Section 1 / DESIGN.md §8): once the host fast path and
+// profiler trimmed kernel *execution*, the dominant remaining per-iteration
+// cost is repeated host-side launch setup — every iteration re-runs the same
+// occupancy lookups, breakdown-map lookups and prof/san bookkeeping for an
+// identical sequence of launches. Real stacks solve this with CUDA Graphs:
+// record the launch sequence once, validate and pre-resolve it once
+// (cudaGraphInstantiate), then replay it with a single graph-launch call.
+// This layer reproduces that shape:
+//
+//   capture     Device::begin_capture(graph) .. end_capture(): every
+//               account_launch/memcpy is recorded as a Node (launch config,
+//               stream, phase, prof label, cost spec, optional body) while
+//               executing and accounting *eagerly* — the capture iteration
+//               is a normal iteration.
+//   instantiate Graph::instantiate(perf): one-time structural audit of the
+//               captured nodes plus pre-resolution of everything derivable
+//               from the launch shape — occupancies and roofline
+//               denominators (ResolvedLaunchShape), interned phase/label
+//               strings, per-phase TimeBreakdown slots.
+//   replay      Device::begin_replay(exec) .. end_replay(): the caller
+//               re-issues its launches; each one is matched positionally
+//               against the node list and, on a match, accounted through the
+//               precomputed records with zero per-node setup. Cost values
+//               ALWAYS come from the live call site, and the only node data
+//               consumed (occupancies, breakdown slot) is a pure function of
+//               the match keys (grid, block, stream, phase) — so counters,
+//               modeled seconds, breakdowns, prof events and san traces are
+//               byte-identical to eager mode even for a mis-paired match.
+//               A launch that finds no matching node within a bounded
+//               skip-forward window marks the replay diverged and falls
+//               through to eager accounting; conditional launches that were
+//               captured but not re-issued are skipped harmlessly.
+//
+// Amortization is *reported*, never applied to device clocks or counters
+// (every eager-mode golden stays byte-identical): a clean replay credits
+//   saved = matched * (launch_overhead_us - graph_node_overhead_us)
+//           - graph_launch_overhead_us                       [converted to s]
+// into GraphStats.modeled_seconds_saved, modeling one cudaGraphLaunch per
+// replay plus a residual per-node gap instead of a full per-kernel launch.
+//
+// Default off; enable with FASTPSO_GRAPH=1 or graph::set_enabled(true).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "vgpu/perf_model.h"
+
+namespace fastpso::vgpu {
+
+class Device;  // vgpu/device.h
+
+namespace graph {
+
+/// Process-wide graph-mode toggle (default off; FASTPSO_GRAPH=1 starts it
+/// on). Gates only the IterationRecorder convenience — explicit
+/// capture/replay calls work regardless.
+[[nodiscard]] bool enabled();
+void set_enabled(bool enabled);
+
+enum class NodeKind : std::uint8_t {
+  kKernel,
+  kMemcpyH2D,
+  kMemcpyD2H,
+  kMemcpyD2D,
+};
+
+[[nodiscard]] const char* to_string(NodeKind kind);
+
+/// One captured device operation.
+struct Node {
+  NodeKind kind = NodeKind::kKernel;
+  std::int64_t grid = 1;
+  int block = 1;
+  int stream = 0;
+  std::string phase;
+  /// Prof label at capture time ("" when no label was pushed — labels exist
+  /// only while prof::active()). Interned for introspection; replay reads
+  /// the live label so prof events match eager mode trivially.
+  std::string label;
+  KernelCostSpec cost;     ///< as declared at capture (audit/introspection)
+  void* dst = nullptr;     ///< memcpy nodes only
+  const void* src = nullptr;
+  double bytes = 0;        ///< memcpy nodes only
+  /// Optional kernel body for standalone replay (Device::replay_graph).
+  /// Captured only when Device::set_capture_bodies(true) — the caller
+  /// guarantees everything the body references outlives the graph.
+  std::function<void()> body;
+};
+
+/// Replay bookkeeping, surfaced through core::Result for benches/tests.
+struct GraphStats {
+  bool enabled = false;       ///< graph mode was on for this run
+  bool instantiated = false;  ///< a capture completed and was instantiated
+  bool diverged = false;      ///< some replay fell back to eager
+  int nodes = 0;              ///< captured nodes (kernels + memcpys)
+  std::uint64_t replays = 0;             ///< completed clean replays
+  std::uint64_t replayed_launches = 0;   ///< launches accounted via replay
+  std::uint64_t skipped_nodes = 0;       ///< captured nodes not re-issued
+  std::uint64_t eager_launches = 0;      ///< replay-mode launches that fell
+                                         ///< through to eager accounting
+  /// Modeled seconds the amortization model credits against
+  /// modeled_seconds. Reported only — never applied to device clocks.
+  double modeled_seconds_saved = 0;
+};
+
+class GraphExec;
+
+/// An ordered record of captured device operations (cudaGraph analogue).
+class Graph {
+ public:
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  void clear() { nodes_.clear(); }
+
+  /// Recording entry points (called by Device while capturing).
+  void record_kernel(std::int64_t grid, int block, int stream,
+                     const std::string& phase, const char* label,
+                     const KernelCostSpec& cost);
+  void record_memcpy(NodeKind kind, void* dst, const void* src, double bytes,
+                     int stream, const std::string& phase);
+  /// Attaches a body to the most recently recorded node.
+  void attach_body(std::function<void()> body);
+
+  /// One-time validation + pre-resolution (cudaGraphInstantiate analogue).
+  /// Audits every node structurally (shape within device limits, cost spec
+  /// finite and non-negative, amplifications >= 1 — the same invariants the
+  /// sanitizer's cost audits enforce dynamically) and precomputes each
+  /// kernel node's ResolvedLaunchShape. Throws CheckError on audit failure.
+  [[nodiscard]] GraphExec instantiate(const GpuPerfModel& perf) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// An instantiated graph: nodes plus everything pre-resolved for zero-setup
+/// replay (cudaGraphExec analogue). Obtained from Graph::instantiate.
+class GraphExec {
+ public:
+  /// A launch re-issued during replay may sit this many nodes ahead of the
+  /// cursor (bounded skip-forward over conditional launches that were
+  /// captured but not re-issued, e.g. the gbest copy).
+  static constexpr std::size_t kMatchWindow = 8;
+
+  /// Node plus its pre-resolved records.
+  struct ExecNode {
+    Node node;
+    ResolvedLaunchShape shape;  ///< kernel nodes only
+    /// Accumulator for node.phase in the device's modeled breakdown;
+    /// resolved at begin_replay (TimeBreakdown::clear() invalidates slots).
+    double* slot = nullptr;
+  };
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<ExecNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const GraphStats& stats() const { return stats_; }
+  [[nodiscard]] int kernel_nodes() const { return kernel_nodes_; }
+
+  // --- paired replay (driven by Device::begin_replay/end_replay) ---------
+  /// Rewinds the match cursor; breakdown slots are re-resolved only when
+  /// the breakdown changed identity or was clear()ed since the last replay
+  /// (epoch check), so steady-state replays skip the map lookups entirely.
+  void begin_replay(TimeBreakdown& breakdown, int stream_count);
+  /// Positional match for a re-issued kernel launch. Returns the matched
+  /// node (advancing the cursor past it, counting skipped-over nodes), or
+  /// nullptr when the sequence diverged — the caller then accounts eagerly.
+  const ExecNode* match_kernel(std::int64_t grid, int block, int stream,
+                               const std::string& phase);
+  /// Notes a launch that fell through to eager accounting during replay.
+  void note_eager_launch() { ++stats_.eager_launches; }
+  /// Closes the replay: remaining nodes count as skipped; a clean
+  /// (non-diverged) replay earns the amortization credit. Returns whether
+  /// the replay was clean.
+  bool end_replay();
+
+  // --- standalone replay bookkeeping (Device::replay_graph) --------------
+  void begin_standalone(TimeBreakdown& breakdown, int stream_count);
+  void end_standalone();
+
+ private:
+  friend class Graph;
+  GraphExec() = default;
+
+  void resolve_slots(TimeBreakdown& breakdown);
+
+  std::vector<ExecNode> nodes_;
+  int kernel_nodes_ = 0;
+  double launch_overhead_s_ = 0;
+  double node_gap_s_ = 0;
+  double graph_launch_s_ = 0;
+
+  /// Slot-resolution cache key (resolve_slots).
+  const TimeBreakdown* resolved_breakdown_ = nullptr;
+  std::uint64_t resolved_epoch_ = 0;
+
+  std::size_t cursor_ = 0;
+  std::uint64_t pending_matched_ = 0;
+  bool replay_diverged_ = false;
+  bool replay_open_ = false;
+  GraphStats stats_;
+};
+
+/// Capture-once/replay-many driver for an iteration loop: wrap each
+/// iteration in begin_iteration()/end_iteration(). Iteration 1 captures
+/// while executing eagerly, end of iteration 1 instantiates, iterations
+/// 2..T replay; any divergence falls back to eager permanently. Inert when
+/// graph mode is disabled, so call sites need no gating.
+class IterationRecorder {
+ public:
+  explicit IterationRecorder(Device& device);
+  IterationRecorder(Device& device, bool enable);
+  ~IterationRecorder();
+
+  IterationRecorder(const IterationRecorder&) = delete;
+  IterationRecorder& operator=(const IterationRecorder&) = delete;
+
+  void begin_iteration();
+  void end_iteration();
+
+  [[nodiscard]] bool active() const { return state_ != State::kDisabled; }
+  /// Merged stats: capture size + replay bookkeeping.
+  [[nodiscard]] GraphStats stats() const;
+
+ private:
+  enum class State : std::uint8_t {
+    kDisabled,   ///< graph mode off: begin/end are no-ops
+    kIdle,       ///< next iteration captures
+    kCapturing,  ///< inside the capture iteration
+    kArmed,      ///< instantiated; next iteration replays
+    kReplaying,  ///< inside a replay iteration
+    kEager,      ///< permanent fallback (empty capture or divergence)
+  };
+
+  Device& device_;
+  Graph graph_;
+  std::unique_ptr<GraphExec> exec_;
+  State state_ = State::kDisabled;
+};
+
+}  // namespace graph
+}  // namespace fastpso::vgpu

@@ -95,6 +95,42 @@ double GpuPerfModel::kernel_seconds(double threads,
          cost.barriers * spec_.barrier_overhead_us * 1e-6;
 }
 
+ResolvedLaunchShape GpuPerfModel::resolve_shape(double threads) const {
+  FASTPSO_CHECK(threads >= 1.0);
+  ResolvedLaunchShape s;
+  s.threads = threads;
+  s.compute_occupancy = compute_occupancy(threads);
+  s.memory_occupancy = memory_occupancy(threads);
+  s.compute_denom_plain = eff_flops_plain_ * s.compute_occupancy;
+  s.compute_denom_tensor = eff_flops_tensor_ * s.compute_occupancy;
+  s.memory_bw = bw_base_ * s.memory_occupancy;
+  return s;
+}
+
+double GpuPerfModel::kernel_seconds_resolved(const ResolvedLaunchShape& shape,
+                                             const KernelCostSpec& cost,
+                                             double* t_compute_out,
+                                             double* t_memory_out) const {
+  // Mirrors kernel_seconds term by term. The denominators were folded at
+  // resolve_shape time with the same association (eff_flops * occ, bw * occ)
+  // the per-call code uses, so every double here is bit-identical.
+  const double compute_denom = cost.uses_tensor_cores
+                                   ? shape.compute_denom_tensor
+                                   : shape.compute_denom_plain;
+  const double flop_work =
+      cost.flops + cost.transcendentals * spec_.sfu_cost_flops;
+  const double t_compute = flop_work / compute_denom;
+  const double t_memory = cost.fetched_bytes() / shape.memory_bw;
+  if (t_compute_out != nullptr) {
+    *t_compute_out = t_compute;
+  }
+  if (t_memory_out != nullptr) {
+    *t_memory_out = t_memory;
+  }
+  return std::max(t_compute, t_memory) + launch_overhead_s_ +
+         cost.barriers * spec_.barrier_overhead_us * 1e-6;
+}
+
 KernelTimeDetail GpuPerfModel::kernel_detail(double threads,
                                              const KernelCostSpec& cost)
     const {

@@ -86,6 +86,20 @@ struct KernelTimeDetail {
   }
 };
 
+/// Launch-shape-dependent constants of kernel_seconds, resolved once for a
+/// fixed thread count (vgpu::graph pre-resolves one per captured node). Each
+/// field is the *same expression* (same operands, same association) the
+/// per-call code evaluates, so kernel_seconds_resolved() reproduces
+/// kernel_seconds() bit-for-bit for any cost spec.
+struct ResolvedLaunchShape {
+  double threads = 0;
+  double compute_occupancy = 0;     ///< compute_occupancy(threads)
+  double memory_occupancy = 0;      ///< memory_occupancy(threads)
+  double compute_denom_plain = 0;   ///< eff_flops_plain * compute_occupancy
+  double compute_denom_tensor = 0;  ///< eff_flops_tensor * compute_occupancy
+  double memory_bw = 0;             ///< bw_base * memory_occupancy
+};
+
 /// Converts launch shape + cost spec into modeled seconds on a GpuSpec.
 class GpuPerfModel {
  public:
@@ -97,6 +111,19 @@ class GpuPerfModel {
   /// threads performing `cost` worth of work.
   [[nodiscard]] double kernel_seconds(double threads,
                                       const KernelCostSpec& cost) const;
+
+  /// Pre-resolves the shape-dependent factors of kernel_seconds for a fixed
+  /// thread count.
+  [[nodiscard]] ResolvedLaunchShape resolve_shape(double threads) const;
+
+  /// kernel_seconds over a pre-resolved shape: bit-identical to
+  /// kernel_seconds(shape.threads, cost) with none of the per-call occupancy
+  /// work. When `t_compute_out`/`t_memory_out` are given they receive the two
+  /// roofline terms (for limiter attribution) — the same doubles
+  /// kernel_detail computes.
+  [[nodiscard]] double kernel_seconds_resolved(
+      const ResolvedLaunchShape& shape, const KernelCostSpec& cost,
+      double* t_compute_out = nullptr, double* t_memory_out = nullptr) const;
 
   /// kernel_seconds broken into its roofline terms. Evaluates the same
   /// expressions over the same operands, so detail.total() is bit-identical
