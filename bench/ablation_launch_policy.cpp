@@ -9,14 +9,19 @@
 // left to gain (grid-stride folds the excess at no cost, while a real
 // unbounded launch would pay block-scheduling overhead).
 //
-//   ./ablation_launch_policy [--executed-iters 10] [--graph]
+//   ./ablation_launch_policy [--executed-iters 10] [--graph] [--fuse]
 //
 // --graph repeats each cap's iteration loop under vgpu::Graph
 // capture/replay (DESIGN.md §8) and appends a graph-mode modeled column.
 // The swarm step is a single kernel, so its one-node graph faithfully
 // reports a *negative* amortization (one graph launch costs more than one
 // kernel launch saves) — graphs pay off for the multi-kernel pipeline, not
-// here. Eager columns and the default CSV schema are unchanged.
+// here. --fuse adds a "+fusion" row per cap with the FusionPass engaged
+// (DESIGN.md §9) and a fused-modeled column; a one-kernel loop has no run
+// to fuse (groups = 0), so the column honestly matches the graph number —
+// the fusion win lives in the multi-kernel pipeline (micro_engine --fuse,
+// tests/test_fusion.cpp). Eager columns and the default CSV schema are
+// unchanged either way.
 
 #include "bench_common.h"
 #include "core/init.h"
@@ -35,6 +40,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const BenchOptions opt = BenchOptions::parse(args, /*default_executed=*/10);
   const bool use_graph = args.get_bool("graph", false);
+  const bool use_fuse = args.get_bool("fuse", false);
   if (use_graph) {
     vgpu::graph::set_enabled(true);
   }
@@ -60,52 +66,79 @@ int main(int argc, char** argv) {
     header.push_back("graph modeled (s)");
     csv_header.push_back("graph_swarm_s");
   }
+  if (use_fuse) {
+    header.push_back("fused modeled (s)");
+    csv_header.push_back("fused_swarm_s");
+  }
   table.set_header(header);
   CsvWriter csv(csv_header);
 
   for (const auto& [label, cap] : caps) {
-    vgpu::Device device;
-    core::LaunchPolicy policy(device.spec(), 256, cap);
-    core::SwarmState state(device, n, d);
-    core::initialize_swarm(device, policy, state, opt.seed, -5.12f, 5.12f,
-                           5.12f);
-    vgpu::DeviceArray<float> l_mat(device, state.elements());
-    vgpu::DeviceArray<float> g_mat(device, state.elements());
-    core::generate_weights(device, policy, state.elements(), opt.seed, 0,
-                           l_mat, g_mat);
-    core::PsoParams params;
-    const core::UpdateCoefficients coeff =
-        core::make_coefficients(params, -5.12, 5.12);
+    // With --fuse each cap runs twice: the plain pass and a "+fusion" pass
+    // with the FusionPass engaged (fusion implies capture, so the second
+    // pass records even without --graph).
+    for (const bool fuse : use_fuse ? std::vector<bool>{false, true}
+                                    : std::vector<bool>{false}) {
+      vgpu::Device device;
+      core::LaunchPolicy policy(device.spec(), 256, cap);
+      core::SwarmState state(device, n, d);
+      core::initialize_swarm(device, policy, state, opt.seed, -5.12f, 5.12f,
+                             5.12f);
+      vgpu::DeviceArray<float> l_mat(device, state.elements());
+      vgpu::DeviceArray<float> g_mat(device, state.elements());
+      core::generate_weights(device, policy, state.elements(), opt.seed, 0,
+                             l_mat, g_mat);
+      core::PsoParams params;
+      const core::UpdateCoefficients coeff =
+          core::make_coefficients(params, -5.12, 5.12);
 
-    device.reset_counters();
-    device.set_phase("swarm");
-    vgpu::graph::IterationRecorder recorder(device);
-    for (int iter = 0; iter < opt.executed_iters; ++iter) {
-      recorder.begin_iteration();
-      core::swarm_update(device, policy, state, l_mat, g_mat, coeff,
-                         core::UpdateTechnique::kGlobalMemory);
-      recorder.end_iteration();
+      device.reset_counters();
+      device.set_phase("swarm");
+      vgpu::graph::IterationRecorder recorder(device, use_graph || fuse,
+                                              fuse);
+      for (int iter = 0; iter < opt.executed_iters; ++iter) {
+        recorder.begin_iteration();
+        core::swarm_update(device, policy, state, l_mat, g_mat, coeff,
+                           core::UpdateTechnique::kGlobalMemory);
+        recorder.end_iteration();
+      }
+      const double per_iter =
+          device.modeled_seconds() / opt.executed_iters;
+      const double full = per_iter * opt.iters;
+      const auto decision = policy.for_elements(state.elements());
+      const std::string row_label = fuse ? label + " +fusion" : label;
+      std::vector<std::string> row = {
+          row_label, std::to_string(decision.config.total_threads()),
+          std::to_string(decision.thread_workload), fmt_fixed(full, 3)};
+      std::vector<std::string> csv_row = {
+          row_label, std::to_string(decision.config.total_threads()),
+          std::to_string(decision.thread_workload), fmt_fixed(full, 4)};
+      if (use_graph) {
+        const vgpu::graph::GraphStats g = recorder.stats();
+        const double graph_per_iter =
+            (device.modeled_seconds() - g.modeled_seconds_saved) /
+            opt.executed_iters;
+        row.push_back(fmt_fixed(graph_per_iter * opt.iters, 3));
+        csv_row.push_back(fmt_fixed(graph_per_iter * opt.iters, 4));
+      }
+      if (use_fuse) {
+        if (fuse) {
+          const vgpu::graph::GraphStats g = recorder.stats();
+          const vgpu::graph::FusionStats f = recorder.fusion_stats();
+          const double fused_per_iter =
+              (device.modeled_seconds() - g.modeled_seconds_saved -
+               f.modeled_seconds_saved) /
+              opt.executed_iters;
+          row.push_back(fmt_fixed(fused_per_iter * opt.iters, 3));
+          csv_row.push_back(fmt_fixed(fused_per_iter * opt.iters, 4));
+        } else {
+          row.push_back("-");
+          csv_row.push_back("-");
+        }
+      }
+      table.add_row(row);
+      csv.add_row(csv_row);
     }
-    const double per_iter =
-        device.modeled_seconds() / opt.executed_iters;
-    const double full = per_iter * opt.iters;
-    const auto decision = policy.for_elements(state.elements());
-    std::vector<std::string> row = {
-        label, std::to_string(decision.config.total_threads()),
-        std::to_string(decision.thread_workload), fmt_fixed(full, 3)};
-    std::vector<std::string> csv_row = {
-        label, std::to_string(decision.config.total_threads()),
-        std::to_string(decision.thread_workload), fmt_fixed(full, 4)};
-    if (use_graph) {
-      const vgpu::graph::GraphStats g = recorder.stats();
-      const double graph_per_iter =
-          (device.modeled_seconds() - g.modeled_seconds_saved) /
-          opt.executed_iters;
-      row.push_back(fmt_fixed(graph_per_iter * opt.iters, 3));
-      csv_row.push_back(fmt_fixed(graph_per_iter * opt.iters, 4));
-    }
-    table.add_row(row);
-    csv.add_row(csv_row);
   }
 
   table.add_note("the particle-level row is the granularity of the prior "
@@ -114,6 +147,12 @@ int main(int argc, char** argv) {
     table.add_note("graph column: one-node graph per iteration; a single "
                    "kernel cannot amortize the graph launch, so graph "
                    "modeled >= eager here (cf. micro_engine --graph)");
+  }
+  if (use_fuse) {
+    table.add_note("+fusion rows: a one-kernel iteration has no run to "
+                   "fuse (groups=0), so fused modeled = graph modeled — "
+                   "fusion pays off in the multi-kernel pipeline "
+                   "(micro_engine --fuse, tests/test_fusion.cpp)");
   }
   table.print(std::cout);
   maybe_write_csv(csv, opt.csv);

@@ -20,20 +20,35 @@
 //      (DESIGN.md §8). Small n_elems so per-launch setup dominates — the
 //      cost the graph replay amortizes. Also reports the modeled
 //      amortization credit as a fraction of eager modeled time.
+//   6. (--fuse) launch throughput of a fully fusible chain — eight small
+//      element-wise launches, each consuming its predecessor's output —
+//      accounted eagerly, through plain graph replay, and through fused
+//      replay after the FusionPass collapses the chain to one node
+//      (DESIGN.md §9). Like the graph probe this uses accounting-only
+//      launches: kernel bodies are identical work on every side and would
+//      only dilute the ratio, and the fusion win being measured is the
+//      per-launch dispatch the fused node eliminates. Emits
+//      BENCH_fusion.json; --fuse-trace PATH additionally writes the fused
+//      replay's Chrome trace (one labeled event per group, merged cost
+//      specs) for CI artifact upload.
 //
 // Both launch paths issue the identical account_launch call, so modeled
 // seconds and DeviceCounters are unaffected by the toggle — this binary
 // measures host execution speed only.
 //
-//   ./micro_engine [--smoke] [--prof-overhead] [--graph]
+//   ./micro_engine [--smoke] [--prof-overhead] [--graph] [--fuse]
 //                  [--json BENCH_engine.json]
+//                  [--fusion-json BENCH_fusion.json]
+//                  [--fuse-trace prof_trace_fused.json]
 //                  [--baseline bench/BENCH_engine_baseline.json]
 //
 // --smoke shrinks the repetition counts for CI and emits BENCH_engine.json.
 // --baseline compares against a checked-in conservative baseline and exits
 // non-zero when any metric regresses by more than 2x; with --prof-overhead
 // it additionally fails if profiler-off launch throughput sits more than 5%
-// below the baseline (the profiler must stay free when disabled).
+// below the baseline (the profiler must stay free when disabled); with
+// --fuse it additionally requires fused replay to beat plain replay by at
+// least 1.3x wall throughput (the fusion layer's keep-alive gate).
 
 #include <cstdlib>
 #include <fstream>
@@ -287,6 +302,142 @@ GraphResult bench_graph(std::int64_t n_elems, int iters) {
   return r;
 }
 
+struct FuseResult {
+  double eager_per_s = 0;   ///< launches/s, eager fast-path accounting
+  double replay_per_s = 0;  ///< launches/s, plain graph replay
+  double fused_per_s = 0;   ///< launches/s, fused graph replay
+  int groups = 0;           ///< fused groups formed over the chain
+  int fused_members = 0;    ///< member kernels across the groups
+  double launch_reduction = 0;   ///< 1 - fused/eager launch count
+  double modeled_saved_fraction = 0;  ///< 1 - fused/replay modeled seconds
+  std::string trace;  ///< fused replay's Chrome trace (--fuse-trace)
+  double checksum = 0;
+};
+
+/// A fully fusible chain: kChain element-wise launches where launch k reads
+/// buffer k-1 and writes buffer k — same shape, same stream, aligned
+/// element slices, so the FusionPass collapses all of them into one fused
+/// node. Timed three ways: eager accounting, plain standalone replay
+/// (kChain pre-resolved accountings per iteration) and fused standalone
+/// replay (one merged accounting per iteration). Accounting-only launches,
+/// as in bench_graph: the measured win is per-launch dispatch, which is
+/// exactly what fusion removes.
+FuseResult bench_fuse(std::int64_t n_elems, int iters, bool want_trace) {
+  constexpr int kChain = 8;
+  static const char* const kLabels[kChain] = {
+      "fuse/k0", "fuse/k1", "fuse/k2", "fuse/k3",
+      "fuse/k4", "fuse/k5", "fuse/k6", "fuse/k7"};
+  vgpu::LaunchConfig cfg;
+  cfg.block = 64;
+  cfg.grid = (n_elems + cfg.block - 1) / cfg.block;
+  vgpu::KernelCostSpec cost;
+  cost.flops = 2.0 * static_cast<double>(n_elems);
+  cost.dram_read_bytes = static_cast<double>(n_elems) * sizeof(float);
+  cost.dram_write_bytes = static_cast<double>(n_elems) * sizeof(float);
+  std::vector<std::vector<float>> bufs(
+      kChain, std::vector<float>(static_cast<std::size_t>(n_elems)));
+  const double span = static_cast<double>(n_elems) * sizeof(float);
+
+  FuseResult r;
+  const auto iteration = [&](vgpu::Device& device) {
+    device.set_phase("swarm");
+    for (int k = 0; k < kChain; ++k) {
+      vgpu::prof::KernelLabel label(kLabels[k]);
+      device.account_launch(cfg, cost);
+      if (device.capturing()) {
+        device.graph_note_elements(n_elems);
+        std::vector<vgpu::graph::BufferUse> uses;
+        if (k > 0) {
+          uses.push_back({bufs[static_cast<std::size_t>(k - 1)].data(), span,
+                          sizeof(float), /*write=*/false, "prev"});
+        }
+        uses.push_back({bufs[static_cast<std::size_t>(k)].data(), span,
+                        sizeof(float), /*write=*/true, "out"});
+        device.graph_note_uses(std::move(uses));
+      }
+    }
+  };
+  const auto capture = [&](vgpu::Device& device, vgpu::graph::Graph& graph) {
+    device.begin_capture(graph);
+    iteration(device);
+    device.end_capture();
+  };
+
+  {  // eager pass
+    vgpu::Device device;
+    for (int it = 0; it < iters / 10 + 1; ++it) {  // warmup
+      iteration(device);
+    }
+    Stopwatch watch;
+    for (int it = 0; it < iters; ++it) {
+      iteration(device);
+    }
+    r.eager_per_s = static_cast<double>(iters) * kChain / watch.elapsed_s();
+    r.checksum += device.counters().modeled_seconds;
+  }
+
+  double replay_modeled = 0;
+  {  // plain graph replay pass
+    vgpu::Device device;
+    vgpu::graph::Graph graph;
+    capture(device, graph);
+    vgpu::graph::GraphExec exec = graph.instantiate(device.perf());
+    for (int it = 0; it < iters / 10 + 1; ++it) {  // warmup
+      device.replay_graph(exec);
+    }
+    const double modeled_before = device.counters().modeled_seconds;
+    Stopwatch watch;
+    for (int it = 0; it < iters; ++it) {
+      device.replay_graph(exec);
+    }
+    r.replay_per_s = static_cast<double>(iters) * kChain / watch.elapsed_s();
+    replay_modeled = device.counters().modeled_seconds - modeled_before;
+    r.checksum += device.counters().modeled_seconds;
+  }
+
+  {  // fused replay pass
+    vgpu::Device device;
+    vgpu::graph::Graph graph;
+    capture(device, graph);
+    vgpu::graph::GraphExec exec = graph.instantiate(device.perf());
+    exec.apply_fusion(device.perf());
+    r.groups = exec.fusion_stats().groups;
+    r.fused_members = exec.fusion_stats().fused_members;
+    for (int it = 0; it < iters / 10 + 1; ++it) {  // warmup
+      device.replay_fused(exec);
+    }
+    const double modeled_before = device.counters().modeled_seconds;
+    Stopwatch watch;
+    for (int it = 0; it < iters; ++it) {
+      device.replay_fused(exec);
+    }
+    r.fused_per_s = static_cast<double>(iters) * kChain / watch.elapsed_s();
+    const double fused_modeled =
+        device.counters().modeled_seconds - modeled_before;
+    r.launch_reduction = exec.fusion_stats().launch_reduction();
+    r.modeled_saved_fraction =
+        replay_modeled > 0 ? 1.0 - fused_modeled / replay_modeled : 0.0;
+    r.checksum += device.counters().modeled_seconds;
+  }
+
+  if (want_trace) {
+    // Separate single-replay pass with the profiler on so the capture picks
+    // up the kernel labels and the fused event carries them.
+    const bool saved_prof = vgpu::prof::active();
+    vgpu::prof::set_enabled(true);
+    vgpu::Device device;
+    vgpu::graph::Graph graph;
+    capture(device, graph);
+    vgpu::graph::GraphExec exec = graph.instantiate(device.perf());
+    exec.apply_fusion(device.perf());
+    (void)device.take_profile();  // drop the capture pass's events
+    device.replay_fused(exec);
+    r.trace = device.take_profile().chrome_trace_json();
+    vgpu::prof::set_enabled(saved_prof);
+  }
+  return r;
+}
+
 /// Wall-clock of the exact table1_overall --smoke cell set; best of `reps`.
 double bench_table1_smoke(int reps) {
   const std::vector<std::string> problems = {"sphere", "griewank", "easom",
@@ -340,7 +491,11 @@ int main(int argc, char** argv) {
   const bool smoke = args.get_bool("smoke", false);
   const bool prof_overhead = args.get_bool("prof-overhead", false);
   const bool graph_bench = args.get_bool("graph", false);
+  const bool fuse_bench = args.get_bool("fuse", false);
   const std::string json_path = args.get_string("json", "BENCH_engine.json");
+  const std::string fusion_json_path =
+      args.get_string("fusion-json", fuse_bench ? "BENCH_fusion.json" : "");
+  const std::string fuse_trace_path = args.get_string("fuse-trace", "");
   const std::string baseline_path = args.get_string("baseline", "");
 
   const std::int64_t launch_elems = 4096;
@@ -363,6 +518,10 @@ int main(int argc, char** argv) {
   GraphResult graph;
   if (graph_bench) {
     graph = bench_graph(graph_elems, graph_iters);
+  }
+  FuseResult fuse;
+  if (fuse_bench) {
+    fuse = bench_fuse(graph_elems, graph_iters, !fuse_trace_path.empty());
   }
 
   const double launch_speedup = launch.fast_per_s / launch.legacy_per_s;
@@ -397,6 +556,18 @@ int main(int argc, char** argv) {
     table.add_row({"modeled saved by graph",
                    fmt_fixed(graph.saved_fraction * 100.0, 1) + "%", "-",
                    "-"});
+  }
+  if (fuse_bench) {
+    // "fast/batch" column = fused replay, "legacy/virtual" = plain replay.
+    table.add_row({"launches/s fused/replay (chain of 8)",
+                   fmt_sci(fuse.fused_per_s), fmt_sci(fuse.replay_per_s),
+                   fmt_speedup(fuse.fused_per_s / fuse.replay_per_s)});
+    table.add_row({"launch reduction by fusion",
+                   fmt_fixed(fuse.launch_reduction * 100.0, 1) + "%", "-",
+                   "-"});
+    table.add_row({"modeled saved by fusion",
+                   fmt_fixed(fuse.modeled_saved_fraction * 100.0, 1) + "%",
+                   "-", "-"});
   }
   table.add_note("identical account_launch on both paths: modeled seconds "
                  "and counters do not depend on the toggle");
@@ -455,6 +626,41 @@ int main(int argc, char** argv) {
               << json_path << "\n";
   }
 
+  if (fuse_bench && !fusion_json_path.empty()) {
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(3);
+    json << "{\n"
+         << "  \"schema\": \"fastpso-bench-fusion-v1\",\n"
+         << "  \"n_elems\": " << graph_elems << ",\n"
+         << "  \"iters\": " << graph_iters << ",\n"
+         << "  \"chain\": 8,\n"
+         << "  \"eager_launches_per_s\": " << fuse.eager_per_s << ",\n"
+         << "  \"replay_launches_per_s\": " << fuse.replay_per_s << ",\n"
+         << "  \"fused_launches_per_s\": " << fuse.fused_per_s << ",\n"
+         << "  \"fused_vs_replay_speedup\": "
+         << fuse.fused_per_s / fuse.replay_per_s << ",\n"
+         << "  \"fused_vs_eager_speedup\": "
+         << fuse.fused_per_s / fuse.eager_per_s << ",\n"
+         << "  \"groups\": " << fuse.groups << ",\n"
+         << "  \"fused_members\": " << fuse.fused_members << ",\n"
+         << "  \"launch_reduction\": " << fuse.launch_reduction << ",\n"
+         << "  \"modeled_saved_fraction\": " << fuse.modeled_saved_fraction
+         << "\n"
+         << "}\n";
+    std::ofstream file(fusion_json_path);
+    file << json.str();
+    std::cout << (file ? "json written: " : "json write FAILED: ")
+              << fusion_json_path << "\n";
+  }
+
+  if (fuse_bench && !fuse_trace_path.empty()) {
+    std::ofstream file(fuse_trace_path);
+    file << fuse.trace;
+    std::cout << (file ? "trace written: " : "trace write FAILED: ")
+              << fuse_trace_path << "\n";
+  }
+
   if (!baseline_path.empty()) {
     std::ifstream file(baseline_path);
     if (!file) {
@@ -500,6 +706,18 @@ int main(int argc, char** argv) {
       gate("graph_replay_speedup",
            graph.replay_per_s >= 1.5 * graph.eager_per_s, graph.replay_per_s,
            1.5 * graph.eager_per_s);
+    }
+    if (fuse_bench) {
+      const double base_fused =
+          json_number(text, "fused_launches_per_s", 0.0);
+      gate("fused_replay_throughput", fuse.fused_per_s >= base_fused / 2.0,
+           fuse.fused_per_s, base_fused / 2.0);
+      // Fused replay must keep a real wall-throughput edge over plain
+      // replay — the launch-dispatch saving fusion exists for (DESIGN.md
+      // §9). 1.3x floor on an 8-deep fully fusible chain.
+      gate("fused_replay_speedup",
+           fuse.fused_per_s >= 1.3 * fuse.replay_per_s, fuse.fused_per_s,
+           1.3 * fuse.replay_per_s);
     }
     if (!ok) {
       std::cerr << "micro_engine: regression vs baseline " << baseline_path

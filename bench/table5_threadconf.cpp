@@ -12,12 +12,15 @@
 //      same training RMSE (the tuning changes launch shapes, not results).
 //
 //   ./table5_threadconf [--trees 12] [--tune-particles 512]
-//                       [--tune-iters 60] [--graph]
+//                       [--tune-iters 60] [--graph] [--fuse]
 //
 // --graph additionally runs the FastPSO tuning step under vgpu::Graph
 // capture/replay (DESIGN.md §8) and reports the graph-mode modeled tuning
-// time next to the eager one as table notes. The CSV and the eager numbers
-// are unchanged — graph amortization is reported, never folded in.
+// time next to the eager one as table notes. --fuse further engages the
+// FusionPass over the captured tuning pipeline (DESIGN.md §9) and extends
+// the notes with the fused modeled time and the per-iteration launch
+// reduction. The CSV and the eager numbers are unchanged either way —
+// graph amortization and fusion savings are reported, never folded in.
 
 #include "bench_common.h"
 #include "core/optimizer.h"
@@ -39,8 +42,12 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   const std::string csv_path = args.get_string("csv", "");
   const bool use_graph = args.get_bool("graph", false);
+  const bool use_fuse = args.get_bool("fuse", false);
   if (use_graph) {
     vgpu::graph::set_enabled(true);
+  }
+  if (use_fuse) {
+    vgpu::graph::set_fusion_enabled(true);  // implies capture (DESIGN.md §9)
   }
 
   TextTable table("Table 5: MiniGBM training time w/ and w/o FastPSO tuning");
@@ -89,7 +96,7 @@ int main(int argc, char** argv) {
                  fmt_fixed(best.modeled_seconds, 3), fmt_fixed(speedup, 3),
                  fmt_fixed(base.final_rmse(), 5),
                  fmt_fixed(best.final_rmse(), 5)});
-    if (use_graph) {
+    if (use_graph || use_fuse) {
       const vgpu::graph::GraphStats& g = tuned_result.graph;
       table.add_note(
           std::string(spec.name) + ": tune modeled " +
@@ -97,6 +104,15 @@ int main(int argc, char** argv) {
           fmt_fixed(tuned_result.graph_modeled_seconds(), 3) + "s (" +
           std::to_string(g.replays) + " replays, " +
           std::to_string(g.replayed_launches) + " replayed launches)");
+    }
+    if (use_fuse) {
+      const vgpu::graph::FusionStats& f = tuned_result.fusion;
+      table.add_note(
+          std::string(spec.name) + ": fused " +
+          fmt_fixed(tuned_result.fused_modeled_seconds(), 3) + "s (" +
+          std::to_string(f.groups) + " groups, " +
+          std::to_string(f.fused_members) + " members, launches -" +
+          fmt_fixed(f.launch_reduction() * 100.0, 1) + "%)");
     }
   }
 

@@ -20,6 +20,22 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
     cost.flops = static_cast<double>(n);
     cost.dram_read_bytes = 2.0 * n * sizeof(float);
     cost.dram_write_bytes = n * (sizeof(float) + sizeof(std::uint8_t));
+    // Fusion footprint (vgpu/graph/fusion.h): element i touches scalar i of
+    // each array; pbest_err is an aligned read-modify-write.
+    const auto note_footprint = [&] {
+      if (device.capturing()) {
+        device.graph_note_elements(n);
+        device.graph_note_uses(
+            {{state.perror.data(), static_cast<double>(n) * sizeof(float),
+              sizeof(float), /*write=*/false, "perror"},
+             {state.pbest_err.data(), static_cast<double>(n) * sizeof(float),
+              sizeof(float), /*write=*/false, "pbest_err"},
+             {state.pbest_err.data(), static_cast<double>(n) * sizeof(float),
+              sizeof(float), /*write=*/true, "pbest_err"},
+             {state.improved.data(), static_cast<double>(n), 1,
+              /*write=*/true, "improved"}});
+      }
+    };
     if (vgpu::use_fast_path()) {
       const float* perror = state.perror.data();
       float* pbest_err = state.pbest_err.data();
@@ -33,6 +49,7 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
             improved[i] = better ? 1 : 0;
             pbest_err[i] = better ? pe : pb;
           });
+      note_footprint();
     } else {
       const auto perror = san::track(state.perror.data(),
                                      static_cast<std::size_t>(n), "perror");
@@ -58,6 +75,7 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
           pbest_err[i] = better ? pe : pb;
         }
       });
+      note_footprint();
     }
   }
 
@@ -77,6 +95,24 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
         static_cast<double>(improved_count) * d * sizeof(float);
     cost.dram_write_bytes =
         static_cast<double>(improved_count) * d * sizeof(float);
+    // Footprint: element i reads its flag and may copy its row — the
+    // declared spans are the data-independent superset of what the flags
+    // select this iteration.
+    const auto note_footprint = [&] {
+      if (device.capturing()) {
+        const double row_bytes =
+            static_cast<double>(state.elements()) * sizeof(float);
+        const std::int64_t row_elem = static_cast<std::int64_t>(d * sizeof(float));
+        device.graph_note_elements(n);
+        device.graph_note_uses(
+            {{state.improved.data(), static_cast<double>(n), 1,
+              /*write=*/false, "improved"},
+             {state.positions.data(), row_bytes, row_elem, /*write=*/false,
+              "positions"},
+             {state.pbest_pos.data(), row_bytes, row_elem, /*write=*/true,
+              "pbest_pos"}});
+      }
+    };
     if (vgpu::use_fast_path()) {
       const std::uint8_t* improved = state.improved.data();
       const float* positions = state.positions.data();
@@ -90,6 +126,7 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
               }
             }
           });
+      note_footprint();
     } else {
       const auto improved =
           san::track(state.improved.data(), static_cast<std::size_t>(n),
@@ -108,6 +145,7 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
           }
         }
       });
+      note_footprint();
     }
   }
 
@@ -127,6 +165,20 @@ float update_gbest(vgpu::Device& device, SwarmState& state) {
     vgpu::KernelCostSpec cost;
     cost.dram_read_bytes = static_cast<double>(d) * sizeof(float);
     cost.dram_write_bytes = static_cast<double>(d) * sizeof(float);
+    // Footprint: the read is an interior row of pbest_pos, so its address
+    // range overlaps (unaligned) with the gather's row-sliced writes — the
+    // fusion pass's hazard check is what keeps this copy out of any group.
+    const auto note_footprint = [&] {
+      if (device.capturing()) {
+        const double row_bytes = static_cast<double>(d) * sizeof(float);
+        device.graph_note_elements(d);
+        device.graph_note_uses(
+            {{state.pbest_pos.data() + best.index * d, row_bytes,
+              sizeof(float), /*write=*/false, "gbest_src_row"},
+             {state.gbest_pos.data(), row_bytes, sizeof(float),
+              /*write=*/true, "gbest_pos"}});
+      }
+    };
     if (vgpu::use_fast_path()) {
       const float* src = state.pbest_pos.data() + best.index * d;
       float* dst = state.gbest_pos.data();
@@ -134,6 +186,7 @@ float update_gbest(vgpu::Device& device, SwarmState& state) {
       device.launch_elements(cfg, cost, d, [&](std::int64_t j) {
         dst[j] = src[j];
       });
+      note_footprint();
       return state.gbest_err;
     }
     const auto src =
@@ -148,6 +201,7 @@ float update_gbest(vgpu::Device& device, SwarmState& state) {
         dst[j] = src[j];
       }
     });
+    note_footprint();
   }
   return state.gbest_err;
 }

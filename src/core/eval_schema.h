@@ -51,9 +51,24 @@ inline void evaluate_positions(vgpu::Device& device,
   // Profiler-only label: a san::KernelScope here would opt the launch into
   // sanitizer cost audits and change the sanitizer's golden traces.
   vgpu::prof::KernelLabel label("eval/objective");
+  // Fusion footprint (vgpu/graph/fusion.h): element i reads its position
+  // row and writes its error scalar. account_launch knows no element
+  // domain, so both dispatch paths note it explicitly.
+  const auto note_footprint = [&] {
+    if (device.capturing()) [[unlikely]] {
+      device.graph_note_elements(n);
+      device.graph_note_uses(
+          {{positions, static_cast<double>(n) * d * sizeof(float),
+            static_cast<std::int64_t>(d * sizeof(float)), /*write=*/false,
+            "positions"},
+           {out, static_cast<double>(n) * sizeof(float), sizeof(float),
+            /*write=*/true, "perror"}});
+    }
+  };
   if (vgpu::use_fast_path() && objective.batch_fn) {
     const LaunchDecision decision = policy.for_particles(n);
     device.account_launch(decision.config, cost);
+    note_footprint();
     if (vgpu::prof::active()) [[unlikely]] {
       Stopwatch wall;
       objective.batch_fn(positions, static_cast<int>(n), d, out);
@@ -66,6 +81,7 @@ inline void evaluate_positions(vgpu::Device& device,
   evaluation_kernel(device, policy, n, cost, [&](std::int64_t i) {
     out[i] = static_cast<float>(objective.fn(positions + i * d, d));
   });
+  note_footprint();
 }
 
 }  // namespace fastpso::core

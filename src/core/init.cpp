@@ -31,6 +31,16 @@ void fill_uniform(vgpu::Device& device, const LaunchPolicy& policy,
   const std::int64_t blocks = (elements + 3) / 4;
   const LaunchDecision decision = policy.for_elements(blocks);
   const float span = hi - lo;
+  // Fusion footprint (vgpu/graph/fusion.h): one element = one Philox block
+  // of four floats, so element b owns out[4b, 4b+4).
+  const auto note_footprint = [&] {
+    if (device.capturing()) {
+      device.graph_note_elements(blocks);
+      device.graph_note_uses(
+          {{out, static_cast<double>(elements) * sizeof(float),
+            4 * sizeof(float), /*write=*/true, "fill_out"}});
+    }
+  };
   if (vgpu::use_fast_path()) {
     // Flat loop over Philox blocks; element i gets uniform_at(i) exactly as
     // on the tracked path, so the produced bits are identical. Same profile
@@ -46,6 +56,7 @@ void fill_uniform(vgpu::Device& device, const LaunchPolicy& policy,
             out[base + lane] = lo + span * lanes[lane];
           }
         });
+    note_footprint();
     return;
   }
   const auto tracked_out =
@@ -68,6 +79,7 @@ void fill_uniform(vgpu::Device& device, const LaunchPolicy& policy,
                     }
                   }
                 });
+  note_footprint();
 }
 
 }  // namespace

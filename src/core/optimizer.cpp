@@ -12,6 +12,7 @@
 #include <limits>
 
 #include "core/neighborhood.h"
+#include "core/recorder.h"
 #include "rng/philox.h"
 #include "core/swarm_update.h"
 #include "vgpu/graph/graph.h"
@@ -172,8 +173,10 @@ Result Optimizer::optimize_sync(const Objective& objective,
 
   // Capture-once/replay-many of the per-iteration launch sequence
   // (vgpu/graph): iteration 1 records while running eagerly, iterations
-  // 2..T replay with pre-resolved accounting. Inert unless FASTPSO_GRAPH=1.
-  vgpu::graph::IterationRecorder recorder(device_);
+  // 2..T replay with pre-resolved accounting. Inert unless FASTPSO_GRAPH=1
+  // or FASTPSO_FUSE=1 (the latter also runs the fusion pass over the
+  // captured iteration — vgpu/graph/fusion.h).
+  auto recorder = make_iteration_recorder(device_);
 
   StopTracker stop(params_);
   int completed = 0;
@@ -272,7 +275,7 @@ Result Optimizer::optimize_sync(const Objective& objective,
   result.modeled_seconds = device_.modeled_seconds();
   result.counters = device_.counters();
   result.profile = device_.take_profile();
-  result.graph = recorder.stats();
+  export_recorder_stats(recorder, result);
   return result;
 }
 
@@ -369,8 +372,12 @@ Result Optimizer::optimize_async(const Objective& objective,
   // iteration is a single launch, so the graph is tiny — the replay still
   // skips the per-launch setup, but the amortization model may report a
   // (faithful) negative saving: one cudaGraphLaunch costs more than one
-  // kernel launch's overhead.
-  vgpu::graph::IterationRecorder recorder(device_);
+  // kernel launch's overhead. Kernel fusion is explicitly off: the async
+  // update is already one fused per-particle kernel, so there is no run of
+  // element-wise stages for the pass to merge.
+  vgpu::graph::IterationRecorder recorder(
+      device_, vgpu::graph::enabled() || vgpu::graph::fusion_enabled(),
+      /*fuse=*/false);
 
   StopTracker stop(params_);
   int completed = 0;
@@ -453,7 +460,7 @@ Result Optimizer::optimize_async(const Objective& objective,
   result.modeled_seconds = device_.modeled_seconds();
   result.counters = device_.counters();
   result.profile = device_.take_profile();
-  result.graph = recorder.stats();
+  export_recorder_stats(recorder, result);
   return result;
 }
 

@@ -47,10 +47,24 @@ struct Result {
   /// model reports; it is never folded into modeled_seconds.
   vgpu::graph::GraphStats graph;
 
+  /// Kernel-fusion bookkeeping when FASTPSO_FUSE was enabled (all-default
+  /// otherwise). Like GraphStats, reported only — never folded into
+  /// modeled_seconds or the eager counters.
+  vgpu::graph::FusionStats fusion;
+
   /// Graph-mode modeled seconds: eager modeled time minus the amortized
   /// launch overhead a CUDA-Graph replay would save.
   [[nodiscard]] double graph_modeled_seconds() const {
     return modeled_seconds - graph.modeled_seconds_saved;
+  }
+
+  /// Fused-graph modeled seconds: graph_modeled_seconds further reduced by
+  /// the kernel-fusion saving (fewer launches + elided intermediate
+  /// traffic). The fusion credit is computed net of the graph credit, so
+  /// the two compose without double counting.
+  [[nodiscard]] double fused_modeled_seconds() const {
+    return modeled_seconds - graph.modeled_seconds_saved -
+           fusion.modeled_seconds_saved;
   }
 
   /// |gbest - optimum| against a known optimum value.

@@ -56,6 +56,30 @@ void update_global(vgpu::Device& device, const LaunchPolicy& policy,
   const std::int64_t elements = state.elements();
   const int d = state.d;
   const LaunchDecision decision = policy.for_elements(elements);
+  // Fusion footprint (vgpu/graph/fusion.h): one float per element across
+  // the five matrices, plus the gbest row as a broadcast read
+  // (elem_bytes = 0: every element may read the whole row).
+  const auto note_footprint = [&] {
+    if (device.capturing()) {
+      const double mat_bytes = static_cast<double>(elements) * sizeof(float);
+      device.graph_note_elements(elements);
+      device.graph_note_uses(
+          {{state.velocities.data(), mat_bytes, sizeof(float),
+            /*write=*/false, "velocities"},
+           {state.velocities.data(), mat_bytes, sizeof(float),
+            /*write=*/true, "velocities"},
+           {state.positions.data(), mat_bytes, sizeof(float),
+            /*write=*/false, "positions"},
+           {state.positions.data(), mat_bytes, sizeof(float), /*write=*/true,
+            "positions"},
+           {l_mat, mat_bytes, sizeof(float), /*write=*/false, "l_mat"},
+           {g_mat, mat_bytes, sizeof(float), /*write=*/false, "g_mat"},
+           {state.pbest_pos.data(), mat_bytes, sizeof(float),
+            /*write=*/false, "pbest_pos"},
+           {state.gbest_pos.data(), static_cast<double>(d) * sizeof(float),
+            0, /*write=*/false, "gbest_pos"}});
+    }
+  };
   if (vgpu::use_fast_path()) {
     float* velocities = state.velocities.data();
     float* positions = state.positions.data();
@@ -69,6 +93,7 @@ void update_global(vgpu::Device& device, const LaunchPolicy& policy,
           update_element(velocities[i], positions[i], l_mat[i], g_mat[i],
                          pbest_pos[i], gbest_pos[col], coeff);
         });
+    note_footprint();
     return;
   }
   const auto velocities =
@@ -94,6 +119,7 @@ void update_global(vgpu::Device& device, const LaunchPolicy& policy,
                                    pbest_pos[i], gbest_pos[col], coeff);
                   }
                 });
+  note_footprint();
 }
 
 void update_shared(vgpu::Device& device, const LaunchPolicy& policy,
@@ -334,6 +360,34 @@ void swarm_update_ring(vgpu::Device& device, const LaunchPolicy& policy,
   const int d = state.d;
   const std::int64_t n = state.n;
   const LaunchDecision decision = policy.for_elements(elements);
+  // Footprint: as update_global, except the attractor is a data-dependent
+  // gather out of pbest_pos (declared as a second, whole-span read) steered
+  // by the neighborhood index array (row-broadcast: elem_bytes = 0).
+  const auto note_footprint = [&] {
+    if (device.capturing()) {
+      const double mat_bytes = static_cast<double>(elements) * sizeof(float);
+      device.graph_note_elements(elements);
+      device.graph_note_uses(
+          {{state.velocities.data(), mat_bytes, sizeof(float),
+            /*write=*/false, "velocities"},
+           {state.velocities.data(), mat_bytes, sizeof(float),
+            /*write=*/true, "velocities"},
+           {state.positions.data(), mat_bytes, sizeof(float),
+            /*write=*/false, "positions"},
+           {state.positions.data(), mat_bytes, sizeof(float), /*write=*/true,
+            "positions"},
+           {l_mat.data(), mat_bytes, sizeof(float), /*write=*/false,
+            "l_mat"},
+           {g_mat.data(), mat_bytes, sizeof(float), /*write=*/false,
+            "g_mat"},
+           {state.pbest_pos.data(), mat_bytes, sizeof(float),
+            /*write=*/false, "pbest_pos"},
+           {state.pbest_pos.data(), mat_bytes, 0, /*write=*/false,
+            "pbest_pos_gather"},
+           {nbest_idx, static_cast<double>(n) * sizeof(std::int32_t), 0,
+            /*write=*/false, "nbest_idx"}});
+    }
+  };
   if (vgpu::use_fast_path()) {
     vgpu::KernelCostSpec cost = update_cost(elements, d, 0, false);
     cost.dram_read_bytes += static_cast<double>(n) * sizeof(std::int32_t) -
@@ -353,6 +407,7 @@ void swarm_update_ring(vgpu::Device& device, const LaunchPolicy& policy,
           update_element(velocities[i], positions[i], l[i], g[i],
                          pbest_pos[i], attractor, coeff);
         });
+    note_footprint();
     return;
   }
 
@@ -390,6 +445,7 @@ void swarm_update_ring(vgpu::Device& device, const LaunchPolicy& policy,
                      attractor, coeff);
     }
   });
+  note_footprint();
 }
 
 UpdateCoefficients coefficients_for_iter(const UpdateCoefficients& base,

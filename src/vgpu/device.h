@@ -32,6 +32,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "vgpu/device_spec.h"
+#include "vgpu/graph/graph.h"
 #include "vgpu/perf_model.h"
 #include "vgpu/prof/hooks.h"
 #include "vgpu/san/hooks.h"
@@ -40,11 +41,6 @@ namespace fastpso::vgpu {
 
 namespace prof {
 struct Profile;  // vgpu/prof/prof.h
-}
-
-namespace graph {
-class Graph;      // vgpu/graph/graph.h
-class GraphExec;  // vgpu/graph/graph.h
 }
 
 /// Host-side fast-path toggle (default on). When enabled and no sanitizer
@@ -235,6 +231,28 @@ class Device {
   /// Only meaningful for graphs captured with set_capture_bodies(true) (or
   /// pure accounting graphs); requires no capture/replay to be open.
   void replay_graph(graph::GraphExec& exec);
+  /// Fused standalone replay: like replay_graph, but each fused group
+  /// (GraphExec::apply_fusion) is dispatched ONCE — one accounted launch of
+  /// the merged cost spec, one prof event carrying the member labels, and
+  /// the member element bodies run back-to-back per element. Numerics are
+  /// bitwise-identical to replay_graph; launch counters and modeled time
+  /// genuinely drop (the applied form of the fusion saving — never used on
+  /// the eager/golden paths). Falls back to replay_graph for execs without
+  /// a fusion plan.
+  void replay_fused(graph::GraphExec& exec);
+
+  /// True while a graph capture is open — call sites use this to gate the
+  /// construction of fusion footprints (graph_note_uses) to capture time.
+  [[nodiscard]] bool capturing() const {
+    return graph_mode_ == GraphMode::kCapturing;
+  }
+  /// Notes the element domain of the node just captured (no-op unless
+  /// capturing). launch_elements does this automatically; dispatchers that
+  /// pair account_launch with their own execution call it directly.
+  void graph_note_elements(std::int64_t elems);
+  /// Attaches the declared buffer footprint of the node just captured
+  /// (no-op unless capturing) — see graph::BufferUse.
+  void graph_note_uses(std::vector<graph::BufferUse> uses);
 
   // --- kernel launch ------------------------------------------------------
   /// Launches `body` once per thread of `cfg`. The body receives a
@@ -295,18 +313,25 @@ class Device {
           body(i);
         }
       });
+      if (graph_mode_ == GraphMode::kCapturing) [[unlikely]] {
+        graph_note_elements(n_elems);
+      }
       return;
     }
     account_launch(cfg, cost);
-    if (graph_mode_ == GraphMode::kCapturing && capture_bodies_)
-        [[unlikely]] {
-      // Copy of the body for standalone replay; lifetime of everything it
-      // references is the caller's promise (set_capture_bodies).
-      graph_capture_body([n_elems, body]() mutable {
-        for (std::int64_t i = 0; i < n_elems; ++i) {
-          body(i);
-        }
-      });
+    if (graph_mode_ == GraphMode::kCapturing) [[unlikely]] {
+      graph_note_elements(n_elems);
+      if (capture_bodies_) {
+        // Copies of the body for standalone replay; lifetime of everything
+        // they reference is the caller's promise (set_capture_bodies).
+        graph_capture_body([n_elems, body]() mutable {
+          for (std::int64_t i = 0; i < n_elems; ++i) {
+            body(i);
+          }
+        });
+        graph_capture_elem_body(
+            [body](std::int64_t i) mutable { body(i); });
+      }
     }
     if (prof::active()) [[unlikely]] {
       Stopwatch wall;
@@ -371,6 +396,11 @@ class Device {
   bool graph_account(const LaunchConfig& cfg, const KernelCostSpec& cost);
   /// Attaches a standalone-replay body to the node just captured.
   void graph_capture_body(std::function<void()> body);
+  /// Attaches a per-element body to the node just captured (replay_fused).
+  void graph_capture_elem_body(std::function<void(std::int64_t)> body);
+  /// Executes and accounts one standalone-replay node (replay_graph, and
+  /// the unfused steps of replay_fused).
+  void replay_node(const graph::GraphExec::ExecNode& en);
 
   /// `device_wide` costs (allocs, transfers, host work) synchronize and
   /// advance every stream; kernel costs advance only the current stream.

@@ -19,11 +19,21 @@ bool initial_graph_enabled() {
   return env != nullptr && std::string_view(env) == "1";
 }
 bool g_graph_enabled = initial_graph_enabled();
+
+bool initial_fusion_enabled() {
+  const char* env = std::getenv("FASTPSO_FUSE");
+  return env != nullptr && std::string_view(env) == "1";
+}
+bool g_fusion_enabled = initial_fusion_enabled();
 }  // namespace
 
 bool enabled() { return g_graph_enabled; }
 
 void set_enabled(bool enable) { g_graph_enabled = enable; }
+
+bool fusion_enabled() { return g_fusion_enabled; }
+
+void set_fusion_enabled(bool enable) { g_fusion_enabled = enable; }
 
 const char* to_string(NodeKind kind) {
   switch (kind) {
@@ -72,6 +82,23 @@ void Graph::record_memcpy(NodeKind kind, void* dst, const void* src,
 void Graph::attach_body(std::function<void()> body) {
   FASTPSO_CHECK_MSG(!nodes_.empty(), "attach_body on an empty graph");
   nodes_.back().body = std::move(body);
+}
+
+void Graph::note_elements(std::int64_t elems) {
+  FASTPSO_CHECK_MSG(!nodes_.empty(), "note_elements on an empty graph");
+  FASTPSO_CHECK(elems > 0);
+  nodes_.back().elems = elems;
+}
+
+void Graph::note_uses(std::vector<BufferUse> uses) {
+  FASTPSO_CHECK_MSG(!nodes_.empty(), "note_uses on an empty graph");
+  nodes_.back().uses = std::move(uses);
+  nodes_.back().has_uses = true;
+}
+
+void Graph::attach_elem_body(std::function<void(std::int64_t)> body) {
+  FASTPSO_CHECK_MSG(!nodes_.empty(), "attach_elem_body on an empty graph");
+  nodes_.back().elem_body = std::move(body);
 }
 
 GraphExec Graph::instantiate(const GpuPerfModel& perf) const {
@@ -157,6 +184,11 @@ void GraphExec::begin_replay(TimeBreakdown& breakdown, int stream_count) {
   pending_matched_ = 0;
   replay_diverged_ = false;
   replay_open_ = true;
+  for (FusedGroup& g : fusion_groups_) {
+    g.live_sum = KernelCostSpec{};
+    g.member_seconds = 0;
+    g.matched = 0;
+  }
 }
 
 const GraphExec::ExecNode* GraphExec::match_kernel(
@@ -200,7 +232,45 @@ bool GraphExec::end_replay() {
       static_cast<double>(pending_matched_) *
           (launch_overhead_s_ - node_gap_s_) -
       graph_launch_s_;
+  if (!fusion_groups_.empty()) {
+    // Price each fully matched group as one fused launch of the live cost
+    // sum with the capture-time intermediate traffic elided. The credit is
+    // stated on top of the graph credit above: that credit already reduced
+    // every matched launch's overhead to the node gap, so the per-launch
+    // part of the fusion saving is (members - 1) node gaps, not full
+    // launch overheads. Partially matched groups (a conditional member was
+    // skipped this iteration) earn nothing and stay unfused.
+    std::uint64_t fused_away = 0;
+    for (FusedGroup& g : fusion_groups_) {
+      if (g.matched != static_cast<int>(g.members.size())) {
+        continue;
+      }
+      KernelCostSpec fused = g.live_sum;
+      fused.elide_traffic(g.elide_read_useful, g.elide_read_fetched,
+                          g.elide_write_useful, g.elide_write_fetched);
+      const double fused_seconds =
+          fusion_perf_->kernel_seconds_resolved(g.shape, fused);
+      const double member_overhead_already_credited =
+          static_cast<double>(g.matched - 1) *
+          (launch_overhead_s_ - node_gap_s_);
+      fusion_stats_.modeled_seconds_saved +=
+          g.member_seconds - fused_seconds -
+          member_overhead_already_credited;
+      fused_away += static_cast<std::uint64_t>(g.matched - 1);
+    }
+    ++fusion_stats_.replays;
+    fusion_stats_.launches_eager += pending_matched_;
+    fusion_stats_.launches_fused += pending_matched_ - fused_away;
+  }
   return true;
+}
+
+void GraphExec::note_member(int group, const KernelCostSpec& cost,
+                            double seconds) {
+  FusedGroup& g = fusion_groups_[static_cast<std::size_t>(group)];
+  g.live_sum += cost;
+  g.member_seconds += seconds;
+  ++g.matched;
 }
 
 void GraphExec::begin_standalone(TimeBreakdown& breakdown, int stream_count) {
@@ -221,13 +291,44 @@ void GraphExec::end_standalone() {
       graph_launch_s_;
 }
 
+void GraphExec::end_standalone_fused() {
+  // Fused standalone replay accounted each group as ONE launch of the
+  // merged cost — the saving is applied to the device clocks there, not
+  // reported, so the graph credit is computed from the launches actually
+  // issued and the fusion stat records the applied static delta.
+  std::uint64_t fused_away = 0;
+  for (const FusedGroup& g : fusion_groups_) {
+    fused_away += static_cast<std::uint64_t>(g.members.size() - 1);
+    fusion_stats_.modeled_seconds_saved +=
+        g.static_member_seconds - g.static_fused_seconds;
+  }
+  pending_matched_ = static_cast<std::uint64_t>(kernel_nodes_) - fused_away;
+  stats_.replayed_launches += pending_matched_;
+  cursor_ = nodes_.size();
+  replay_open_ = false;
+  ++stats_.replays;
+  stats_.modeled_seconds_saved +=
+      static_cast<double>(pending_matched_) *
+          (launch_overhead_s_ - node_gap_s_) -
+      graph_launch_s_;
+  ++fusion_stats_.replays;
+  fusion_stats_.launches_eager += static_cast<std::uint64_t>(kernel_nodes_);
+  fusion_stats_.launches_fused += pending_matched_;
+}
+
 // --- IterationRecorder ----------------------------------------------------
 
 IterationRecorder::IterationRecorder(Device& device)
-    : IterationRecorder(device, enabled()) {}
+    : IterationRecorder(device, enabled() || fusion_enabled(),
+                        fusion_enabled()) {}
 
 IterationRecorder::IterationRecorder(Device& device, bool enable)
-    : device_(device), state_(enable ? State::kIdle : State::kDisabled) {}
+    : IterationRecorder(device, enable, /*fuse=*/false) {}
+
+IterationRecorder::IterationRecorder(Device& device, bool enable, bool fuse)
+    : device_(device),
+      state_(enable ? State::kIdle : State::kDisabled),
+      fuse_(fuse && enable) {}
 
 IterationRecorder::~IterationRecorder() {
   // Safety net for early exits (callback break, exception): close whatever
@@ -265,6 +366,9 @@ void IterationRecorder::end_iteration() {
       }
       exec_ = std::make_unique<GraphExec>(
           graph_.instantiate(device_.perf()));
+      if (fuse_) {
+        exec_->apply_fusion(device_.perf());
+      }
       state_ = State::kArmed;
       break;
     case State::kReplaying:
@@ -281,6 +385,12 @@ GraphStats IterationRecorder::stats() const {
   if (exec_ == nullptr) {
     s.nodes = static_cast<int>(graph_.size());
   }
+  return s;
+}
+
+FusionStats IterationRecorder::fusion_stats() const {
+  FusionStats s = exec_ != nullptr ? exec_->fusion_stats() : FusionStats{};
+  s.enabled = fuse_;
   return s;
 }
 

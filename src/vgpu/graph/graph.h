@@ -65,6 +65,12 @@ namespace graph {
 [[nodiscard]] bool enabled();
 void set_enabled(bool enabled);
 
+/// Process-wide fusion toggle (default off; FASTPSO_FUSE=1 starts it on).
+/// Fusion implies graph capture: an IterationRecorder records whenever
+/// either toggle is on, and applies the fusion pass when this one is.
+[[nodiscard]] bool fusion_enabled();
+void set_fusion_enabled(bool enabled);
+
 enum class NodeKind : std::uint8_t {
   kKernel,
   kMemcpyH2D,
@@ -73,6 +79,42 @@ enum class NodeKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(NodeKind kind);
+
+/// One declared buffer access of an element-wise launch — the static
+/// counterpart of the sanitizer's tracked-buffer access sets, declared at
+/// the call site because per-element attribution cannot be recovered from
+/// the execution hooks (grid-stride thread identity != element identity).
+/// The fusion pass consumes these for hazard analysis and traffic elision;
+/// san::footprints_consistent cross-checks them against what a tracked run
+/// actually touched.
+struct BufferUse {
+  const void* base = nullptr;  ///< first byte the launch may touch
+  double bytes = 0;            ///< total span touched over all elements
+  /// Per-element slice: element i touches
+  /// [base + i*elem_bytes, base + (i+1)*elem_bytes). 0 means the whole
+  /// span per element (a broadcast read or data-dependent gather).
+  std::int64_t elem_bytes = 0;
+  bool write = false;
+  const char* name = "";  ///< for diagnostics; static-lifetime literal
+
+  [[nodiscard]] const char* end() const {
+    return static_cast<const char*>(base) + static_cast<std::int64_t>(bytes);
+  }
+  /// Address-range intersection — catches interior-pointer aliasing (e.g.
+  /// the gbest copy reads pbest_pos + index*d).
+  [[nodiscard]] bool overlaps(const BufferUse& other) const {
+    return base != nullptr && other.base != nullptr &&
+           static_cast<const char*>(base) < other.end() &&
+           static_cast<const char*>(other.base) < end();
+  }
+  /// Same per-element slicing of the same storage: element i of one access
+  /// is element i of the other, so back-to-back per-element execution
+  /// preserves the eager value even across a write.
+  [[nodiscard]] bool aligned_with(const BufferUse& other) const {
+    return base == other.base && elem_bytes == other.elem_bytes &&
+           elem_bytes > 0;
+  }
+};
 
 /// One captured device operation.
 struct Node {
@@ -93,6 +135,18 @@ struct Node {
   /// Captured only when Device::set_capture_bodies(true) — the caller
   /// guarantees everything the body references outlives the graph.
   std::function<void()> body;
+  /// Element domain of an element-wise launch (-1: not element-wise; such
+  /// nodes are never fused). Noted automatically by launch_elements while
+  /// capturing, or explicitly via Device::graph_note_elements.
+  std::int64_t elems = -1;
+  /// Declared per-node buffer footprint (graph_note_uses). Nodes without a
+  /// footprint are opaque to the fusion pass: they never fuse, and they
+  /// conservatively count as readers of everything for write elision.
+  std::vector<BufferUse> uses;
+  bool has_uses = false;
+  /// Per-element body for fused standalone replay (Device::replay_fused);
+  /// captured alongside `body` under set_capture_bodies(true).
+  std::function<void(std::int64_t)> elem_body;
 };
 
 /// Replay bookkeeping, surfaced through core::Result for benches/tests.
@@ -109,6 +163,33 @@ struct GraphStats {
   /// Modeled seconds the amortization model credits against
   /// modeled_seconds. Reported only — never applied to device clocks.
   double modeled_seconds_saved = 0;
+};
+
+/// Fusion bookkeeping, surfaced through core::Result for benches/tests.
+/// Like GraphStats, every number here is *reported* — under paired replay
+/// the fused pricing never touches device clocks, counters or traces.
+struct FusionStats {
+  bool enabled = false;  ///< fusion mode was on for this run
+  bool applied = false;  ///< the pass ran over an instantiated graph
+  int groups = 0;        ///< fused groups of >= 2 members
+  int fused_members = 0; ///< member kernels across all groups
+  std::uint64_t replays = 0;         ///< replays with fused pricing applied
+  std::uint64_t launches_eager = 0;  ///< kernel launches as issued
+  std::uint64_t launches_fused = 0;  ///< launches after fusion
+  /// Modeled seconds the fused pricing saves vs per-member pricing
+  /// (fewer launch overheads + elided intermediate traffic). Reported only.
+  double modeled_seconds_saved = 0;
+  /// Useful intermediate bytes elided between producer/consumer members.
+  double elided_read_bytes = 0;
+  double elided_write_bytes = 0;
+
+  /// Fraction of per-iteration launches removed by fusion.
+  [[nodiscard]] double launch_reduction() const {
+    return launches_eager > 0
+               ? 1.0 - static_cast<double>(launches_fused) /
+                           static_cast<double>(launches_eager)
+               : 0.0;
+  }
 };
 
 class GraphExec;
@@ -129,6 +210,12 @@ class Graph {
                      int stream, const std::string& phase);
   /// Attaches a body to the most recently recorded node.
   void attach_body(std::function<void()> body);
+  /// Notes the element domain of the most recently recorded node.
+  void note_elements(std::int64_t elems);
+  /// Attaches the declared buffer footprint of the most recent node.
+  void note_uses(std::vector<BufferUse> uses);
+  /// Attaches a per-element body to the most recent node (replay_fused).
+  void attach_elem_body(std::function<void(std::int64_t)> body);
 
   /// One-time validation + pre-resolution (cudaGraphInstantiate analogue).
   /// Audits every node structurally (shape within device limits, cost spec
@@ -157,6 +244,39 @@ class GraphExec {
     /// Accumulator for node.phase in the device's modeled breakdown;
     /// resolved at begin_replay (TimeBreakdown::clear() invalidates slots).
     double* slot = nullptr;
+    /// Index into fused_groups(), or -1 when the node is unfused.
+    int fuse_group = -1;
+  };
+
+  /// One fused run of >= 2 consecutive element-wise kernel nodes
+  /// (installed by the FusionPass, vgpu/graph/fusion.h).
+  struct FusedGroup {
+    std::vector<int> members;  ///< node indices, in capture order
+    std::int64_t grid = 1;
+    int block = 1;
+    int stream = 0;
+    std::int64_t elems = 0;
+    std::string phase;  ///< first member's phase
+    std::string label;  ///< "fused:" + member labels joined with '+'
+    /// The members' capture-time specs merged with intermediate
+    /// producer/consumer traffic elided and only one launch overhead
+    /// charged (barriers are zero by legality) — what PerfModel prices and
+    /// Device::replay_fused accounts.
+    KernelCostSpec merged_cost;
+    ResolvedLaunchShape shape;  ///< the members' shared launch shape
+    /// Capture-time elision constants, subtracted from the live cost sum
+    /// when pricing a paired replay (useful and fetched bytes per class).
+    double elide_read_useful = 0;
+    double elide_read_fetched = 0;
+    double elide_write_useful = 0;
+    double elide_write_fetched = 0;
+    /// Capture-time pricing of the members vs the fused node (reporting).
+    double static_member_seconds = 0;
+    double static_fused_seconds = 0;
+    // Per-replay accumulators (reset by begin_replay).
+    KernelCostSpec live_sum;
+    double member_seconds = 0;
+    int matched = 0;
   };
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
@@ -185,8 +305,30 @@ class GraphExec {
   void begin_standalone(TimeBreakdown& breakdown, int stream_count);
   void end_standalone();
 
+  // --- fusion (vgpu/graph/fusion.h) --------------------------------------
+  /// Runs the FusionPass over this instantiated graph and installs its
+  /// plan. After this, clean paired replays additionally price each fully
+  /// matched group as a single fused launch (reported via fusion_stats(),
+  /// composing with the graph credit without double counting), and
+  /// Device::replay_fused executes the fused schedule. Idempotent.
+  void apply_fusion(const GpuPerfModel& perf);
+  [[nodiscard]] const std::vector<FusedGroup>& fused_groups() const {
+    return fusion_groups_;
+  }
+  [[nodiscard]] const FusionStats& fusion_stats() const {
+    return fusion_stats_;
+  }
+  /// Accumulates a matched member's live cost and modeled seconds into its
+  /// group (called by Device::graph_account during paired replay).
+  void note_member(int group, const KernelCostSpec& cost, double seconds);
+  /// Standalone fused-replay bookkeeping (Device::replay_fused): like
+  /// end_standalone, but with the post-fusion launch count and the applied
+  /// fusion saving recorded.
+  void end_standalone_fused();
+
  private:
   friend class Graph;
+  friend class FusionPass;
   GraphExec() = default;
 
   void resolve_slots(TimeBreakdown& breakdown);
@@ -206,6 +348,12 @@ class GraphExec {
   bool replay_diverged_ = false;
   bool replay_open_ = false;
   GraphStats stats_;
+
+  std::vector<FusedGroup> fusion_groups_;
+  FusionStats fusion_stats_;
+  /// Perf model the fusion plan was priced against (outlives the exec: it
+  /// belongs to the Device the graph was captured on).
+  const GpuPerfModel* fusion_perf_ = nullptr;
 };
 
 /// Capture-once/replay-many driver for an iteration loop: wrap each
@@ -215,8 +363,12 @@ class GraphExec {
 /// graph mode is disabled, so call sites need no gating.
 class IterationRecorder {
  public:
+  /// Records when either graph mode or fusion mode is enabled; applies the
+  /// fusion pass after instantiation when fusion mode is enabled (so
+  /// FASTPSO_FUSE=1 alone drives capture + fusion).
   explicit IterationRecorder(Device& device);
   IterationRecorder(Device& device, bool enable);
+  IterationRecorder(Device& device, bool enable, bool fuse);
   ~IterationRecorder();
 
   IterationRecorder(const IterationRecorder&) = delete;
@@ -228,6 +380,8 @@ class IterationRecorder {
   [[nodiscard]] bool active() const { return state_ != State::kDisabled; }
   /// Merged stats: capture size + replay bookkeeping.
   [[nodiscard]] GraphStats stats() const;
+  /// Fusion bookkeeping (FusionStats.enabled reflects this recorder).
+  [[nodiscard]] FusionStats fusion_stats() const;
 
  private:
   enum class State : std::uint8_t {
@@ -243,6 +397,7 @@ class IterationRecorder {
   Graph graph_;
   std::unique_ptr<GraphExec> exec_;
   State state_ = State::kDisabled;
+  bool fuse_ = false;
 };
 
 }  // namespace graph

@@ -45,6 +45,25 @@ KernelCostSpec& KernelCostSpec::operator+=(const KernelCostSpec& other) {
   return *this;
 }
 
+KernelCostSpec& KernelCostSpec::elide_traffic(double read_useful,
+                                              double read_fetched,
+                                              double write_useful,
+                                              double write_fetched) {
+  const double new_read = std::max(0.0, dram_read_bytes - read_useful);
+  const double new_read_fetched =
+      std::max(0.0, fetched_read_bytes() - read_fetched);
+  read_amplification =
+      new_read > 0 ? std::max(1.0, new_read_fetched / new_read) : 1.0;
+  dram_read_bytes = new_read;
+  const double new_write = std::max(0.0, dram_write_bytes - write_useful);
+  const double new_write_fetched =
+      std::max(0.0, fetched_write_bytes() - write_fetched);
+  write_amplification =
+      new_write > 0 ? std::max(1.0, new_write_fetched / new_write) : 1.0;
+  dram_write_bytes = new_write;
+  return *this;
+}
+
 GpuPerfModel::GpuPerfModel(GpuSpec spec) : spec_(std::move(spec)) {
   // Compute saturates once every lane has a couple of warps to interleave.
   compute_saturation_ = spec_.lanes() * 2.0;

@@ -433,6 +433,21 @@ struct Session::Impl {
     trace.counted = counted;
     trace.audited = audited;
     trace.findings = cur_findings;
+    trace.touched.reserve(touched.size());
+    for (int id : touched) {
+      const Buffer& buf = buffers[static_cast<std::size_t>(id)];
+      if (buf.cls == BufferClass::kShared) {
+        continue;  // block-local scratch, not part of the global footprint
+      }
+      BufferTouch t;
+      t.name = buf.name;
+      t.data = buf.data;
+      t.count = buf.count;
+      t.elem_bytes = buf.elem_bytes;
+      t.unique_reads = buf.unique_reads;
+      t.unique_writes = buf.unique_writes;
+      trace.touched.push_back(std::move(t));
+    }
     report.launches.push_back(std::move(trace));
     in_launch = false;
   }

@@ -1,0 +1,966 @@
+// vgpu::graph::FusionPass — graph-level kernel fusion (DESIGN.md §9).
+//
+// Fusion is a pure pricing/scheduling optimization over the captured node
+// list: under paired replay it must change no result bit, no counter, no
+// breakdown bucket, no prof event and no san trace, while its *reported*
+// stats prove real groups formed and real launches were priced away. This
+// suite pins that contract:
+//
+//   * legality — property tests on hand-built graphs: aligned
+//     producer/consumer chains fuse with their intermediate traffic elided;
+//     misaligned RAW/WAR/WAW hazards block; memcpy, reduction (barrier) and
+//     footprint-less nodes are never crossed; shape/stream mismatches split
+//     runs; an outside reader keeps the producer's write in the merged spec;
+//   * optimizer level — bitwise fused-vs-eager equivalence on the four
+//     Table 1 problems across the sync variants and both GPU baselines,
+//     with the FastPSO sync path's per-iteration launch count reduced >=40%
+//     (d = 4) and the elided intermediate traffic visible in the stats;
+//   * prof/san level — the Chrome trace and the sanitizer trace ignore the
+//     fusion toggle under paired replay; footprints_consistent cross-checks
+//     the declared footprints against a tracked sanitizer run;
+//   * standalone fused replay — Device::replay_fused executes the fused
+//     schedule for real: same data, fewer accounted launches, smaller
+//     modeled time than plain replay_graph, and one labeled fused prof
+//     event carrying the merged cost spec (golden below).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchkit/runner.h"
+#include "core/best_update.h"
+#include "core/launch_policy.h"
+#include "core/objective.h"
+#include "core/optimizer.h"
+#include "core/params.h"
+#include "core/swarm_state.h"
+#include "problems/problem.h"
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+#include "vgpu/graph/fusion.h"
+#include "vgpu/graph/graph.h"
+#include "vgpu/prof/prof.h"
+#include "vgpu/san/sanitizer.h"
+#include "vgpu/san/tracked.h"
+
+namespace fastpso {
+namespace {
+
+using benchkit::Impl;
+using benchkit::RunOutcome;
+using benchkit::RunSpec;
+using vgpu::graph::BufferUse;
+using vgpu::graph::FusionPass;
+using vgpu::graph::FusionStats;
+using vgpu::graph::Graph;
+using vgpu::graph::GraphExec;
+using vgpu::graph::Node;
+using vgpu::graph::NodeKind;
+
+// ---- RAII toggles (mirroring test_graph.cpp) -----------------------------
+
+class FusionGuard {
+ public:
+  explicit FusionGuard(bool enabled)
+      : saved_(vgpu::graph::fusion_enabled()) {
+    vgpu::graph::set_fusion_enabled(enabled);
+  }
+  ~FusionGuard() { vgpu::graph::set_fusion_enabled(saved_); }
+
+  FusionGuard(const FusionGuard&) = delete;
+  FusionGuard& operator=(const FusionGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+class GraphGuard {
+ public:
+  explicit GraphGuard(bool enabled) : saved_(vgpu::graph::enabled()) {
+    vgpu::graph::set_enabled(enabled);
+  }
+  ~GraphGuard() { vgpu::graph::set_enabled(saved_); }
+
+  GraphGuard(const GraphGuard&) = delete;
+  GraphGuard& operator=(const GraphGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+class ProfGuard {
+ public:
+  explicit ProfGuard(bool enabled) : saved_(vgpu::prof::active()) {
+    vgpu::prof::set_enabled(enabled);
+  }
+  ~ProfGuard() { vgpu::prof::set_enabled(saved_); }
+
+  ProfGuard(const ProfGuard&) = delete;
+  ProfGuard& operator=(const ProfGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+class FastPathGuard {
+ public:
+  explicit FastPathGuard(bool enabled) : saved_(vgpu::fast_path_enabled()) {
+    vgpu::set_fast_path_enabled(enabled);
+  }
+  ~FastPathGuard() { vgpu::set_fast_path_enabled(saved_); }
+
+  FastPathGuard(const FastPathGuard&) = delete;
+  FastPathGuard& operator=(const FastPathGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+void expect_counters_equal(const vgpu::DeviceCounters& a,
+                           const vgpu::DeviceCounters& b) {
+  EXPECT_EQ(a.allocs, b.allocs);
+  EXPECT_EQ(a.frees, b.frees);
+  EXPECT_EQ(a.launches, b.launches);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.barriers, b.barriers);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.transcendentals, b.transcendentals);
+  EXPECT_EQ(a.dram_read_useful, b.dram_read_useful);
+  EXPECT_EQ(a.dram_write_useful, b.dram_write_useful);
+  EXPECT_EQ(a.dram_read_fetched, b.dram_read_fetched);
+  EXPECT_EQ(a.dram_write_fetched, b.dram_write_fetched);
+  EXPECT_EQ(a.h2d_bytes, b.h2d_bytes);
+  EXPECT_EQ(a.d2h_bytes, b.d2h_bytes);
+  EXPECT_EQ(a.modeled_seconds, b.modeled_seconds);
+  EXPECT_EQ(a.kernel_seconds, b.kernel_seconds);
+}
+
+void expect_results_equal(const core::Result& fused,
+                          const core::Result& eager) {
+  EXPECT_EQ(fused.gbest_value, eager.gbest_value);
+  EXPECT_TRUE(bits_equal(fused.gbest_position, eager.gbest_position));
+  EXPECT_TRUE(bits_equal(fused.gbest_history, eager.gbest_history));
+  EXPECT_EQ(fused.iterations, eager.iterations);
+  EXPECT_EQ(fused.modeled_seconds, eager.modeled_seconds);
+  EXPECT_EQ(fused.modeled_breakdown.buckets(),
+            eager.modeled_breakdown.buckets());
+  expect_counters_equal(fused.counters, eager.counters);
+}
+
+// ---- hand-built graph helpers --------------------------------------------
+
+constexpr std::int64_t kElems = 64;
+constexpr double kFloat = sizeof(float);
+
+vgpu::KernelCostSpec cost_rw(double flops, double read_bytes,
+                             double write_bytes) {
+  vgpu::KernelCostSpec cost;
+  cost.flops = flops;
+  cost.dram_read_bytes = read_bytes;
+  cost.dram_write_bytes = write_bytes;
+  return cost;
+}
+
+/// Element-sliced access of `elems` floats (element i touches float i).
+BufferUse scalar_use(const float* base, std::int64_t elems, bool write,
+                     const char* name) {
+  return {base, static_cast<double>(elems) * kFloat,
+          static_cast<std::int64_t>(kFloat), write, name};
+}
+
+/// Broadcast / whole-span access (elem_bytes 0 — never aligned).
+BufferUse span_use(const float* base, std::int64_t elems, bool write,
+                   const char* name) {
+  return {base, static_cast<double>(elems) * kFloat, 0, write, name};
+}
+
+/// Records one element-wise kernel with a declared footprint. One float of
+/// read traffic per declared read use, one of write per write use.
+void add_kernel(Graph& g, const char* label, std::vector<BufferUse> uses,
+                std::int64_t elems = kElems, std::int64_t grid = 1,
+                int block = 64, int stream = 0) {
+  double reads = 0;
+  double writes = 0;
+  for (const BufferUse& u : uses) {
+    (u.write ? writes : reads) += u.bytes;
+  }
+  g.record_kernel(grid, block, stream, "test", label,
+                  cost_rw(static_cast<double>(elems), reads, writes));
+  g.note_elements(elems);
+  g.note_uses(std::move(uses));
+}
+
+GraphExec fused_exec(const Graph& g, vgpu::Device& device) {
+  GraphExec exec = g.instantiate(device.perf());
+  exec.apply_fusion(device.perf());
+  return exec;
+}
+
+// ---- legality: what fuses ------------------------------------------------
+
+TEST(FusionLegality, AlignedProducerConsumerChainFusesAndElides) {
+  vgpu::Device device;
+  std::vector<float> a(kElems);
+  std::vector<float> b(kElems);
+  std::vector<float> c(kElems);
+  Graph g;
+  add_kernel(g, "k1", {scalar_use(c.data(), kElems, false, "c"),
+                       scalar_use(a.data(), kElems, true, "a")});
+  add_kernel(g, "k2", {scalar_use(a.data(), kElems, false, "a"),
+                       scalar_use(b.data(), kElems, true, "b")});
+  GraphExec exec = fused_exec(g, device);
+
+  const FusionStats& stats = exec.fusion_stats();
+  EXPECT_TRUE(stats.applied);
+  ASSERT_EQ(stats.groups, 1);
+  EXPECT_EQ(stats.fused_members, 2);
+  const GraphExec::FusedGroup& group = exec.fused_groups()[0];
+  EXPECT_EQ(group.members, (std::vector<int>{0, 1}));
+  EXPECT_EQ(group.label, "fused:k1+k2");
+  EXPECT_EQ(group.elems, kElems);
+
+  // Merged spec: k2's read of the intermediate `a` is elided (the value
+  // flows in registers inside the fused element loop), and — with no node
+  // outside the group reading `a` — so is k1's write of it. What remains is
+  // k1's read of `c` and k2's write of `b`.
+  EXPECT_EQ(group.merged_cost.dram_read_bytes, kElems * kFloat);
+  EXPECT_EQ(group.merged_cost.dram_write_bytes, kElems * kFloat);
+  EXPECT_EQ(group.merged_cost.flops, 2.0 * kElems);
+  EXPECT_EQ(stats.elided_read_bytes, kElems * kFloat);
+  EXPECT_EQ(stats.elided_write_bytes, kElems * kFloat);
+  // Less traffic at equal flops: the fused node prices at or below the sum.
+  EXPECT_LT(group.static_fused_seconds, group.static_member_seconds);
+  EXPECT_EQ(exec.nodes()[0].fuse_group, 0);
+  EXPECT_EQ(exec.nodes()[1].fuse_group, 0);
+}
+
+TEST(FusionLegality, OutsideReaderKeepsProducerWrite) {
+  vgpu::Device device;
+  std::vector<float> a(kElems);
+  std::vector<float> b(kElems);
+  Graph g;
+  add_kernel(g, "k1", {scalar_use(a.data(), kElems, true, "a")});
+  add_kernel(g, "k2", {scalar_use(a.data(), kElems, false, "a"),
+                       scalar_use(b.data(), kElems, true, "b")});
+  // A shape-incompatible consumer outside the group: the graph replays in a
+  // loop, so even a *preceding* outside reader would count.
+  add_kernel(g, "k3", {span_use(a.data(), kElems, false, "a")},
+             /*elems=*/kElems * 2, /*grid=*/2);
+  GraphExec exec = fused_exec(g, device);
+
+  const FusionStats& stats = exec.fusion_stats();
+  ASSERT_EQ(stats.groups, 1);
+  const GraphExec::FusedGroup& group = exec.fused_groups()[0];
+  EXPECT_EQ(group.members, (std::vector<int>{0, 1}));
+  // The consumer's read is still elided; the producer's write is not.
+  EXPECT_EQ(stats.elided_read_bytes, kElems * kFloat);
+  EXPECT_EQ(stats.elided_write_bytes, 0.0);
+  EXPECT_EQ(group.merged_cost.dram_write_bytes, 2.0 * kElems * kFloat);
+  EXPECT_EQ(exec.nodes()[2].fuse_group, -1);
+}
+
+TEST(FusionLegality, OpaqueNodeCountsAsReaderOfEverything) {
+  vgpu::Device device;
+  std::vector<float> a(kElems);
+  std::vector<float> b(kElems);
+  Graph g;
+  add_kernel(g, "k1", {scalar_use(a.data(), kElems, true, "a")});
+  add_kernel(g, "k2", {scalar_use(a.data(), kElems, false, "a"),
+                       scalar_use(b.data(), kElems, true, "b")});
+  // No footprint: never fuses, and may read anything — both writes stay.
+  g.record_kernel(2, 64, 0, "test", "opaque",
+                  cost_rw(kElems, kElems * kFloat, 0));
+  GraphExec exec = fused_exec(g, device);
+
+  ASSERT_EQ(exec.fusion_stats().groups, 1);
+  EXPECT_EQ(exec.fusion_stats().elided_read_bytes, kElems * kFloat);
+  EXPECT_EQ(exec.fusion_stats().elided_write_bytes, 0.0);
+}
+
+TEST(FusionLegality, SharedReadsFuseWithoutElision) {
+  vgpu::Device device;
+  std::vector<float> in(kElems);
+  std::vector<float> b(kElems);
+  std::vector<float> c(kElems);
+  Graph g;
+  add_kernel(g, "k1", {span_use(in.data(), kElems, false, "in"),
+                       scalar_use(b.data(), kElems, true, "b")});
+  add_kernel(g, "k2", {span_use(in.data(), kElems, false, "in"),
+                       scalar_use(c.data(), kElems, true, "c")});
+  GraphExec exec = fused_exec(g, device);
+
+  // Two broadcast reads of the same storage never conflict; nothing flows
+  // between the members, so nothing is elided.
+  ASSERT_EQ(exec.fusion_stats().groups, 1);
+  EXPECT_EQ(exec.fusion_stats().fused_members, 2);
+  EXPECT_EQ(exec.fusion_stats().elided_read_bytes, 0.0);
+  EXPECT_EQ(exec.fusion_stats().elided_write_bytes, 0.0);
+}
+
+// ---- legality: what blocks -----------------------------------------------
+
+TEST(FusionLegality, BroadcastConsumerOfFreshWriteBlocks) {
+  vgpu::Device device;
+  std::vector<float> a(kElems);
+  std::vector<float> b(kElems);
+  Graph g;
+  add_kernel(g, "k1", {scalar_use(a.data(), kElems, true, "a")});
+  // Element i reads ALL of `a` (elem_bytes 0): under back-to-back
+  // per-element execution it would see element i+1's value stale — hazard.
+  add_kernel(g, "k2", {span_use(a.data(), kElems, false, "a"),
+                       scalar_use(b.data(), kElems, true, "b")});
+  GraphExec exec = fused_exec(g, device);
+  EXPECT_EQ(exec.fusion_stats().groups, 0);
+  EXPECT_TRUE(FusionPass::hazard(exec.nodes()[0].node, exec.nodes()[1].node));
+}
+
+TEST(FusionLegality, MisalignedWriteWriteBlocks) {
+  vgpu::Device device;
+  std::vector<float> a(kElems);
+  Graph g;
+  add_kernel(g, "k1", {scalar_use(a.data(), kElems, true, "a")});
+  // Same storage written with a different element slicing: WAW hazard.
+  add_kernel(g, "k2", {{a.data(), static_cast<double>(kElems) * kFloat,
+                        static_cast<std::int64_t>(2 * kFloat), true, "a"}});
+  GraphExec exec = fused_exec(g, device);
+  EXPECT_EQ(exec.fusion_stats().groups, 0);
+}
+
+TEST(FusionLegality, InteriorPointerOverlapBlocks) {
+  vgpu::Device device;
+  std::vector<float> a(kElems * 2);
+  std::vector<float> b(kElems);
+  Graph g;
+  add_kernel(g, "k1", {scalar_use(a.data(), kElems, true, "a_lo")});
+  // Reads a shifted window of the same allocation: overlapping but not
+  // aligned (different base) — the gbest-copy aliasing pattern.
+  add_kernel(g, "k2", {scalar_use(a.data() + 1, kElems, false, "a_shift"),
+                       scalar_use(b.data(), kElems, true, "b")});
+  GraphExec exec = fused_exec(g, device);
+  EXPECT_EQ(exec.fusion_stats().groups, 0);
+}
+
+TEST(FusionLegality, MemcpyNodeIsNeverCrossed) {
+  vgpu::Device device;
+  std::vector<float> a(kElems);
+  std::vector<float> b(kElems);
+  std::vector<float> host(kElems);
+  Graph g;
+  add_kernel(g, "k1", {scalar_use(a.data(), kElems, true, "a")});
+  g.record_memcpy(NodeKind::kMemcpyD2H, host.data(), a.data(),
+                  static_cast<double>(kElems) * kFloat, 0, "test");
+  add_kernel(g, "k2", {scalar_use(a.data(), kElems, false, "a"),
+                       scalar_use(b.data(), kElems, true, "b")});
+  GraphExec exec = fused_exec(g, device);
+  EXPECT_EQ(exec.fusion_stats().groups, 0);
+}
+
+TEST(FusionLegality, ReductionNodeIsNeverCrossedOrJoined) {
+  vgpu::Device device;
+  std::vector<float> a(kElems);
+  std::vector<float> b(kElems);
+  Graph g;
+  add_kernel(g, "k1", {scalar_use(a.data(), kElems, true, "a")});
+  // A shared-memory tree reduction: barriers > 0 makes it unfusible even
+  // with a declared footprint, and it terminates the run.
+  {
+    vgpu::KernelCostSpec cost = cost_rw(kElems, kElems * kFloat, kFloat);
+    cost.barriers = 6;
+    g.record_kernel(1, 64, 0, "test", "reduce", cost);
+    g.note_elements(kElems);
+    g.note_uses({scalar_use(a.data(), kElems, false, "a")});
+  }
+  add_kernel(g, "k2", {scalar_use(a.data(), kElems, false, "a"),
+                       scalar_use(b.data(), kElems, true, "b")});
+  GraphExec exec = fused_exec(g, device);
+  EXPECT_EQ(exec.fusion_stats().groups, 0);
+  EXPECT_FALSE(FusionPass::fusible(exec.nodes()[1].node));
+}
+
+TEST(FusionLegality, MissingFootprintBlocksFusion) {
+  vgpu::Device device;
+  std::vector<float> a(kElems);
+  Graph g;
+  add_kernel(g, "k1", {scalar_use(a.data(), kElems, true, "a")});
+  // Same shape, no declared footprint: not fusible.
+  g.record_kernel(1, 64, 0, "test", "k2", cost_rw(kElems, 0, 0));
+  g.note_elements(kElems);
+  GraphExec exec = fused_exec(g, device);
+  EXPECT_EQ(exec.fusion_stats().groups, 0);
+  EXPECT_FALSE(FusionPass::fusible(exec.nodes()[1].node));
+}
+
+TEST(FusionLegality, ShapeAndStreamMismatchesSplitRuns) {
+  vgpu::Device device;
+  std::vector<float> a(kElems);
+  std::vector<float> b(kElems);
+  std::vector<float> c(kElems * 2);
+  std::vector<float> d(kElems * 2);
+  Graph g;
+  // Run 1: two compatible kernels on independent buffers.
+  add_kernel(g, "k1", {scalar_use(a.data(), kElems, true, "a")});
+  add_kernel(g, "k2", {scalar_use(b.data(), kElems, true, "b")});
+  // Run 2: a different element domain (and grid) — must not join run 1.
+  add_kernel(g, "k3", {scalar_use(c.data(), kElems * 2, true, "c")},
+             kElems * 2, /*grid=*/2);
+  add_kernel(g, "k4", {scalar_use(d.data(), kElems * 2, true, "d")},
+             kElems * 2, /*grid=*/2);
+  // A stream-1 straggler: compatible shape, wrong stream — stays unfused.
+  add_kernel(g, "k5", {scalar_use(a.data(), kElems, false, "a")}, kElems, 1,
+             64, /*stream=*/1);
+  GraphExec exec = fused_exec(g, device);
+
+  const FusionStats& stats = exec.fusion_stats();
+  ASSERT_EQ(stats.groups, 2);
+  EXPECT_EQ(exec.fused_groups()[0].members, (std::vector<int>{0, 1}));
+  EXPECT_EQ(exec.fused_groups()[1].members, (std::vector<int>{2, 3}));
+  EXPECT_EQ(exec.nodes()[4].fuse_group, -1);
+  EXPECT_FALSE(
+      FusionPass::compatible(exec.nodes()[0].node, exec.nodes()[2].node));
+  EXPECT_FALSE(
+      FusionPass::compatible(exec.nodes()[0].node, exec.nodes()[4].node));
+}
+
+TEST(FusionLegality, ApplyFusionIsIdempotent) {
+  vgpu::Device device;
+  std::vector<float> a(kElems);
+  std::vector<float> b(kElems);
+  Graph g;
+  add_kernel(g, "k1", {scalar_use(a.data(), kElems, true, "a")});
+  add_kernel(g, "k2", {scalar_use(a.data(), kElems, false, "a"),
+                       scalar_use(b.data(), kElems, true, "b")});
+  GraphExec exec = fused_exec(g, device);
+  exec.apply_fusion(device.perf());  // second run: no-op
+  EXPECT_EQ(exec.fusion_stats().groups, 1);
+  EXPECT_EQ(exec.fusion_stats().fused_members, 2);
+}
+
+// ---- optimizer level: bitwise fused-vs-eager ------------------------------
+
+struct Variant {
+  const char* name;
+  std::function<void(core::PsoParams&)> apply;
+  /// Minimum per-iteration launch reduction the fused sync pipeline must
+  /// reach under this variant (overlap_init moves the weight fills to a
+  /// second stream, ring appends extra launches — both dilute the ratio).
+  double min_reduction;
+};
+
+const std::vector<Variant>& sync_variants() {
+  static const std::vector<Variant> v = {
+      {"sync", [](core::PsoParams&) {}, 0.40},
+      {"overlap_init", [](core::PsoParams& p) { p.overlap_init = true; },
+       1.0 / 3.0},
+      {"ring",
+       [](core::PsoParams& p) {
+         p.topology = core::Topology::kRing;
+         p.ring_neighbors = 1;
+       },
+       0.25},
+  };
+  return v;
+}
+
+core::Result run_optimizer(const std::string& problem, int dim,
+                           const std::function<void(core::PsoParams&)>& apply,
+                           bool fuse) {
+  const GraphGuard graph(false);
+  const FusionGuard fusion(fuse);
+  vgpu::Device device;
+  core::PsoParams params;
+  params.particles = 16;
+  params.dim = dim;
+  params.max_iter = 6;
+  params.seed = 42;
+  apply(params);
+  core::Optimizer optimizer(device, params);
+  const auto prob = benchkit::make_any_problem(problem);
+  return optimizer.optimize(core::objective_from_problem(*prob, params.dim));
+}
+
+TEST(Fusion, OptimizerVariantsBitwiseIdenticalAndLaunchesReduced) {
+  const std::vector<std::string> problems = {"sphere", "griewank", "easom",
+                                             "threadconf"};
+  // dim = 4: the weight-fill element domain (one philox block per 4 floats)
+  // equals the particle domain, so fill/eval/compare/gather share one shape
+  // and the sync pipeline fuses 5 of its 8 steady-state launches.
+  for (const std::string& problem : problems) {
+    for (const Variant& variant : sync_variants()) {
+      SCOPED_TRACE(problem + " / " + variant.name);
+      const core::Result fused =
+          run_optimizer(problem, 4, variant.apply, true);
+      const core::Result eager =
+          run_optimizer(problem, 4, variant.apply, false);
+      expect_results_equal(fused, eager);
+
+      const FusionStats& stats = fused.fusion;
+      EXPECT_TRUE(stats.enabled);
+      EXPECT_TRUE(stats.applied);
+      EXPECT_GE(stats.groups, 1);
+      EXPECT_EQ(stats.replays, 5u);  // max_iter - 1
+      EXPECT_GE(stats.launch_reduction(), variant.min_reduction)
+          << stats.launches_fused << " of " << stats.launches_eager
+          << " launches left";
+      EXPECT_GT(stats.modeled_seconds_saved, 0.0);
+      // Intermediate traffic (perror, improved) visibly elided.
+      EXPECT_GT(stats.elided_read_bytes, 0.0);
+      // The fused estimate composes with the graph credit: strictly below
+      // the graph estimate, which sits at or below the eager total.
+      EXPECT_LT(fused.fused_modeled_seconds(), fused.graph_modeled_seconds());
+      EXPECT_LT(fused.graph_modeled_seconds(), fused.modeled_seconds);
+      // Fusion off: inert stats.
+      EXPECT_FALSE(eager.fusion.enabled);
+      EXPECT_EQ(eager.fusion.groups, 0);
+      EXPECT_EQ(eager.fused_modeled_seconds(), eager.modeled_seconds);
+    }
+  }
+}
+
+TEST(Fusion, SyncPipelineElidesIntermediateWrites) {
+  // Global-memory technique, no ring: perror and improved are produced and
+  // consumed entirely inside the fused group, so their writes vanish from
+  // the merged spec too (nothing outside the group reads them).
+  const core::Result fused =
+      run_optimizer("sphere", 4, [](core::PsoParams&) {}, true);
+  EXPECT_GT(fused.fusion.elided_write_bytes, 0.0);
+}
+
+TEST(Fusion, DimEightSplitsFillFromEvalButStillReducesAThird) {
+  // dim = 8: the fill domain (2n philox blocks) no longer matches the
+  // particle domain, so the pipeline fuses as {fill,fill} + {eval,compare,
+  // gather} — two groups, still >= 1/3 of the launches gone.
+  const core::Result fused =
+      run_optimizer("sphere", 8, [](core::PsoParams&) {}, true);
+  const core::Result eager =
+      run_optimizer("sphere", 8, [](core::PsoParams&) {}, false);
+  expect_results_equal(fused, eager);
+  EXPECT_EQ(fused.fusion.groups, 2);
+  EXPECT_GE(fused.fusion.launch_reduction(), 1.0 / 3.0);
+}
+
+TEST(Fusion, AsyncVariantStaysUnfusedButBitwiseIdentical) {
+  const auto async = [](core::PsoParams& p) {
+    p.synchronization = core::Synchronization::kAsynchronous;
+  };
+  const core::Result fused = run_optimizer("sphere", 4, async, true);
+  const core::Result eager = run_optimizer("sphere", 4, async, false);
+  expect_results_equal(fused, eager);
+  // The async loop is already one fused kernel per iteration — the recorder
+  // captures (FASTPSO_FUSE implies capture) but applies no fusion pass.
+  EXPECT_FALSE(fused.fusion.enabled);
+  EXPECT_EQ(fused.fusion.groups, 0);
+  EXPECT_EQ(fused.fused_modeled_seconds(), fused.graph_modeled_seconds());
+}
+
+TEST(Fusion, ComposesWithGraphModeBitwise) {
+  const auto run = [&](bool on) {
+    const GraphGuard graph(on);
+    const FusionGuard fusion(on);
+    vgpu::Device device;
+    core::PsoParams params;
+    params.particles = 16;
+    params.dim = 4;
+    params.max_iter = 6;
+    params.seed = 42;
+    core::Optimizer optimizer(device, params);
+    const auto prob = problems::make_problem("sphere");
+    return optimizer.optimize(
+        core::objective_from_problem(*prob, params.dim));
+  };
+  const core::Result both = run(true);
+  const core::Result off = run(false);
+  expect_results_equal(both, off);
+  EXPECT_TRUE(both.graph.instantiated);
+  EXPECT_GE(both.fusion.groups, 1);
+  EXPECT_GT(both.graph.modeled_seconds_saved, 0.0);
+  EXPECT_GT(both.fusion.modeled_seconds_saved, 0.0);
+}
+
+// ---- baselines through the unified runner --------------------------------
+
+RunOutcome run_cell(Impl impl, const std::string& problem, bool fuse) {
+  const GraphGuard graph(false);
+  const FusionGuard fusion(fuse);
+  RunSpec spec;
+  spec.impl = impl;
+  spec.problem = problem;
+  spec.particles = 20;
+  spec.dim = 6;
+  spec.iters = 12;
+  spec.executed_iters = 6;
+  spec.seed = 42;
+  return benchkit::run_spec(spec);
+}
+
+TEST(Fusion, BaselinesBitwiseIdentical) {
+  const std::vector<std::string> problems = {"sphere", "griewank", "easom",
+                                             "threadconf"};
+  for (const std::string& problem : problems) {
+    for (Impl impl : {Impl::kGpuPso, Impl::kHgpuPso, Impl::kFastPso}) {
+      SCOPED_TRACE(problem + " / " + benchkit::to_string(impl));
+      const RunOutcome fused = run_cell(impl, problem, true);
+      const RunOutcome eager = run_cell(impl, problem, false);
+      EXPECT_EQ(fused.result.gbest_value, eager.result.gbest_value);
+      EXPECT_TRUE(bits_equal(fused.result.gbest_position,
+                             eager.result.gbest_position));
+      EXPECT_TRUE(bits_equal(fused.result.gbest_history,
+                             eager.result.gbest_history));
+      EXPECT_EQ(fused.result.modeled_seconds, eager.result.modeled_seconds);
+      EXPECT_EQ(fused.modeled_seconds_full, eager.modeled_seconds_full);
+      expect_counters_equal(fused.result.counters, eager.result.counters);
+      EXPECT_TRUE(fused.result.fusion.enabled);
+      EXPECT_TRUE(fused.result.fusion.applied);
+      if (impl == Impl::kHgpuPso) {
+        // hgpu's lone eval kernel sits between two memcpys every iteration:
+        // fusion honestly finds nothing and degenerates to plain capture.
+        EXPECT_EQ(fused.result.fusion.groups, 0);
+        EXPECT_EQ(fused.result.fused_modeled_seconds(),
+                  fused.result.graph_modeled_seconds());
+      } else {
+        EXPECT_GE(fused.result.fusion.groups, 1);
+        EXPECT_GT(fused.result.fusion.modeled_seconds_saved, 0.0);
+      }
+    }
+  }
+}
+
+// ---- prof level ----------------------------------------------------------
+
+core::Result run_profiled(bool fuse) {
+  const GraphGuard graph(false);
+  const FusionGuard fusion(fuse);
+  const ProfGuard prof(true);
+  vgpu::Device device;
+  core::PsoParams params;
+  params.particles = 12;
+  params.dim = 4;
+  params.max_iter = 5;
+  params.seed = 42;
+  core::Optimizer optimizer(device, params);
+  const auto problem = problems::make_problem("sphere");
+  return optimizer.optimize(
+      core::objective_from_problem(*problem, params.dim));
+}
+
+// Under paired replay the fused pricing is reported, never emitted: the
+// deterministic Chrome trace stays byte-identical, and in-order aggregation
+// over the fused-mode profile still reproduces the device counters.
+TEST(Fusion, ChromeTraceBytesIdenticalAndCountersReproduced) {
+  const core::Result fused = run_profiled(true);
+  const core::Result eager = run_profiled(false);
+  ASSERT_FALSE(fused.profile.empty());
+  EXPECT_EQ(fused.profile.chrome_trace_json(),
+            eager.profile.chrome_trace_json());
+  EXPECT_GE(fused.fusion.groups, 1);
+  EXPECT_EQ(fused.profile.kernel_count(), fused.counters.launches);
+  EXPECT_EQ(fused.profile.kernel_seconds(), fused.counters.kernel_seconds);
+  EXPECT_EQ(fused.profile.modeled_seconds(), fused.counters.modeled_seconds);
+  EXPECT_EQ(fused.profile.seconds_by_phase(),
+            fused.modeled_breakdown.buckets());
+}
+
+// ---- sanitizer level -----------------------------------------------------
+
+std::string traced_pipeline_json() {
+  vgpu::Device device;
+  core::PsoParams params;
+  params.particles = 8;
+  params.dim = 3;
+  params.max_iter = 2;
+  params.seed = 42;
+  core::Optimizer optimizer(device, params);
+  const auto problem = problems::make_problem("sphere");
+  const auto objective = core::objective_from_problem(*problem, params.dim);
+
+  vgpu::san::Session session;
+  optimizer.optimize(objective);
+  const vgpu::san::Report& report = session.finish();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  return report.to_json();
+}
+
+TEST(Fusion, SanitizerTraceIgnoresFusionToggle) {
+  std::string fused;
+  std::string eager;
+  {
+    const GraphGuard graph(false);
+    const FusionGuard fusion(true);
+    fused = traced_pipeline_json();
+  }
+  {
+    const GraphGuard graph(false);
+    const FusionGuard fusion(false);
+    eager = traced_pipeline_json();
+  }
+  EXPECT_EQ(fused, eager);
+}
+
+// The declared footprints are cross-checked against what a tracked run
+// actually touched: capture the two pbest launches under a sanitizer
+// session and validate the pairing.
+TEST(Fusion, FootprintsConsistentWithSanitizerTrace) {
+  const FastPathGuard fast(false);  // tracked views need the slow path
+  vgpu::Device device;
+  core::LaunchPolicy policy(device.spec());
+  core::SwarmState state(device, 16, 4);
+  for (std::int64_t i = 0; i < state.elements(); ++i) {
+    state.positions[i] = static_cast<float>(i) * 0.25f;
+  }
+  for (int i = 0; i < state.n; ++i) {
+    state.perror[i] = static_cast<float>(state.n - i);
+  }
+
+  vgpu::san::Session session;
+  Graph g;
+  device.begin_capture(g);
+  core::update_pbest(device, policy, state);
+  device.end_capture();
+  const vgpu::san::Report& report = session.finish();
+  EXPECT_TRUE(report.clean()) << report.summary();
+
+  std::string diagnosis;
+  EXPECT_TRUE(vgpu::graph::footprints_consistent(g, report, &diagnosis))
+      << diagnosis;
+}
+
+TEST(Fusion, FootprintsInconsistencyIsDiagnosed) {
+  const FastPathGuard fast(false);
+  vgpu::Device device;
+  constexpr std::int64_t kN = 32;
+  std::vector<float> data(kN, 1.0f);
+  std::vector<float> decoy(kN, 0.0f);
+  vgpu::LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 32;
+
+  vgpu::san::Session session;
+  Graph g;
+  device.begin_capture(g);
+  {
+    const auto tracked =
+        vgpu::san::track(data.data(), static_cast<std::size_t>(kN), "data");
+    vgpu::san::KernelScope scope("fusion_test/lying_kernel");
+    device.launch(cfg, cost_rw(kN, 0, kN * kFloat),
+                  [&](const vgpu::ThreadCtx& t) {
+                    for (std::int64_t i = t.global_id(); i < kN;
+                         i += t.grid_stride()) {
+                      tracked[i] = 2.0f;
+                    }
+                  });
+    // Declared footprint names the wrong buffer: the tracked run wrote
+    // `data`, the declaration only covers `decoy`.
+    device.graph_note_elements(kN);
+    device.graph_note_uses({scalar_use(decoy.data(), kN, true, "decoy")});
+  }
+  device.end_capture();
+  const vgpu::san::Report& report = session.finish();
+
+  std::string diagnosis;
+  EXPECT_FALSE(vgpu::graph::footprints_consistent(g, report, &diagnosis));
+  EXPECT_NE(diagnosis.find("wrote"), std::string::npos) << diagnosis;
+}
+
+// ---- standalone fused replay (Device::replay_fused) ----------------------
+
+/// Captures a three-kernel chain with bodies: a[i] = 2i, b[i] = a[i] + 1,
+/// b[i] *= 3 — all aligned, all fusible into one group.
+struct CapturedChain {
+  Graph graph;
+  std::vector<float> expected;
+};
+
+CapturedChain capture_chain(vgpu::Device& device, vgpu::DeviceArray<float>& a,
+                            vgpu::DeviceArray<float>& b, std::int64_t n) {
+  vgpu::LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 64;
+  float* pa = a.data();
+  float* pb = b.data();
+  CapturedChain chain;
+  device.set_capture_bodies(true);
+  device.begin_capture(chain.graph);
+  {
+    vgpu::prof::KernelLabel label("fusion_test/k1");
+    device.launch_elements(cfg, cost_rw(static_cast<double>(n), 0, n * kFloat),
+                           n, [pa](std::int64_t i) {
+      pa[i] = static_cast<float>(i) * 2.0f;
+    });
+    device.graph_note_uses({scalar_use(pa, n, true, "a")});
+  }
+  {
+    vgpu::prof::KernelLabel label("fusion_test/k2");
+    device.launch_elements(
+        cfg, cost_rw(static_cast<double>(n), n * kFloat, n * kFloat), n,
+        [pa, pb](std::int64_t i) { pb[i] = pa[i] + 1.0f; });
+    device.graph_note_uses({scalar_use(pa, n, false, "a"),
+                            scalar_use(pb, n, true, "b")});
+  }
+  {
+    vgpu::prof::KernelLabel label("fusion_test/k3");
+    device.launch_elements(
+        cfg, cost_rw(static_cast<double>(n), n * kFloat, n * kFloat), n,
+        [pb](std::int64_t i) { pb[i] *= 3.0f; });
+    device.graph_note_uses({scalar_use(pb, n, false, "b"),
+                            scalar_use(pb, n, true, "b")});
+  }
+  device.end_capture();
+  device.set_capture_bodies(false);
+  chain.expected.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    chain.expected[static_cast<std::size_t>(i)] =
+        (static_cast<float>(i) * 2.0f + 1.0f) * 3.0f;
+  }
+  return chain;
+}
+
+TEST(FusionReplay, ReplayFusedExecutesFusedScheduleWithFewerLaunches) {
+  const FastPathGuard fast(true);
+  constexpr std::int64_t kN = 64;
+
+  // Fused side.
+  vgpu::Device device;
+  device.set_phase("test");
+  vgpu::DeviceArray<float> a(device, kN);
+  vgpu::DeviceArray<float> b(device, kN);
+  CapturedChain chain = capture_chain(device, a, b, kN);
+  GraphExec exec = fused_exec(chain.graph, device);
+  ASSERT_EQ(exec.fusion_stats().groups, 1);
+  ASSERT_EQ(exec.fusion_stats().fused_members, 3);
+
+  const std::vector<float> zeros(kN, 0.0f);
+  b.upload(zeros);
+  const std::uint64_t launches_before = device.counters().launches;
+  const double modeled_before = device.counters().modeled_seconds;
+  device.replay_fused(exec);
+  std::vector<float> out(kN);
+  b.download(out);
+  EXPECT_TRUE(bits_equal(out, chain.expected));
+  // One accounted launch for the whole fused group.
+  EXPECT_EQ(device.counters().launches - launches_before, 1u);
+  const double fused_delta =
+      device.counters().modeled_seconds - modeled_before;
+
+  // Plain-replay side: identical capture, unfused standalone replay.
+  vgpu::Device plain;
+  plain.set_phase("test");
+  vgpu::DeviceArray<float> pa(plain, kN);
+  vgpu::DeviceArray<float> pb(plain, kN);
+  CapturedChain pchain = capture_chain(plain, pa, pb, kN);
+  GraphExec pexec = pchain.graph.instantiate(plain.perf());
+  pb.upload(zeros);
+  const std::uint64_t plaunches_before = plain.counters().launches;
+  const double pmodeled_before = plain.counters().modeled_seconds;
+  plain.replay_graph(pexec);
+  std::vector<float> pout(kN);
+  pb.download(pout);
+  EXPECT_TRUE(bits_equal(pout, chain.expected));
+  EXPECT_EQ(plain.counters().launches - plaunches_before, 3u);
+  const double plain_delta =
+      plain.counters().modeled_seconds - pmodeled_before;
+
+  // Standalone fused replay genuinely applies the saving: two launch
+  // overheads and the a/b intermediate round trips are gone.
+  EXPECT_LT(fused_delta, plain_delta);
+  EXPECT_EQ(exec.fusion_stats().replays, 1u);
+  EXPECT_EQ(exec.fusion_stats().launches_eager, 3u);
+  EXPECT_EQ(exec.fusion_stats().launches_fused, 1u);
+  EXPECT_GT(exec.fusion_stats().modeled_seconds_saved, 0.0);
+}
+
+TEST(FusionReplay, FusedReplayEmitsOneLabeledEventWithMergedCost) {
+  const FastPathGuard fast(true);
+  const ProfGuard prof(true);
+  constexpr std::int64_t kN = 64;
+  vgpu::Device device;
+  device.set_phase("test");
+  vgpu::DeviceArray<float> a(device, kN);
+  vgpu::DeviceArray<float> b(device, kN);
+  CapturedChain chain = capture_chain(device, a, b, kN);
+  GraphExec exec = fused_exec(chain.graph, device);
+  ASSERT_EQ(exec.fusion_stats().groups, 1);
+
+  (void)device.take_profile();  // drop the capture pass's events
+  device.replay_fused(exec);
+  const vgpu::prof::Profile profile = device.take_profile();
+  ASSERT_EQ(profile.kernel_count(), 1u);
+  const GraphExec::FusedGroup& group = exec.fused_groups()[0];
+  bool found = false;
+  for (const vgpu::prof::Event& e : profile.events) {
+    if (e.kind == vgpu::prof::EventKind::kKernel) {
+      found = true;
+      EXPECT_EQ(e.label, "fused:fusion_test/k1+fusion_test/k2+fusion_test/k3");
+      EXPECT_EQ(e.label, group.label);
+    }
+  }
+  EXPECT_TRUE(found);
+  // The event carries the merged spec: flops are the members' sum, traffic
+  // has the a/b intermediates elided.
+  EXPECT_EQ(profile.flops(), group.merged_cost.flops);
+  EXPECT_EQ(profile.flops(), 3.0 * kN);
+  EXPECT_LT(profile.dram_read_fetched(), 2.0 * kN * kFloat);
+}
+
+// ---- golden fused trace --------------------------------------------------
+
+#ifdef FASTPSO_GOLDEN_DIR
+// The fused twin of ProfGolden.SphereTraceMatchesGoldenFile: the standalone
+// fused replay of the fixed three-kernel chain must serialize byte for byte
+// — catching silent changes to the fused label, the merged cost spec, the
+// modeled pricing or the JSON encoding.
+//
+// Refresh after an intentional change:
+//   FASTPSO_REFRESH_GOLDEN=1 ./build/tests/test_fusion
+//       --gtest_filter='FusionGolden.*'
+TEST(FusionGolden, FusedTraceMatchesGoldenFile) {
+  const FastPathGuard fast(true);
+  const ProfGuard prof(true);
+  constexpr std::int64_t kN = 64;
+  vgpu::Device device;
+  device.set_phase("test");
+  vgpu::DeviceArray<float> a(device, kN);
+  vgpu::DeviceArray<float> b(device, kN);
+  CapturedChain chain = capture_chain(device, a, b, kN);
+  GraphExec exec = fused_exec(chain.graph, device);
+  ASSERT_EQ(exec.fusion_stats().groups, 1);
+  (void)device.take_profile();
+  device.replay_fused(exec);
+  const std::string json = device.take_profile().chrome_trace_json();
+  EXPECT_NE(json.find("fused:fusion_test/k1"), std::string::npos);
+
+  const std::string path =
+      std::string(FASTPSO_GOLDEN_DIR) + "/prof_trace_fused.json";
+  const char* refresh = std::getenv("FASTPSO_REFRESH_GOLDEN");
+  if (refresh != nullptr && refresh[0] == '1') {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << json;
+    GTEST_SKIP() << "golden refreshed: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — generate with FASTPSO_REFRESH_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(json, golden.str())
+      << "fused trace diverged from golden; if intentional, refresh with "
+         "FASTPSO_REFRESH_GOLDEN=1";
+}
+#endif  // FASTPSO_GOLDEN_DIR
+
+}  // namespace
+}  // namespace fastpso

@@ -188,10 +188,14 @@ TEST(Graph, OptimizerVariantsBitwiseIdentical) {
       } else {
         EXPECT_NE(stats.modeled_seconds_saved, 0.0);
       }
-      // Eager runs report inert stats.
-      EXPECT_FALSE(eager.graph.enabled);
-      EXPECT_EQ(eager.graph.replays, 0u);
-      EXPECT_EQ(eager.graph_modeled_seconds(), eager.modeled_seconds);
+      // Eager runs report inert stats — unless ambient FASTPSO_FUSE keeps
+      // capture engaged even with the graph toggle off (the fusion pass
+      // rides on capture; results above stay byte-identical either way).
+      if (!vgpu::graph::fusion_enabled()) {
+        EXPECT_FALSE(eager.graph.enabled);
+        EXPECT_EQ(eager.graph.replays, 0u);
+        EXPECT_EQ(eager.graph_modeled_seconds(), eager.modeled_seconds);
+      }
     }
   }
 }
