@@ -1,0 +1,293 @@
+// serve_load: throughput/latency benchmark of the PSO-as-a-service
+// scheduler (src/serve/) under a seeded open-loop workload of mixed job
+// shapes — the serving analogue of the table benches.
+//
+// Reports graph-cache hit rate, batched launch reduction, modeled makespan
+// vs serial seconds, and p50/p99 modeled job latency. All modeled numbers
+// are deterministic for a given (jobs, seed, policy, streams, max-active)
+// configuration; --smoke pins them for the golden CSV regression and gates
+// the ISSUE acceptance thresholds (hit rate > 90%, batched launch
+// reduction > 30% on a mixed 200-job workload).
+//
+//   ./serve_load [--jobs 1000] [--policy fifo|priority|fair]
+//                [--streams 4] [--max-active 32] [--seed 42]
+//                [--no-graphs] [--no-batching] [--fuse]
+//                [--csv out.csv] [--json BENCH_serve.json]
+//                [--trace serve_trace.json]
+//                [--smoke]   (fixed 200-job config + acceptance gates)
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/trace_export.h"
+#include "serve/scheduler.h"
+#include "vgpu/device.h"
+
+using namespace fastpso;
+using namespace fastpso::benchkit;
+using namespace fastpso::serve;
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D49B129649CA1Dull;
+  return z ^ (z >> 31);
+}
+
+/// The mixed workload: jobs drawn from a fixed 8-shape table (varied
+/// problems, swarm sizes, dims; one ring topology, one shared-memory
+/// shape), with seeded budgets, priorities, tenants, and an open-loop
+/// arrival ramp. Deterministic for a given (count, seed).
+std::vector<JobSpec> build_workload(int count, std::uint64_t seed) {
+  struct ShapeRow {
+    const char* problem;
+    int particles;
+    int dim;
+    core::UpdateTechnique technique;
+    core::Topology topology;
+  };
+  static constexpr ShapeRow kShapes[] = {
+      {"sphere", 64, 16, core::UpdateTechnique::kGlobalMemory,
+       core::Topology::kGlobal},
+      {"rastrigin", 32, 8, core::UpdateTechnique::kGlobalMemory,
+       core::Topology::kGlobal},
+      {"rosenbrock", 64, 8, core::UpdateTechnique::kGlobalMemory,
+       core::Topology::kGlobal},
+      {"ackley", 32, 8, core::UpdateTechnique::kGlobalMemory,
+       core::Topology::kRing},
+      {"griewank", 64, 16, core::UpdateTechnique::kSharedMemory,
+       core::Topology::kGlobal},
+      {"zakharov", 16, 4, core::UpdateTechnique::kGlobalMemory,
+       core::Topology::kGlobal},
+      {"levy", 32, 4, core::UpdateTechnique::kGlobalMemory,
+       core::Topology::kGlobal},
+      {"schwefel", 16, 8, core::UpdateTechnique::kGlobalMemory,
+       core::Topology::kGlobal},
+  };
+  std::vector<JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  std::uint64_t state = seed;
+  for (int i = 0; i < count; ++i) {
+    const ShapeRow& row = kShapes[splitmix64(state) % std::size(kShapes)];
+    JobSpec spec;
+    spec.problem = row.problem;
+    spec.params.particles = row.particles;
+    spec.params.dim = row.dim;
+    spec.params.technique = row.technique;
+    spec.params.topology = row.topology;
+    spec.params.max_iter = 5 + static_cast<int>(splitmix64(state) % 20);
+    spec.params.seed = splitmix64(state);
+    spec.priority = static_cast<int>(splitmix64(state) % 3);
+    spec.tenant = static_cast<int>(splitmix64(state) % 4);
+    spec.arrival_seconds = static_cast<double>(i) * 2e-6;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+
+  SchedulerOptions options;
+  options.policy = policy_from_string(args.get_string("policy", "fifo"));
+  // Fallback is the FASTPSO_SERVE_STREAMS-aware default, so the env knob
+  // works here too; --streams still wins when given.
+  options.streams =
+      static_cast<int>(args.get_int("streams", default_stream_count()));
+  options.max_active = static_cast<int>(args.get_int("max-active", 32));
+  options.use_graphs = !args.get_bool("no-graphs", false);
+  options.batching = !args.get_bool("no-batching", false);
+  options.fuse = args.get_bool("fuse", false);
+  int jobs = static_cast<int>(args.get_int("jobs", 1000));
+  std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  if (smoke) {
+    // The ISSUE acceptance workload: mixed 200-job load, fixed seed.
+    jobs = 200;
+    seed = 42;
+    options.policy = Policy::kFifo;
+    options.streams = 4;
+    options.max_active = 32;
+    options.use_graphs = true;
+    options.batching = true;
+    options.fuse = false;
+  }
+
+  const auto specs = build_workload(jobs, seed);
+
+  Stopwatch wall;
+  vgpu::Device device;
+  Scheduler scheduler(device, options);
+  for (const JobSpec& spec : specs) {
+    scheduler.submit(spec);
+  }
+  scheduler.run();
+  const double wall_s = wall.elapsed_s();
+
+  const ServeStats stats = scheduler.stats();
+  std::vector<double> latencies;
+  latencies.reserve(scheduler.outcomes().size());
+  for (const JobOutcome& out : scheduler.outcomes()) {
+    latencies.push_back(out.latency_seconds());
+  }
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+
+  TextTable table("serve_load: PSO-as-a-service over one vgpu device");
+  table.set_header({"metric", "value"});
+  table.add_row({"jobs", std::to_string(jobs)});
+  table.add_row({"policy", to_string(options.policy)});
+  table.add_row({"streams", std::to_string(options.streams)});
+  table.add_row({"max active", std::to_string(options.max_active)});
+  table.add_row({"iterations", std::to_string(stats.iterations)});
+  table.add_row({"graph-cache hit rate",
+                 fmt_fixed(stats.hit_rate() * 100.0, 1) + "%"});
+  table.add_row({"graphs captured / poisoned",
+                 std::to_string(stats.graphs_captured) + " / " +
+                     std::to_string(stats.graphs_poisoned)});
+  table.add_row({"launches issued", std::to_string(stats.launches_issued)});
+  table.add_row({"launches after batching",
+                 std::to_string(stats.launches_batched)});
+  table.add_row({"batched launch reduction",
+                 fmt_fixed(stats.batch_launch_reduction() * 100.0, 1) +
+                     "%"});
+  table.add_row({"modeled makespan (s)",
+                 fmt_fixed(stats.makespan_seconds, 6)});
+  table.add_row({"modeled serial (s)", fmt_fixed(stats.serial_seconds, 6)});
+  table.add_row({"graph credit saved (s)",
+                 fmt_fixed(stats.graph_modeled_seconds_saved, 6)});
+  table.add_row({"batch credit saved (s)",
+                 fmt_fixed(stats.batch_modeled_seconds_saved, 6)});
+  table.add_row({"serial if batched (s)",
+                 fmt_fixed(stats.batched_modeled_seconds(), 6)});
+  table.add_row({"serial if graphed (s)",
+                 fmt_fixed(stats.graph_modeled_seconds(), 6)});
+  table.add_row({"p50 modeled latency (s)", fmt_fixed(p50, 6)});
+  table.add_row({"p99 modeled latency (s)", fmt_fixed(p99, 6)});
+  table.add_row({"wall (s)", fmt_fixed(wall_s, 3)});
+  table.add_note("credits are reported-only, in the style of "
+                 "Result::graph_modeled_seconds(); jobs stay bitwise equal "
+                 "to solo runs (see tests/test_serve.cpp)");
+  table.print(std::cout);
+
+  CsvWriter csv({"jobs", "policy", "streams", "max_active", "iterations",
+                 "cache_lookups", "cache_hits", "hit_rate",
+                 "graphs_captured", "launches_issued", "launches_batched",
+                 "batch_reduction", "batch_rounds", "makespan_s",
+                 "serial_s", "graph_saved_s", "batch_saved_s",
+                 "fusion_saved_s", "p50_latency_s", "p99_latency_s",
+                 "wall_s"});
+  csv.add_row({std::to_string(jobs), to_string(options.policy),
+               std::to_string(options.streams),
+               std::to_string(options.max_active),
+               std::to_string(stats.iterations),
+               std::to_string(stats.cache_lookups),
+               std::to_string(stats.cache_hits),
+               fmt_fixed(stats.hit_rate(), 4),
+               std::to_string(stats.graphs_captured),
+               std::to_string(stats.launches_issued),
+               std::to_string(stats.launches_batched),
+               fmt_fixed(stats.batch_launch_reduction(), 4),
+               std::to_string(stats.batch_rounds),
+               fmt_fixed(stats.makespan_seconds, 6),
+               fmt_fixed(stats.serial_seconds, 6),
+               fmt_fixed(stats.graph_modeled_seconds_saved, 6),
+               fmt_fixed(stats.batch_modeled_seconds_saved, 6),
+               fmt_fixed(stats.fusion_modeled_seconds_saved, 6),
+               fmt_fixed(p50, 6), fmt_fixed(p99, 6),
+               smoke ? "0.000" : fmt_fixed(wall_s, 3)});
+  maybe_write_csv(csv, args.get_string("csv", ""));
+
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    if (write_chrome_trace(trace_path, scheduler.trace())) {
+      std::cout << "trace written: " << trace_path << "\n";
+    } else {
+      std::cout << "trace write FAILED: " << trace_path << "\n";
+    }
+  }
+
+  const std::string json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(6);
+    json << "{\n"
+         << "  \"schema\": \"fastpso-bench-serve-v1\",\n"
+         << "  \"jobs\": " << jobs << ",\n"
+         << "  \"policy\": \"" << to_string(options.policy) << "\",\n"
+         << "  \"streams\": " << options.streams << ",\n"
+         << "  \"max_active\": " << options.max_active << ",\n"
+         << "  \"iterations\": " << stats.iterations << ",\n"
+         << "  \"cache_hit_rate\": " << stats.hit_rate() << ",\n"
+         << "  \"graphs_captured\": " << stats.graphs_captured << ",\n"
+         << "  \"graphs_poisoned\": " << stats.graphs_poisoned << ",\n"
+         << "  \"launches_issued\": " << stats.launches_issued << ",\n"
+         << "  \"launches_batched\": " << stats.launches_batched << ",\n"
+         << "  \"batch_launch_reduction\": "
+         << stats.batch_launch_reduction() << ",\n"
+         << "  \"batch_rounds\": " << stats.batch_rounds << ",\n"
+         << "  \"makespan_seconds\": " << stats.makespan_seconds << ",\n"
+         << "  \"serial_seconds\": " << stats.serial_seconds << ",\n"
+         << "  \"graph_modeled_seconds_saved\": "
+         << stats.graph_modeled_seconds_saved << ",\n"
+         << "  \"batch_modeled_seconds_saved\": "
+         << stats.batch_modeled_seconds_saved << ",\n"
+         << "  \"fusion_modeled_seconds_saved\": "
+         << stats.fusion_modeled_seconds_saved << ",\n"
+         << "  \"batched_modeled_seconds\": "
+         << stats.batched_modeled_seconds() << ",\n"
+         << "  \"graph_modeled_seconds\": " << stats.graph_modeled_seconds()
+         << ",\n"
+         << "  \"p50_latency_seconds\": " << p50 << ",\n"
+         << "  \"p99_latency_seconds\": " << p99 << ",\n"
+         << "  \"wall_seconds\": " << wall_s << "\n"
+         << "}\n";
+    std::ofstream file(json_path);
+    file << json.str();
+    std::cout << (file ? "json written: " : "json write FAILED: ")
+              << json_path << "\n";
+  }
+
+  if (smoke) {
+    // ISSUE acceptance gates for the mixed 200-job workload.
+    bool ok = true;
+    const auto gate = [&ok](const std::string& name, bool pass) {
+      std::cout << "gate " << name << ": " << (pass ? "ok" : "REGRESSION")
+                << "\n";
+      ok = ok && pass;
+    };
+    gate("cache_hit_rate > 0.9", stats.hit_rate() > 0.9);
+    gate("batch_launch_reduction > 0.3",
+         stats.batch_launch_reduction() > 0.3);
+    gate("all_jobs_completed",
+         stats.jobs_completed == static_cast<std::uint64_t>(jobs));
+    gate("no_poisoned_graphs", stats.graphs_poisoned == 0);
+    if (!ok) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -26,4 +26,10 @@ void TimeBreakdown::merge(const TimeBreakdown& other) {
   }
 }
 
+void TimeBreakdown::swap(TimeBreakdown& other) {
+  buckets_.swap(other.buckets_);
+  epoch_ = next_epoch();
+  other.epoch_ = next_epoch();
+}
+
 }  // namespace fastpso

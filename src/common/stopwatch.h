@@ -74,6 +74,13 @@ class TimeBreakdown {
   /// Merges another breakdown into this one (bucket-wise addition).
   void merge(const TimeBreakdown& other);
 
+  /// Exchanges contents with `other`. BOTH objects take fresh epochs: map
+  /// nodes survive a std::map swap, so stale slot() pointers would still
+  /// dereference — into the wrong breakdown. The epoch bump forces every
+  /// (address, epoch) slot cache to re-resolve. This is what lets the serve
+  /// scheduler swap per-job accounting in and out of a shared Device.
+  void swap(TimeBreakdown& other);
+
  private:
   static std::uint64_t next_epoch() {
     static std::uint64_t counter = 0;

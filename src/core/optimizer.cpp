@@ -11,8 +11,10 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/job_run.h"
 #include "core/neighborhood.h"
 #include "core/recorder.h"
+#include "core/stop_tracker.h"
 #include "rng/philox.h"
 #include "core/swarm_update.h"
 #include "vgpu/graph/graph.h"
@@ -39,42 +41,6 @@ Objective objective_from_problem(const problems::Problem& problem, int dim) {
   return objective;
 }
 
-
-namespace {
-
-/// Shared early-stop bookkeeping for both synchronization modes.
-class StopTracker {
- public:
-  explicit StopTracker(const PsoParams& params)
-      : target_(params.target_value),
-        tolerance_(params.stall_tolerance),
-        patience_(params.stall_patience) {}
-
-  /// Returns true when the run should stop after seeing `gbest`.
-  bool should_stop(double gbest) {
-    if (gbest <= target_) {
-      return true;
-    }
-    if (patience_ <= 0) {
-      return false;
-    }
-    if (gbest < best_seen_ - tolerance_) {
-      best_seen_ = gbest;
-      stalled_ = 0;
-      return false;
-    }
-    return ++stalled_ >= patience_;
-  }
-
- private:
-  double target_;
-  double tolerance_;
-  int patience_;
-  double best_seen_ = std::numeric_limits<double>::infinity();
-  int stalled_ = 0;
-};
-
-}  // namespace
 
 Optimizer::Optimizer(vgpu::Device& device, PsoParams params)
     : device_(device), params_(params), policy_(device.spec()) {
@@ -108,68 +74,13 @@ Result Optimizer::optimize(const Objective& objective,
 
 Result Optimizer::optimize_sync(const Objective& objective,
                                 const IterationCallback& callback) {
-
   device_.reset_counters();
   device_.pool().set_enabled(params_.memory_caching);
 
-  const int n = params_.particles;
-  const int d = params_.dim;
-  const UpdateCoefficients coeff =
-      make_coefficients(params_, objective.lower, objective.upper);
-  // Velocity init range: the clamp bound when clamping, else the domain.
-  const float v_init = coeff.vmax > 0.0f
-                           ? coeff.vmax
-                           : static_cast<float>(objective.upper -
-                                                objective.lower);
-
-  Result result;
-  TimeBreakdown wall;
-  Stopwatch total_watch;
-
-  // ---- Step (i): allocation + initialization --------------------------
-  device_.set_phase("init");
-  SwarmState state(device_, n, d);
-  {
-    ScopedTimer timer(wall, "init");
-    initialize_swarm(device_, policy_, state, params_.seed,
-                     static_cast<float>(objective.lower),
-                     static_cast<float>(objective.upper), v_init);
-  }
-
-  // Evaluation cost declaration, reused every iteration.
-  vgpu::KernelCostSpec eval_cost;
-  eval_cost.flops = objective.cost.flops(d) * n;
-  eval_cost.transcendentals = objective.cost.transcendentals(d) * n;
-  eval_cost.dram_read_bytes =
-      static_cast<double>(state.elements()) * sizeof(float);
-  eval_cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
-
-  const float* positions = state.positions.data();
-  float* perror = state.perror.data();
-
-  // Ring topology working set (allocated only when used).
-  vgpu::DeviceArray<std::int32_t> nbest_idx;
-  if (params_.topology == Topology::kRing) {
-    nbest_idx = vgpu::DeviceArray<std::int32_t>(device_, n);
-  }
-
-  // Overlapped pipeline: double-buffered weight matrices + a second
-  // stream so Step (i) of iteration t+1 hides behind Steps (ii)-(iii) of
-  // iteration t. Same Philox streams, so results are bit-identical.
-  vgpu::DeviceArray<float> l_buf[2];
-  vgpu::DeviceArray<float> g_buf[2];
-  vgpu::Device::StreamId gen_stream = 0;
-  if (params_.overlap_init) {
-    gen_stream = device_.create_stream();
-    device_.set_phase("init");
-    ScopedTimer timer(wall, "init");
-    for (int b = 0; b < 2; ++b) {
-      l_buf[b] = vgpu::DeviceArray<float>(device_, state.elements());
-      g_buf[b] = vgpu::DeviceArray<float>(device_, state.elements());
-    }
-    generate_weights(device_, policy_, state.elements(), params_.seed, 0,
-                     l_buf[0], g_buf[0]);
-  }
+  // The run body lives in core::JobRun so the serve scheduler (src/serve/)
+  // can drive the identical loop one iteration at a time on a shared
+  // device — solo-vs-scheduled bitwise equivalence by construction.
+  JobRun run(device_, params_, objective, JobRun::Mode::kSolo);
 
   // Capture-once/replay-many of the per-iteration launch sequence
   // (vgpu/graph): iteration 1 records while running eagerly, iterations
@@ -177,104 +88,16 @@ Result Optimizer::optimize_sync(const Objective& objective,
   // or FASTPSO_FUSE=1 (the latter also runs the fusion pass over the
   // captured iteration — vgpu/graph/fusion.h).
   auto recorder = make_iteration_recorder(device_);
-
-  StopTracker stop(params_);
-  int completed = 0;
-  for (int iter = 0; iter < params_.max_iter; ++iter) {
+  while (!run.done()) {
     recorder.begin_iteration();
-    vgpu::DeviceArray<float> l_mat;
-    vgpu::DeviceArray<float> g_mat;
-    if (params_.overlap_init) {
-      // ---- Step (i), overlapped: next iteration's weights on stream 1 --
-      if (iter + 1 < params_.max_iter) {
-        ScopedTimer timer(wall, "init");
-        device_.set_phase("init");
-        device_.set_stream(gen_stream);
-        generate_weights(device_, policy_, state.elements(), params_.seed,
-                         iter + 1, l_buf[(iter + 1) % 2],
-                         g_buf[(iter + 1) % 2]);
-        device_.set_stream(0);
-      }
-    } else {
-      // ---- Step (i) continued: per-iteration weight matrices ----------
-      device_.set_phase("init");
-      ScopedTimer timer(wall, "init");
-      l_mat = vgpu::DeviceArray<float>(device_, state.elements());
-      g_mat = vgpu::DeviceArray<float>(device_, state.elements());
-      generate_weights(device_, policy_, state.elements(), params_.seed,
-                       iter, l_mat, g_mat);
-    }
-    vgpu::DeviceArray<float>& l_cur =
-        params_.overlap_init ? l_buf[iter % 2] : l_mat;
-    vgpu::DeviceArray<float>& g_cur =
-        params_.overlap_init ? g_buf[iter % 2] : g_mat;
-
-    // ---- Step (ii): evaluation through the kernel schema ---------------
-    {
-      vgpu::prof::Scope phase(device_, "eval");
-      ScopedTimer timer(wall, "eval");
-      evaluate_positions(device_, policy_, objective, positions, n, d,
-                         eval_cost, perror);
-    }
-
-    // ---- Step (iii): pbest + gbest -------------------------------------
-    {
-      vgpu::prof::Scope phase(device_, "pbest");
-      ScopedTimer timer(wall, "pbest");
-      update_pbest(device_, policy_, state);
-    }
-    {
-      vgpu::prof::Scope phase(device_, "gbest");
-      ScopedTimer timer(wall, "gbest");
-      update_gbest(device_, state);
-    }
-
-    // ---- Step (iv): swarm update ---------------------------------------
-    if (params_.overlap_init) {
-      device_.sync_streams();  // the weights must have landed
-    }
-    // Plain set_phase, not a prof::Scope: "swarm" must persist past the
-    // block so the end-of-iteration weight-matrix frees stay attributed to
-    // it, exactly as before.
-    device_.set_phase("swarm");
-    {
-      ScopedTimer timer(wall, "swarm");
-      const UpdateCoefficients it_coeff =
-          coefficients_for_iter(coeff, params_, iter);
-      if (params_.topology == Topology::kRing) {
-        update_ring_nbest(device_, policy_, state, params_.ring_neighbors,
-                          nbest_idx);
-        swarm_update_ring(device_, policy_, state, l_cur, g_cur, it_coeff,
-                          nbest_idx.data());
-      } else {
-        swarm_update(device_, policy_, state, l_cur, g_cur, it_coeff,
-                     params_.technique);
-      }
-    }
+    run.step();
     recorder.end_iteration();
-
-    completed = iter + 1;
-    result.gbest_history.push_back(state.gbest_err);
-    if (callback && !callback(iter, state.gbest_err)) {
-      break;
-    }
-    if (stop.should_stop(state.gbest_err)) {
+    if (callback && !callback(run.iterations() - 1, run.gbest())) {
       break;
     }
   }
 
-  // Fetch the final answer from the device.
-  device_.set_phase("gbest");
-  result.gbest_position.resize(d);
-  state.gbest_pos.download(result.gbest_position);
-  result.gbest_value = state.gbest_err;
-  result.iterations = completed;
-  result.wall_seconds = total_watch.elapsed_s();
-  result.wall_breakdown = wall;
-  result.modeled_breakdown = device_.modeled_breakdown();
-  result.modeled_seconds = device_.modeled_seconds();
-  result.counters = device_.counters();
-  result.profile = device_.take_profile();
+  Result result = run.finish();
   export_recorder_stats(recorder, result);
   return result;
 }

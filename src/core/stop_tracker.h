@@ -1,0 +1,45 @@
+// Early-stop bookkeeping shared by the synchronous run body (core/job_run)
+// and the asynchronous optimizer loop: stop when gbest reaches the target
+// value, or when it has stalled past the configured patience.
+#pragma once
+
+#include <limits>
+
+#include "core/params.h"
+
+namespace fastpso::core {
+
+/// Tracks the early-stop condition of PsoParams (target_value /
+/// stall_tolerance / stall_patience) across iterations.
+class StopTracker {
+ public:
+  explicit StopTracker(const PsoParams& params)
+      : target_(params.target_value),
+        tolerance_(params.stall_tolerance),
+        patience_(params.stall_patience) {}
+
+  /// Returns true when the run should stop after seeing `gbest`.
+  bool should_stop(double gbest) {
+    if (gbest <= target_) {
+      return true;
+    }
+    if (patience_ <= 0) {
+      return false;
+    }
+    if (gbest < best_seen_ - tolerance_) {
+      best_seen_ = gbest;
+      stalled_ = 0;
+      return false;
+    }
+    return ++stalled_ >= patience_;
+  }
+
+ private:
+  double target_;
+  double tolerance_;
+  int patience_;
+  double best_seen_ = std::numeric_limits<double>::infinity();
+  int stalled_ = 0;
+};
+
+}  // namespace fastpso::core

@@ -1,0 +1,43 @@
+#include "serve/batcher.h"
+
+namespace fastpso::serve {
+
+double Batcher::packed_saving(const JobShape& shape,
+                              const vgpu::graph::GraphExec& exec, int k) {
+  if (k < 2) {
+    return 0.0;
+  }
+  const auto key = std::make_pair(shape, k);
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    return it->second;
+  }
+
+  double saved = 0;
+  for (const auto& en : exec.nodes()) {
+    if (en.node.kind != vgpu::graph::NodeKind::kKernel) {
+      continue;
+    }
+    const double solo =
+        perf_.kernel_seconds_resolved(en.shape, en.node.cost);
+
+    // k jobs' blocks in one launch: total work and traffic scale by k,
+    // per-thread access patterns and per-block barrier phases do not.
+    vgpu::KernelCostSpec packed = en.node.cost;
+    packed.flops *= k;
+    packed.transcendentals *= k;
+    packed.dram_read_bytes *= k;
+    packed.dram_write_bytes *= k;
+    const double merged =
+        perf_.kernel_seconds(en.shape.threads * k, packed);
+
+    const double node_saved = static_cast<double>(k) * solo - merged;
+    if (node_saved > 0) {
+      saved += node_saved;
+    }
+  }
+  memo_.emplace(key, saved);
+  return saved;
+}
+
+}  // namespace fastpso::serve

@@ -1,0 +1,58 @@
+// Cross-job batch packing model for the serve layer (reported-only).
+//
+// When k same-shape jobs replay their (identical) iteration in the same
+// scheduling round, a real serving stack would pack each element kernel of
+// those k iterations into ONE launch: every job contributes its own blocks
+// (block-per-job packing, the same replication trick the paper's warp-level
+// kernels use within a launch), the per-job buffers are disjoint and the
+// per-job Philox streams are counter-based, so the packed kernel computes
+// exactly what the k separate kernels compute. What changes is the modeled
+// cost: one launch overhead instead of k, and k× the resident threads —
+// which lifts occupancy precisely where Section 3.4's element-wise argument
+// says small solo launches leave the device idle.
+//
+// Like the graph and fusion credits, the packing saving is *reported*
+// through ServeStats and never folded into any clock or counter — jobs stay
+// bitwise identical to their solo runs. The per-node pricing uses the
+// cached graph's capture-time cost specs (the one data-dependent cost, the
+// pbest second pass, varies per iteration; the model prices the captured
+// representative), and both sides of the comparison come from the same
+// GpuPerfModel entry points the eager path uses:
+//
+//   solo_k   = k * kernel_seconds_resolved(node.shape, node.cost)
+//   packed_k = kernel_seconds(k * node.shape.threads, k-scaled cost)
+//
+// with per-thread structure (amplifications, barrier phases, tensor-core
+// flag) unchanged: packing adds blocks, not per-block work.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "serve/job.h"
+#include "vgpu/graph/graph.h"
+#include "vgpu/perf_model.h"
+
+namespace fastpso::serve {
+
+class Batcher {
+ public:
+  explicit Batcher(const vgpu::GpuPerfModel& perf) : perf_(perf) {}
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Modeled seconds saved by packing one iteration of `k` same-shape jobs
+  /// (all replaying `exec`'s node list) into per-node merged launches,
+  /// versus issuing the k iterations back-to-back. Non-negative: nodes the
+  /// packing model cannot improve contribute zero. Memoized per (shape, k)
+  /// — the cohort mix repeats every round.
+  double packed_saving(const JobShape& shape,
+                       const vgpu::graph::GraphExec& exec, int k);
+
+ private:
+  const vgpu::GpuPerfModel& perf_;
+  std::map<std::pair<JobShape, int>, double> memo_;
+};
+
+}  // namespace fastpso::serve

@@ -1,0 +1,46 @@
+#include "serve/job.h"
+
+namespace fastpso::serve {
+
+namespace {
+
+const char* technique_tag(core::UpdateTechnique technique) {
+  switch (technique) {
+    case core::UpdateTechnique::kGlobalMemory:
+      return "gmem";
+    case core::UpdateTechnique::kSharedMemory:
+      return "smem";
+    case core::UpdateTechnique::kTensorCore:
+      return "tensor";
+  }
+  return "?";
+}
+
+}  // namespace
+
+JobShape JobShape::of(const JobSpec& spec) {
+  JobShape shape;
+  shape.problem = spec.problem;
+  shape.particles = spec.params.particles;
+  shape.dim = spec.params.dim;
+  shape.technique = spec.params.technique;
+  shape.topology = spec.params.topology;
+  shape.ring_neighbors = spec.params.topology == core::Topology::kRing
+                             ? spec.params.ring_neighbors
+                             : 0;
+  return shape;
+}
+
+std::string JobShape::to_string() const {
+  std::string s = problem;
+  s += "/n" + std::to_string(particles);
+  s += "/d" + std::to_string(dim);
+  s += "/";
+  s += technique_tag(technique);
+  if (topology == core::Topology::kRing) {
+    s += "/ring" + std::to_string(ring_neighbors);
+  }
+  return s;
+}
+
+}  // namespace fastpso::serve

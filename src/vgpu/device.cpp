@@ -158,6 +158,14 @@ void Device::memcpy_d2d(void* dst, const void* src, std::size_t bytes) {
   add_modeled(seconds);
 }
 
+void Device::swap_accounting(DeviceCounters& counters,
+                             TimeBreakdown& breakdown) {
+  FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kOff,
+                    "swap_accounting during an open capture/replay");
+  std::swap(counters_, counters);
+  modeled_breakdown_.swap(breakdown);
+}
+
 void Device::reset_counters() {
   counters_ = DeviceCounters{};
   modeled_breakdown_.clear();

@@ -144,8 +144,23 @@ class Device {
     return allocations_.size();
   }
 
-  /// The device's caching allocator (paper Section 4.4 / Table 4).
-  [[nodiscard]] MemoryPool& pool() { return *pool_; }
+  /// The device's caching allocator (paper Section 4.4 / Table 4), or the
+  /// installed override (set_pool_override) while one is active.
+  [[nodiscard]] MemoryPool& pool() {
+    return pool_override_ != nullptr ? *pool_override_ : *pool_;
+  }
+
+  /// Routes pool() to a caller-owned allocator (nullptr restores the
+  /// device's own). Returns the previous override. The serve scheduler
+  /// installs a private pool around each job's device work so one job's
+  /// cache warm-up can never change another job's alloc accounting — pool
+  /// cache hits skip raw_alloc, so a shared warm cache would make a
+  /// scheduled job's counters diverge from its solo run.
+  MemoryPool* set_pool_override(MemoryPool* pool) {
+    MemoryPool* prev = pool_override_;
+    pool_override_ = pool;
+    return prev;
+  }
 
   // --- transfers ---------------------------------------------------------
   void memcpy_h2d(void* dst, const void* src, std::size_t bytes);
@@ -174,6 +189,15 @@ class Device {
   }
   /// Device-wide barrier: every stream clock jumps to the maximum.
   void sync_streams();
+  /// Current clock of one stream (modeled seconds). The serve scheduler
+  /// reads per-stream finish times from this for job latency and lane
+  /// traces; modeled_seconds() is the max over all streams.
+  [[nodiscard]] double stream_clock(StreamId stream) const {
+    FASTPSO_CHECK_MSG(stream >= 0 &&
+                          stream < static_cast<StreamId>(stream_clock_.size()),
+                      "unknown stream");
+    return stream_clock_[static_cast<std::size_t>(stream)];
+  }
 
   // --- phases / accounting ------------------------------------------------
   /// Tags subsequent modeled time with `phase` (e.g. "swarm" / "eval"),
@@ -183,6 +207,17 @@ class Device {
 
   [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
   void reset_counters();
+
+  /// Exchanges the device's activity counters and per-phase breakdown with
+  /// the caller's accumulators. The serve scheduler brackets every entry
+  /// into a job's device work with a swap-in/swap-out pair, so each job's
+  /// accounting evolves through exactly the solo sequence of += operations
+  /// from zero — bitwise-identical to a solo run, which an after-minus-
+  /// before delta of doubles could never guarantee. Stream clocks are NOT
+  /// swapped: the multiplexed timeline is shared by design. Must not be
+  /// called while a capture or replay is open (replay caches breakdown slot
+  /// pointers for the duration of the session).
+  void swap_accounting(DeviceCounters& counters, TimeBreakdown& breakdown);
 
   /// Modeled elapsed device time: the furthest stream clock. Equals the
   /// per-phase breakdown total when a single stream is used; smaller when
@@ -375,6 +410,7 @@ class Device {
   TimeBreakdown modeled_breakdown_;
   std::string phase_ = "default";
   std::unique_ptr<MemoryPool> pool_;
+  MemoryPool* pool_override_ = nullptr;
   std::vector<double> stream_clock_ = {0.0};
   StreamId current_stream_ = 0;
   std::vector<std::byte> shared_scratch_;

@@ -173,10 +173,25 @@ void GraphExec::resolve_slots(TimeBreakdown& breakdown) {
   resolved_epoch_ = breakdown.epoch();
 }
 
+void GraphExec::set_replay_stream(int stream) {
+  FASTPSO_CHECK_MSG(!replay_open_,
+                    "set_replay_stream during an open replay");
+  if (stream >= 0) {
+    for (const ExecNode& n : nodes_) {
+      FASTPSO_CHECK_MSG(n.node.stream == nodes_.front().node.stream,
+                        "replay-stream retarget requires a single-stream "
+                        "graph");
+    }
+  }
+  replay_stream_ = stream;
+}
+
 void GraphExec::begin_replay(TimeBreakdown& breakdown, int stream_count) {
   FASTPSO_CHECK_MSG(!replay_open_, "nested graph replay");
   for (const ExecNode& n : nodes_) {
-    FASTPSO_CHECK_MSG(n.node.stream < stream_count,
+    const int effective =
+        replay_stream_ >= 0 ? replay_stream_ : n.node.stream;
+    FASTPSO_CHECK_MSG(effective < stream_count,
                       "graph node stream does not exist on this device");
   }
   resolve_slots(breakdown);
@@ -201,8 +216,9 @@ const GraphExec::ExecNode* GraphExec::match_kernel(
   for (std::size_t j = cursor_; j < limit; ++j) {
     const ExecNode& candidate = nodes_[j];
     const Node& n = candidate.node;
+    const int node_stream = replay_stream_ >= 0 ? replay_stream_ : n.stream;
     if (n.kind == NodeKind::kKernel && n.grid == grid && n.block == block &&
-        n.stream == stream && n.phase == phase) {
+        node_stream == stream && n.phase == phase) {
       // Everything the caller consumes from the node (occupancies,
       // breakdown slot) is a pure function of these matched keys, so even a
       // positionally mis-paired match cannot change any accounted value.

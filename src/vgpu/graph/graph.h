@@ -301,6 +301,19 @@ class GraphExec {
   /// the replay was clean.
   bool end_replay();
 
+  /// Keyed-reuse hook for the serve layer's shape-indexed graph cache: one
+  /// exec, captured by the first job of a shape on whatever stream that job
+  /// happened to own, replays for every later same-shape job regardless of
+  /// its stream assignment. Retargets replay matching so every node is
+  /// treated as issued on `stream`; -1 restores capture-time streams. Legal
+  /// only for graphs whose nodes all share a single stream (checked) — the
+  /// retarget is then a pure relabeling: matching stays positional, and the
+  /// clock a matched launch advances is the live current stream's, exactly
+  /// as in eager mode. Set before each Device::begin_replay; sticky until
+  /// changed.
+  void set_replay_stream(int stream);
+  [[nodiscard]] int replay_stream() const { return replay_stream_; }
+
   // --- standalone replay bookkeeping (Device::replay_graph) --------------
   void begin_standalone(TimeBreakdown& breakdown, int stream_count);
   void end_standalone();
@@ -342,6 +355,10 @@ class GraphExec {
   /// Slot-resolution cache key (resolve_slots).
   const TimeBreakdown* resolved_breakdown_ = nullptr;
   std::uint64_t resolved_epoch_ = 0;
+
+  /// Stream every node is treated as issued on during paired replay
+  /// (set_replay_stream); -1 = capture-time streams.
+  int replay_stream_ = -1;
 
   std::size_t cursor_ = 0;
   std::uint64_t pending_matched_ = 0;

@@ -1,0 +1,545 @@
+// Differential and stress tests for the serving layer (src/serve/).
+//
+// The serve contract under test: a job scheduled among hundreds of others
+// on one shared device produces a Result BITWISE IDENTICAL to the same
+// spec run solo on a fresh device — same gbest value/position/history,
+// same iteration count, same counters, same per-phase breakdown, same
+// modeled seconds — across admission policies, submission orders, and the
+// graph/fusion/batching switches. Scheduling may change only where on the
+// shared timeline work lands, never what it computes or accounts.
+//
+// The suite runs unchanged under FASTPSO_GRAPH=1 / FASTPSO_FUSE=1 /
+// FASTPSO_SAN=1 (CI's serve equivalence step): those toggles change the
+// solo path's bookkeeping, and replay accounting is byte-identical to
+// eager accounting, so the differential still closes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/trace_export.h"
+#include "core/objective.h"
+#include "core/optimizer.h"
+#include "problems/problem.h"
+#include "serve/scheduler.h"
+#include "vgpu/device.h"
+
+namespace fastpso::serve {
+namespace {
+
+// ---- workload builders ---------------------------------------------------
+
+JobSpec make_spec(const std::string& problem, int particles, int dim,
+                  int iters, std::uint64_t seed) {
+  JobSpec spec;
+  spec.problem = problem;
+  spec.params.particles = particles;
+  spec.params.dim = dim;
+  spec.params.max_iter = iters;
+  spec.params.seed = seed;
+  return spec;
+}
+
+/// A small heterogeneous workload: five distinct shapes (mixed problems,
+/// dims, swarm sizes, update techniques and one ring topology), varied
+/// budgets, seeds, priorities and tenants.
+std::vector<JobSpec> mixed_specs() {
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    specs.push_back(make_spec("sphere", 32, 8, 8, 100 + i));
+  }
+  for (int i = 0; i < 2; ++i) {
+    specs.push_back(make_spec("rastrigin", 16, 4, 12, 200 + i));
+  }
+  for (int i = 0; i < 2; ++i) {
+    specs.push_back(make_spec("rosenbrock", 64, 8, 6, 300 + i));
+  }
+  for (int i = 0; i < 2; ++i) {
+    JobSpec spec = make_spec("ackley", 31, 8, 7, 400 + i);
+    spec.params.topology = core::Topology::kRing;
+    spec.params.ring_neighbors = 2;
+    specs.push_back(spec);
+  }
+  for (int i = 0; i < 2; ++i) {
+    JobSpec spec = make_spec("griewank", 32, 8, 9, 500 + i);
+    spec.params.technique = core::UpdateTechnique::kSharedMemory;
+    specs.push_back(spec);
+  }
+  specs.push_back(make_spec("levy", 8, 2, 20, 600));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].priority = static_cast<int>(i % 3);
+    specs[i].tenant = static_cast<int>(i % 4);
+  }
+  return specs;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D49B129649CA1Dull;
+  return z ^ (z >> 31);
+}
+
+/// `count` randomly shaped jobs from a fixed seed: shapes drawn from a
+/// fixed 8-entry table (so the graph cache is exercised hard), budgets,
+/// seeds, priorities, tenants and open-loop arrival times all derived from
+/// the seed via splitmix64 — fully reproducible.
+std::vector<JobSpec> stress_specs(int count, std::uint64_t seed) {
+  struct ShapeRow {
+    const char* problem;
+    int particles;
+    int dim;
+  };
+  static constexpr ShapeRow kShapes[] = {
+      {"sphere", 32, 8},    {"rastrigin", 16, 4}, {"rosenbrock", 32, 8},
+      {"ackley", 8, 4},     {"griewank", 16, 8},  {"zakharov", 32, 4},
+      {"levy", 8, 2},       {"schwefel", 16, 2},
+  };
+  std::vector<JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  std::uint64_t state = seed;
+  for (int i = 0; i < count; ++i) {
+    const ShapeRow& row = kShapes[splitmix64(state) % std::size(kShapes)];
+    JobSpec spec = make_spec(row.problem, row.particles, row.dim,
+                             3 + static_cast<int>(splitmix64(state) % 8),
+                             splitmix64(state));
+    spec.priority = static_cast<int>(splitmix64(state) % 3);
+    spec.tenant = static_cast<int>(splitmix64(state) % 4);
+    spec.arrival_seconds = static_cast<double>(i) * 2e-6;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+// ---- solo / serve drivers ------------------------------------------------
+
+core::Result solo_run(const JobSpec& spec) {
+  vgpu::Device device;
+  const auto problem = problems::make_problem(spec.problem);
+  const core::Objective objective =
+      core::objective_from_problem(*problem, spec.params.dim);
+  core::Optimizer optimizer(device, spec.params);
+  return optimizer.optimize(objective);
+}
+
+/// Runs the workload through a scheduler on a fresh device; results are
+/// returned indexed like `specs` (submission ids map back through the
+/// order of submit calls).
+std::vector<core::Result> serve_run(const std::vector<JobSpec>& specs,
+                                    const SchedulerOptions& options,
+                                    ServeStats* stats_out = nullptr) {
+  vgpu::Device device;
+  Scheduler scheduler(device, options);
+  std::vector<int> ids;
+  ids.reserve(specs.size());
+  for (const JobSpec& spec : specs) {
+    ids.push_back(scheduler.submit(spec));
+  }
+  scheduler.run();
+  EXPECT_EQ(scheduler.outcomes().size(), specs.size());
+  std::vector<core::Result> results(specs.size());
+  for (const JobOutcome& out : scheduler.outcomes()) {
+    const auto it = std::find(ids.begin(), ids.end(), out.id);
+    EXPECT_NE(it, ids.end()) << "outcome for unknown id " << out.id;
+    if (it != ids.end()) {
+      results[static_cast<std::size_t>(it - ids.begin())] = out.result;
+    }
+  }
+  if (stats_out != nullptr) {
+    *stats_out = scheduler.stats();
+  }
+  return results;
+}
+
+// ---- bitwise comparison --------------------------------------------------
+
+void expect_counters_equal(const vgpu::DeviceCounters& a,
+                           const vgpu::DeviceCounters& b) {
+  EXPECT_EQ(a.allocs, b.allocs);
+  EXPECT_EQ(a.frees, b.frees);
+  EXPECT_EQ(a.launches, b.launches);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.barriers, b.barriers);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.transcendentals, b.transcendentals);
+  EXPECT_EQ(a.dram_read_useful, b.dram_read_useful);
+  EXPECT_EQ(a.dram_write_useful, b.dram_write_useful);
+  EXPECT_EQ(a.dram_read_fetched, b.dram_read_fetched);
+  EXPECT_EQ(a.dram_write_fetched, b.dram_write_fetched);
+  EXPECT_EQ(a.h2d_bytes, b.h2d_bytes);
+  EXPECT_EQ(a.d2h_bytes, b.d2h_bytes);
+  EXPECT_EQ(a.modeled_seconds, b.modeled_seconds);
+  EXPECT_EQ(a.kernel_seconds, b.kernel_seconds);
+}
+
+/// Bitwise equality of everything a solo and a scheduled run must share.
+/// Wall clocks, the profiler timeline and the solo path's graph/fusion
+/// bookkeeping are run-local and excluded by design.
+void expect_bitwise_equal(const core::Result& solo,
+                          const core::Result& served) {
+  EXPECT_EQ(solo.gbest_value, served.gbest_value);
+  EXPECT_EQ(solo.gbest_position, served.gbest_position);
+  EXPECT_EQ(solo.gbest_history, served.gbest_history);
+  EXPECT_EQ(solo.iterations, served.iterations);
+  EXPECT_EQ(solo.modeled_seconds, served.modeled_seconds);
+  expect_counters_equal(solo.counters, served.counters);
+  EXPECT_EQ(solo.modeled_breakdown.buckets(),
+            served.modeled_breakdown.buckets());
+}
+
+const std::vector<core::Result>& mixed_solo_results() {
+  static const std::vector<core::Result>* results = [] {
+    auto* r = new std::vector<core::Result>();
+    for (const JobSpec& spec : mixed_specs()) {
+      r->push_back(solo_run(spec));
+    }
+    return r;
+  }();
+  return *results;
+}
+
+SchedulerOptions base_options() {
+  SchedulerOptions options;
+  options.streams = 4;  // pinned: tests must not depend on the env default
+  options.max_active = 8;
+  return options;
+}
+
+// ---- differential suite --------------------------------------------------
+
+TEST(ServeDifferential, FifoMatchesSoloBitwise) {
+  const auto specs = mixed_specs();
+  const auto& solo = mixed_solo_results();
+  const auto served = serve_run(specs, base_options());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i) + " " +
+                 JobShape::of(specs[i]).to_string());
+    expect_bitwise_equal(solo[i], served[i]);
+  }
+}
+
+TEST(ServeDifferential, AllPoliciesAndSubmissionOrdersMatchSolo) {
+  const auto specs = mixed_specs();
+  const auto& solo = mixed_solo_results();
+
+  // Three submission orders: as-is, reversed, and a fixed shuffle.
+  std::vector<std::vector<std::size_t>> orders;
+  std::vector<std::size_t> identity(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    identity[i] = i;
+  }
+  orders.push_back(identity);
+  auto reversed = identity;
+  std::reverse(reversed.begin(), reversed.end());
+  orders.push_back(reversed);
+  auto shuffled = identity;
+  std::uint64_t state = 7;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[splitmix64(state) % i]);
+  }
+  orders.push_back(shuffled);
+
+  for (const Policy policy :
+       {Policy::kFifo, Policy::kPriority, Policy::kFair}) {
+    for (std::size_t o = 0; o < orders.size(); ++o) {
+      std::vector<JobSpec> permuted;
+      for (const std::size_t index : orders[o]) {
+        permuted.push_back(specs[index]);
+      }
+      SchedulerOptions options = base_options();
+      options.policy = policy;
+      const auto served = serve_run(permuted, options);
+      for (std::size_t i = 0; i < permuted.size(); ++i) {
+        SCOPED_TRACE(std::string(to_string(policy)) + " order " +
+                     std::to_string(o) + " job " +
+                     std::to_string(orders[o][i]));
+        expect_bitwise_equal(solo[orders[o][i]], served[i]);
+      }
+    }
+  }
+}
+
+TEST(ServeDifferential, GraphFusionAndBatchingSwitchesPreserveResults) {
+  const auto specs = mixed_specs();
+  const auto& solo = mixed_solo_results();
+
+  std::vector<SchedulerOptions> variants;
+  SchedulerOptions no_graphs = base_options();
+  no_graphs.use_graphs = false;
+  no_graphs.batching = false;
+  variants.push_back(no_graphs);
+  SchedulerOptions fused = base_options();
+  fused.fuse = true;
+  variants.push_back(fused);
+  SchedulerOptions no_batching = base_options();
+  no_batching.batching = false;
+  variants.push_back(no_batching);
+  SchedulerOptions one_stream = base_options();
+  one_stream.streams = 1;
+  one_stream.max_active = 3;
+  variants.push_back(one_stream);
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const auto served = serve_run(specs, variants[v]);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      SCOPED_TRACE("variant " + std::to_string(v) + " job " +
+                   std::to_string(i));
+      expect_bitwise_equal(solo[i], served[i]);
+    }
+  }
+}
+
+// ---- scheduler property tests --------------------------------------------
+
+TEST(ServeScheduler, GraphCacheHitsAfterFirstJobOfEachShape) {
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    specs.push_back(make_spec("sphere", 32, 8, 6, 10 + i));
+  }
+  for (int i = 0; i < 3; ++i) {
+    specs.push_back(make_spec("rastrigin", 16, 4, 6, 20 + i));
+  }
+  ServeStats stats;
+  serve_run(specs, base_options(), &stats);
+  EXPECT_EQ(stats.jobs_submitted, 6u);
+  EXPECT_EQ(stats.jobs_completed, 6u);
+  EXPECT_EQ(stats.cache_lookups, 6u);
+  EXPECT_EQ(stats.cache_hits, 4u);  // every job after the first per shape
+  EXPECT_EQ(stats.graphs_captured, 2u);
+  EXPECT_EQ(stats.graphs_poisoned, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 4.0 / 6.0);
+  EXPECT_GT(stats.replayed_iterations, 0u);
+  EXPECT_GT(stats.graph_modeled_seconds_saved, 0.0);
+}
+
+TEST(ServeScheduler, BatchingReducesLaunchesAndIsReportedOnly) {
+  // Eight same-shape jobs admitted together: cohorts of up to 8 replaying
+  // members form every round after the capture round.
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < 8; ++i) {
+    specs.push_back(make_spec("sphere", 32, 8, 10, 40 + i));
+  }
+  ServeStats stats;
+  serve_run(specs, base_options(), &stats);
+  EXPECT_GT(stats.batch_rounds, 0u);
+  EXPECT_LT(stats.launches_batched, stats.launches_issued);
+  EXPECT_GT(stats.batch_modeled_seconds_saved, 0.0);
+  EXPECT_GT(stats.batch_launch_reduction(), 0.3);
+  // Reported-only: the credit subtracts from the serial-work view, it
+  // never changes the issued clocks.
+  EXPECT_EQ(stats.batched_modeled_seconds(),
+            stats.serial_seconds - stats.batch_modeled_seconds_saved);
+  EXPECT_GT(stats.batched_modeled_seconds(), 0.0);
+  EXPECT_GT(stats.graph_modeled_seconds(), 0.0);
+
+  // Batching off: identical issued launches, no packing, no credit.
+  SchedulerOptions off = base_options();
+  off.batching = false;
+  ServeStats stats_off;
+  serve_run(specs, off, &stats_off);
+  EXPECT_EQ(stats_off.launches_issued, stats.launches_issued);
+  EXPECT_EQ(stats_off.launches_batched, stats_off.launches_issued);
+  EXPECT_EQ(stats_off.batch_modeled_seconds_saved, 0.0);
+}
+
+TEST(ServeScheduler, ActiveJobsUseDisjointBuffers) {
+  vgpu::Device device;
+  SchedulerOptions options = base_options();
+  Scheduler scheduler(device, options);
+  for (const JobSpec& spec : mixed_specs()) {
+    scheduler.submit(spec);
+  }
+  scheduler.pump();
+  const auto spans = scheduler.active_buffer_spans();
+  ASSERT_GT(spans.size(), 1u);
+  for (std::size_t a = 0; a < spans.size(); ++a) {
+    for (std::size_t b = a + 1; b < spans.size(); ++b) {
+      for (const auto& [base_a, bytes_a] : spans[a]) {
+        const char* lo_a = static_cast<const char*>(base_a);
+        for (const auto& [base_b, bytes_b] : spans[b]) {
+          const char* lo_b = static_cast<const char*>(base_b);
+          const bool overlap =
+              lo_a < lo_b + bytes_b && lo_b < lo_a + bytes_a;
+          EXPECT_FALSE(overlap)
+              << "jobs " << a << " and " << b << " share device memory";
+        }
+      }
+    }
+  }
+  scheduler.run();
+  EXPECT_EQ(scheduler.active_jobs(), 0);
+}
+
+TEST(ServeScheduler, RejectsUnschedulableSpecs) {
+  vgpu::Device device;
+  Scheduler scheduler(device, base_options());
+
+  JobSpec overlap = make_spec("sphere", 16, 4, 5, 1);
+  overlap.params.overlap_init = true;
+  EXPECT_THROW(scheduler.submit(overlap), CheckError);
+
+  JobSpec async = make_spec("sphere", 16, 4, 5, 1);
+  async.params.synchronization = core::Synchronization::kAsynchronous;
+  EXPECT_THROW(scheduler.submit(async), CheckError);
+
+  JobSpec unknown = make_spec("no-such-problem", 16, 4, 5, 1);
+  EXPECT_THROW(scheduler.submit(unknown), CheckError);
+
+  JobSpec bad_ring = make_spec("sphere", 4, 4, 5, 1);
+  bad_ring.params.topology = core::Topology::kRing;
+  bad_ring.params.ring_neighbors = 2;  // 2*2+1 > 4 particles
+  EXPECT_THROW(scheduler.submit(bad_ring), CheckError);
+
+  JobSpec bad_arrival = make_spec("sphere", 16, 4, 5, 1);
+  bad_arrival.arrival_seconds = -1.0;
+  EXPECT_THROW(scheduler.submit(bad_arrival), CheckError);
+
+  // The scheduler is still usable after rejected submissions.
+  scheduler.submit(make_spec("sphere", 16, 4, 5, 1));
+  scheduler.run();
+  EXPECT_EQ(scheduler.outcomes().size(), 1u);
+}
+
+// ---- seeded stress -------------------------------------------------------
+
+TEST(ServeStress, FiveHundredMixedJobsAllFinishAndSampleMatchesSolo) {
+  const auto specs = stress_specs(500, 2024);
+  SchedulerOptions options = base_options();
+  options.max_active = 16;
+  ServeStats stats;
+  const auto served = serve_run(specs, options, &stats);
+
+  EXPECT_EQ(stats.jobs_submitted, 500u);
+  EXPECT_EQ(stats.jobs_completed, 500u);
+  EXPECT_EQ(stats.graphs_poisoned, 0u);
+  EXPECT_GT(stats.hit_rate(), 0.9);  // 8 shapes, 500 jobs
+  for (const core::Result& result : served) {
+    EXPECT_GE(result.iterations, 1);
+  }
+
+  // Per-job counters of a seeded sample must match fresh solo reruns
+  // bitwise — the scheduled run left no trace in any job's accounting.
+  std::uint64_t state = 99;
+  for (int s = 0; s < 10; ++s) {
+    const std::size_t index = splitmix64(state) % specs.size();
+    SCOPED_TRACE("sampled job " + std::to_string(index));
+    expect_bitwise_equal(solo_run(specs[index]), served[index]);
+  }
+}
+
+TEST(ServeStress, StatsAndTimelineAreDeterministicAcrossRuns) {
+  const auto specs = stress_specs(200, 7);
+  SchedulerOptions options = base_options();
+  options.policy = Policy::kFair;
+  options.max_active = 12;
+
+  const auto run_once = [&](ServeStats& stats,
+                            std::vector<double>& finishes) {
+    vgpu::Device device;
+    Scheduler scheduler(device, options);
+    for (const JobSpec& spec : specs) {
+      scheduler.submit(spec);
+    }
+    scheduler.run();
+    stats = scheduler.stats();
+    for (const JobOutcome& out : scheduler.outcomes()) {
+      finishes.push_back(out.finish_seconds);
+    }
+  };
+
+  ServeStats first, second;
+  std::vector<double> finishes_first, finishes_second;
+  run_once(first, finishes_first);
+  run_once(second, finishes_second);
+
+  EXPECT_EQ(first.iterations, second.iterations);
+  EXPECT_EQ(first.cache_lookups, second.cache_lookups);
+  EXPECT_EQ(first.cache_hits, second.cache_hits);
+  EXPECT_EQ(first.launches_issued, second.launches_issued);
+  EXPECT_EQ(first.launches_batched, second.launches_batched);
+  EXPECT_EQ(first.batch_rounds, second.batch_rounds);
+  EXPECT_EQ(first.batch_modeled_seconds_saved,
+            second.batch_modeled_seconds_saved);
+  EXPECT_EQ(first.graph_modeled_seconds_saved,
+            second.graph_modeled_seconds_saved);
+  EXPECT_EQ(first.makespan_seconds, second.makespan_seconds);
+  EXPECT_EQ(first.serial_seconds, second.serial_seconds);
+  EXPECT_EQ(first.scheduler_seconds, second.scheduler_seconds);
+  EXPECT_EQ(finishes_first, finishes_second);
+}
+
+TEST(ServeStress, StreamsOverlapJobs) {
+  // With several streams the shared timeline must beat fully serial
+  // execution; sanity anchor for the makespan/serial split in ServeStats.
+  const auto specs = stress_specs(60, 5);
+  SchedulerOptions options = base_options();
+  ServeStats stats;
+  serve_run(specs, options, &stats);
+  EXPECT_LT(stats.makespan_seconds, stats.serial_seconds);
+  EXPECT_GT(stats.makespan_seconds, 0.0);
+}
+
+// ---- golden trace --------------------------------------------------------
+
+#ifdef FASTPSO_GOLDEN_DIR
+// A fixed 10-job schedule's Chrome trace must match the checked-in golden
+// byte for byte: per-stream job lanes, modeled admit/finish timestamps and
+// the JSON encoding itself. Scheduling is driven purely by modeled values,
+// so the bytes are machine- and compiler-independent.
+//
+// Refresh after an intentional change:
+//   FASTPSO_REFRESH_GOLDEN=1 ./build/tests/test_serve
+//       --gtest_filter='ServeGolden.*'
+TEST(ServeGolden, TraceMatchesGoldenFile) {
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < 10; ++i) {
+    JobSpec spec = (i % 3 == 0)
+                       ? make_spec("rastrigin", 16, 4, 4 + i % 4, 70 + i)
+                       : make_spec("sphere", 32, 8, 3 + i % 5, 50 + i);
+    spec.arrival_seconds = static_cast<double>(i) * 5e-6;
+    spec.tenant = i % 2;
+    specs.push_back(spec);
+  }
+  vgpu::Device device;
+  SchedulerOptions options;
+  options.policy = Policy::kFifo;
+  options.streams = 2;
+  options.max_active = 4;
+  Scheduler scheduler(device, options);
+  for (const JobSpec& spec : specs) {
+    scheduler.submit(spec);
+  }
+  scheduler.run();
+  const std::string json = chrome_trace_json(scheduler.trace());
+
+  const std::string path =
+      std::string(FASTPSO_GOLDEN_DIR) + "/serve_trace.json";
+  const char* refresh = std::getenv("FASTPSO_REFRESH_GOLDEN");
+  if (refresh != nullptr && refresh[0] == '1') {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << json;
+    GTEST_SKIP() << "golden refreshed: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — generate with FASTPSO_REFRESH_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(json, golden.str())
+      << "schedule trace diverged from golden; if intentional, refresh "
+         "with FASTPSO_REFRESH_GOLDEN=1";
+}
+#endif  // FASTPSO_GOLDEN_DIR
+
+}  // namespace
+}  // namespace fastpso::serve

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/optimizer.h"
 #include "problems/problem.h"
 #include "vgpu/device.h"
@@ -75,6 +77,49 @@ TEST(Streams, TransfersAreDeviceWide) {
   device.launch(big_launch(), memory_cost(1e8), [](const ThreadCtx&) {});
   EXPECT_GT(device.modeled_seconds(), aligned);
   device.raw_free(mem);
+}
+
+TEST(Streams, MixedShapeKernelsOverlapAcrossStreams) {
+  // Two streams carrying *different* kernel shapes concurrently — a big
+  // memory-bound kernel against a train of small compute-bound ones. The
+  // timelines must advance independently: elapsed is the slower stream's
+  // sum, not the total, and each stream's clock is exactly its own serial
+  // sum. This is the serving layer's working regime (heterogeneous jobs
+  // pinned to distinct streams).
+  Device device;
+  const auto s1 = device.create_stream();
+
+  LaunchConfig small;
+  small.grid = 8;
+  small.block = 64;
+  KernelCostSpec compute;
+  compute.flops = 5e7;
+
+  // Stream 0: one large memory-bound kernel.
+  device.launch(big_launch(), memory_cost(4e8), [](const ThreadCtx&) {});
+  const double stream0 = device.stream_clock(0);
+  // Stream 1: many small compute-bound kernels of a different shape.
+  device.set_stream(s1);
+  device.launch(small, compute, [](const ThreadCtx&) {});
+  const double one_small = device.stream_clock(s1);
+  for (int k = 0; k < 5; ++k) {
+    device.launch(small, compute, [](const ThreadCtx&) {});
+  }
+  const double stream1 = device.stream_clock(s1);
+  device.set_stream(0);
+
+  EXPECT_GT(stream0, 0.0);
+  EXPECT_GT(one_small, 0.0);
+  // The small-kernel train is priced on its own shape: per-launch cost is
+  // uniform, so the stream-1 clock is 6x one launch.
+  EXPECT_NEAR(stream1, 6.0 * one_small, 1e-12 * stream1);
+  // The big kernel's stream clock is untouched by the other stream's work.
+  EXPECT_DOUBLE_EQ(device.stream_clock(0), stream0);
+  // Device elapsed = max of the per-stream serial sums (full overlap)...
+  EXPECT_DOUBLE_EQ(device.modeled_seconds(), std::max(stream0, stream1));
+  // ...which is strictly less than the single-stream serial total.
+  EXPECT_LT(device.modeled_seconds(),
+            device.counters().modeled_seconds);
 }
 
 TEST(Streams, UnknownStreamRejected) {
