@@ -31,14 +31,30 @@
 //      BENCH_fusion.json; --fuse-trace PATH additionally writes the fused
 //      replay's Chrome trace (one labeled event per group, merged cost
 //      specs) for CI artifact upload.
+//   7. (--codegen) fused standalone replay with REAL kernel bodies, two
+//      probes (DESIGN.md §11). Chain: eight axpb kernels measured with the
+//      group interpreted (per-element std::function loop), chunked
+//      (registered spans over kChunk windows) and composed (one inlined
+//      pass) — the compiled-vs-interpreted execution ratio the static
+//      kernel registry exists for. Pipeline: the launch_elements slice of
+//      one sync PSO iteration (weight fills, eval, pbest compare/gather,
+//      swarm update) over the four Table 1 problems at n=64 d=4, timed
+//      eager vs interpreted fused replay vs compiled fused replay (the
+//      gated ratio is compiled/interpreted — the replay-path regression
+//      codegen fixes; compiled/eager is the reported parity check). Emits
+//      BENCH_codegen.json.
 //
 // Both launch paths issue the identical account_launch call, so modeled
 // seconds and DeviceCounters are unaffected by the toggle — this binary
-// measures host execution speed only.
+// measures host execution speed only (the --codegen probes, which execute
+// real bodies, assert nothing about modeled numbers either; the bitwise
+// and accounting equivalences live in tests/test_codegen.cpp).
 //
 //   ./micro_engine [--smoke] [--prof-overhead] [--graph] [--fuse]
+//                  [--codegen]
 //                  [--json BENCH_engine.json]
 //                  [--fusion-json BENCH_fusion.json]
+//                  [--codegen-json BENCH_codegen.json]
 //                  [--fuse-trace prof_trace_fused.json]
 //                  [--baseline bench/BENCH_engine_baseline.json]
 //
@@ -57,8 +73,19 @@
 
 #include "bench_common.h"
 #include "common/stopwatch.h"
+#include "core/best_update.h"
+#include "core/eval_schema.h"
+#include "core/init.h"
+#include "core/launch_policy.h"
+#include "core/objective.h"
+#include "core/params.h"
+#include "core/swarm_state.h"
+#include "core/swarm_update.h"
 #include "problems/problem.h"
+#include "tgbm/threadconf.h"
+#include "vgpu/buffer.h"
 #include "vgpu/device.h"
+#include "vgpu/graph/codegen.h"
 #include "vgpu/graph/graph.h"
 #include "vgpu/prof/prof.h"
 
@@ -123,6 +150,12 @@ struct EvalResult {
   double checksum = 0;
 };
 
+/// Interleaved best-of-k probe. The old layout timed all batch reps, then
+/// all virtual reps, back to back — a frequency ramp or noisy neighbor
+/// landing on one half swung the reported speedup from ~0.5x to ~2.2x on
+/// the same binary. Alternating short rounds and keeping each side's best
+/// round hits both paths with the same machine state, so the ratio
+/// measures dispatch cost, not scheduling luck.
 EvalResult bench_eval(const std::string& problem_name, int n, int d,
                       int reps) {
   const std::unique_ptr<problems::Problem> problem =
@@ -133,33 +166,54 @@ EvalResult bench_eval(const std::string& problem_name, int n, int d,
     x[i] = static_cast<float>(i % 251) * 0.01f - 1.0f;
   }
 
-  EvalResult r;
-  const double evals = static_cast<double>(reps) * n;
-  {
-    problem->eval_batch(x.data(), n, d, out.data());  // warmup
-    Stopwatch watch;
-    for (int rep = 0; rep < reps; ++rep) {
-      problem->eval_batch(x.data(), n, d, out.data());
+  const problems::Problem* base = problem.get();
+  const auto run_batch = [&](int count) {
+    for (int rep = 0; rep < count; ++rep) {
+      base->eval_batch(x.data(), n, d, out.data());
     }
-    r.batch_per_s = evals / watch.elapsed_s();
-    r.checksum += static_cast<double>(out[static_cast<std::size_t>(n - 1)]);
-  }
-  {
-    const problems::Problem* base = problem.get();
-    auto run = [&] {
+  };
+  const auto run_virtual = [&](int count) {
+    for (int rep = 0; rep < count; ++rep) {
       for (int i = 0; i < n; ++i) {
         out[static_cast<std::size_t>(i)] = static_cast<float>(
             base->eval_f32(x.data() + static_cast<std::size_t>(i) * d, d));
       }
-    };
-    run();  // warmup
-    Stopwatch watch;
-    for (int rep = 0; rep < reps; ++rep) {
-      run();
     }
-    r.virtual_per_s = evals / watch.elapsed_s();
+  };
+
+  // Nine short rounds: this box shows ~2x wall noise on 30 ms windows, and
+  // min-of-k over ~1 ms rounds is the estimator that stays stable (1.3x -
+  // 1.6x across process runs, never below 1.0) where one long pass per
+  // side swung 0.5x - 2.2x.
+  constexpr int kRounds = 9;
+  const int round_reps = reps / kRounds + 1;
+  const double round_evals = static_cast<double>(round_reps) * n;
+  double best_batch_s = 0;
+  double best_virtual_s = 0;
+  EvalResult r;
+  run_batch(round_reps / 4 + 1);    // warmup
+  run_virtual(round_reps / 4 + 1);  // warmup
+  for (int round = 0; round < kRounds; ++round) {
+    {
+      Stopwatch watch;
+      run_batch(round_reps);
+      const double s = watch.elapsed_s();
+      if (round == 0 || s < best_batch_s) {
+        best_batch_s = s;
+      }
+    }
+    {
+      Stopwatch watch;
+      run_virtual(round_reps);
+      const double s = watch.elapsed_s();
+      if (round == 0 || s < best_virtual_s) {
+        best_virtual_s = s;
+      }
+    }
     r.checksum += static_cast<double>(out[static_cast<std::size_t>(n - 1)]);
   }
+  r.batch_per_s = round_evals / best_batch_s;
+  r.virtual_per_s = round_evals / best_virtual_s;
   return r;
 }
 
@@ -438,6 +492,326 @@ FuseResult bench_fuse(std::int64_t n_elems, int iters, bool want_trace) {
   return r;
 }
 
+/// Real-body chain kernel for the codegen probe: out[i] = in[i] * a + b,
+/// registered under a tag with a composed 8-deep sequence (below).
+struct AxpbKernel {
+  struct Args {
+    const float* in;
+    float* out;
+    float a;
+    float b;
+  };
+  [[nodiscard]] static std::uint32_t tag() {
+    static const std::uint32_t t =
+        vgpu::graph::codegen::intern_tag("bench/axpb");
+    return t;
+  }
+  static void element(const Args& args, std::int64_t i) {
+    args.out[i] = args.in[i] * args.a + args.b;
+  }
+};
+
+/// Identical body under a tag with NO composed sequence registered, so an
+/// all-registered chain of these exercises the chunked middle tier.
+struct AxpbChunkedKernel {
+  struct Args {
+    const float* in;
+    float* out;
+    float a;
+    float b;
+  };
+  [[nodiscard]] static std::uint32_t tag() {
+    static const std::uint32_t t =
+        vgpu::graph::codegen::intern_tag("bench/axpb_nc");
+    return t;
+  }
+  static void element(const Args& args, std::int64_t i) {
+    args.out[i] = args.in[i] * args.a + args.b;
+  }
+};
+
+struct CodegenResult {
+  // Synthetic chain: fused standalone replay of 8 real-body axpb kernels,
+  // in element-operations/s (elements x chain members per second).
+  double interp_elems_per_s = 0;    ///< interpreted per-element elem_body loop
+  double chunked_elems_per_s = 0;   ///< registered spans, kChunk windows
+  double composed_elems_per_s = 0;  ///< one inlined single-pass loop
+  // Table1-shaped pipeline: one captured iteration slice (weights, eval,
+  // pbest, swarm update) over the four Table 1 problems at n=64, d=4.
+  double pipeline_eager_s = 0;     ///< eager wall of `iters` slices
+  double pipeline_interp_s = 0;    ///< interpreted fused replay wall
+  double pipeline_compiled_s = 0;  ///< compiled fused replay wall
+  int pipeline_compiled_groups = 0;
+  int pipeline_composed_groups = 0;
+  double checksum = 0;
+
+  [[nodiscard]] double composed_vs_interp() const {
+    return interp_elems_per_s > 0 ? composed_elems_per_s / interp_elems_per_s
+                                  : 0.0;
+  }
+  [[nodiscard]] double chunked_vs_interp() const {
+    return interp_elems_per_s > 0 ? chunked_elems_per_s / interp_elems_per_s
+                                  : 0.0;
+  }
+  /// Compiled fused replay vs the interpreted fused replay it replaces —
+  /// the pipeline-shaped form of the ISSUE's headline claim ("graph replay
+  /// actually fast").
+  [[nodiscard]] double pipeline_vs_interp() const {
+    return pipeline_compiled_s > 0 ? pipeline_interp_s / pipeline_compiled_s
+                                   : 0.0;
+  }
+  /// Compiled fused replay vs re-running the eager slice. The eager fast
+  /// path is already an inlined flat loop per launch, and the pipeline at
+  /// this shape is dominated by work identical on both sides (Philox fills,
+  /// the objective), so parity here is the expected ceiling — the win over
+  /// the graph path is pipeline_vs_interp().
+  [[nodiscard]] double pipeline_speedup() const {
+    return pipeline_compiled_s > 0 ? pipeline_eager_s / pipeline_compiled_s
+                                   : 0.0;
+  }
+};
+
+/// One captured axpb chain: 8 element-wise launches with real bodies,
+/// launch k reading buffer k and writing buffer k+1 — same shape, same
+/// stream, aligned scalar footprints, so the FusionPass collapses the
+/// chain to one group. K selects the registered tag (composed vs chunked).
+template <typename K>
+void axpb_iteration(vgpu::Device& device, const vgpu::LaunchConfig& cfg,
+                    const vgpu::KernelCostSpec& cost, std::int64_t n_elems,
+                    std::vector<std::vector<float>>& bufs) {
+  constexpr int kChain = 8;
+  const double span = static_cast<double>(n_elems) * sizeof(float);
+  device.set_phase("swarm");
+  for (int k = 0; k < kChain; ++k) {
+    const typename K::Args args{bufs[static_cast<std::size_t>(k)].data(),
+                                bufs[static_cast<std::size_t>(k + 1)].data(),
+                                1.0009765625f, 0.03125f};
+    vgpu::prof::KernelLabel label("codegen/axpb");
+    device.launch_elements(cfg, cost, n_elems, [args](std::int64_t i) {
+      K::element(args, i);
+    });
+    if (device.capturing()) {
+      device.graph_note_elements(n_elems);
+      device.graph_note_uses(
+          {{args.in, span, sizeof(float), /*write=*/false, "in"},
+           {args.out, span, sizeof(float), /*write=*/true, "out"}});
+      device.graph_note_static(vgpu::graph::codegen::make_static<K>(args));
+    }
+  }
+}
+
+/// Fused standalone replay of the real-body axpb chain, timed three ways:
+/// interpreted (codegen off — the per-element std::function loop), chunked
+/// (registered spans, no composed match) and composed (one inlined pass).
+/// Unlike bench_fuse this probe executes real kernel bodies, so the ratio
+/// is the ISSUE's headline number: how much faster the same fused group
+/// RUNS when its members resolve to static kernels.
+void bench_codegen_chain(std::int64_t n_elems, int iters, CodegenResult& r) {
+  constexpr int kChain = 8;
+  namespace codegen = vgpu::graph::codegen;
+  codegen::register_composed_sequence<AxpbKernel, AxpbKernel, AxpbKernel,
+                                      AxpbKernel, AxpbKernel, AxpbKernel,
+                                      AxpbKernel, AxpbKernel>();
+  vgpu::LaunchConfig cfg;
+  cfg.block = 256;
+  cfg.grid = (n_elems + cfg.block - 1) / cfg.block;
+  vgpu::KernelCostSpec cost;
+  cost.flops = 2.0 * static_cast<double>(n_elems);
+  cost.dram_read_bytes = static_cast<double>(n_elems) * sizeof(float);
+  cost.dram_write_bytes = static_cast<double>(n_elems) * sizeof(float);
+  const double ops =
+      static_cast<double>(iters) * kChain * static_cast<double>(n_elems);
+
+  const bool saved_codegen = codegen::enabled();
+  enum class Tier { kInterpreted, kChunked, kComposed };
+  for (const Tier tier : {Tier::kInterpreted, Tier::kChunked,
+                          Tier::kComposed}) {
+    std::vector<std::vector<float>> bufs(
+        kChain + 1, std::vector<float>(static_cast<std::size_t>(n_elems)));
+    for (std::int64_t i = 0; i < n_elems; ++i) {
+      bufs[0][static_cast<std::size_t>(i)] =
+          static_cast<float>(i % 97) * 0.125f;
+    }
+    vgpu::Device device;
+    device.set_capture_bodies(true);
+    vgpu::graph::Graph graph;
+    device.begin_capture(graph);
+    if (tier == Tier::kChunked) {
+      axpb_iteration<AxpbChunkedKernel>(device, cfg, cost, n_elems, bufs);
+    } else {
+      axpb_iteration<AxpbKernel>(device, cfg, cost, n_elems, bufs);
+    }
+    device.end_capture();
+    device.set_capture_bodies(false);
+    vgpu::graph::GraphExec exec = graph.instantiate(device.perf());
+    codegen::set_enabled(tier != Tier::kInterpreted);
+    exec.apply_fusion(device.perf());
+    codegen::set_enabled(saved_codegen);
+    for (int it = 0; it < iters / 10 + 1; ++it) {  // warmup
+      device.replay_fused(exec);
+    }
+    Stopwatch watch;
+    for (int it = 0; it < iters; ++it) {
+      device.replay_fused(exec);
+    }
+    const double per_s = ops / watch.elapsed_s();
+    switch (tier) {
+      case Tier::kInterpreted: r.interp_elems_per_s = per_s; break;
+      case Tier::kChunked: r.chunked_elems_per_s = per_s; break;
+      case Tier::kComposed: r.composed_elems_per_s = per_s; break;
+    }
+    r.checksum += static_cast<double>(
+        bufs[kChain][static_cast<std::size_t>(n_elems - 1)]);
+  }
+}
+
+/// Table1-shaped pipeline probe over the four Table 1 problems at n=64,
+/// d=4 (the shape where the whole per-particle run — two weight fills,
+/// eval, pbest compare, gather — fuses into one five-member group). One
+/// iteration slice (the launch_elements portion of the sync loop) is timed
+/// three ways: eager re-execution, interpreted fused replay (captured with
+/// bodies, codegen off — the per-element std::function loop serve-style
+/// replay used to be stuck with), and compiled fused replay under
+/// FASTPSO_CODEGEN semantics. The three run as interleaved min-of-k rounds
+/// (see bench_eval: this box swings ~2x on long one-pass windows). The
+/// gated number is compiled vs interpreted — the replay-path regression
+/// the ISSUE fixes; compiled vs eager is reported as the parity check.
+void bench_codegen_pipeline(int n, int d, int iters, CodegenResult& r) {
+  namespace codegen = vgpu::graph::codegen;
+  const std::vector<std::string> problem_names = {"sphere", "griewank",
+                                                  "easom", "threadconf"};
+  const bool saved_codegen = codegen::enabled();
+  for (const auto& problem_name : problem_names) {
+    const std::unique_ptr<problems::Problem> problem =
+        problem_name == "threadconf" ? tgbm::make_threadconf_problem()
+                                     : problems::make_problem(problem_name);
+    const core::Objective objective =
+        core::objective_from_problem(*problem, d);
+    core::PsoParams params;
+    params.particles = n;
+    params.dim = d;
+    params.max_iter = 1;
+    const core::UpdateCoefficients coeff =
+        core::make_coefficients(params, objective.lower, objective.upper);
+    const std::int64_t elements = static_cast<std::int64_t>(n) * d;
+    vgpu::KernelCostSpec eval_cost;
+    eval_cost.flops = objective.cost.flops(d) * n;
+    eval_cost.transcendentals = objective.cost.transcendentals(d) * n;
+    eval_cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
+    eval_cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
+
+    const std::uint64_t seed = params.seed;
+    const auto make_run = [&](vgpu::Device& device,
+                              core::LaunchPolicy& policy,
+                              core::SwarmState& state,
+                              vgpu::DeviceArray<float>& l_mat,
+                              vgpu::DeviceArray<float>& g_mat) {
+      return [&device, &policy, &state, &l_mat, &g_mat, &objective,
+              eval_cost, coeff, elements, n, d, seed] {
+        device.set_phase("init");
+        core::generate_weights(device, policy, elements, seed, 0, l_mat,
+                               g_mat);
+        device.set_phase("eval");
+        core::evaluate_positions(device, policy, objective,
+                                 state.positions.data(), n, d, eval_cost,
+                                 state.perror.data());
+        device.set_phase("pbest");
+        core::update_pbest(device, policy, state);
+        device.set_phase("swarm");
+        core::swarm_update(device, policy, state, l_mat, g_mat, coeff,
+                           core::UpdateTechnique::kGlobalMemory);
+      };
+    };
+
+    // One self-contained context per timed variant (each replays over its
+    // own persistent swarm buffers).
+    struct Ctx {
+      vgpu::Device device;
+      core::LaunchPolicy policy;
+      core::SwarmState state;
+      vgpu::DeviceArray<float> l_mat;
+      vgpu::DeviceArray<float> g_mat;
+      std::unique_ptr<vgpu::graph::Graph> graph;
+      std::unique_ptr<vgpu::graph::GraphExec> exec;
+
+      Ctx(int n, int d, std::int64_t elements, const core::PsoParams& params,
+          const core::Objective& objective,
+          const core::UpdateCoefficients& coeff)
+          : policy(device.spec()),
+            state(device, n, d),
+            l_mat(device, static_cast<std::size_t>(elements)),
+            g_mat(device, static_cast<std::size_t>(elements)) {
+        core::initialize_swarm(device, policy, state, params.seed,
+                               static_cast<float>(objective.lower),
+                               static_cast<float>(objective.upper),
+                               coeff.vmax);
+      }
+    };
+    Ctx eager(n, d, elements, params, objective, coeff);
+    Ctx interp(n, d, elements, params, objective, coeff);
+    Ctx compiled(n, d, elements, params, objective, coeff);
+    const auto eager_slice =
+        make_run(eager.device, eager.policy, eager.state, eager.l_mat,
+                 eager.g_mat);
+    // Capture with bodies; codegen resolution on only for the compiled
+    // exec. Registration happens either way (it is unconditional during
+    // capture), so the two execs differ only in the dispatch tier.
+    for (Ctx* ctx : {&interp, &compiled}) {
+      const auto slice = make_run(ctx->device, ctx->policy, ctx->state,
+                                  ctx->l_mat, ctx->g_mat);
+      codegen::set_enabled(ctx == &compiled);
+      ctx->device.set_capture_bodies(true);
+      ctx->graph = std::make_unique<vgpu::graph::Graph>();
+      ctx->device.begin_capture(*ctx->graph);
+      slice();
+      ctx->device.end_capture();
+      ctx->device.set_capture_bodies(false);
+      ctx->exec = std::make_unique<vgpu::graph::GraphExec>(
+          ctx->graph->instantiate(ctx->device.perf()));
+      ctx->exec->apply_fusion(ctx->device.perf());
+      codegen::set_enabled(saved_codegen);
+    }
+    r.pipeline_compiled_groups +=
+        compiled.exec->codegen_stats().compiled_groups;
+    r.pipeline_composed_groups +=
+        compiled.exec->codegen_stats().composed_groups;
+
+    // Interleaved min-of-k rounds, one estimator per variant (see
+    // bench_eval's noise note).
+    constexpr int kRounds = 7;
+    const int round_iters = iters / kRounds + 1;
+    double best_eager = 0;
+    double best_interp = 0;
+    double best_compiled = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      Stopwatch we;
+      for (int it = 0; it < round_iters; ++it) {
+        eager_slice();
+      }
+      const double te = we.elapsed_s();
+      Stopwatch wi;
+      for (int it = 0; it < round_iters; ++it) {
+        interp.device.replay_fused(*interp.exec);
+      }
+      const double ti = wi.elapsed_s();
+      Stopwatch wc;
+      for (int it = 0; it < round_iters; ++it) {
+        compiled.device.replay_fused(*compiled.exec);
+      }
+      const double tc = wc.elapsed_s();
+      if (round == 0 || te < best_eager) best_eager = te;
+      if (round == 0 || ti < best_interp) best_interp = ti;
+      if (round == 0 || tc < best_compiled) best_compiled = tc;
+    }
+    r.pipeline_eager_s += best_eager;
+    r.pipeline_interp_s += best_interp;
+    r.pipeline_compiled_s += best_compiled;
+    r.checksum += static_cast<double>(eager.state.positions[0]) +
+                  static_cast<double>(interp.state.positions[0]) +
+                  static_cast<double>(compiled.state.positions[0]);
+  }
+}
+
 /// Wall-clock of the exact table1_overall --smoke cell set; best of `reps`.
 double bench_table1_smoke(int reps) {
   const std::vector<std::string> problems = {"sphere", "griewank", "easom",
@@ -492,9 +866,12 @@ int main(int argc, char** argv) {
   const bool prof_overhead = args.get_bool("prof-overhead", false);
   const bool graph_bench = args.get_bool("graph", false);
   const bool fuse_bench = args.get_bool("fuse", false);
+  const bool codegen_bench = args.get_bool("codegen", false);
   const std::string json_path = args.get_string("json", "BENCH_engine.json");
   const std::string fusion_json_path =
       args.get_string("fusion-json", fuse_bench ? "BENCH_fusion.json" : "");
+  const std::string codegen_json_path = args.get_string(
+      "codegen-json", codegen_bench ? "BENCH_codegen.json" : "");
   const std::string fuse_trace_path = args.get_string("fuse-trace", "");
   const std::string baseline_path = args.get_string("baseline", "");
 
@@ -522,6 +899,16 @@ int main(int argc, char** argv) {
   FuseResult fuse;
   if (fuse_bench) {
     fuse = bench_fuse(graph_elems, graph_iters, !fuse_trace_path.empty());
+  }
+  // Real-body probes: per-element work dominates, so the measured ratio is
+  // execution speed of the fused loop itself, not dispatch accounting.
+  const std::int64_t codegen_elems = 4096;
+  const int codegen_iters = smoke ? 1000 : 4000;
+  const int pipeline_iters = smoke ? 500 : 2000;
+  CodegenResult codegen;
+  if (codegen_bench) {
+    bench_codegen_chain(codegen_elems, codegen_iters, codegen);
+    bench_codegen_pipeline(/*n=*/64, /*d=*/4, pipeline_iters, codegen);
   }
 
   const double launch_speedup = launch.fast_per_s / launch.legacy_per_s;
@@ -568,6 +955,25 @@ int main(int argc, char** argv) {
     table.add_row({"modeled saved by fusion",
                    fmt_fixed(fuse.modeled_saved_fraction * 100.0, 1) + "%",
                    "-", "-"});
+  }
+  if (codegen_bench) {
+    // "fast/batch" column = compiled tier, "legacy/virtual" = interpreted.
+    table.add_row({"elem-ops/s composed/interp (chain of 8)",
+                   fmt_sci(codegen.composed_elems_per_s),
+                   fmt_sci(codegen.interp_elems_per_s),
+                   fmt_speedup(codegen.composed_vs_interp())});
+    table.add_row({"elem-ops/s chunked/interp (chain of 8)",
+                   fmt_sci(codegen.chunked_elems_per_s),
+                   fmt_sci(codegen.interp_elems_per_s),
+                   fmt_speedup(codegen.chunked_vs_interp())});
+    table.add_row({"pipeline wall compiled/interp (4 problems, 64x4)",
+                   fmt_fixed(codegen.pipeline_compiled_s, 4),
+                   fmt_fixed(codegen.pipeline_interp_s, 4),
+                   fmt_speedup(codegen.pipeline_vs_interp())});
+    table.add_row({"pipeline wall compiled/eager (4 problems, 64x4)",
+                   fmt_fixed(codegen.pipeline_compiled_s, 4),
+                   fmt_fixed(codegen.pipeline_eager_s, 4),
+                   fmt_speedup(codegen.pipeline_speedup())});
   }
   table.add_note("identical account_launch on both paths: modeled seconds "
                  "and counters do not depend on the toggle");
@@ -654,6 +1060,55 @@ int main(int argc, char** argv) {
               << fusion_json_path << "\n";
   }
 
+  if (codegen_bench && !codegen_json_path.empty()) {
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(3);
+    json << "{\n"
+         << "  \"schema\": \"fastpso-bench-codegen-v1\",\n"
+         << "  \"chain\": {\n"
+         << "    \"n_elems\": " << codegen_elems << ",\n"
+         << "    \"iters\": " << codegen_iters << ",\n"
+         << "    \"kernels\": 8,\n"
+         << "    \"interpreted_elem_ops_per_s\": "
+         << codegen.interp_elems_per_s << ",\n"
+         << "    \"chunked_elem_ops_per_s\": " << codegen.chunked_elems_per_s
+         << ",\n"
+         << "    \"composed_elem_ops_per_s\": "
+         << codegen.composed_elems_per_s << ",\n"
+         << "    \"chunked_vs_interpreted\": " << codegen.chunked_vs_interp()
+         << ",\n"
+         << "    \"composed_vs_interpreted\": "
+         << codegen.composed_vs_interp() << "\n"
+         << "  },\n"
+         << "  \"table1_pipeline\": {\n"
+         << "    \"particles\": 64,\n"
+         << "    \"dim\": 4,\n"
+         << "    \"iters\": " << pipeline_iters << ",\n"
+         << "    \"problems\": 4,\n";
+    json.precision(6);
+    json << "    \"eager_wall_s\": " << codegen.pipeline_eager_s << ",\n"
+         << "    \"interpreted_wall_s\": " << codegen.pipeline_interp_s
+         << ",\n"
+         << "    \"compiled_wall_s\": " << codegen.pipeline_compiled_s
+         << ",\n";
+    json.precision(3);
+    json << "    \"compiled_vs_interpreted\": "
+         << codegen.pipeline_vs_interp() << ",\n"
+         << "    \"compiled_vs_eager\": " << codegen.pipeline_speedup()
+         << ",\n"
+         << "    \"compiled_groups\": " << codegen.pipeline_compiled_groups
+         << ",\n"
+         << "    \"composed_groups\": " << codegen.pipeline_composed_groups
+         << "\n"
+         << "  }\n"
+         << "}\n";
+    std::ofstream file(codegen_json_path);
+    file << json.str();
+    std::cout << (file ? "json written: " : "json write FAILED: ")
+              << codegen_json_path << "\n";
+  }
+
   if (fuse_bench && !fuse_trace_path.empty()) {
     std::ofstream file(fuse_trace_path);
     file << fuse.trace;
@@ -674,54 +1129,93 @@ int main(int argc, char** argv) {
         json_number(text, "fast_launches_per_s", 0.0);
     const double base_eval = json_number(text, "batch_evals_per_s", 0.0);
     const double base_wall = json_number(text, "wall_s", 0.0);
-    bool ok = true;
-    auto gate = [&](const char* name, bool pass, double have, double want) {
+    std::vector<std::string> failed;
+    // Every failure names its metric, the measured value, the limit it
+    // crossed and the rule behind the limit — a red CI line is actionable
+    // without rerunning locally.
+    auto gate = [&](const char* name, bool pass, double have, double want,
+                    const char* rule) {
       std::cout << "gate " << name << ": " << (pass ? "ok" : "REGRESSION")
                 << " (" << fmt_sci(have) << " vs limit " << fmt_sci(want)
-                << ")\n";
-      ok = ok && pass;
+                << "; rule: " << rule << ")\n";
+      if (!pass) {
+        failed.emplace_back(name);
+      }
     };
     // >2x regression fails: throughputs may not halve, wall may not double.
     gate("launch_throughput", launch.fast_per_s >= base_launch / 2.0,
-         launch.fast_per_s, base_launch / 2.0);
+         launch.fast_per_s, base_launch / 2.0, ">= baseline/2");
     gate("eval_throughput", eval.batch_per_s >= base_eval / 2.0,
-         eval.batch_per_s, base_eval / 2.0);
+         eval.batch_per_s, base_eval / 2.0, ">= baseline/2");
+    // The batch dispatch must never lose to per-particle virtual calls;
+    // the interleaved best-of-k probe makes this stable enough to gate.
+    gate("eval_speedup", eval_speedup >= 1.0, eval_speedup, 1.0,
+         "batch >= virtual (>= 1.0x)");
     gate("table1_smoke_wall", table1_wall <= base_wall * 2.0, table1_wall,
-         base_wall * 2.0);
+         base_wall * 2.0, "<= 2x baseline");
     if (prof_overhead) {
       // Tighter bar than the 2x gates: with the profiler off the launch
       // path must stay within 5% of the baseline throughput, otherwise the
       // "disabled profiling is free" promise has been broken.
       gate("prof_off_launch_throughput",
            prof.off_per_s >= base_launch / 1.05, prof.off_per_s,
-           base_launch / 1.05);
+           base_launch / 1.05, ">= baseline/1.05 (prof off is free)");
     }
     if (graph_bench) {
       const double base_replay =
           json_number(text, "replay_launches_per_s", 0.0);
       gate("graph_replay_throughput", graph.replay_per_s >= base_replay / 2.0,
-           graph.replay_per_s, base_replay / 2.0);
+           graph.replay_per_s, base_replay / 2.0, ">= baseline/2");
       // Replay must keep a real steady-state edge over eager accounting —
       // the whole point of the graph layer (DESIGN.md §8).
       gate("graph_replay_speedup",
            graph.replay_per_s >= 1.5 * graph.eager_per_s, graph.replay_per_s,
-           1.5 * graph.eager_per_s);
+           1.5 * graph.eager_per_s, ">= 1.5x eager");
     }
     if (fuse_bench) {
       const double base_fused =
           json_number(text, "fused_launches_per_s", 0.0);
       gate("fused_replay_throughput", fuse.fused_per_s >= base_fused / 2.0,
-           fuse.fused_per_s, base_fused / 2.0);
+           fuse.fused_per_s, base_fused / 2.0, ">= baseline/2");
       // Fused replay must keep a real wall-throughput edge over plain
       // replay — the launch-dispatch saving fusion exists for (DESIGN.md
       // §9). 1.3x floor on an 8-deep fully fusible chain.
       gate("fused_replay_speedup",
            fuse.fused_per_s >= 1.3 * fuse.replay_per_s, fuse.fused_per_s,
-           1.3 * fuse.replay_per_s);
+           1.3 * fuse.replay_per_s, ">= 1.3x plain replay");
     }
-    if (!ok) {
+    if (codegen_bench) {
+      // The compiled tiers must keep a decisive edge over the interpreted
+      // per-element loop — the reason the registry exists (DESIGN.md §11).
+      // The committed BENCH_codegen.json shows >= 5x; the CI floor is 3x to
+      // absorb shared-runner noise.
+      gate("codegen_composed_speedup", codegen.composed_vs_interp() >= 3.0,
+           codegen.composed_vs_interp(), 3.0, ">= 3x interpreted");
+      gate("codegen_chunked_speedup", codegen.chunked_vs_interp() >= 2.0,
+           codegen.chunked_vs_interp(), 2.0, ">= 2x interpreted");
+      // Compiled fused replay of the real pipeline must beat the
+      // interpreted fused replay it replaces. The eager comparison is
+      // reported but not gated: the eager fast path is already an inlined
+      // flat loop and the pipeline is dominated by work identical on both
+      // sides, so its honest expectation is parity, which the interp gate
+      // plus the chain gates above pin from both directions.
+      gate("codegen_pipeline_vs_interp", codegen.pipeline_vs_interp() >= 1.08,
+           codegen.pipeline_vs_interp(), 1.08,
+           ">= 1.08x interpreted fused replay");
+      const double base_composed =
+          json_number(text, "composed_elem_ops_per_s", 0.0);
+      gate("codegen_composed_throughput",
+           codegen.composed_elems_per_s >= base_composed / 2.0,
+           codegen.composed_elems_per_s, base_composed / 2.0,
+           ">= baseline/2");
+    }
+    if (!failed.empty()) {
       std::cerr << "micro_engine: regression vs baseline " << baseline_path
-                << "\n";
+                << " in:";
+      for (const auto& name : failed) {
+        std::cerr << " " << name;
+      }
+      std::cerr << "\n";
       return 1;
     }
   }

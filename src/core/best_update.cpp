@@ -1,5 +1,6 @@
 #include "core/best_update.h"
 
+#include "core/kernels_registry.h"
 #include "vgpu/prof/prof.h"
 #include "vgpu/reduce.h"
 #include "vgpu/san/tracked.h"
@@ -22,6 +23,8 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
     cost.dram_write_bytes = n * (sizeof(float) + sizeof(std::uint8_t));
     // Fusion footprint (vgpu/graph/fusion.h): element i touches scalar i of
     // each array; pbest_err is an aligned read-modify-write.
+    const kernels::PbestCompareKernel::Args cmp_args{
+        state.perror.data(), state.pbest_err.data(), state.improved.data()};
     const auto note_footprint = [&] {
       if (device.capturing()) {
         device.graph_note_elements(n);
@@ -34,20 +37,16 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
               sizeof(float), /*write=*/true, "pbest_err"},
              {state.improved.data(), static_cast<double>(n), 1,
               /*write=*/true, "improved"}});
+        device.graph_note_static(
+            vgpu::graph::codegen::make_static<kernels::PbestCompareKernel>(
+                cmp_args));
       }
     };
     if (vgpu::use_fast_path()) {
-      const float* perror = state.perror.data();
-      float* pbest_err = state.pbest_err.data();
-      std::uint8_t* improved = state.improved.data();
       vgpu::prof::KernelLabel klabel("best_update/compare_flag");
       device.launch_elements(
-          decision.config, cost, n, [&](std::int64_t i) {
-            const float pe = perror[i];
-            const float pb = pbest_err[i];
-            const bool better = pe < pb;
-            improved[i] = better ? 1 : 0;
-            pbest_err[i] = better ? pe : pb;
+          decision.config, cost, n, [cmp_args](std::int64_t i) {
+            kernels::PbestCompareKernel::element(cmp_args, i);
           });
       note_footprint();
     } else {
@@ -98,6 +97,9 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
     // Footprint: element i reads its flag and may copy its row — the
     // declared spans are the data-independent superset of what the flags
     // select this iteration.
+    const kernels::PbestGatherKernel::Args gather_args{
+        state.improved.data(), state.positions.data(), state.pbest_pos.data(),
+        d};
     const auto note_footprint = [&] {
       if (device.capturing()) {
         const double row_bytes =
@@ -111,20 +113,16 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
               "positions"},
              {state.pbest_pos.data(), row_bytes, row_elem, /*write=*/true,
               "pbest_pos"}});
+        device.graph_note_static(
+            vgpu::graph::codegen::make_static<kernels::PbestGatherKernel>(
+                gather_args));
       }
     };
     if (vgpu::use_fast_path()) {
-      const std::uint8_t* improved = state.improved.data();
-      const float* positions = state.positions.data();
-      float* pbest_pos = state.pbest_pos.data();
       vgpu::prof::KernelLabel klabel("best_update/gather");
       device.launch_elements(
-          decision.config, cost, n, [&](std::int64_t i) {
-            if (improved[i]) {
-              for (int j = 0; j < d; ++j) {
-                pbest_pos[i * d + j] = positions[i * d + j];
-              }
-            }
+          decision.config, cost, n, [gather_args](std::int64_t i) {
+            kernels::PbestGatherKernel::element(gather_args, i);
           });
       note_footprint();
     } else {
@@ -168,6 +166,8 @@ float update_gbest(vgpu::Device& device, SwarmState& state) {
     // Footprint: the read is an interior row of pbest_pos, so its address
     // range overlaps (unaligned) with the gather's row-sliced writes — the
     // fusion pass's hazard check is what keeps this copy out of any group.
+    const kernels::GbestCopyKernel::Args copy_args{
+        state.pbest_pos.data() + best.index * d, state.gbest_pos.data()};
     const auto note_footprint = [&] {
       if (device.capturing()) {
         const double row_bytes = static_cast<double>(d) * sizeof(float);
@@ -177,14 +177,15 @@ float update_gbest(vgpu::Device& device, SwarmState& state) {
               sizeof(float), /*write=*/false, "gbest_src_row"},
              {state.gbest_pos.data(), row_bytes, sizeof(float),
               /*write=*/true, "gbest_pos"}});
+        device.graph_note_static(
+            vgpu::graph::codegen::make_static<kernels::GbestCopyKernel>(
+                copy_args));
       }
     };
     if (vgpu::use_fast_path()) {
-      const float* src = state.pbest_pos.data() + best.index * d;
-      float* dst = state.gbest_pos.data();
       vgpu::prof::KernelLabel klabel("best_update/gbest_copy");
-      device.launch_elements(cfg, cost, d, [&](std::int64_t j) {
-        dst[j] = src[j];
+      device.launch_elements(cfg, cost, d, [copy_args](std::int64_t j) {
+        kernels::GbestCopyKernel::element(copy_args, j);
       });
       note_footprint();
       return state.gbest_err;

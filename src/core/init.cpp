@@ -4,6 +4,7 @@
 
 #include <limits>
 
+#include "core/kernels_registry.h"
 #include "rng/philox.h"
 #include "vgpu/prof/prof.h"
 #include "vgpu/san/tracked.h"
@@ -32,30 +33,33 @@ void fill_uniform(vgpu::Device& device, const LaunchPolicy& policy,
   const LaunchDecision decision = policy.for_elements(blocks);
   const float span = hi - lo;
   // Fusion footprint (vgpu/graph/fusion.h): one element = one Philox block
-  // of four floats, so element b owns out[4b, 4b+4).
+  // of four floats, so element b owns out[4b, 4b+4). The static kernel is
+  // the body the fast path runs (kernels_registry.h) — compiled replay and
+  // eager execution share one element function.
+  const kernels::FillUniformKernel::Args fill_args{rng, out, elements, lo,
+                                                   span};
   const auto note_footprint = [&] {
     if (device.capturing()) {
       device.graph_note_elements(blocks);
       device.graph_note_uses(
           {{out, static_cast<double>(elements) * sizeof(float),
             4 * sizeof(float), /*write=*/true, "fill_out"}});
+      device.graph_note_static(
+          vgpu::graph::codegen::make_static<kernels::FillUniformKernel>(
+              fill_args));
     }
   };
   if (vgpu::use_fast_path()) {
     // Flat loop over Philox blocks; element i gets uniform_at(i) exactly as
     // on the tracked path, so the produced bits are identical. Same profile
-    // label as the tracked path's KernelScope.
+    // label as the tracked path's KernelScope. The body captures its
+    // arguments by value, so a graph captured with set_capture_bodies(true)
+    // stays executable for as long as the output buffer lives.
     vgpu::prof::KernelLabel klabel("init/fill_uniform");
-    device.launch_elements(
-        decision.config, fill_cost(elements), blocks, [&](std::int64_t b) {
-          const auto lanes = rng.uniform4_at(static_cast<std::uint64_t>(b));
-          const std::int64_t base = b * 4;
-          const int count =
-              static_cast<int>(std::min<std::int64_t>(4, elements - base));
-          for (int lane = 0; lane < count; ++lane) {
-            out[base + lane] = lo + span * lanes[lane];
-          }
-        });
+    device.launch_elements(decision.config, fill_cost(elements), blocks,
+                           [fill_args](std::int64_t b) {
+                             kernels::FillUniformKernel::element(fill_args, b);
+                           });
     note_footprint();
     return;
   }
@@ -103,19 +107,22 @@ void initialize_swarm(vgpu::Device& device, const LaunchPolicy& policy,
   const int n = state.n;
   const int d = state.d;
   if (vgpu::use_fast_path()) {
-    float* pbest_err = state.pbest_err.data();
-    float* perror = state.perror.data();
-    const float* positions = state.positions.data();
-    float* pbest_pos = state.pbest_pos.data();
+    const kernels::PbestResetKernel::Args reset_args{
+        state.pbest_err.data(), state.perror.data(), state.positions.data(),
+        state.pbest_pos.data(), d};
     vgpu::prof::KernelLabel klabel("init/pbest_reset");
-    device.launch_elements(
-        per_particle.config, cost, n, [&](std::int64_t i) {
-          pbest_err[i] = std::numeric_limits<float>::infinity();
-          perror[i] = 0.0f;
-          for (int j = 0; j < d; ++j) {
-            pbest_pos[i * d + j] = positions[i * d + j];
-          }
-        });
+    device.launch_elements(per_particle.config, cost, n,
+                           [reset_args](std::int64_t i) {
+                             kernels::PbestResetKernel::element(reset_args, i);
+                           });
+    if (device.capturing()) {
+      // No declared footprint (this launch never fuses — it runs once,
+      // outside the iteration loop), but the registered span still
+      // accelerates node-level standalone replay.
+      device.graph_note_static(
+          vgpu::graph::codegen::make_static<kernels::PbestResetKernel>(
+              reset_args));
+    }
     state.gbest_err = std::numeric_limits<float>::infinity();
     return;
   }

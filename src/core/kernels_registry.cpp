@@ -1,0 +1,111 @@
+#include "core/kernels_registry.h"
+
+#include "problems/functions.h"
+
+namespace fastpso::core::kernels {
+
+namespace codegen = vgpu::graph::codegen;
+
+namespace {
+
+std::uint32_t intern(const char* name) { return codegen::intern_tag(name); }
+
+}  // namespace
+
+std::uint32_t FillUniformKernel::tag() {
+  static const std::uint32_t t = intern("init/fill_uniform");
+  return t;
+}
+std::uint32_t PbestResetKernel::tag() {
+  static const std::uint32_t t = intern("init/pbest_reset");
+  return t;
+}
+std::uint32_t PbestCompareKernel::tag() {
+  static const std::uint32_t t = intern("best_update/compare_flag");
+  return t;
+}
+std::uint32_t PbestGatherKernel::tag() {
+  static const std::uint32_t t = intern("best_update/gather");
+  return t;
+}
+std::uint32_t GbestCopyKernel::tag() {
+  static const std::uint32_t t = intern("best_update/gbest_copy");
+  return t;
+}
+std::uint32_t SwarmUpdateGlobalKernel::tag() {
+  static const std::uint32_t t = intern("swarm_update/global");
+  return t;
+}
+std::uint32_t SwarmUpdateRingKernel::tag() {
+  static const std::uint32_t t = intern("swarm_update/ring");
+  return t;
+}
+std::uint32_t RingNbestKernel::tag() {
+  static const std::uint32_t t = intern("neighborhood/ring_nbest");
+  return t;
+}
+std::uint32_t EvalBatchKernel::tag() {
+  static const std::uint32_t t = intern("eval/batch");
+  return t;
+}
+
+template <>
+struct EvalTagName<problems::Sphere> {
+  static constexpr const char* value = "eval/sphere";
+};
+template <>
+struct EvalTagName<problems::Griewank> {
+  static constexpr const char* value = "eval/griewank";
+};
+template <>
+struct EvalTagName<problems::Easom> {
+  static constexpr const char* value = "eval/easom";
+};
+
+codegen::StaticKernel make_eval_static(const problems::Problem& problem,
+                                       const float* X, int d, float* out) {
+  const EvalArgs args{&problem, X, d, out};
+  if (dynamic_cast<const problems::Sphere*>(&problem) != nullptr) {
+    return codegen::make_static<EvalProblemKernel<problems::Sphere>>(args);
+  }
+  if (dynamic_cast<const problems::Griewank*>(&problem) != nullptr) {
+    return codegen::make_static<EvalProblemKernel<problems::Griewank>>(args);
+  }
+  if (dynamic_cast<const problems::Easom*>(&problem) != nullptr) {
+    return codegen::make_static<EvalProblemKernel<problems::Easom>>(args);
+  }
+  return codegen::make_static<EvalBatchKernel>(args);
+}
+
+namespace {
+
+/// Composed loops for the member tag sequences the core pipeline actually
+/// produces (fusion.cpp's greedy pass over one sync iteration):
+///   {fill, fill}                        weight generation, d != 4
+///   {eval, compare, gather}             per-particle run, d != 4
+///   {fill, fill, eval, compare, gather} the whole per-particle run at
+///                                       d = 4, where the Philox block
+///                                       count equals the particle count
+/// Concrete-typed eval members only: the generic EvalBatchKernel keeps the
+/// chunked tier (its span is already one devirtualized batch call).
+bool register_compositions() {
+  using codegen::register_composed_sequence;
+  register_composed_sequence<FillUniformKernel, FillUniformKernel>();
+  const auto per_problem = []<typename P>() {
+    register_composed_sequence<EvalProblemKernel<P>, PbestCompareKernel,
+                               PbestGatherKernel>();
+    register_composed_sequence<FillUniformKernel, FillUniformKernel,
+                               EvalProblemKernel<P>, PbestCompareKernel,
+                               PbestGatherKernel>();
+  };
+  per_problem.template operator()<problems::Sphere>();
+  per_problem.template operator()<problems::Griewank>();
+  per_problem.template operator()<problems::Easom>();
+  return true;
+}
+
+[[maybe_unused]] const bool g_composed_registered = register_compositions();
+
+}  // namespace
+
+}  // namespace fastpso::core::kernels

@@ -1,0 +1,314 @@
+// Static forms of the core element kernels, for the compiled fused-loop
+// path (vgpu/graph/codegen.h, DESIGN.md §11).
+//
+// Each kernel struct is the single source of truth for its per-element
+// code: the call site (init.cpp, swarm_update.cpp, best_update.cpp,
+// eval_schema.h) launches a lambda that calls `Kernel::element(args, i)`
+// AND registers the same struct against the captured graph node
+// (Device::graph_note_static). Compiled replay therefore runs the exact
+// code the eager launch ran — bitwise identity holds by construction, not
+// by testing alone (the differential suites in tests/test_codegen.cpp
+// still pin it).
+//
+// Contract per struct (consumed by codegen::make_static):
+//   struct Args        by-value argument pack; raw pointers inside follow
+//                      the captured-body lifetime promise
+//                      (Device::set_capture_bodies)
+//   static tag()       interned code tag — identifies CODE, never data
+//   static element()   the per-element kernel
+//   static span()      optional batched form when cheaper than the
+//                      per-element loop (the eval dispatch uses one
+//                      virtual eval_batch call per chunk)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "core/swarm_update.h"
+#include "problems/problem.h"
+#include "rng/philox.h"
+#include "vgpu/graph/codegen.h"
+#include "vgpu/san/sanitizer.h"
+
+namespace fastpso::core::kernels {
+
+/// Canonical per-element velocity/position update, shared by every swarm
+/// update variant (global/ring scalar paths, shared-memory tiles, tensor
+/// epilogue) so results are bit-identical across all of them. Templated on
+/// the velocity/position reference so it accepts both plain float lvalues
+/// and sanitizer-tracked element proxies.
+template <typename VRef, typename PRef>
+inline void update_element(VRef&& v, PRef&& p, float l, float g, float pb,
+                           float gb, const UpdateCoefficients& k) {
+  vgpu::san::count_flops(10.0);
+  const float pv = p;
+  float nv = k.omega * static_cast<float>(v) + k.c1 * l * (pb - pv) +
+             k.c2 * g * (gb - pv);
+  if (k.vmax > 0.0f) {
+    nv = std::clamp(nv, -k.vmax, k.vmax);  // Eq. 5 bound constraint
+  }
+  v = nv;
+  float np = pv + nv;
+  if (k.clamp_position) {
+    np = std::clamp(np, k.pos_lower, k.pos_upper);
+  }
+  p = np;
+}
+
+/// init/fill_uniform: element b produces one whole 4-lane Philox block
+/// (tail-clamped), exactly as the call-site fast path.
+struct FillUniformKernel {
+  struct Args {
+    rng::PhiloxStream rng;
+    float* out;
+    std::int64_t elements;  ///< total floats; the domain is Philox blocks
+    float lo;
+    float span;
+  };
+  [[nodiscard]] static std::uint32_t tag();
+  static void element(const Args& a, std::int64_t b) {
+    const auto lanes = a.rng.uniform4_at(static_cast<std::uint64_t>(b));
+    const std::int64_t base = b * 4;
+    const int count =
+        static_cast<int>(std::min<std::int64_t>(4, a.elements - base));
+    for (int lane = 0; lane < count; ++lane) {
+      a.out[base + lane] = a.lo + a.span * lanes[lane];
+    }
+  }
+};
+
+/// init/pbest_reset: per-particle reset of the best-so-far state.
+struct PbestResetKernel {
+  struct Args {
+    float* pbest_err;
+    float* perror;
+    const float* positions;
+    float* pbest_pos;
+    int d;
+  };
+  [[nodiscard]] static std::uint32_t tag();
+  static void element(const Args& a, std::int64_t i) {
+    a.pbest_err[i] = std::numeric_limits<float>::infinity();
+    a.perror[i] = 0.0f;
+    for (int j = 0; j < a.d; ++j) {
+      a.pbest_pos[i * a.d + j] = a.positions[i * a.d + j];
+    }
+  }
+};
+
+/// best_update/compare_flag: branchless pbest compare + improved flag.
+struct PbestCompareKernel {
+  struct Args {
+    const float* perror;
+    float* pbest_err;
+    std::uint8_t* improved;
+  };
+  [[nodiscard]] static std::uint32_t tag();
+  static void element(const Args& a, std::int64_t i) {
+    const float pe = a.perror[i];
+    const float pb = a.pbest_err[i];
+    const bool better = pe < pb;
+    a.improved[i] = better ? 1 : 0;
+    a.pbest_err[i] = better ? pe : pb;
+  }
+};
+
+/// best_update/gather: flagged particles copy their position row into
+/// pbest_pos.
+struct PbestGatherKernel {
+  struct Args {
+    const std::uint8_t* improved;
+    const float* positions;
+    float* pbest_pos;
+    int d;
+  };
+  [[nodiscard]] static std::uint32_t tag();
+  static void element(const Args& a, std::int64_t i) {
+    if (a.improved[i]) {
+      for (int j = 0; j < a.d; ++j) {
+        a.pbest_pos[i * a.d + j] = a.positions[i * a.d + j];
+      }
+    }
+  }
+};
+
+/// best_update/gbest_copy: copies the winning pbest row into gbest_pos.
+struct GbestCopyKernel {
+  struct Args {
+    const float* src;
+    float* dst;
+  };
+  [[nodiscard]] static std::uint32_t tag();
+  static void element(const Args& a, std::int64_t j) { a.dst[j] = a.src[j]; }
+};
+
+/// swarm_update/global: per-element update against the gbest attractor.
+struct SwarmUpdateGlobalKernel {
+  struct Args {
+    float* velocities;
+    float* positions;
+    const float* l;
+    const float* g;
+    const float* pbest_pos;
+    const float* gbest_pos;
+    int d;
+    UpdateCoefficients coeff;
+  };
+  [[nodiscard]] static std::uint32_t tag();
+  static void element(const Args& a, std::int64_t i) {
+    const int col = static_cast<int>(i % a.d);
+    update_element(a.velocities[i], a.positions[i], a.l[i], a.g[i],
+                   a.pbest_pos[i], a.gbest_pos[col], a.coeff);
+  }
+  /// Row-segment form: same elements in the same ascending order and the
+  /// same arithmetic per element, but the i%d / i/d bookkeeping is hoisted
+  /// to one carried column counter — the per-element integer divide is what
+  /// dominates the flat loop (profiled ~30 ns/element; this span is the
+  /// compiled tier's actual win on the Table 1 pipeline).
+  static void span(const void* args, std::int64_t begin, std::int64_t end) {
+    const Args a = *static_cast<const Args*>(args);
+    std::int64_t i = begin;
+    int col = static_cast<int>(i % a.d);
+    while (i < end) {
+      const std::int64_t stop = std::min<std::int64_t>(end, i + (a.d - col));
+      for (; i < stop; ++i, ++col) {
+        update_element(a.velocities[i], a.positions[i], a.l[i], a.g[i],
+                       a.pbest_pos[i], a.gbest_pos[col], a.coeff);
+      }
+      col = 0;
+    }
+  }
+};
+
+/// swarm_update/ring: the attractor is a gather out of pbest_pos steered by
+/// the ring-neighborhood index array.
+struct SwarmUpdateRingKernel {
+  struct Args {
+    float* velocities;
+    float* positions;
+    const float* l;
+    const float* g;
+    const float* pbest_pos;
+    const std::int32_t* nbest_idx;
+    int d;
+    UpdateCoefficients coeff;
+  };
+  [[nodiscard]] static std::uint32_t tag();
+  static void element(const Args& a, std::int64_t i) {
+    const std::int64_t row = i / a.d;
+    const int col = static_cast<int>(i % a.d);
+    const float attractor =
+        a.pbest_pos[static_cast<std::int64_t>(a.nbest_idx[row]) * a.d + col];
+    update_element(a.velocities[i], a.positions[i], a.l[i], a.g[i],
+                   a.pbest_pos[i], attractor, a.coeff);
+  }
+  /// Row-segment form (see SwarmUpdateGlobalKernel::span): additionally
+  /// hoists the neighborhood gather's row base to one load per row.
+  static void span(const void* args, std::int64_t begin, std::int64_t end) {
+    const Args a = *static_cast<const Args*>(args);
+    std::int64_t i = begin;
+    std::int64_t row = i / a.d;
+    int col = static_cast<int>(i % a.d);
+    while (i < end) {
+      const std::int64_t stop = std::min<std::int64_t>(end, i + (a.d - col));
+      const float* attractor_row =
+          a.pbest_pos + static_cast<std::int64_t>(a.nbest_idx[row]) * a.d;
+      for (; i < stop; ++i, ++col) {
+        update_element(a.velocities[i], a.positions[i], a.l[i], a.g[i],
+                       a.pbest_pos[i], attractor_row[col], a.coeff);
+      }
+      col = 0;
+      ++row;
+    }
+  }
+};
+
+/// neighborhood/ring_nbest: per-particle argmin over the ring window of
+/// pbest errors. Deterministic tie-breaking (self first, then nearer
+/// neighbors, left before right) — only strictly better neighbors replace
+/// the incumbent.
+struct RingNbestKernel {
+  struct Args {
+    const float* pbest_err;
+    std::int32_t* out;
+    int n;
+    int neighbors;
+  };
+  [[nodiscard]] static std::uint32_t tag();
+  static void element(const Args& a, std::int64_t i) {
+    std::int32_t best = static_cast<std::int32_t>(i);
+    float best_err = a.pbest_err[i];
+    for (int off = 1; off <= a.neighbors; ++off) {
+      for (int sign : {-1, 1}) {
+        const std::int64_t j = (i + sign * off + a.n) % a.n;
+        if (a.pbest_err[j] < best_err) {
+          best = static_cast<std::int32_t>(j);
+          best_err = a.pbest_err[j];
+        }
+      }
+    }
+    a.out[i] = best;
+  }
+};
+
+/// Shared argument pack of every eval-dispatch kernel: generic and
+/// concrete-typed forms run over identical arguments, so the registration
+/// choice (make_eval_static) never changes data flow.
+struct EvalArgs {
+  const problems::Problem* problem;
+  const float* X;
+  int d;
+  float* out;
+};
+
+/// eval/batch: the generic Table 1 dispatch for any Problem. The span runs
+/// one virtual eval_batch per chunk — the same devirtualized loop the eager
+/// batch path runs, so identity is trivial; the per-element form pays a
+/// virtual call but computes identical bits (eval_f32 and eval_batch both
+/// funnel into eval_impl<float>, problems/problem.h).
+struct EvalBatchKernel {
+  using Args = EvalArgs;
+  [[nodiscard]] static std::uint32_t tag();
+  static void element(const Args& a, std::int64_t i) {
+    a.out[i] =
+        static_cast<float>(a.problem->eval_f32(a.X + i * a.d, a.d));
+  }
+  static void span(const void* args, std::int64_t begin, std::int64_t end) {
+    const auto& a = *static_cast<const Args*>(args);
+    a.problem->eval_batch(a.X + begin * a.d, static_cast<int>(end - begin),
+                          a.d, a.out + begin);
+  }
+};
+
+/// Tag names for the concrete-typed eval kernels (one per built-in problem
+/// the composed tier covers).
+template <typename P>
+struct EvalTagName;
+
+/// eval/<problem>: concrete-typed dispatch — eval_impl<float> statically
+/// bound, so a composed loop over {..., eval, compare, gather} inlines the
+/// objective into one flat pass with no virtual call per element.
+template <typename P>
+struct EvalProblemKernel {
+  using Args = EvalArgs;
+  [[nodiscard]] static std::uint32_t tag() {
+    static const std::uint32_t t =
+        vgpu::graph::codegen::intern_tag(EvalTagName<P>::value);
+    return t;
+  }
+  static void element(const Args& a, std::int64_t i) {
+    const auto* p = static_cast<const P*>(a.problem);
+    a.out[i] = static_cast<float>(
+        p->template eval_impl<float>(a.X + i * a.d, a.d));
+  }
+};
+
+/// Builds the registered static kernel for one batched evaluation launch:
+/// a concrete-typed kernel for the built-in problems the composed tier
+/// knows (sphere/griewank/easom), the generic chunked EvalBatchKernel for
+/// everything else (e.g. tgbm's threadconf).
+[[nodiscard]] vgpu::graph::codegen::StaticKernel make_eval_static(
+    const problems::Problem& problem, const float* X, int d, float* out);
+
+}  // namespace fastpso::core::kernels

@@ -1,6 +1,8 @@
 #include "core/neighborhood.h"
 
 #include "common/check.h"
+#include "core/kernels_registry.h"
+#include "vgpu/graph/codegen.h"
 
 namespace fastpso::core {
 
@@ -22,24 +24,23 @@ void update_ring_nbest(vgpu::Device& device, const LaunchPolicy& policy,
       static_cast<double>(n) * (2 * neighbors + 1) * sizeof(float);
   cost.dram_write_bytes = static_cast<double>(n) * sizeof(std::int32_t);
 
-  const float* pbest_err = state.pbest_err.data();
-  std::int32_t* out = nbest_idx.data();
-  device.launch(decision.config, cost, [&](const vgpu::ThreadCtx& t) {
-    for (std::int64_t i = t.global_id(); i < n; i += t.grid_stride()) {
-      std::int32_t best = static_cast<std::int32_t>(i);
-      float best_err = pbest_err[i];
-      for (int off = 1; off <= neighbors; ++off) {
-        for (int sign : {-1, 1}) {
-          const std::int64_t j = (i + sign * off + n) % n;
-          if (pbest_err[j] < best_err) {
-            best = static_cast<std::int32_t>(j);
-            best_err = pbest_err[j];
-          }
-        }
-      }
-      out[i] = best;
-    }
-  });
+  // Element-wise launch with a by-value argument pack: the captured body
+  // stays valid for standalone replay (a reference-capturing ThreadCtx
+  // kernel records no replayable body, so replay froze nbest_idx at its
+  // capture values), and the registered static form lets compiled replay
+  // run the node through its span. No declared footprint — the window read
+  // is not element-aligned, so the node must stay opaque to the fusion
+  // pass.
+  const kernels::RingNbestKernel::Args args{state.pbest_err.data(),
+                                            nbest_idx.data(), n, neighbors};
+  device.launch_elements(decision.config, cost, n,
+                         [args](std::int64_t i) {
+                           kernels::RingNbestKernel::element(args, i);
+                         });
+  if (device.capturing()) {
+    device.graph_note_static(
+        vgpu::graph::codegen::make_static<kernels::RingNbestKernel>(args));
+  }
 }
 
 }  // namespace fastpso::core

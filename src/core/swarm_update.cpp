@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels_registry.h"
 #include "vgpu/block.h"
 #include "vgpu/prof/prof.h"
 #include "vgpu/san/tracked.h"
@@ -13,27 +14,9 @@ namespace {
 
 namespace san = vgpu::san;
 
-/// Canonical per-element update, shared by the scalar paths so results are
-/// bit-identical between the global-memory and shared-memory variants.
-/// Templated on the velocity/position reference so it accepts both plain
-/// float lvalues and sanitizer-tracked element proxies.
-template <typename VRef, typename PRef>
-inline void update_element(VRef&& v, PRef&& p, float l, float g, float pb,
-                           float gb, const UpdateCoefficients& k) {
-  san::count_flops(10.0);
-  const float pv = p;
-  float nv = k.omega * static_cast<float>(v) + k.c1 * l * (pb - pv) +
-             k.c2 * g * (gb - pv);
-  if (k.vmax > 0.0f) {
-    nv = std::clamp(nv, -k.vmax, k.vmax);  // Eq. 5 bound constraint
-  }
-  v = nv;
-  float np = pv + nv;
-  if (k.clamp_position) {
-    np = std::clamp(np, k.pos_lower, k.pos_upper);
-  }
-  p = np;
-}
+// The canonical per-element update lives in core/kernels_registry.h so the
+// compiled fused-loop path composes the exact code every variant here runs.
+using kernels::update_element;
 
 /// DRAM traffic + flops of one full swarm update over `elements` items.
 /// Reads: V, P, L, G, pbest_pos (5 matrices) + the gbest row (d floats,
@@ -56,6 +39,9 @@ void update_global(vgpu::Device& device, const LaunchPolicy& policy,
   const std::int64_t elements = state.elements();
   const int d = state.d;
   const LaunchDecision decision = policy.for_elements(elements);
+  const kernels::SwarmUpdateGlobalKernel::Args update_args{
+      state.velocities.data(), state.positions.data(), l_mat,    g_mat,
+      state.pbest_pos.data(),  state.gbest_pos.data(), state.d, coeff};
   // Fusion footprint (vgpu/graph/fusion.h): one float per element across
   // the five matrices, plus the gbest row as a broadcast read
   // (elem_bytes = 0: every element may read the whole row).
@@ -78,20 +64,17 @@ void update_global(vgpu::Device& device, const LaunchPolicy& policy,
             /*write=*/false, "pbest_pos"},
            {state.gbest_pos.data(), static_cast<double>(d) * sizeof(float),
             0, /*write=*/false, "gbest_pos"}});
+      device.graph_note_static(
+          vgpu::graph::codegen::make_static<kernels::SwarmUpdateGlobalKernel>(
+              update_args));
     }
   };
   if (vgpu::use_fast_path()) {
-    float* velocities = state.velocities.data();
-    float* positions = state.positions.data();
-    const float* pbest_pos = state.pbest_pos.data();
-    const float* gbest_pos = state.gbest_pos.data();
     vgpu::prof::KernelLabel klabel("swarm_update/global");
     device.launch_elements(
         decision.config, update_cost(elements, d, 0, false), elements,
-        [&](std::int64_t i) {
-          const int col = static_cast<int>(i % d);
-          update_element(velocities[i], positions[i], l_mat[i], g_mat[i],
-                         pbest_pos[i], gbest_pos[col], coeff);
+        [update_args](std::int64_t i) {
+          kernels::SwarmUpdateGlobalKernel::element(update_args, i);
         });
     note_footprint();
     return;
@@ -360,6 +343,10 @@ void swarm_update_ring(vgpu::Device& device, const LaunchPolicy& policy,
   const int d = state.d;
   const std::int64_t n = state.n;
   const LaunchDecision decision = policy.for_elements(elements);
+  const kernels::SwarmUpdateRingKernel::Args ring_args{
+      state.velocities.data(), state.positions.data(), l_mat.data(),
+      g_mat.data(),            state.pbest_pos.data(), nbest_idx,
+      state.d,                 coeff};
   // Footprint: as update_global, except the attractor is a data-dependent
   // gather out of pbest_pos (declared as a second, whole-span read) steered
   // by the neighborhood index array (row-broadcast: elem_bytes = 0).
@@ -386,26 +373,19 @@ void swarm_update_ring(vgpu::Device& device, const LaunchPolicy& policy,
             "pbest_pos_gather"},
            {nbest_idx, static_cast<double>(n) * sizeof(std::int32_t), 0,
             /*write=*/false, "nbest_idx"}});
+      device.graph_note_static(
+          vgpu::graph::codegen::make_static<kernels::SwarmUpdateRingKernel>(
+              ring_args));
     }
   };
   if (vgpu::use_fast_path()) {
     vgpu::KernelCostSpec cost = update_cost(elements, d, 0, false);
     cost.dram_read_bytes += static_cast<double>(n) * sizeof(std::int32_t) -
                             static_cast<double>(d) * sizeof(float);
-    float* velocities = state.velocities.data();
-    float* positions = state.positions.data();
-    const float* pbest_pos = state.pbest_pos.data();
-    const float* l = l_mat.data();
-    const float* g = g_mat.data();
     vgpu::prof::KernelLabel klabel("swarm_update/ring");
     device.launch_elements(
-        decision.config, cost, elements, [&](std::int64_t i) {
-          const std::int64_t row = i / d;
-          const int col = static_cast<int>(i % d);
-          const float attractor =
-              pbest_pos[static_cast<std::int64_t>(nbest_idx[row]) * d + col];
-          update_element(velocities[i], positions[i], l[i], g[i],
-                         pbest_pos[i], attractor, coeff);
+        decision.config, cost, elements, [ring_args](std::int64_t i) {
+          kernels::SwarmUpdateRingKernel::element(ring_args, i);
         });
     note_footprint();
     return;

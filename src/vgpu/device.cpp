@@ -304,6 +304,20 @@ void Device::graph_note_uses(std::vector<graph::BufferUse> uses) {
   }
 }
 
+void Device::graph_note_static(graph::codegen::StaticKernel kernel) {
+  if (graph_mode_ == GraphMode::kCapturing) {
+    capture_graph_->note_static(std::move(kernel));
+  }
+}
+
+void Device::graph_attach_bodies(std::function<void()> body,
+                                 std::function<void(std::int64_t)> elem_body) {
+  if (graph_mode_ == GraphMode::kCapturing) {
+    capture_graph_->attach_body(std::move(body));
+    capture_graph_->attach_elem_body(std::move(elem_body));
+  }
+}
+
 void Device::begin_capture(graph::Graph& g) {
   FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kOff,
                     "begin_capture during an open capture/replay");
@@ -362,7 +376,20 @@ void Device::replay_node(const graph::GraphExec::ExecNode& en) {
       counters_.modeled_seconds += seconds;
       *en.slot += seconds;
       stream_clock_[node.stream] += seconds;
-      if (node.body) {
+      if (en.compiled) {
+        // Registered span over the full element domain: the same element()
+        // code the captured body loops over, statically bound
+        // (vgpu/graph/codegen.h) — bitwise-identical output, no
+        // std::function indirection.
+        const graph::codegen::StaticKernel& k = node.static_kernel;
+        if (prof::active()) [[unlikely]] {
+          Stopwatch wall;
+          k.span(k.args.get(), 0, node.elems);
+          prof_note_wall(wall.elapsed_s());
+        } else {
+          k.span(k.args.get(), 0, node.elems);
+        }
+      } else if (node.body) {
         if (prof::active()) [[unlikely]] {
           Stopwatch wall;
           node.body();
@@ -454,26 +481,51 @@ void Device::replay_fused(graph::GraphExec& exec) {
     stream_clock_[g.stream] += seconds;
     // Execute the member kernels back-to-back per element — the order that
     // makes aligned same-element dependences (and therefore the numerics)
-    // identical to eager execution.
-    bool have_bodies = false;
-    for (int m : g.members) {
-      if (nodes[static_cast<std::size_t>(m)].node.elem_body) {
-        have_bodies = true;
-        break;
-      }
-    }
-    if (have_bodies) {
+    // identical to eager execution. Three tiers (vgpu/graph/codegen.h),
+    // all member-order-preserving and therefore bitwise-equivalent:
+    //   composed   one fully-inlined loop running every member per element
+    //   chunked    registered member spans in order over ~kChunk windows
+    //   interpreted the per-element elem_body fallback
+    if (!g.member_spans.empty()) {
+      exec.note_compiled_dispatch(g.composed != nullptr);
       Stopwatch wall;
-      for (std::int64_t e = 0; e < g.elems; ++e) {
-        for (int m : g.members) {
-          const graph::Node& member = nodes[static_cast<std::size_t>(m)].node;
-          if (member.elem_body) {
-            member.elem_body(e);
+      if (g.composed != nullptr) {
+        g.composed(g.member_args.data(), 0, g.elems);
+      } else {
+        for (std::int64_t c = 0; c < g.elems;
+             c += graph::codegen::kChunk) {
+          const std::int64_t end =
+              std::min(g.elems, c + graph::codegen::kChunk);
+          for (std::size_t m = 0; m < g.member_spans.size(); ++m) {
+            g.member_spans[m](g.member_args[m], c, end);
           }
         }
       }
       if (prof::active()) [[unlikely]] {
         prof_note_wall(wall.elapsed_s());
+      }
+    } else {
+      bool have_bodies = false;
+      for (int m : g.members) {
+        if (nodes[static_cast<std::size_t>(m)].node.elem_body) {
+          have_bodies = true;
+          break;
+        }
+      }
+      if (have_bodies) {
+        Stopwatch wall;
+        for (std::int64_t e = 0; e < g.elems; ++e) {
+          for (int m : g.members) {
+            const graph::Node& member =
+                nodes[static_cast<std::size_t>(m)].node;
+            if (member.elem_body) {
+              member.elem_body(e);
+            }
+          }
+        }
+        if (prof::active()) [[unlikely]] {
+          prof_note_wall(wall.elapsed_s());
+        }
       }
     }
   }

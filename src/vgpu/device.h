@@ -288,6 +288,22 @@ class Device {
   /// Attaches the declared buffer footprint of the node just captured
   /// (no-op unless capturing) — see graph::BufferUse.
   void graph_note_uses(std::vector<graph::BufferUse> uses);
+  /// Attaches the registered static kernel of the node just captured
+  /// (no-op unless capturing) — see vgpu/graph/codegen.h. Always safe to
+  /// call: registration only enables compiled standalone replay when the
+  /// node also captured its body.
+  void graph_note_static(graph::codegen::StaticKernel kernel);
+  /// True while a capture with body recording is open. Dispatchers that
+  /// pair account_launch with their own execution (core::evaluate_positions)
+  /// use this to decide whether to build standalone-replay bodies.
+  [[nodiscard]] bool capturing_bodies() const {
+    return capture_bodies_ && graph_mode_ == GraphMode::kCapturing;
+  }
+  /// Attaches standalone-replay bodies to the node just captured (no-op
+  /// unless capturing) — the external-dispatcher counterpart of what
+  /// launch_elements does automatically under set_capture_bodies(true).
+  void graph_attach_bodies(std::function<void()> body,
+                           std::function<void(std::int64_t)> elem_body);
 
   // --- kernel launch ------------------------------------------------------
   /// Launches `body` once per thread of `cfg`. The body receives a

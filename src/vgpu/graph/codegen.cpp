@@ -1,0 +1,71 @@
+#include "vgpu/graph/codegen.h"
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace fastpso::vgpu::graph::codegen {
+
+namespace {
+
+bool initial_enabled() {
+  const char* env = std::getenv("FASTPSO_CODEGEN");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+bool g_enabled = initial_enabled();
+
+/// Registry state behind function-local statics so registration from
+/// static initializers in other translation units is order-safe.
+struct TagTable {
+  std::map<std::string, std::uint32_t, std::less<>> ids;
+  std::vector<std::string> names = {"<invalid>"};  // names[0] reserved
+};
+
+TagTable& tags() {
+  static TagTable table;
+  return table;
+}
+
+std::map<std::vector<std::uint32_t>, ComposedFn>& compositions() {
+  static std::map<std::vector<std::uint32_t>, ComposedFn> table;
+  return table;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled; }
+void set_enabled(bool enabled) { g_enabled = enabled; }
+
+std::uint32_t intern_tag(std::string_view name) {
+  TagTable& table = tags();
+  const auto it = table.ids.find(name);
+  if (it != table.ids.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(table.names.size());
+  table.names.emplace_back(name);
+  table.ids.emplace(std::string(name), id);
+  return id;
+}
+
+std::string_view tag_name(std::uint32_t tag) {
+  const TagTable& table = tags();
+  if (tag >= table.names.size()) {
+    return table.names.front();
+  }
+  return table.names[tag];
+}
+
+void register_composed(std::vector<std::uint32_t> tags, ComposedFn fn) {
+  compositions()[std::move(tags)] = fn;
+}
+
+ComposedFn find_composed(const std::vector<std::uint32_t>& tags) {
+  const auto& table = compositions();
+  const auto it = table.find(tags);
+  return it != table.end() ? it->second : nullptr;
+}
+
+}  // namespace fastpso::vgpu::graph::codegen

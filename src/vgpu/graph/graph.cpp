@@ -101,6 +101,11 @@ void Graph::attach_elem_body(std::function<void(std::int64_t)> body) {
   nodes_.back().elem_body = std::move(body);
 }
 
+void Graph::note_static(codegen::StaticKernel kernel) {
+  FASTPSO_CHECK_MSG(!nodes_.empty(), "note_static on an empty graph");
+  nodes_.back().static_kernel = std::move(kernel);
+}
+
 GraphExec Graph::instantiate(const GpuPerfModel& perf) const {
   GraphExec exec;
   exec.nodes_.reserve(nodes_.size());
@@ -408,6 +413,11 @@ FusionStats IterationRecorder::fusion_stats() const {
   FusionStats s = exec_ != nullptr ? exec_->fusion_stats() : FusionStats{};
   s.enabled = fuse_;
   return s;
+}
+
+codegen::CodegenStats IterationRecorder::codegen_stats() const {
+  return exec_ != nullptr ? exec_->codegen_stats()
+                          : codegen::CodegenStats{};
 }
 
 }  // namespace fastpso::vgpu::graph

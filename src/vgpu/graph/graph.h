@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "vgpu/graph/codegen.h"
 #include "vgpu/perf_model.h"
 
 namespace fastpso::vgpu {
@@ -147,6 +148,10 @@ struct Node {
   /// Per-element body for fused standalone replay (Device::replay_fused);
   /// captured alongside `body` under set_capture_bodies(true).
   std::function<void(std::int64_t)> elem_body;
+  /// Registered static form of the launch (vgpu/graph/codegen.h): tag +
+  /// statically-bound span + by-value argument pack. Attached by known
+  /// call sites via Device::graph_note_static; invalid for opaque kernels.
+  codegen::StaticKernel static_kernel;
 };
 
 /// Replay bookkeeping, surfaced through core::Result for benches/tests.
@@ -216,6 +221,9 @@ class Graph {
   void note_uses(std::vector<BufferUse> uses);
   /// Attaches a per-element body to the most recent node (replay_fused).
   void attach_elem_body(std::function<void(std::int64_t)> body);
+  /// Attaches the registered static kernel of the most recent node
+  /// (vgpu/graph/codegen.h).
+  void note_static(codegen::StaticKernel kernel);
 
   /// One-time validation + pre-resolution (cudaGraphInstantiate analogue).
   /// Audits every node structurally (shape within device limits, cost spec
@@ -246,6 +254,10 @@ class GraphExec {
     double* slot = nullptr;
     /// Index into fused_groups(), or -1 when the node is unfused.
     int fuse_group = -1;
+    /// Unfused node replayable through its registered span instead of its
+    /// captured body (set by apply_codegen; requires both to be present so
+    /// the span is a pure accelerator of existing replay semantics).
+    bool compiled = false;
   };
 
   /// One fused run of >= 2 consecutive element-wise kernel nodes
@@ -277,6 +289,12 @@ class GraphExec {
     KernelCostSpec live_sum;
     double member_seconds = 0;
     int matched = 0;
+    /// Compiled execution plan (vgpu/graph/codegen.h), resolved once by
+    /// apply_codegen when every member registered a static kernel AND
+    /// carries a captured body. Empty member_spans = interpreted fallback.
+    codegen::ComposedFn composed = nullptr;
+    std::vector<codegen::SpanFn> member_spans;
+    std::vector<const void*> member_args;
   };
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
@@ -339,6 +357,27 @@ class GraphExec {
   /// fusion saving recorded.
   void end_standalone_fused();
 
+  // --- compiled loops (vgpu/graph/codegen.h) ------------------------------
+  /// Resolves the compiled execution plan: fused groups whose members all
+  /// registered static kernels get their span/arg tables (and, on an exact
+  /// tag-sequence match, a composed loop); unfused registered nodes get
+  /// span replay. Execution-level resolution additionally requires captured
+  /// bodies, keeping compiled replay a pure accelerator of the existing
+  /// standalone-replay semantics (body-less graphs execute nothing, as
+  /// today). Auto-run at the end of apply_fusion when codegen::enabled();
+  /// idempotent.
+  void apply_codegen();
+  [[nodiscard]] const codegen::CodegenStats& codegen_stats() const {
+    return codegen_stats_;
+  }
+  /// Records one compiled fused-group dispatch (Device::replay_fused).
+  void note_compiled_dispatch(bool composed) {
+    ++codegen_stats_.compiled_dispatches;
+    if (composed) {
+      ++codegen_stats_.composed_dispatches;
+    }
+  }
+
  private:
   friend class Graph;
   friend class FusionPass;
@@ -368,6 +407,7 @@ class GraphExec {
 
   std::vector<FusedGroup> fusion_groups_;
   FusionStats fusion_stats_;
+  codegen::CodegenStats codegen_stats_;
   /// Perf model the fusion plan was priced against (outlives the exec: it
   /// belongs to the Device the graph was captured on).
   const GpuPerfModel* fusion_perf_ = nullptr;
@@ -399,6 +439,8 @@ class IterationRecorder {
   [[nodiscard]] GraphStats stats() const;
   /// Fusion bookkeeping (FusionStats.enabled reflects this recorder).
   [[nodiscard]] FusionStats fusion_stats() const;
+  /// Compiled-loop bookkeeping (all-default before instantiation).
+  [[nodiscard]] codegen::CodegenStats codegen_stats() const;
 
  private:
   enum class State : std::uint8_t {

@@ -1,0 +1,831 @@
+// vgpu::graph::codegen — compiled SoA loops for fused standalone replay
+// (DESIGN.md §11). The contract under test:
+//
+//   * differential — one captured Table 1 iteration slice (weight fill,
+//     evaluation, pbest compare/gather, swarm update) replayed through
+//     every dispatch tier — eager re-execution, plain replay_graph,
+//     interpreted replay_fused, compiled replay_fused — produces bitwise
+//     identical swarm buffers on all four paper problems across the sync /
+//     overlap-init / ring variants and both fusion shapes (d = 4 collapses
+//     the whole per-particle run into one group, d = 8 splits the weight
+//     fills from it);
+//   * accounting — the compiled tiers are pure host-side accelerators:
+//     interpreted and compiled replays of the same capture report identical
+//     device counters, modeled seconds and kernel seconds;
+//   * resolution — fully registered groups compile (composed when their
+//     exact tag sequence is registered, chunked member spans otherwise);
+//     one unregistered member drops the whole group to the interpreted
+//     fallback; unfused registered nodes replay through their span;
+//   * inertness — the sanitizer trace ignores the codegen toggle, and the
+//     serve scheduler's differential results ignore it while its stats
+//     report the recognized groups.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/best_update.h"
+#include "core/eval_schema.h"
+#include "core/init.h"
+#include "core/launch_policy.h"
+#include "core/neighborhood.h"
+#include "core/objective.h"
+#include "core/optimizer.h"
+#include "core/params.h"
+#include "core/swarm_state.h"
+#include "core/swarm_update.h"
+#include "problems/problem.h"
+#include "serve/scheduler.h"
+#include "tgbm/threadconf.h"
+#include "vgpu/buffer.h"
+#include "vgpu/device.h"
+#include "vgpu/graph/codegen.h"
+#include "vgpu/graph/fusion.h"
+#include "vgpu/graph/graph.h"
+#include "vgpu/san/sanitizer.h"
+
+namespace fastpso {
+namespace {
+
+namespace codegen = vgpu::graph::codegen;
+using vgpu::graph::BufferUse;
+using vgpu::graph::Graph;
+using vgpu::graph::GraphExec;
+
+// ---- RAII toggles (mirroring test_fusion.cpp) ----------------------------
+
+class CodegenGuard {
+ public:
+  explicit CodegenGuard(bool enabled) : saved_(codegen::enabled()) {
+    codegen::set_enabled(enabled);
+  }
+  ~CodegenGuard() { codegen::set_enabled(saved_); }
+
+  CodegenGuard(const CodegenGuard&) = delete;
+  CodegenGuard& operator=(const CodegenGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+class FusionGuard {
+ public:
+  explicit FusionGuard(bool enabled)
+      : saved_(vgpu::graph::fusion_enabled()) {
+    vgpu::graph::set_fusion_enabled(enabled);
+  }
+  ~FusionGuard() { vgpu::graph::set_fusion_enabled(saved_); }
+
+  FusionGuard(const FusionGuard&) = delete;
+  FusionGuard& operator=(const FusionGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+class GraphGuard {
+ public:
+  explicit GraphGuard(bool enabled) : saved_(vgpu::graph::enabled()) {
+    vgpu::graph::set_enabled(enabled);
+  }
+  ~GraphGuard() { vgpu::graph::set_enabled(saved_); }
+
+  GraphGuard(const GraphGuard&) = delete;
+  GraphGuard& operator=(const GraphGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+class FastPathGuard {
+ public:
+  explicit FastPathGuard(bool enabled) : saved_(vgpu::fast_path_enabled()) {
+    vgpu::set_fast_path_enabled(enabled);
+  }
+  ~FastPathGuard() { vgpu::set_fast_path_enabled(saved_); }
+
+  FastPathGuard(const FastPathGuard&) = delete;
+  FastPathGuard& operator=(const FastPathGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+void expect_counters_equal(const vgpu::DeviceCounters& a,
+                           const vgpu::DeviceCounters& b) {
+  EXPECT_EQ(a.allocs, b.allocs);
+  EXPECT_EQ(a.frees, b.frees);
+  EXPECT_EQ(a.launches, b.launches);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.barriers, b.barriers);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.transcendentals, b.transcendentals);
+  EXPECT_EQ(a.dram_read_useful, b.dram_read_useful);
+  EXPECT_EQ(a.dram_write_useful, b.dram_write_useful);
+  EXPECT_EQ(a.dram_read_fetched, b.dram_read_fetched);
+  EXPECT_EQ(a.dram_write_fetched, b.dram_write_fetched);
+  EXPECT_EQ(a.h2d_bytes, b.h2d_bytes);
+  EXPECT_EQ(a.d2h_bytes, b.d2h_bytes);
+  EXPECT_EQ(a.modeled_seconds, b.modeled_seconds);
+  EXPECT_EQ(a.kernel_seconds, b.kernel_seconds);
+}
+
+// ---- pipeline differential harness ---------------------------------------
+
+/// Which swarm-update topology the captured slice uses. kOverlap puts the
+/// weight fills on a second stream (job_run.cpp's overlap_init idiom), so
+/// the fusion pass must split them from the evaluation run; kRing routes
+/// the social attractor through the ring-neighborhood gather.
+enum class Topology { kSync, kOverlap, kRing };
+
+/// Which dispatch tier executes iterations 2..N of the slice.
+enum class Tier { kEager, kPlainReplay, kInterpreted, kCompiled };
+
+struct PipelineResult {
+  std::vector<float> positions;
+  std::vector<float> velocities;
+  std::vector<float> pbest_pos;
+  std::vector<float> pbest_err;
+  std::vector<float> perror;
+  std::vector<float> gbest_pos;
+  vgpu::DeviceCounters counters;
+  vgpu::graph::FusionStats fusion;
+  codegen::CodegenStats stats;
+};
+
+/// Runs `iters` executions of one iteration slice — eagerly, or as one
+/// body-capturing pass plus `iters - 1` replays through the requested tier
+/// — over a persistent swarm, and downloads every buffer the slice writes.
+/// Mirrors bench_codegen_pipeline's slice (the launch_elements portion of
+/// the sync loop; update_gbest's host-conditional copy stays outside, as in
+/// the production recorder's divergence-safe region).
+PipelineResult run_pipeline(const std::string& problem_name, int n, int d,
+                            Topology topo, Tier tier, int iters) {
+  const FastPathGuard fast(true);
+  const CodegenGuard cg(tier == Tier::kCompiled);
+
+  const std::unique_ptr<problems::Problem> problem =
+      problem_name == "threadconf" ? tgbm::make_threadconf_problem()
+                                   : problems::make_problem(problem_name);
+  const core::Objective objective = core::objective_from_problem(*problem, d);
+  core::PsoParams params;
+  params.particles = n;
+  params.dim = d;
+  params.max_iter = iters;
+  params.seed = 1234;
+  const core::UpdateCoefficients coeff =
+      core::make_coefficients(params, objective.lower, objective.upper);
+  const std::int64_t elements = static_cast<std::int64_t>(n) * d;
+  vgpu::KernelCostSpec eval_cost;
+  eval_cost.flops = objective.cost.flops(d) * n;
+  eval_cost.transcendentals = objective.cost.transcendentals(d) * n;
+  eval_cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
+  eval_cost.dram_write_bytes = static_cast<double>(n) * sizeof(float);
+
+  vgpu::Device device;
+  core::LaunchPolicy policy(device.spec());
+  core::SwarmState state(device, n, d);
+  vgpu::DeviceArray<float> l_mat(device, static_cast<std::size_t>(elements));
+  vgpu::DeviceArray<float> g_mat(device, static_cast<std::size_t>(elements));
+  vgpu::DeviceArray<std::int32_t> nbest_idx(device,
+                                            static_cast<std::size_t>(n));
+  core::initialize_swarm(device, policy, state, params.seed,
+                         static_cast<float>(objective.lower),
+                         static_cast<float>(objective.upper), coeff.vmax);
+  // The slice omits update_gbest (its argmin is a host-side conditional the
+  // recorder keeps outside the captured region), so the global-topology
+  // attractor must be seeded deterministically — device allocations are
+  // uninitialized, exactly like cudaMalloc.
+  const std::vector<float> gbest_seed(static_cast<std::size_t>(d), 0.0f);
+  state.gbest_pos.upload(gbest_seed);
+  const vgpu::Device::StreamId gen_stream =
+      topo == Topology::kOverlap ? device.create_stream() : 0;
+
+  const auto slice = [&] {
+    device.set_phase("init");
+    if (topo == Topology::kOverlap) {
+      device.set_stream(gen_stream);
+    }
+    core::generate_weights(device, policy, elements, params.seed, 0, l_mat,
+                           g_mat);
+    if (topo == Topology::kOverlap) {
+      device.set_stream(0);
+    }
+    device.set_phase("eval");
+    core::evaluate_positions(device, policy, objective,
+                             state.positions.data(), n, d, eval_cost,
+                             state.perror.data());
+    device.set_phase("pbest");
+    core::update_pbest(device, policy, state);
+    device.set_phase("swarm");
+    if (topo == Topology::kRing) {
+      core::update_ring_nbest(device, policy, state, /*neighbors=*/1,
+                              nbest_idx);
+      core::swarm_update_ring(device, policy, state, l_mat, g_mat, coeff,
+                              nbest_idx.data());
+    } else {
+      core::swarm_update(device, policy, state, l_mat, g_mat, coeff,
+                         core::UpdateTechnique::kGlobalMemory);
+    }
+  };
+
+  PipelineResult r;
+  if (tier == Tier::kEager) {
+    for (int it = 0; it < iters; ++it) {
+      slice();
+    }
+  } else {
+    Graph graph;
+    device.set_capture_bodies(true);
+    device.begin_capture(graph);
+    slice();  // the capture pass executes iteration 1 eagerly
+    device.end_capture();
+    device.set_capture_bodies(false);
+    GraphExec exec = graph.instantiate(device.perf());
+    if (tier != Tier::kPlainReplay) {
+      exec.apply_fusion(device.perf());
+    }
+    for (int it = 1; it < iters; ++it) {
+      if (tier == Tier::kPlainReplay) {
+        device.replay_graph(exec);
+      } else {
+        device.replay_fused(exec);
+      }
+    }
+    r.fusion = exec.fusion_stats();
+    r.stats = exec.codegen_stats();
+  }
+
+  r.positions.resize(static_cast<std::size_t>(elements));
+  r.velocities.resize(static_cast<std::size_t>(elements));
+  r.pbest_pos.resize(static_cast<std::size_t>(elements));
+  r.pbest_err.resize(static_cast<std::size_t>(n));
+  r.perror.resize(static_cast<std::size_t>(n));
+  r.gbest_pos.resize(static_cast<std::size_t>(d));
+  state.positions.download(r.positions);
+  state.velocities.download(r.velocities);
+  state.pbest_pos.download(r.pbest_pos);
+  state.pbest_err.download(r.pbest_err);
+  state.perror.download(r.perror);
+  state.gbest_pos.download(r.gbest_pos);
+  r.counters = device.counters();
+  return r;
+}
+
+void expect_buffers_equal(const PipelineResult& a, const PipelineResult& b) {
+  EXPECT_TRUE(bits_equal(a.positions, b.positions)) << "positions";
+  EXPECT_TRUE(bits_equal(a.velocities, b.velocities)) << "velocities";
+  EXPECT_TRUE(bits_equal(a.pbest_pos, b.pbest_pos)) << "pbest_pos";
+  EXPECT_TRUE(bits_equal(a.pbest_err, b.pbest_err)) << "pbest_err";
+  EXPECT_TRUE(bits_equal(a.perror, b.perror)) << "perror";
+  EXPECT_TRUE(bits_equal(a.gbest_pos, b.gbest_pos)) << "gbest_pos";
+}
+
+constexpr int kIters = 5;
+constexpr int kParticles = 32;
+
+const std::vector<std::string>& table1_problems() {
+  static const std::vector<std::string> names = {"sphere", "griewank",
+                                                 "easom", "threadconf"};
+  return names;
+}
+
+TEST(CodegenPipeline, BitwiseAcrossTiersProblemsAndTopologies) {
+  const struct {
+    Topology topo;
+    int d;
+    const char* name;
+  } shapes[] = {
+      {Topology::kSync, 4, "sync_d4"},      // one 5-member group
+      {Topology::kSync, 8, "sync_d8"},      // fills split from the eval run
+      {Topology::kOverlap, 4, "overlap_d4"},  // fills split by stream
+      {Topology::kRing, 4, "ring_d4"},
+  };
+  for (const std::string& problem : table1_problems()) {
+    for (const auto& shape : shapes) {
+      SCOPED_TRACE(problem + " " + shape.name);
+      const PipelineResult eager =
+          run_pipeline(problem, kParticles, shape.d, shape.topo, Tier::kEager,
+                       kIters);
+      const PipelineResult plain =
+          run_pipeline(problem, kParticles, shape.d, shape.topo,
+                       Tier::kPlainReplay, kIters);
+      const PipelineResult interp =
+          run_pipeline(problem, kParticles, shape.d, shape.topo,
+                       Tier::kInterpreted, kIters);
+      const PipelineResult compiled =
+          run_pipeline(problem, kParticles, shape.d, shape.topo,
+                       Tier::kCompiled, kIters);
+
+      expect_buffers_equal(plain, eager);
+      expect_buffers_equal(interp, eager);
+      expect_buffers_equal(compiled, eager);
+
+      // Compiled dispatch is a pure host-side accelerator of interpreted
+      // fused replay: identical accounting, to the bit.
+      expect_counters_equal(compiled.counters, interp.counters);
+
+      // The interpreted run never resolved codegen...
+      EXPECT_FALSE(interp.stats.enabled);
+      EXPECT_EQ(interp.stats.compiled_groups, 0);
+      EXPECT_EQ(interp.stats.compiled_dispatches, 0u);
+      // ...while the compiled run genuinely compiled every fused group:
+      // all slice kernels register static forms, so nothing is left to the
+      // interpreted fallback.
+      EXPECT_TRUE(compiled.stats.enabled);
+      EXPECT_TRUE(compiled.stats.applied);
+      EXPECT_GE(compiled.fusion.groups, 1);
+      EXPECT_EQ(compiled.stats.compiled_groups, compiled.fusion.groups);
+      EXPECT_EQ(compiled.stats.interpreted_groups, 0);
+      EXPECT_EQ(compiled.stats.compiled_dispatches,
+                static_cast<std::uint64_t>(kIters - 1) *
+                    static_cast<std::uint64_t>(compiled.stats.compiled_groups));
+      if (problem != "threadconf") {
+        // The concrete-typed eval kernels give every registered shape at
+        // least one composed group ({fill,fill} alone when the fills split
+        // off, the eval run or the whole slice otherwise).
+        EXPECT_GE(compiled.stats.composed_groups, 1);
+        EXPECT_EQ(compiled.stats.composed_dispatches,
+                  static_cast<std::uint64_t>(kIters - 1) *
+                      static_cast<std::uint64_t>(
+                          compiled.stats.composed_groups));
+      }
+    }
+  }
+}
+
+TEST(CodegenPipeline, GenericEvalDispatchStaysChunkedNotComposed) {
+  // threadconf registers the generic EvalBatchKernel, whose tag sequence
+  // has no composed loop: at d = 4 the whole slice is one fused group, so
+  // it must run compiled through chunked member spans, not composed.
+  const PipelineResult compiled = run_pipeline(
+      "threadconf", kParticles, 4, Topology::kSync, Tier::kCompiled, kIters);
+  EXPECT_GE(compiled.stats.compiled_groups, 1);
+  EXPECT_EQ(compiled.stats.composed_groups, 0);
+  EXPECT_GT(compiled.stats.compiled_dispatches, 0u);
+  EXPECT_EQ(compiled.stats.composed_dispatches, 0u);
+}
+
+// ---- hand-built chains: resolution tiers ---------------------------------
+
+constexpr std::int64_t kChainElems = 192;
+constexpr double kFloat = sizeof(float);
+
+vgpu::KernelCostSpec cost_rw(double flops, double read_bytes,
+                             double write_bytes) {
+  vgpu::KernelCostSpec cost;
+  cost.flops = flops;
+  cost.dram_read_bytes = read_bytes;
+  cost.dram_write_bytes = write_bytes;
+  return cost;
+}
+
+BufferUse scalar_use(const float* base, std::int64_t elems, bool write,
+                     const char* name) {
+  return {base, static_cast<double>(elems) * kFloat,
+          static_cast<std::int64_t>(kFloat), write, name};
+}
+
+/// Test-local registered kernels: a[i] = 2i, b[i] = a[i] + 1, b[i] *= 3 —
+/// the same chain test_fusion.cpp fuses, with static forms attached.
+struct IotaKernel {
+  struct Args {
+    float* out;
+  };
+  static std::uint32_t tag() {
+    static const std::uint32_t t = codegen::intern_tag("codegen_test/iota");
+    return t;
+  }
+  static void element(const Args& a, std::int64_t i) {
+    a.out[i] = static_cast<float>(i) * 2.0f;
+  }
+};
+
+struct AddOneKernel {
+  struct Args {
+    const float* in;
+    float* out;
+  };
+  static std::uint32_t tag() {
+    static const std::uint32_t t =
+        codegen::intern_tag("codegen_test/add_one");
+    return t;
+  }
+  static void element(const Args& a, std::int64_t i) {
+    a.out[i] = a.in[i] + 1.0f;
+  }
+};
+
+struct TripleKernel {
+  struct Args {
+    float* buf;
+  };
+  static std::uint32_t tag() {
+    static const std::uint32_t t =
+        codegen::intern_tag("codegen_test/triple");
+    return t;
+  }
+  static void element(const Args& a, std::int64_t i) { a.buf[i] *= 3.0f; }
+};
+
+struct CapturedChain {
+  Graph graph;
+  std::vector<float> expected;
+};
+
+/// Captures the three-kernel chain with bodies; each `register_*` flag
+/// additionally attaches that member's static form (graph_note_static),
+/// exactly as the core call sites do.
+CapturedChain capture_chain(vgpu::Device& device, vgpu::DeviceArray<float>& a,
+                            vgpu::DeviceArray<float>& b, std::int64_t n,
+                            bool register_k1, bool register_k2,
+                            bool register_k3) {
+  vgpu::LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 64;
+  CapturedChain chain;
+  device.set_capture_bodies(true);
+  device.begin_capture(chain.graph);
+  {
+    const IotaKernel::Args args{a.data()};
+    device.launch_elements(cfg, cost_rw(static_cast<double>(n), 0, n * kFloat),
+                           n,
+                           [args](std::int64_t i) {
+                             IotaKernel::element(args, i);
+                           });
+    device.graph_note_uses({scalar_use(a.data(), n, true, "a")});
+    if (register_k1) {
+      device.graph_note_static(codegen::make_static<IotaKernel>(args));
+    }
+  }
+  {
+    const AddOneKernel::Args args{a.data(), b.data()};
+    device.launch_elements(
+        cfg, cost_rw(static_cast<double>(n), n * kFloat, n * kFloat), n,
+        [args](std::int64_t i) { AddOneKernel::element(args, i); });
+    device.graph_note_uses({scalar_use(a.data(), n, false, "a"),
+                            scalar_use(b.data(), n, true, "b")});
+    if (register_k2) {
+      device.graph_note_static(codegen::make_static<AddOneKernel>(args));
+    }
+  }
+  {
+    const TripleKernel::Args args{b.data()};
+    device.launch_elements(
+        cfg, cost_rw(static_cast<double>(n), n * kFloat, n * kFloat), n,
+        [args](std::int64_t i) { TripleKernel::element(args, i); });
+    device.graph_note_uses({scalar_use(b.data(), n, false, "b"),
+                            scalar_use(b.data(), n, true, "b")});
+    if (register_k3) {
+      device.graph_note_static(codegen::make_static<TripleKernel>(args));
+    }
+  }
+  device.end_capture();
+  device.set_capture_bodies(false);
+  chain.expected.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    chain.expected[static_cast<std::size_t>(i)] =
+        (static_cast<float>(i) * 2.0f + 1.0f) * 3.0f;
+  }
+  return chain;
+}
+
+TEST(CodegenChain, RegisteredSequenceRunsComposed) {
+  const FastPathGuard fast(true);
+  const CodegenGuard cg(true);
+  codegen::register_composed_sequence<IotaKernel, AddOneKernel,
+                                      TripleKernel>();
+  vgpu::Device device;
+  device.set_phase("test");
+  vgpu::DeviceArray<float> a(device, kChainElems);
+  vgpu::DeviceArray<float> b(device, kChainElems);
+  CapturedChain chain =
+      capture_chain(device, a, b, kChainElems, true, true, true);
+  GraphExec exec = chain.graph.instantiate(device.perf());
+  exec.apply_fusion(device.perf());
+  ASSERT_EQ(exec.fusion_stats().groups, 1);
+  EXPECT_EQ(exec.codegen_stats().registered_groups, 1);
+  EXPECT_EQ(exec.codegen_stats().composed_groups, 1);
+  EXPECT_EQ(exec.codegen_stats().compiled_groups, 1);
+  EXPECT_EQ(exec.codegen_stats().interpreted_groups, 0);
+
+  const std::vector<float> zeros(kChainElems, 0.0f);
+  b.upload(zeros);
+  device.replay_fused(exec);
+  std::vector<float> out(static_cast<std::size_t>(kChainElems));
+  b.download(out);
+  EXPECT_TRUE(bits_equal(out, chain.expected));
+  EXPECT_EQ(exec.codegen_stats().compiled_dispatches, 1u);
+  EXPECT_EQ(exec.codegen_stats().composed_dispatches, 1u);
+}
+
+TEST(CodegenChain, RegisteredWithoutSequenceUsesChunkedSpans) {
+  const FastPathGuard fast(true);
+  const CodegenGuard cg(true);
+  // Skip the iota member so the fused run is {add_one, triple} — a tag
+  // sequence no one registered a composed loop for. Resolution must land
+  // on chunked member spans, never the interpreted fallback.
+  vgpu::Device device;
+  device.set_phase("test");
+  vgpu::DeviceArray<float> a(device, kChainElems);
+  vgpu::DeviceArray<float> b(device, kChainElems);
+  std::vector<float> seed(kChainElems);
+  for (std::int64_t i = 0; i < kChainElems; ++i) {
+    seed[static_cast<std::size_t>(i)] = static_cast<float>(i) * 2.0f;
+  }
+  a.upload(seed);
+
+  vgpu::LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 64;
+  Graph graph;
+  device.set_capture_bodies(true);
+  device.begin_capture(graph);
+  {
+    const AddOneKernel::Args args{a.data(), b.data()};
+    device.launch_elements(
+        cfg,
+        cost_rw(static_cast<double>(kChainElems), kChainElems * kFloat,
+                kChainElems * kFloat),
+        kChainElems, [args](std::int64_t i) { AddOneKernel::element(args, i); });
+    device.graph_note_uses({scalar_use(a.data(), kChainElems, false, "a"),
+                            scalar_use(b.data(), kChainElems, true, "b")});
+    device.graph_note_static(codegen::make_static<AddOneKernel>(args));
+  }
+  {
+    const TripleKernel::Args args{b.data()};
+    device.launch_elements(
+        cfg,
+        cost_rw(static_cast<double>(kChainElems), kChainElems * kFloat,
+                kChainElems * kFloat),
+        kChainElems, [args](std::int64_t i) { TripleKernel::element(args, i); });
+    device.graph_note_uses({scalar_use(b.data(), kChainElems, false, "b"),
+                            scalar_use(b.data(), kChainElems, true, "b")});
+    device.graph_note_static(codegen::make_static<TripleKernel>(args));
+  }
+  device.end_capture();
+  device.set_capture_bodies(false);
+
+  GraphExec exec = graph.instantiate(device.perf());
+  exec.apply_fusion(device.perf());
+  ASSERT_EQ(exec.fusion_stats().groups, 1);
+  EXPECT_EQ(exec.codegen_stats().registered_groups, 1);
+  EXPECT_EQ(exec.codegen_stats().composed_groups, 0);
+  EXPECT_EQ(exec.codegen_stats().compiled_groups, 1);
+  EXPECT_EQ(exec.codegen_stats().interpreted_groups, 0);
+
+  device.replay_fused(exec);
+  std::vector<float> out(static_cast<std::size_t>(kChainElems));
+  b.download(out);
+  std::vector<float> expected(kChainElems);
+  for (std::int64_t i = 0; i < kChainElems; ++i) {
+    expected[static_cast<std::size_t>(i)] =
+        (static_cast<float>(i) * 2.0f + 1.0f) * 3.0f;
+  }
+  EXPECT_TRUE(bits_equal(out, expected));
+  EXPECT_EQ(exec.codegen_stats().compiled_dispatches, 1u);
+  EXPECT_EQ(exec.codegen_stats().composed_dispatches, 0u);
+}
+
+TEST(CodegenChain, UnregisteredMemberFallsBackInterpreted) {
+  const FastPathGuard fast(true);
+  const CodegenGuard cg(true);
+  vgpu::Device device;
+  device.set_phase("test");
+  vgpu::DeviceArray<float> a(device, kChainElems);
+  vgpu::DeviceArray<float> b(device, kChainElems);
+  // The middle member stays opaque: the whole group must drop to the
+  // interpreted per-element fallback and still produce the right bits.
+  CapturedChain chain =
+      capture_chain(device, a, b, kChainElems, true, false, true);
+  GraphExec exec = chain.graph.instantiate(device.perf());
+  exec.apply_fusion(device.perf());
+  ASSERT_EQ(exec.fusion_stats().groups, 1);
+  EXPECT_EQ(exec.codegen_stats().registered_groups, 0);
+  EXPECT_EQ(exec.codegen_stats().compiled_groups, 0);
+  EXPECT_EQ(exec.codegen_stats().composed_groups, 0);
+  EXPECT_EQ(exec.codegen_stats().interpreted_groups, 1);
+
+  const std::vector<float> zeros(kChainElems, 0.0f);
+  b.upload(zeros);
+  device.replay_fused(exec);
+  std::vector<float> out(static_cast<std::size_t>(kChainElems));
+  b.download(out);
+  EXPECT_TRUE(bits_equal(out, chain.expected));
+  EXPECT_EQ(exec.codegen_stats().compiled_dispatches, 0u);
+}
+
+TEST(CodegenChain, DisabledCodegenLeavesEverythingInterpreted) {
+  const FastPathGuard fast(true);
+  const CodegenGuard cg(false);
+  vgpu::Device device;
+  device.set_phase("test");
+  vgpu::DeviceArray<float> a(device, kChainElems);
+  vgpu::DeviceArray<float> b(device, kChainElems);
+  CapturedChain chain =
+      capture_chain(device, a, b, kChainElems, true, true, true);
+  GraphExec exec = chain.graph.instantiate(device.perf());
+  exec.apply_fusion(device.perf());
+  ASSERT_EQ(exec.fusion_stats().groups, 1);
+  EXPECT_FALSE(exec.codegen_stats().enabled);
+  EXPECT_EQ(exec.codegen_stats().compiled_groups, 0);
+
+  const std::vector<float> zeros(kChainElems, 0.0f);
+  b.upload(zeros);
+  device.replay_fused(exec);
+  std::vector<float> out(static_cast<std::size_t>(kChainElems));
+  b.download(out);
+  EXPECT_TRUE(bits_equal(out, chain.expected));
+  EXPECT_EQ(exec.codegen_stats().compiled_dispatches, 0u);
+}
+
+// ---- unfused compiled nodes ----------------------------------------------
+
+std::int64_t g_counting_span_calls = 0;
+
+/// A kernel with its own span, so the test can observe which form the
+/// replay dispatched (the span and the element loop compute identical
+/// bits, as the registry contract requires).
+struct CountingAddKernel {
+  struct Args {
+    float* data;
+    float inc;
+  };
+  static std::uint32_t tag() {
+    static const std::uint32_t t =
+        codegen::intern_tag("codegen_test/counting_add");
+    return t;
+  }
+  static void element(const Args& a, std::int64_t i) { a.data[i] += a.inc; }
+  static void span(const void* args, std::int64_t begin, std::int64_t end) {
+    ++g_counting_span_calls;
+    const auto& a = *static_cast<const Args*>(args);
+    for (std::int64_t i = begin; i < end; ++i) {
+      element(a, i);
+    }
+  }
+};
+
+TEST(CodegenNode, UnfusedRegisteredNodeReplaysThroughItsSpan) {
+  const FastPathGuard fast(true);
+  const CodegenGuard cg(true);
+  constexpr std::int64_t kN = 96;
+  vgpu::Device device;
+  device.set_phase("test");
+  vgpu::DeviceArray<float> data(device, kN);
+  std::vector<float> seed(kN);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    seed[static_cast<std::size_t>(i)] = static_cast<float>(i) * 0.5f;
+  }
+  data.upload(seed);
+
+  vgpu::LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 64;
+  Graph graph;
+  device.set_capture_bodies(true);
+  device.begin_capture(graph);
+  const CountingAddKernel::Args args{data.data(), 1.25f};
+  device.launch_elements(
+      cfg, cost_rw(static_cast<double>(kN), kN * kFloat, kN * kFloat), kN,
+      [args](std::int64_t i) { CountingAddKernel::element(args, i); });
+  device.graph_note_uses({scalar_use(data.data(), kN, false, "data"),
+                          scalar_use(data.data(), kN, true, "data")});
+  device.graph_note_static(codegen::make_static<CountingAddKernel>(args));
+  device.end_capture();
+  device.set_capture_bodies(false);
+
+  GraphExec exec = graph.instantiate(device.perf());
+  exec.apply_fusion(device.perf());
+  // A single node forms no fused group; apply_codegen still marks it
+  // replayable through its registered span.
+  EXPECT_EQ(exec.fusion_stats().groups, 0);
+  EXPECT_EQ(exec.codegen_stats().compiled_nodes, 1);
+
+  const std::int64_t span_calls_before = g_counting_span_calls;
+  device.replay_fused(exec);
+  EXPECT_GE(g_counting_span_calls - span_calls_before, 1);
+  std::vector<float> out(static_cast<std::size_t>(kN));
+  data.download(out);
+  // Capture pass once + one replay: seed + 2 * inc, all exactly
+  // representable.
+  std::vector<float> expected(kN);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    expected[static_cast<std::size_t>(i)] =
+        static_cast<float>(i) * 0.5f + 2.5f;
+  }
+  EXPECT_TRUE(bits_equal(out, expected));
+}
+
+// ---- sanitizer inertness -------------------------------------------------
+
+std::string traced_pipeline_json() {
+  vgpu::Device device;
+  core::PsoParams params;
+  params.particles = 8;
+  params.dim = 3;
+  params.max_iter = 2;
+  params.seed = 42;
+  core::Optimizer optimizer(device, params);
+  const auto problem = problems::make_problem("sphere");
+  const auto objective = core::objective_from_problem(*problem, params.dim);
+
+  vgpu::san::Session session;
+  optimizer.optimize(objective);
+  const vgpu::san::Report& report = session.finish();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  return report.to_json();
+}
+
+TEST(CodegenSan, SanitizerTraceIgnoresCodegenToggle) {
+  for (const bool graph_mode : {false, true}) {
+    SCOPED_TRACE(graph_mode ? "graph on" : "graph off");
+    std::string with_codegen;
+    std::string without_codegen;
+    {
+      const GraphGuard graph(graph_mode);
+      const FusionGuard fusion(true);
+      const CodegenGuard cg(true);
+      with_codegen = traced_pipeline_json();
+    }
+    {
+      const GraphGuard graph(graph_mode);
+      const FusionGuard fusion(true);
+      const CodegenGuard cg(false);
+      without_codegen = traced_pipeline_json();
+    }
+    EXPECT_EQ(with_codegen, without_codegen);
+  }
+}
+
+// ---- serve recognition ---------------------------------------------------
+
+std::vector<core::Result> serve_run(bool with_codegen,
+                                    serve::ServeStats* stats_out) {
+  const CodegenGuard cg(with_codegen);
+  vgpu::Device device;
+  serve::SchedulerOptions options;
+  options.streams = 4;  // pinned: independent of the env default
+  options.max_active = 8;
+  options.fuse = true;
+  serve::Scheduler scheduler(device, options);
+  std::vector<serve::JobSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].problem = i == 2 ? "griewank" : "sphere";
+    specs[i].params.particles = 16;
+    specs[i].params.dim = 4;
+    specs[i].params.max_iter = 6;
+    specs[i].params.seed = 100 + static_cast<std::uint64_t>(i);
+  }
+  for (serve::JobSpec& spec : specs) {
+    scheduler.submit(spec);
+  }
+  scheduler.run();
+  if (stats_out != nullptr) {
+    *stats_out = scheduler.stats();
+  }
+  std::vector<core::Result> results;
+  results.reserve(scheduler.outcomes().size());
+  for (const serve::JobOutcome& out : scheduler.outcomes()) {
+    results.push_back(out.result);
+  }
+  return results;
+}
+
+TEST(CodegenServe, SchedulerResultsIgnoreToggleAndStatsReportRecognition) {
+  serve::ServeStats with_stats;
+  serve::ServeStats without_stats;
+  const std::vector<core::Result> with_codegen = serve_run(true, &with_stats);
+  const std::vector<core::Result> without_codegen =
+      serve_run(false, &without_stats);
+  ASSERT_EQ(with_codegen.size(), without_codegen.size());
+  for (std::size_t i = 0; i < with_codegen.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    EXPECT_EQ(with_codegen[i].gbest_value, without_codegen[i].gbest_value);
+    EXPECT_TRUE(bits_equal(with_codegen[i].gbest_position,
+                           without_codegen[i].gbest_position));
+    EXPECT_EQ(with_codegen[i].modeled_seconds,
+              without_codegen[i].modeled_seconds);
+    expect_counters_equal(with_codegen[i].counters,
+                          without_codegen[i].counters);
+  }
+  // Serve captures record no bodies, so codegen only *recognizes* groups
+  // here — but every fused group of the sphere/griewank shapes is made of
+  // registered kernels, and the d = 4 shape has a composed sequence.
+  EXPECT_GE(with_stats.codegen_registered_groups, 1u);
+  EXPECT_GE(with_stats.codegen_composed_groups, 1u);
+  EXPECT_EQ(without_stats.codegen_registered_groups, 0u);
+}
+
+}  // namespace
+}  // namespace fastpso
