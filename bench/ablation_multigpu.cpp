@@ -1,17 +1,54 @@
 // Ablation: multi-GPU scaling (paper Section 3.5). Sweeps the device count
-// under both strategies and reports modeled elapsed time (devices run
-// concurrently; the paper machine's PCIe links carry the exchanges) and
-// solution quality.
+// under both strategies and both stacks — the legacy MultiGpuOptimizer
+// (staged host exchanges, core/multi_gpu.h) and the modern comm stack
+// (DeviceGroup + modeled collectives, core/multi_device.h) — and reports
+// modeled elapsed time and solution quality. The two stacks are
+// bitwise-identical in result (pinned by tests/test_multi_gpu.cpp); only
+// the modeled exchange differs, which is exactly what this table isolates.
 //
 //   ./ablation_multigpu [--particles 4000] [--dim 100] [--iters 100]
 
 #include "bench_common.h"
+#include "core/multi_device.h"
 #include "core/multi_gpu.h"
 #include "core/optimizer.h"
 #include "problems/problem.h"
 
 using namespace fastpso;
 using namespace fastpso::benchkit;
+
+namespace {
+
+struct StackRun {
+  double modeled_seconds = 0;
+  double error = 0;
+};
+
+StackRun run_legacy(const core::PsoParams& pso, int devices,
+                    core::MultiGpuStrategy strategy,
+                    const core::Objective& objective) {
+  core::MultiGpuParams params;
+  params.pso = pso;
+  params.devices = devices;
+  params.strategy = strategy;
+  core::MultiGpuOptimizer optimizer(params);
+  const core::Result result = optimizer.optimize(objective);
+  return {result.modeled_seconds, result.error_to(objective.optimum)};
+}
+
+StackRun run_comm(const core::PsoParams& pso, int devices,
+                  core::MultiGpuStrategy strategy,
+                  const core::Objective& objective) {
+  core::MultiDeviceParams params;
+  params.pso = pso;
+  params.devices = devices;
+  params.strategy = strategy;
+  core::MultiDeviceOptimizer optimizer(params);
+  const core::Result result = optimizer.optimize(objective);
+  return {result.modeled_seconds, result.error_to(objective.optimum)};
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
@@ -30,37 +67,40 @@ int main(int argc, char** argv) {
                   std::to_string(pso.particles) + ", d=" +
                   std::to_string(pso.dim) + ", " +
                   std::to_string(pso.max_iter) + " iters)");
-  table.set_header({"strategy", "devices", "modeled (s)",
+  table.set_header({"strategy", "stack", "devices", "modeled (s)",
                     "scaling vs 1 GPU", "final error"});
-  CsvWriter csv({"strategy", "devices", "modeled_s", "speedup", "error"});
+  CsvWriter csv({"strategy", "stack", "devices", "modeled_s", "speedup",
+                 "error"});
 
   for (auto strategy : {core::MultiGpuStrategy::kTileMatrix,
                         core::MultiGpuStrategy::kParticleSplit}) {
-    double single = 0;
-    for (int devices : {1, 2, 4, 8}) {
-      core::MultiGpuParams params;
-      params.pso = pso;
-      params.devices = devices;
-      params.strategy = strategy;
-      core::MultiGpuOptimizer optimizer(params);
-      const core::Result result = optimizer.optimize(objective);
-      if (devices == 1) {
-        single = result.modeled_seconds;
+    for (const char* stack : {"legacy", "comm"}) {
+      const bool legacy = std::string(stack) == "legacy";
+      double single = 0;
+      for (int devices : {1, 2, 4, 8, 16}) {
+        const StackRun run = legacy
+                                 ? run_legacy(pso, devices, strategy,
+                                              objective)
+                                 : run_comm(pso, devices, strategy,
+                                            objective);
+        if (devices == 1) {
+          single = run.modeled_seconds;
+        }
+        const double speedup = single / run.modeled_seconds;
+        table.add_row({to_string(strategy), stack, std::to_string(devices),
+                       fmt_fixed(run.modeled_seconds, 4),
+                       fmt_speedup(speedup), fmt_fixed(run.error, 3)});
+        csv.add_row({to_string(strategy), stack, std::to_string(devices),
+                     fmt_fixed(run.modeled_seconds, 5),
+                     fmt_fixed(speedup, 3), fmt_fixed(run.error, 4)});
       }
-      const double speedup = single / result.modeled_seconds;
-      table.add_row({to_string(strategy), std::to_string(devices),
-                     fmt_fixed(result.modeled_seconds, 4),
-                     fmt_speedup(speedup),
-                     fmt_fixed(result.error_to(objective.optimum), 3)});
-      csv.add_row({to_string(strategy), std::to_string(devices),
-                   fmt_fixed(result.modeled_seconds, 5),
-                   fmt_fixed(speedup, 3),
-                   fmt_fixed(result.error_to(objective.optimum), 4)});
     }
   }
   table.add_note("scaling is sublinear: per-device work shrinks while the "
                  "per-iteration exchange and fixed kernel overheads do not "
-                 "— and a swarm this size already under-fills one V100");
+                 "— and a swarm this size already under-fills one V100. "
+                 "The comm stack's ring collectives beat the legacy staged "
+                 "host exchange, most visibly at high device counts");
   table.print(std::cout);
   maybe_write_csv(csv, csv_path);
   return 0;

@@ -4,6 +4,7 @@
 
 #include <limits>
 
+#include "common/check.h"
 #include "core/kernels_registry.h"
 #include "rng/philox.h"
 #include "vgpu/prof/prof.h"
@@ -86,19 +87,79 @@ void fill_uniform(vgpu::Device& device, const LaunchPolicy& policy,
   note_footprint();
 }
 
-}  // namespace
+/// Sharded fill: element b of the launch is the b-th global Philox block
+/// overlapping [offset, offset+count); in-range lanes land in
+/// out[g - offset]. Bitwise-equal to the matching slice of fill_uniform
+/// over the whole array (same seed/stream/global counter), for any shard
+/// boundaries — including ones that split a 4-lane block.
+void fill_uniform_slice_impl(vgpu::Device& device, const LaunchPolicy& policy,
+                             float* out, std::int64_t offset,
+                             std::int64_t count, std::uint64_t seed,
+                             std::uint64_t stream, float lo, float hi) {
+  FASTPSO_CHECK(offset >= 0 && count >= 0);
+  if (count == 0) {
+    return;
+  }
+  const rng::PhiloxStream rng(seed, stream);
+  const std::int64_t first_block = offset / 4;
+  const std::int64_t blocks = (offset + count - 1) / 4 - first_block + 1;
+  const LaunchDecision decision = policy.for_elements(blocks);
+  const float span = hi - lo;
+  const kernels::FillUniformSliceKernel::Args fill_args{rng, out, offset,
+                                                        count, lo, span};
+  const auto note_footprint = [&] {
+    if (device.capturing()) {
+      device.graph_note_elements(blocks);
+      // Boundary blocks straddle the shard edge, so elements do not own
+      // aligned 16-byte rows of `out`; declare the conservative whole-span
+      // write (elem_bytes = 0) instead of a per-element footprint.
+      device.graph_note_uses(
+          {{out, static_cast<double>(count) * sizeof(float),
+            /*elem_bytes=*/0, /*write=*/true, "fill_out"}});
+      device.graph_note_static(
+          vgpu::graph::codegen::make_static<kernels::FillUniformSliceKernel>(
+              fill_args));
+    }
+  };
+  if (vgpu::use_fast_path()) {
+    vgpu::prof::KernelLabel klabel("init/fill_uniform_slice");
+    device.launch_elements(
+        decision.config, fill_cost(count), blocks,
+        [fill_args](std::int64_t b) {
+          kernels::FillUniformSliceKernel::element(fill_args, b);
+        });
+    note_footprint();
+    return;
+  }
+  const auto tracked_out =
+      san::track(out, static_cast<std::size_t>(count), "fill_out");
+  san::expect_writes_exactly_once(tracked_out);
+  san::KernelScope scope("init/fill_uniform_slice");
+  device.launch(decision.config, fill_cost(count),
+                [&](const vgpu::ThreadCtx& t) {
+                  for (std::int64_t b = t.global_id(); b < blocks;
+                       b += t.grid_stride()) {
+                    const std::int64_t gb = first_block + b;
+                    const auto lanes =
+                        rng.uniform4_at(static_cast<std::uint64_t>(gb));
+                    const std::int64_t base = gb * 4;
+                    for (int lane = 0; lane < 4; ++lane) {
+                      const std::int64_t g = base + lane;
+                      if (g >= offset && g < offset + count) {
+                        san::count_flops(kPhiloxFlopsPerValue);
+                        tracked_out[g - offset] = lo + span * lanes[lane];
+                      }
+                    }
+                  }
+                });
+  note_footprint();
+}
 
-void initialize_swarm(vgpu::Device& device, const LaunchPolicy& policy,
-                      SwarmState& state, std::uint64_t seed, float lower,
-                      float upper, float vmax) {
+/// pbest starts at +inf so the first evaluation always improves it; the
+/// pbest positions start at the initial positions.
+void reset_pbest(vgpu::Device& device, const LaunchPolicy& policy,
+                 SwarmState& state) {
   const std::int64_t elements = state.elements();
-  fill_uniform(device, policy, state.positions.data(), elements, seed,
-               /*stream=*/0, lower, upper);
-  fill_uniform(device, policy, state.velocities.data(), elements, seed,
-               /*stream=*/1, -vmax, vmax);
-
-  // pbest starts at +inf so the first evaluation always improves it; the
-  // pbest positions start at the initial positions.
   const LaunchDecision per_particle = policy.for_particles(state.n);
   vgpu::KernelCostSpec cost;
   cost.dram_read_bytes = static_cast<double>(elements) * sizeof(float);
@@ -151,6 +212,19 @@ void initialize_swarm(vgpu::Device& device, const LaunchPolicy& policy,
   state.gbest_err = std::numeric_limits<float>::infinity();
 }
 
+}  // namespace
+
+void initialize_swarm(vgpu::Device& device, const LaunchPolicy& policy,
+                      SwarmState& state, std::uint64_t seed, float lower,
+                      float upper, float vmax) {
+  const std::int64_t elements = state.elements();
+  fill_uniform(device, policy, state.positions.data(), elements, seed,
+               /*stream=*/0, lower, upper);
+  fill_uniform(device, policy, state.velocities.data(), elements, seed,
+               /*stream=*/1, -vmax, vmax);
+  reset_pbest(device, policy, state);
+}
+
 void generate_weights(vgpu::Device& device, const LaunchPolicy& policy,
                       std::int64_t elements, std::uint64_t seed, int iter,
                       vgpu::DeviceArray<float>& l_mat,
@@ -161,6 +235,39 @@ void generate_weights(vgpu::Device& device, const LaunchPolicy& policy,
                1.0f);
   fill_uniform(device, policy, g_mat.data(), elements, seed, g_stream, 0.0f,
                1.0f);
+}
+
+void fill_uniform_slice(vgpu::Device& device, const LaunchPolicy& policy,
+                        float* out, std::int64_t offset, std::int64_t count,
+                        std::uint64_t seed, std::uint64_t stream, float lo,
+                        float hi) {
+  fill_uniform_slice_impl(device, policy, out, offset, count, seed, stream,
+                          lo, hi);
+}
+
+void initialize_swarm_slice(vgpu::Device& device, const LaunchPolicy& policy,
+                            SwarmState& state, std::uint64_t seed,
+                            std::int64_t offset, float lower, float upper,
+                            float vmax) {
+  const std::int64_t count = state.elements();
+  fill_uniform_slice_impl(device, policy, state.positions.data(), offset,
+                          count, seed, /*stream=*/0, lower, upper);
+  fill_uniform_slice_impl(device, policy, state.velocities.data(), offset,
+                          count, seed, /*stream=*/1, -vmax, vmax);
+  reset_pbest(device, policy, state);
+}
+
+void generate_weights_slice(vgpu::Device& device, const LaunchPolicy& policy,
+                            std::int64_t offset, std::int64_t count,
+                            std::uint64_t seed, int iter,
+                            vgpu::DeviceArray<float>& l_mat,
+                            vgpu::DeviceArray<float>& g_mat) {
+  const std::uint64_t l_stream = 2 + 2 * static_cast<std::uint64_t>(iter);
+  const std::uint64_t g_stream = l_stream + 1;
+  fill_uniform_slice_impl(device, policy, l_mat.data(), offset, count, seed,
+                          l_stream, 0.0f, 1.0f);
+  fill_uniform_slice_impl(device, policy, g_mat.data(), offset, count, seed,
+                          g_stream, 0.0f, 1.0f);
 }
 
 }  // namespace fastpso::core

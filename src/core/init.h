@@ -41,4 +41,37 @@ void generate_weights(vgpu::Device& device, const LaunchPolicy& policy,
                       vgpu::DeviceArray<float>& l_mat,
                       vgpu::DeviceArray<float>& g_mat);
 
+// --- sharded (multi-device) variants ---------------------------------------
+// A shard owning particles [begin, begin+count) draws GLOBAL elements
+// [begin*d, (begin+count)*d) of the whole-swarm fills: the same seed, the
+// same stream, the element's global index as the Philox counter. Sharded
+// randoms are therefore bitwise-equal to the corresponding slice of a
+// single-device run for any shard layout — the invariance both multi-GPU
+// paths (core/multi_gpu.h, core/multi_device.h) and their differential
+// tests rest on.
+
+/// Writes global elements [offset, offset+count) of the logical array
+/// drawn from `stream` into out[0, count). Shards may start mid-Philox
+/// block; only in-range lanes are written.
+void fill_uniform_slice(vgpu::Device& device, const LaunchPolicy& policy,
+                        float* out, std::int64_t offset, std::int64_t count,
+                        std::uint64_t seed, std::uint64_t stream, float lo,
+                        float hi);
+
+/// initialize_swarm for a shard whose storage holds global elements
+/// [offset, offset+state.elements()): positions/velocities are slices of
+/// the whole-swarm fills; pbest/gbest bookkeeping resets as usual.
+void initialize_swarm_slice(vgpu::Device& device, const LaunchPolicy& policy,
+                            SwarmState& state, std::uint64_t seed,
+                            std::int64_t offset, float lower, float upper,
+                            float vmax);
+
+/// generate_weights for a shard: L/G receive global elements
+/// [offset, offset+count) of iteration `iter`'s whole-swarm weight fills.
+void generate_weights_slice(vgpu::Device& device, const LaunchPolicy& policy,
+                            std::int64_t offset, std::int64_t count,
+                            std::uint64_t seed, int iter,
+                            vgpu::DeviceArray<float>& l_mat,
+                            vgpu::DeviceArray<float>& g_mat);
+
 }  // namespace fastpso::core

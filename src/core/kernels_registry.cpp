@@ -16,6 +16,10 @@ std::uint32_t FillUniformKernel::tag() {
   static const std::uint32_t t = intern("init/fill_uniform");
   return t;
 }
+std::uint32_t FillUniformSliceKernel::tag() {
+  static const std::uint32_t t = intern("init/fill_uniform_slice");
+  return t;
+}
 std::uint32_t PbestResetKernel::tag() {
   static const std::uint32_t t = intern("init/pbest_reset");
   return t;

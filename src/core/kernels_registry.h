@@ -78,6 +78,37 @@ struct FillUniformKernel {
   }
 };
 
+/// init/fill_uniform_slice: the sharded form of init/fill_uniform.
+/// out[0, count) holds GLOBAL elements [offset, offset+count) of the
+/// logical whole-swarm array; element b is the b-th global Philox block
+/// overlapping the slice (blocks may straddle shard boundaries — only
+/// in-range lanes are written). The produced bits equal the corresponding
+/// slice of a whole-array fill with the same seed/stream for ANY shard
+/// layout, which is what makes sharded runs (core/multi_gpu.h,
+/// core/multi_device.h) bitwise-identical to single-device runs.
+struct FillUniformSliceKernel {
+  struct Args {
+    rng::PhiloxStream rng;
+    float* out;           ///< slice storage: out[0] is global element offset
+    std::int64_t offset;  ///< first global element of the slice
+    std::int64_t count;   ///< slice length in elements
+    float lo;
+    float span;
+  };
+  [[nodiscard]] static std::uint32_t tag();
+  static void element(const Args& a, std::int64_t b) {
+    const std::int64_t gb = a.offset / 4 + b;
+    const auto lanes = a.rng.uniform4_at(static_cast<std::uint64_t>(gb));
+    const std::int64_t base = gb * 4;
+    for (int lane = 0; lane < 4; ++lane) {
+      const std::int64_t g = base + lane;
+      if (g >= a.offset && g < a.offset + a.count) {
+        a.out[g - a.offset] = a.lo + a.span * lanes[lane];
+      }
+    }
+  }
+};
+
 /// init/pbest_reset: per-particle reset of the best-so-far state.
 struct PbestResetKernel {
   struct Args {

@@ -24,6 +24,7 @@ struct Shard {
   vgpu::Device device;
   std::unique_ptr<LaunchPolicy> policy;
   std::unique_ptr<SwarmState> state;
+  int begin = 0;  ///< first owned particle row (global index)
 };
 
 /// Rows assigned to shard k of `devices` over n particles.
@@ -81,7 +82,7 @@ Result MultiGpuOptimizer::optimize_tile_matrix(const Objective& objective) {
     auto shard = std::make_unique<Shard>(spec_);
     shard->policy = std::make_unique<LaunchPolicy>(spec_);
     const auto [begin, count] = shard_rows(n, devices, k);
-    (void)begin;
+    shard->begin = begin;
     shard->device.pool().set_enabled(pso.memory_caching);
     shard->device.set_phase("init");
     shard->state = std::make_unique<SwarmState>(shard->device, count, d);
@@ -99,22 +100,23 @@ Result MultiGpuOptimizer::optimize_tile_matrix(const Objective& objective) {
   double exchange_seconds = 0.0;
   vgpu::GpuPerfModel host_link(spec_);
 
-  // Shard-local init with shard-specific seeds derived from the global one.
-  // (Shard seeds are offset by the row range so that different shard counts
-  // explore equally well; exact equality with single-device runs is checked
-  // via a separate per-element seeding mode in tests.)
+  // Slice init: every shard draws global elements [begin*d, (begin+count)*d)
+  // of the whole-swarm position/velocity fills under the run seed, so
+  // initial state is bitwise-equal to a single-device run for any shard
+  // layout (core/init.h).
   for (int k = 0; k < devices; ++k) {
     auto& shard = *shards[k];
-    const auto [begin, count] = shard_rows(n, devices, k);
-    (void)count;
-    initialize_swarm(shard.device, *shard.policy, *shard.state,
-                     pso.seed + static_cast<std::uint64_t>(begin) * 2654435761u,
-                     static_cast<float>(objective.lower),
-                     static_cast<float>(objective.upper), v_init);
+    initialize_swarm_slice(
+        shard.device, *shard.policy, *shard.state, pso.seed,
+        static_cast<std::int64_t>(shard.begin) * d,
+        static_cast<float>(objective.lower),
+        static_cast<float>(objective.upper), v_init);
   }
 
   float gbest = std::numeric_limits<float>::infinity();
   std::vector<float> gbest_pos(d, 0.0f);
+  std::vector<float> history;
+  history.reserve(static_cast<std::size_t>(pso.max_iter));
 
   for (int iter = 0; iter < pso.max_iter; ++iter) {
     for (int k = 0; k < devices; ++k) {
@@ -163,15 +165,21 @@ Result MultiGpuOptimizer::optimize_tile_matrix(const Objective& objective) {
     exchange_seconds +=
         host_link.transfer_seconds(static_cast<double>(d) * sizeof(float)) *
         (1 + devices);
+    // Same per-iteration trajectory a single-device run records — the
+    // reduction is complete here, so this is the swarm-wide best.
+    history.push_back(gbest);
 
     for (int k = 0; k < devices; ++k) {
       auto& shard = *shards[k];
       shard.device.set_phase("init");
       vgpu::DeviceArray<float> l_mat(shard.device, shard.state->elements());
       vgpu::DeviceArray<float> g_mat(shard.device, shard.state->elements());
-      generate_weights(shard.device, *shard.policy, shard.state->elements(),
-                       pso.seed + 104729u * static_cast<std::uint64_t>(k),
-                       iter, l_mat, g_mat);
+      // Slices of the single-swarm L/G matrices of this iteration — the
+      // weights a particle sees do not depend on which device owns it.
+      generate_weights_slice(shard.device, *shard.policy,
+                             static_cast<std::int64_t>(shard.begin) * d,
+                             shard.state->elements(), pso.seed, iter, l_mat,
+                             g_mat);
       shard.device.set_phase("swarm");
       swarm_update(shard.device, *shard.policy, *shard.state, l_mat, g_mat,
                    coefficients_for_iter(coeff, pso, iter), pso.technique);
@@ -182,6 +190,7 @@ Result MultiGpuOptimizer::optimize_tile_matrix(const Objective& objective) {
   result.gbest_value = gbest;
   result.gbest_position = gbest_pos;
   result.iterations = pso.max_iter;
+  result.gbest_history = std::move(history);
   result.wall_seconds = watch.elapsed_s();
   device_seconds_.clear();
   double max_device = 0.0;
@@ -196,6 +205,7 @@ Result MultiGpuOptimizer::optimize_tile_matrix(const Objective& objective) {
     result.counters.dram_write_fetched += c.dram_write_fetched;
     result.counters.launches += c.launches;
   }
+  exchange_seconds_ = exchange_seconds;
   result.modeled_seconds = max_device + exchange_seconds;
   return result;
 }
@@ -237,6 +247,8 @@ Result MultiGpuOptimizer::optimize_particle_split(const Objective& objective) {
   vgpu::GpuPerfModel host_link(spec_);
   float group_best = std::numeric_limits<float>::infinity();
   std::vector<float> group_best_pos(d, 0.0f);
+  std::vector<float> history;
+  history.reserve(static_cast<std::size_t>(pso.max_iter));
 
   for (int iter = 0; iter < pso.max_iter; ++iter) {
     for (int k = 0; k < devices; ++k) {
@@ -297,12 +309,20 @@ Result MultiGpuOptimizer::optimize_particle_split(const Objective& objective) {
           host_link.transfer_seconds(static_cast<double>(d) * sizeof(float)) *
           (1 + devices);
     }
+    // Observational trajectory: the best value any shard holds after this
+    // iteration (gbest_err is host-resident state; no device traffic).
+    float best_seen = group_best;
+    for (auto& shard : shards) {
+      best_seen = std::min(best_seen, shard->state->gbest_err);
+    }
+    history.push_back(best_seen);
   }
 
   Result result;
   result.gbest_value = group_best;
   result.gbest_position = group_best_pos;
   result.iterations = pso.max_iter;
+  result.gbest_history = std::move(history);
   result.wall_seconds = watch.elapsed_s();
   device_seconds_.clear();
   double max_device = 0.0;
@@ -316,6 +336,7 @@ Result MultiGpuOptimizer::optimize_particle_split(const Objective& objective) {
     result.counters.dram_write_fetched += c.dram_write_fetched;
     result.counters.launches += c.launches;
   }
+  exchange_seconds_ = exchange_seconds;
   result.modeled_seconds = max_device + exchange_seconds;
   return result;
 }

@@ -11,8 +11,10 @@
 //
 //  kTileMatrix — the state matrices are sharded by rows across devices and
 //    every step runs on all shards; the gbest reduction is completed across
-//    devices each iteration. Semantically identical to single-device
-//    FastPSO (verified in tests).
+//    devices each iteration. Every shard draws its randoms from the global
+//    element index space (core/init.h slice fills), so results are
+//    bitwise-identical to single-device FastPSO for any device count
+//    (pinned in tests/test_multi_gpu.cpp).
 //
 // Modeled time: devices run concurrently, so the modeled cost of the run is
 // the maximum across devices plus the host-side exchange transfers.
@@ -57,10 +59,16 @@ class MultiGpuOptimizer {
     return device_seconds_;
   }
 
+  /// Modeled host-side exchange cost of the last run. Invariant (pinned in
+  /// tests/test_multi_gpu.cpp): Result::modeled_seconds ==
+  /// max(device_seconds()) + exchange_seconds().
+  [[nodiscard]] double exchange_seconds() const { return exchange_seconds_; }
+
  private:
   MultiGpuParams params_;
   vgpu::GpuSpec spec_;
   std::vector<double> device_seconds_;
+  double exchange_seconds_ = 0.0;
 
   Result optimize_particle_split(const Objective& objective);
   Result optimize_tile_matrix(const Objective& objective);

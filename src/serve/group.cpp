@@ -1,0 +1,120 @@
+#include "serve/group.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fastpso::serve {
+
+GroupScheduler::GroupScheduler(vgpu::comm::DeviceGroup& group,
+                               SchedulerOptions options) {
+  parts_.reserve(static_cast<std::size_t>(group.size()));
+  for (int i = 0; i < group.size(); ++i) {
+    Part part;
+    part.scheduler = std::make_unique<Scheduler>(group.device(i), options);
+    parts_.push_back(std::move(part));
+  }
+}
+
+std::size_t GroupScheduler::checked(int device) const {
+  FASTPSO_CHECK_MSG(device >= 0 && device < size(),
+                    "device index out of range");
+  return static_cast<std::size_t>(device);
+}
+
+int GroupScheduler::submit(JobSpec spec) {
+  // Estimated work of the job, from the spec alone: element updates per
+  // iteration times the iteration budget. Deterministic placement needs a
+  // submission-time estimate, not modeled clocks (which only advance once
+  // run() drains the queues).
+  const double estimate = static_cast<double>(spec.params.particles) *
+                          spec.params.dim * spec.params.max_iter;
+  int device = 0;
+  for (int i = 1; i < size(); ++i) {
+    if (parts_[static_cast<std::size_t>(i)].estimated_load <
+        parts_[static_cast<std::size_t>(device)].estimated_load) {
+      device = i;  // strict <: ties keep the lowest device index
+    }
+  }
+  Part& part = parts_[static_cast<std::size_t>(device)];
+  part.estimated_load += estimate;
+  Placement placement;
+  placement.device = device;
+  placement.local_id = part.scheduler->submit(std::move(spec));
+  placements_.push_back(placement);
+  return static_cast<int>(placements_.size()) - 1;
+}
+
+void GroupScheduler::run() {
+  for (Part& part : parts_) {
+    part.scheduler->run();
+  }
+}
+
+int GroupScheduler::device_of(int job_id) const {
+  FASTPSO_CHECK_MSG(
+      job_id >= 0 && job_id < static_cast<int>(placements_.size()),
+      "unknown job id");
+  return placements_[static_cast<std::size_t>(job_id)].device;
+}
+
+const JobOutcome& GroupScheduler::outcome_of(int job_id) const {
+  FASTPSO_CHECK_MSG(
+      job_id >= 0 && job_id < static_cast<int>(placements_.size()),
+      "unknown job id");
+  const Placement& placement = placements_[static_cast<std::size_t>(job_id)];
+  const auto& outcomes =
+      parts_[static_cast<std::size_t>(placement.device)].scheduler->outcomes();
+  for (const JobOutcome& outcome : outcomes) {
+    if (outcome.id == placement.local_id) {
+      return outcome;
+    }
+  }
+  FASTPSO_CHECK_MSG(false, "job has not completed");
+  FASTPSO_UNREACHABLE("job has not completed");
+}
+
+ServeStats GroupScheduler::stats() const {
+  ServeStats total;
+  for (const Part& part : parts_) {
+    const ServeStats s = part.scheduler->stats();
+    total.jobs_submitted += s.jobs_submitted;
+    total.jobs_completed += s.jobs_completed;
+    total.iterations += s.iterations;
+    total.cache_lookups += s.cache_lookups;
+    total.cache_hits += s.cache_hits;
+    total.graphs_captured += s.graphs_captured;
+    total.graphs_poisoned += s.graphs_poisoned;
+    total.replayed_iterations += s.replayed_iterations;
+    total.eager_iterations += s.eager_iterations;
+    total.launches_issued += s.launches_issued;
+    total.launches_batched += s.launches_batched;
+    total.batch_rounds += s.batch_rounds;
+    total.batch_modeled_seconds_saved += s.batch_modeled_seconds_saved;
+    total.graph_modeled_seconds_saved += s.graph_modeled_seconds_saved;
+    total.fusion_modeled_seconds_saved += s.fusion_modeled_seconds_saved;
+    total.codegen_registered_groups += s.codegen_registered_groups;
+    total.codegen_composed_groups += s.codegen_composed_groups;
+    // Devices drain concurrently: the group makespan is the slowest
+    // device's; serial work and idle gaps add.
+    total.makespan_seconds = std::max(total.makespan_seconds,
+                                      s.makespan_seconds);
+    total.serial_seconds += s.serial_seconds;
+    total.scheduler_seconds += s.scheduler_seconds;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> GroupScheduler::trace() const {
+  std::vector<TraceEvent> merged;
+  for (int device = 0; device < size(); ++device) {
+    for (TraceEvent event :
+         parts_[static_cast<std::size_t>(device)].scheduler->trace()) {
+      event.pid = device;
+      merged.push_back(std::move(event));
+    }
+  }
+  return merged;
+}
+
+}  // namespace fastpso::serve

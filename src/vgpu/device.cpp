@@ -194,6 +194,14 @@ void Device::sync_streams() {
   stream_clock_.assign(stream_clock_.size(), now);
 }
 
+void Device::stream_wait(StreamId stream, double seconds) {
+  FASTPSO_CHECK_MSG(stream >= 0 &&
+                        stream < static_cast<StreamId>(stream_clock_.size()),
+                    "unknown stream");
+  auto& clock = stream_clock_[static_cast<std::size_t>(stream)];
+  clock = std::max(clock, seconds);
+}
+
 double Device::modeled_seconds() const {
   return *std::max_element(stream_clock_.begin(), stream_clock_.end());
 }
@@ -204,6 +212,30 @@ void Device::add_modeled_host_seconds(double seconds) {
     prof_record_op(prof::EventKind::kHost, 0.0, seconds, 0.0);
   }
   add_modeled(seconds);
+}
+
+void Device::account_comm(const char* label, double bytes, double seconds) {
+  FASTPSO_CHECK(bytes >= 0 && seconds >= 0);
+  ++counters_.collectives;
+  counters_.comm_bytes += bytes;
+  counters_.comm_seconds += seconds;
+  if (prof::active()) [[unlikely]] {
+    if (!profile_) {
+      profile_ = std::make_unique<prof::Profile>();
+    }
+    prof::Event e;
+    e.kind = prof::EventKind::kComm;
+    e.label = label;
+    e.phase = phase_;
+    e.stream = current_stream_;
+    e.bytes = bytes;
+    // Stream-local, like a kernel: the comm stream's own clock, so the
+    // trace shows the collective overlapping compute on other streams.
+    e.t_begin = stream_clock_[current_stream_];
+    e.modeled_seconds = seconds;
+    profile_->events.push_back(std::move(e));
+  }
+  add_modeled(seconds, /*device_wide=*/false);
 }
 
 void Device::account_launch(const LaunchConfig& cfg,

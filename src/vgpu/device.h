@@ -107,6 +107,13 @@ struct DeviceCounters {
   double dram_write_fetched = 0;
   double h2d_bytes = 0;
   double d2h_bytes = 0;
+  /// Modeled collective participation (vgpu/comm): count of collectives
+  /// this device took part in, the bytes its link carried and the modeled
+  /// seconds its comm stream was busy. Separate from the DRAM/PCIe traffic
+  /// above — collective payloads move over the inter-device link.
+  std::uint64_t collectives = 0;
+  double comm_bytes = 0;
+  double comm_seconds = 0;
   double modeled_seconds = 0;
   /// Modeled seconds spent inside kernels only (excludes transfers and
   /// allocation overheads) — the denominator of nvprof-style throughput.
@@ -189,6 +196,12 @@ class Device {
   }
   /// Device-wide barrier: every stream clock jumps to the maximum.
   void sync_streams();
+  /// Event-wait, cudaStreamWaitEvent style: raises `stream`'s clock to at
+  /// least `seconds` (no-op when the stream is already past it). Pure
+  /// dependency modeling — no cost is accounted. The collective layer uses
+  /// this to start every participant's comm step at the group-wide ready
+  /// time.
+  void stream_wait(StreamId stream, double seconds);
   /// Current clock of one stream (modeled seconds). The serve scheduler
   /// reads per-stream finish times from this for job latency and lane
   /// traces; modeled_seconds() is the max over all streams.
@@ -231,6 +244,15 @@ class Device {
   /// Adds host-side modeled time (e.g. the CPU half of the heterogeneous
   /// baseline) into the current phase so totals stay comparable.
   void add_modeled_host_seconds(double seconds);
+
+  /// Accounts this device's share of one modeled collective (vgpu/comm):
+  /// advances the CURRENT stream by `seconds` (so comm on a dedicated
+  /// stream overlaps compute on stream 0), bumps the comm counters and —
+  /// under profiling — records a kComm event labeled `label`. Never
+  /// captured into graphs: collectives are cross-device operations the
+  /// per-device node list cannot represent, so the Communicator re-accounts
+  /// them eagerly every iteration, replayed or not.
+  void account_comm(const char* label, double bytes, double seconds);
 
   // --- profiling (vgpu/prof/prof.h) --------------------------------------
   /// Hands over the event timeline collected while prof::active() was true

@@ -19,6 +19,10 @@ GpuSpec test_gpu_small() {
   spec.max_threads_per_block = 128;
   spec.eff_dram_bw_gbps = 10.0;
   spec.bw_saturation_threads = 512.0;
+  // Slow, high-latency links so collective costs are visible at tiny
+  // payloads in the unit tests.
+  spec.link_bw_gbps = 0.5;
+  spec.link_latency_us = 10.0;
   return spec;
 }
 

@@ -28,6 +28,15 @@ struct GpuSpec {
   double pcie_bw_gbps = 12.0;      ///< effective H2D/D2H bandwidth (GB/s)
   double tensor_tflops = 112.0;    ///< FP16 tensor-core peak (TFLOP/s)
 
+  // --- inter-device link (vgpu/comm, DESIGN.md §12) ---
+  /// Effective per-direction device-to-device link bandwidth (GB/s). The
+  /// paper machine carries exchanges over PCIe; an NVLink-generation part
+  /// would raise this. Consumed by the modeled collectives' bandwidth term.
+  double link_bw_gbps = 10.0;
+  /// Per-hop link latency (microseconds): one ring step of a collective
+  /// pays this once regardless of payload.
+  double link_latency_us = 2.0;
+
   // --- calibrated effective-throughput constants ---
   /// Effective DRAM bandwidth (GB/s) achievable by streaming element-wise
   /// kernels at full occupancy. Calibrated so the modeled fastpso

@@ -35,7 +35,9 @@ bool env_enabled();
 
 /// Event taxonomy: what a profile record describes. kKernel covers every
 /// Device::launch / launch_elements / launch_blocks / account_launch;
-/// kHost covers modeled host seconds folded into the device timeline.
+/// kHost covers modeled host seconds folded into the device timeline;
+/// kComm covers one device's share of a modeled collective
+/// (Device::account_comm, issued by comm::Communicator).
 enum class EventKind {
   kKernel,
   kMemcpyH2D,
@@ -44,6 +46,7 @@ enum class EventKind {
   kAlloc,
   kFree,
   kHost,
+  kComm,
 };
 
 /// Which roofline term bounded a kernel's modeled time.

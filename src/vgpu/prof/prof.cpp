@@ -62,6 +62,8 @@ const char* to_string(EventKind kind) {
       return "free";
     case EventKind::kHost:
       return "host";
+    case EventKind::kComm:
+      return "comm";
   }
   return "unknown";
 }
@@ -252,7 +254,7 @@ std::string quoted(const std::string& s) {
 
 }  // namespace
 
-std::string Profile::chrome_trace_json() const {
+std::vector<TraceEvent> Profile::trace_events(int pid) const {
   std::vector<TraceEvent> trace;
   trace.reserve(events.size());
   for (const Event& e : events) {
@@ -261,7 +263,7 @@ std::string Profile::chrome_trace_json() const {
     t.cat = to_string(e.kind);
     t.ts_us = e.t_begin * 1e6;
     t.dur_us = e.modeled_seconds * 1e6;
-    t.pid = 0;
+    t.pid = pid;
     t.tid = e.stream;
     t.args.emplace_back("phase", quoted(e.phase));
     if (e.kind == EventKind::kKernel) {
@@ -288,7 +290,11 @@ std::string Profile::chrome_trace_json() const {
     }
     trace.push_back(std::move(t));
   }
-  return fastpso::chrome_trace_json(trace);
+  return trace;
+}
+
+std::string Profile::chrome_trace_json() const {
+  return fastpso::chrome_trace_json(trace_events(/*pid=*/0));
 }
 
 bool Profile::write_chrome_trace(const std::string& path) const {

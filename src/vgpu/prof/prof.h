@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace_export.h"
 #include "vgpu/device.h"
 #include "vgpu/prof/hooks.h"
 
@@ -122,6 +123,10 @@ struct Profile {
   [[nodiscard]] double modeled_vs_wall() const;
 
   // --- exporters ---------------------------------------------------------
+  /// The profile as Chrome-trace events (tid = stream) under an explicit
+  /// process id. Multi-device runs concatenate trace_events(k) over the
+  /// group's devices to render one merged timeline with a lane per device.
+  [[nodiscard]] std::vector<TraceEvent> trace_events(int pid = 0) const;
   /// Deterministic chrome://tracing / Perfetto JSON (modeled timeline;
   /// tid = stream, pid = 0). Byte-identical for identical modeled runs.
   [[nodiscard]] std::string chrome_trace_json() const;

@@ -1,10 +1,46 @@
-// Tests for the multi-GPU strategies (paper Section 3.5).
+// Tests for the multi-GPU strategies (paper Section 3.5) and the
+// cross-device differential suite pinning the modern comm stack
+// (core/multi_device.h) to the legacy optimizer and to single-device
+// FastPSO.
+//
+// The multi-device contract under test:
+//   * kTileMatrix is BITWISE IDENTICAL — gbest value, position, per-
+//     iteration history — to single-device FastPSO for every device count,
+//     on both stacks: all randoms come from the global element index space
+//     and the rank-ordered collective reduction reproduces the global
+//     argmin tie-break.
+//   * kParticleSplit on the modern stack is bitwise identical to the
+//     legacy optimizer at equal sync_interval (per-shard seeds and the
+//     guarded adopt preserved exactly).
+//   * Legacy modeled time composes as max(device_seconds) +
+//     exchange_seconds; modern modeled time is max(device_seconds) with
+//     the collectives inside each device's comm stream.
+//
+// The whole suite runs unchanged under FASTPSO_GRAPH=1 / FASTPSO_FUSE=1 /
+// FASTPSO_CODEGEN=1 / FASTPSO_SAN=1 (CI's multi-device equivalence steps):
+// per-device captured graphs replay with byte-identical accounting and the
+// collectives re-account eagerly, so every differential still closes.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace_export.h"
+#include "core/multi_device.h"
 #include "core/multi_gpu.h"
 #include "core/optimizer.h"
+#include "benchkit/runner.h"
 #include "problems/problem.h"
+#include "serve/group.h"
+#include "vgpu/comm/comm.h"
+#include "vgpu/prof/prof.h"
 
 namespace fastpso::core {
 namespace {
@@ -19,6 +55,69 @@ MultiGpuParams small_multi(int devices, MultiGpuStrategy strategy) {
   params.strategy = strategy;
   return params;
 }
+
+/// The shared shape of the differential runs: small enough that the full
+/// problems × strategies × device-counts matrix stays fast, big enough
+/// that shards at 8 devices still hold several particles each.
+PsoParams diff_pso(int dim) {
+  PsoParams pso;
+  pso.particles = 96;
+  pso.dim = dim;
+  pso.max_iter = 60;
+  pso.seed = 42;
+  return pso;
+}
+
+Result single_device_run(const PsoParams& pso, const std::string& problem) {
+  vgpu::Device device;
+  const auto prob = benchkit::make_any_problem(problem);
+  Optimizer optimizer(device, pso);
+  return optimizer.optimize(objective_from_problem(*prob, pso.dim));
+}
+
+Result legacy_run(const PsoParams& pso, int devices,
+                  MultiGpuStrategy strategy, const std::string& problem,
+                  int sync_interval = 10) {
+  MultiGpuParams params;
+  params.pso = pso;
+  params.devices = devices;
+  params.strategy = strategy;
+  params.sync_interval = sync_interval;
+  MultiGpuOptimizer optimizer(params);
+  const auto prob = benchkit::make_any_problem(problem);
+  return optimizer.optimize(objective_from_problem(*prob, pso.dim));
+}
+
+Result modern_run(const PsoParams& pso, int devices,
+                  MultiGpuStrategy strategy, const std::string& problem,
+                  int sync_interval = 10,
+                  std::unique_ptr<MultiDeviceOptimizer>* keep = nullptr) {
+  MultiDeviceParams params;
+  params.pso = pso;
+  params.devices = devices;
+  params.strategy = strategy;
+  params.sync_interval = sync_interval;
+  auto optimizer = std::make_unique<MultiDeviceOptimizer>(params);
+  const auto prob = benchkit::make_any_problem(problem);
+  Result result = optimizer->optimize(objective_from_problem(*prob, pso.dim));
+  if (keep != nullptr) {
+    *keep = std::move(optimizer);
+  }
+  return result;
+}
+
+/// Bitwise equality of everything two decompositions of the same swarm
+/// must share. Counters and modeled seconds are intentionally excluded:
+/// the stacks price the exchange differently (that difference is the
+/// point of the modern stack), and per-device accounting layouts differ.
+void expect_same_optimum(const Result& a, const Result& b) {
+  EXPECT_EQ(a.gbest_value, b.gbest_value);
+  EXPECT_EQ(a.gbest_position, b.gbest_position);
+  EXPECT_EQ(a.gbest_history, b.gbest_history);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+// ---- legacy behaviour (pre-existing coverage) ----------------------------
 
 TEST(MultiGpu, TileMatrixConvergesOnSphere) {
   MultiGpuOptimizer optimizer(
@@ -68,6 +167,24 @@ TEST(MultiGpu, DeviceSecondsReportedPerDevice) {
     sum += s;
   }
   EXPECT_LT(result.modeled_seconds, sum);
+}
+
+TEST(MultiGpu, LegacyModeledTimeComposesFromDevicesPlusExchange) {
+  // The legacy invariant, previously asserted nowhere: the reported total
+  // is exactly the slowest device plus the staged exchange time.
+  for (auto strategy : {MultiGpuStrategy::kTileMatrix,
+                        MultiGpuStrategy::kParticleSplit}) {
+    MultiGpuOptimizer optimizer(small_multi(3, strategy));
+    const auto problem = problems::make_problem("rastrigin");
+    const Result result =
+        optimizer.optimize(objective_from_problem(*problem, 8));
+    const double max_device = *std::max_element(
+        optimizer.device_seconds().begin(), optimizer.device_seconds().end());
+    EXPECT_GT(optimizer.exchange_seconds(), 0.0) << to_string(strategy);
+    EXPECT_EQ(result.modeled_seconds,
+              max_device + optimizer.exchange_seconds())
+        << to_string(strategy);
+  }
 }
 
 TEST(MultiGpu, ShardsShareTheSameGbestEachIterationUnderTileMatrix) {
@@ -124,6 +241,347 @@ TEST(MultiGpu, StrategyNames) {
                "particle-split");
   EXPECT_STREQ(to_string(MultiGpuStrategy::kTileMatrix), "tile-matrix");
 }
+
+// ---- cross-device differential suite -------------------------------------
+
+TEST(MultiDeviceDifferential, TileMatrixMatchesSingleDeviceBitwise) {
+  // The headline identity on BOTH stacks: sharding a tile-matrix swarm
+  // over any device count is invisible in the result — value, position
+  // and the entire per-iteration history.
+  const PsoParams pso = diff_pso(8);
+  const Result single = single_device_run(pso, "rastrigin");
+  for (int devices : {1, 2, 3, 4, 8}) {
+    SCOPED_TRACE("devices " + std::to_string(devices));
+    expect_same_optimum(
+        single,
+        legacy_run(pso, devices, MultiGpuStrategy::kTileMatrix, "rastrigin"));
+    expect_same_optimum(
+        single,
+        modern_run(pso, devices, MultiGpuStrategy::kTileMatrix, "rastrigin"));
+  }
+}
+
+TEST(MultiDeviceDifferential, NewStackMatchesLegacyOnTable1Problems) {
+  // The full matrix: four evaluation problems x both strategies x device
+  // counts. Particle-split compares at the (shared) default sync_interval;
+  // its per-shard seeds make it legitimately different from single-device,
+  // so the pin is modern == legacy.
+  for (const std::string problem :
+       {"sphere", "griewank", "easom", "threadconf"}) {
+    const PsoParams pso = diff_pso(8);
+    for (auto strategy : {MultiGpuStrategy::kTileMatrix,
+                          MultiGpuStrategy::kParticleSplit}) {
+      for (int devices : {2, 3, 4, 8}) {
+        SCOPED_TRACE(problem + " " + to_string(strategy) + " devices " +
+                     std::to_string(devices));
+        expect_same_optimum(
+            legacy_run(pso, devices, strategy, problem),
+            modern_run(pso, devices, strategy, problem));
+      }
+    }
+  }
+}
+
+TEST(MultiDeviceDifferential, ParticleSplitMatchesLegacyAcrossSyncIntervals) {
+  const PsoParams pso = diff_pso(8);
+  for (int sync_interval : {1, 3, 7, 1000000}) {
+    SCOPED_TRACE("sync_interval " + std::to_string(sync_interval));
+    expect_same_optimum(
+        legacy_run(pso, 4, MultiGpuStrategy::kParticleSplit, "rastrigin",
+                   sync_interval),
+        modern_run(pso, 4, MultiGpuStrategy::kParticleSplit, "rastrigin",
+                   sync_interval));
+  }
+}
+
+TEST(MultiDeviceDifferential, RunsAreDeterministicAcrossReruns) {
+  const PsoParams pso = diff_pso(8);
+  for (auto strategy : {MultiGpuStrategy::kTileMatrix,
+                        MultiGpuStrategy::kParticleSplit}) {
+    const Result first = modern_run(pso, 3, strategy, "griewank");
+    const Result second = modern_run(pso, 3, strategy, "griewank");
+    SCOPED_TRACE(to_string(strategy));
+    expect_same_optimum(first, second);
+    EXPECT_EQ(first.modeled_seconds, second.modeled_seconds);
+    EXPECT_EQ(first.counters.flops, second.counters.flops);
+    EXPECT_EQ(first.counters.comm_seconds, second.counters.comm_seconds);
+    EXPECT_EQ(first.counters.collectives, second.counters.collectives);
+  }
+}
+
+TEST(MultiDevice, ModeledTimeIsMaxOverDevicesWithCommInside) {
+  // The modern invariant: collectives live inside each device's comm
+  // stream, so the total is exactly the slowest device — no separate
+  // exchange term.
+  const PsoParams pso = diff_pso(8);
+  for (auto strategy : {MultiGpuStrategy::kTileMatrix,
+                        MultiGpuStrategy::kParticleSplit}) {
+    MultiDeviceParams params;
+    params.pso = pso;
+    params.devices = 3;
+    params.strategy = strategy;
+    MultiDeviceOptimizer optimizer(params);
+    const auto problem = problems::make_problem("rastrigin");
+    const Result result =
+        optimizer.optimize(objective_from_problem(*problem, pso.dim));
+    SCOPED_TRACE(to_string(strategy));
+    ASSERT_EQ(optimizer.device_seconds().size(), 3u);
+    const double max_device = *std::max_element(
+        optimizer.device_seconds().begin(), optimizer.device_seconds().end());
+    EXPECT_EQ(result.modeled_seconds, max_device);
+    // Every rank pays every collective once, on its own comm stream.
+    EXPECT_FALSE(optimizer.collectives().empty());
+    ASSERT_EQ(optimizer.comm_seconds().size(), 3u);
+    for (double s : optimizer.comm_seconds()) {
+      EXPECT_GT(s, 0.0);
+      EXPECT_EQ(s, optimizer.comm_seconds()[0]);
+    }
+  }
+}
+
+TEST(MultiDevice, TileMatrixIssuesTwoCollectivesPerIteration) {
+  const PsoParams pso = diff_pso(8);
+  std::unique_ptr<MultiDeviceOptimizer> optimizer;
+  (void)modern_run(pso, 4, MultiGpuStrategy::kTileMatrix, "sphere", 10,
+                   &optimizer);
+  // One (err, rank) argmin allreduce + one gbest-row broadcast per
+  // iteration.
+  EXPECT_EQ(optimizer->collectives().size(),
+            2u * static_cast<std::size_t>(pso.max_iter));
+  for (std::size_t i = 0; i < optimizer->collectives().size(); i += 2) {
+    EXPECT_EQ(optimizer->collectives()[i].label, "allreduce_minloc");
+    EXPECT_EQ(optimizer->collectives()[i + 1].label, "broadcast");
+    EXPECT_EQ(optimizer->collectives()[i + 1].cost.payload_bytes,
+              pso.dim * 4.0);
+  }
+}
+
+TEST(MultiDevice, CollectivesOverlapComputeInTheProfile) {
+  // The overlap the comm stream exists for: while the gbest exchange is in
+  // flight, the next iteration's weight fills run on stream 0 — visible as
+  // a "comm" event intersecting a kernel event on another stream of the
+  // same device.
+  const bool saved_prof = vgpu::prof::active();
+  vgpu::prof::set_enabled(true);
+  const PsoParams pso = diff_pso(8);
+  std::unique_ptr<MultiDeviceOptimizer> optimizer;
+  (void)modern_run(pso, 2, MultiGpuStrategy::kTileMatrix, "rastrigin", 10,
+                   &optimizer);
+  vgpu::prof::set_enabled(saved_prof);
+
+  int overlapped = 0;
+  for (int device = 0; device < optimizer->group()->size(); ++device) {
+    const vgpu::prof::Profile* profile =
+        optimizer->group()->device(device).profile();
+    ASSERT_NE(profile, nullptr);
+    for (const vgpu::prof::Event& comm_event : profile->events) {
+      if (comm_event.kind != vgpu::prof::EventKind::kComm) {
+        continue;
+      }
+      const double begin = comm_event.t_begin;
+      const double end = begin + comm_event.modeled_seconds;
+      for (const vgpu::prof::Event& kernel : profile->events) {
+        if (kernel.kind != vgpu::prof::EventKind::kKernel ||
+            kernel.stream == comm_event.stream) {
+          continue;
+        }
+        const double k_begin = kernel.t_begin;
+        const double k_end = k_begin + kernel.modeled_seconds;
+        if (std::max(begin, k_begin) < std::min(end, k_end)) {
+          ++overlapped;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(overlapped, pso.max_iter)
+      << "collectives never overlapped compute on another stream";
+}
+
+// ---- multi-device serving ------------------------------------------------
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D49B129649CA1Dull;
+  return z ^ (z >> 31);
+}
+
+/// `count` randomly shaped serve jobs from a fixed seed (the test_serve
+/// stress recipe: an 8-entry shape table so per-device graph caches get
+/// hits, budgets/seeds/priorities/tenants all seed-derived).
+std::vector<serve::JobSpec> stress_specs(int count, std::uint64_t seed) {
+  struct ShapeRow {
+    const char* problem;
+    int particles;
+    int dim;
+  };
+  static constexpr ShapeRow kShapes[] = {
+      {"sphere", 32, 8},    {"rastrigin", 16, 4}, {"rosenbrock", 32, 8},
+      {"ackley", 8, 4},     {"griewank", 16, 8},  {"zakharov", 32, 4},
+      {"levy", 8, 2},       {"schwefel", 16, 2},
+  };
+  std::vector<serve::JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  std::uint64_t state = seed;
+  for (int i = 0; i < count; ++i) {
+    const ShapeRow& row = kShapes[splitmix64(state) % std::size(kShapes)];
+    serve::JobSpec spec;
+    spec.problem = row.problem;
+    spec.params.particles = row.particles;
+    spec.params.dim = row.dim;
+    spec.params.max_iter = 3 + static_cast<int>(splitmix64(state) % 8);
+    spec.params.seed = splitmix64(state);
+    spec.priority = static_cast<int>(splitmix64(state) % 3);
+    spec.tenant = static_cast<int>(splitmix64(state) % 4);
+    spec.arrival_seconds = static_cast<double>(i) * 2e-6;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+Result solo_run(const serve::JobSpec& spec) {
+  vgpu::Device device;
+  const auto problem = problems::make_problem(spec.problem);
+  Optimizer optimizer(device, spec.params);
+  return optimizer.optimize(
+      objective_from_problem(*problem, spec.params.dim));
+}
+
+TEST(MultiDeviceServe, HundredJobStressAcrossFourDevicesMatchesSolo) {
+  const auto specs = stress_specs(100, 2026);
+  vgpu::comm::DeviceGroup group(4);
+  serve::SchedulerOptions options;
+  options.streams = 4;
+  options.max_active = 8;
+  serve::GroupScheduler scheduler(group, options);
+  std::vector<int> ids;
+  for (const serve::JobSpec& spec : specs) {
+    ids.push_back(scheduler.submit(spec));
+  }
+  scheduler.run();
+
+  const serve::ServeStats stats = scheduler.stats();
+  EXPECT_EQ(stats.jobs_submitted, 100u);
+  EXPECT_EQ(stats.jobs_completed, 100u);
+  // Least-loaded placement over a uniform workload uses every device.
+  std::vector<int> per_device(4, 0);
+  for (int id : ids) {
+    ++per_device[static_cast<std::size_t>(scheduler.device_of(id))];
+  }
+  for (int device = 0; device < 4; ++device) {
+    EXPECT_GT(per_device[static_cast<std::size_t>(device)], 0)
+        << "device " << device << " never used";
+  }
+
+  // Sampled jobs must match fresh solo reruns bitwise — placement in a
+  // 4-device group left no trace in any job's result or accounting.
+  std::uint64_t state = 31;
+  for (int s = 0; s < 10; ++s) {
+    const std::size_t index = splitmix64(state) % specs.size();
+    SCOPED_TRACE("sampled job " + std::to_string(index));
+    const Result solo = solo_run(specs[index]);
+    const Result& served =
+        scheduler.outcome_of(ids[index]).result;
+    EXPECT_EQ(solo.gbest_value, served.gbest_value);
+    EXPECT_EQ(solo.gbest_position, served.gbest_position);
+    EXPECT_EQ(solo.gbest_history, served.gbest_history);
+    EXPECT_EQ(solo.iterations, served.iterations);
+    EXPECT_EQ(solo.modeled_seconds, served.modeled_seconds);
+    EXPECT_EQ(solo.counters.flops, served.counters.flops);
+    EXPECT_EQ(solo.counters.launches, served.counters.launches);
+  }
+}
+
+TEST(MultiDeviceServe, PlacementAndTimelineAreDeterministicAcrossRuns) {
+  const auto specs = stress_specs(100, 7);
+  const auto run_once = [&](std::vector<int>& devices,
+                            std::vector<double>& finishes,
+                            serve::ServeStats& stats) {
+    vgpu::comm::DeviceGroup group(3);
+    serve::GroupScheduler scheduler(group);
+    std::vector<int> ids;
+    for (const serve::JobSpec& spec : specs) {
+      ids.push_back(scheduler.submit(spec));
+    }
+    scheduler.run();
+    for (int id : ids) {
+      devices.push_back(scheduler.device_of(id));
+      finishes.push_back(scheduler.outcome_of(id).finish_seconds);
+    }
+    stats = scheduler.stats();
+  };
+  std::vector<int> devices_first, devices_second;
+  std::vector<double> finishes_first, finishes_second;
+  serve::ServeStats first, second;
+  run_once(devices_first, finishes_first, first);
+  run_once(devices_second, finishes_second, second);
+  EXPECT_EQ(devices_first, devices_second);
+  EXPECT_EQ(finishes_first, finishes_second);
+  EXPECT_EQ(first.iterations, second.iterations);
+  EXPECT_EQ(first.makespan_seconds, second.makespan_seconds);
+  EXPECT_EQ(first.serial_seconds, second.serial_seconds);
+  // The group makespan is the slowest device; three devices draining
+  // concurrently must beat the serial sum.
+  EXPECT_LT(first.makespan_seconds, first.serial_seconds);
+}
+
+// ---- golden comm trace ---------------------------------------------------
+
+#ifdef FASTPSO_GOLDEN_DIR
+// A fixed 2-device tile-matrix run's merged per-device Chrome trace must
+// match the checked-in golden byte for byte: one process lane per device
+// (pid = device), per-stream rows with the collective "comm" lane, modeled
+// timestamps only — machine- and compiler-independent.
+//
+// Refresh after an intentional change:
+//   FASTPSO_REFRESH_GOLDEN=1 ./build/tests/test_multi_gpu \
+//       --gtest_filter='MultiDeviceGolden.*'
+TEST(MultiDeviceGolden, CommTraceMatchesGoldenFile) {
+  const bool saved_prof = vgpu::prof::active();
+  vgpu::prof::set_enabled(true);
+  PsoParams pso;
+  pso.particles = 32;
+  pso.dim = 8;
+  pso.max_iter = 4;
+  pso.seed = 42;
+  std::unique_ptr<MultiDeviceOptimizer> optimizer;
+  (void)modern_run(pso, 2, MultiGpuStrategy::kTileMatrix, "sphere", 10,
+                   &optimizer);
+  vgpu::prof::set_enabled(saved_prof);
+
+  std::vector<TraceEvent> events;
+  for (int device = 0; device < optimizer->group()->size(); ++device) {
+    const vgpu::prof::Profile* profile =
+        optimizer->group()->device(device).profile();
+    ASSERT_NE(profile, nullptr);
+    const std::vector<TraceEvent> part = profile->trace_events(device);
+    events.insert(events.end(), part.begin(), part.end());
+  }
+  const std::string json = chrome_trace_json(events);
+
+  const std::string path =
+      std::string(FASTPSO_GOLDEN_DIR) + "/comm_trace.json";
+  const char* refresh = std::getenv("FASTPSO_REFRESH_GOLDEN");
+  if (refresh != nullptr && refresh[0] == '1') {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << json;
+    GTEST_SKIP() << "golden refreshed: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — generate with FASTPSO_REFRESH_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(json, golden.str())
+      << "multi-device trace diverged from golden; if intentional, refresh "
+         "with FASTPSO_REFRESH_GOLDEN=1";
+}
+#endif  // FASTPSO_GOLDEN_DIR
 
 }  // namespace
 }  // namespace fastpso::core
