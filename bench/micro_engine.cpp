@@ -50,11 +50,20 @@
 // real bodies, assert nothing about modeled numbers either; the bitwise
 // and accounting equivalences live in tests/test_codegen.cpp).
 //
+//   8. (--tuned) the offline autotuner's tuned-vs-default probe: runs the
+//      tune::Tuner over the engine families on the standard smoke shapes
+//      (DESIGN.md §13) and totals the executed-replay modeled time of every
+//      group's default and tuned configurations. The numbers are modeled
+//      (machine-independent), so the gate is exact: tuned total <= default
+//      total — the candidate slate always contains the default, so the
+//      tuner may never make the engine slower. Emits BENCH_tuner.json.
+//
 //   ./micro_engine [--smoke] [--prof-overhead] [--graph] [--fuse]
-//                  [--codegen]
+//                  [--codegen] [--tuned]
 //                  [--json BENCH_engine.json]
 //                  [--fusion-json BENCH_fusion.json]
 //                  [--codegen-json BENCH_codegen.json]
+//                  [--tuner-json BENCH_tuner.json]
 //                  [--fuse-trace prof_trace_fused.json]
 //                  [--baseline bench/BENCH_engine_baseline.json]
 //
@@ -83,6 +92,9 @@
 #include "core/swarm_update.h"
 #include "problems/problem.h"
 #include "tgbm/threadconf.h"
+#include "tune/kernels.h"
+#include "tune/shapes.h"
+#include "tune/tuner.h"
 #include "vgpu/buffer.h"
 #include "vgpu/device.h"
 #include "vgpu/graph/codegen.h"
@@ -812,6 +824,38 @@ void bench_codegen_pipeline(int n, int d, int iters, CodegenResult& r) {
   }
 }
 
+struct TunedResult {
+  double default_us = 0;   ///< executed modeled us, defaults, all groups
+  double tuned_us = 0;     ///< executed modeled us, tuned table installed
+  int groups = 0;
+  int improved = 0;        ///< groups with a strict modeled win
+  int store_entries = 0;   ///< table entries the search emitted
+};
+
+/// Autotuner probe: tune the engine families on the standard smoke shapes
+/// and total the executed-replay modeled cost of the default vs the tuned
+/// configuration per group. Both sides come from the engine's own
+/// accounting on a fresh Device (not the tuner's predicted mirror), and
+/// modeled time is deterministic, so tuned <= default is gateable exactly.
+TunedResult bench_tuned(int particles, int iterations) {
+  tune::TunerOptions options;
+  options.particles = particles;
+  options.iterations = iterations;
+  const tune::Tuner tuner(vgpu::tesla_v100(), options);
+  const tune::TuneReport report =
+      tuner.tune(tune::engine_families(vgpu::tesla_v100()),
+                 tune::smoke_shapes());
+  TunedResult r;
+  r.groups = static_cast<int>(report.outcomes.size());
+  r.improved = report.improved_groups();
+  r.store_entries = static_cast<int>(report.table.store().size());
+  for (const tune::GroupOutcome& outcome : report.outcomes) {
+    r.default_us += outcome.executed_default_us;
+    r.tuned_us += outcome.executed_tuned_us;
+  }
+  return r;
+}
+
 /// Wall-clock of the exact table1_overall --smoke cell set; best of `reps`.
 double bench_table1_smoke(int reps) {
   const std::vector<std::string> problems = {"sphere", "griewank", "easom",
@@ -867,7 +911,10 @@ int main(int argc, char** argv) {
   const bool graph_bench = args.get_bool("graph", false);
   const bool fuse_bench = args.get_bool("fuse", false);
   const bool codegen_bench = args.get_bool("codegen", false);
+  const bool tuned_bench = args.get_bool("tuned", false);
   const std::string json_path = args.get_string("json", "BENCH_engine.json");
+  const std::string tuner_json_path =
+      args.get_string("tuner-json", tuned_bench ? "BENCH_tuner.json" : "");
   const std::string fusion_json_path =
       args.get_string("fusion-json", fuse_bench ? "BENCH_fusion.json" : "");
   const std::string codegen_json_path = args.get_string(
@@ -909,6 +956,10 @@ int main(int argc, char** argv) {
   if (codegen_bench) {
     bench_codegen_chain(codegen_elems, codegen_iters, codegen);
     bench_codegen_pipeline(/*n=*/64, /*d=*/4, pipeline_iters, codegen);
+  }
+  TunedResult tuned;
+  if (tuned_bench) {
+    tuned = bench_tuned(smoke ? 24 : 48, smoke ? 12 : 24);
   }
 
   const double launch_speedup = launch.fast_per_s / launch.legacy_per_s;
@@ -974,6 +1025,18 @@ int main(int argc, char** argv) {
                    fmt_fixed(codegen.pipeline_compiled_s, 4),
                    fmt_fixed(codegen.pipeline_eager_s, 4),
                    fmt_speedup(codegen.pipeline_speedup())});
+  }
+  if (tuned_bench) {
+    // "fast/batch" column = tuned table installed, "legacy/virtual" =
+    // defaults. Both are executed modeled us totals over the smoke groups.
+    table.add_row({"tuner modeled us tuned/default (smoke groups)",
+                   fmt_fixed(tuned.tuned_us, 3),
+                   fmt_fixed(tuned.default_us, 3),
+                   fmt_speedup(tuned.default_us / tuned.tuned_us)});
+    table.add_row({"tuner improved groups",
+                   std::to_string(tuned.improved) + "/" +
+                       std::to_string(tuned.groups),
+                   "-", "-"});
   }
   table.add_note("identical account_launch on both paths: modeled seconds "
                  "and counters do not depend on the toggle");
@@ -1109,6 +1172,26 @@ int main(int argc, char** argv) {
               << codegen_json_path << "\n";
   }
 
+  if (tuned_bench && !tuner_json_path.empty()) {
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(3);
+    json << "{\n"
+         << "  \"schema\": \"fastpso-bench-tuner-v1\",\n"
+         << "  \"groups\": " << tuned.groups << ",\n"
+         << "  \"improved_groups\": " << tuned.improved << ",\n"
+         << "  \"store_entries\": " << tuned.store_entries << ",\n"
+         << "  \"executed_default_us\": " << tuned.default_us << ",\n"
+         << "  \"executed_tuned_us\": " << tuned.tuned_us << ",\n"
+         << "  \"executed_speedup\": " << tuned.default_us / tuned.tuned_us
+         << "\n"
+         << "}\n";
+    std::ofstream file(tuner_json_path);
+    file << json.str();
+    std::cout << (file ? "json written: " : "json write FAILED: ")
+              << tuner_json_path << "\n";
+  }
+
   if (fuse_bench && !fuse_trace_path.empty()) {
     std::ofstream file(fuse_trace_path);
     file << fuse.trace;
@@ -1208,6 +1291,16 @@ int main(int argc, char** argv) {
            codegen.composed_elems_per_s >= base_composed / 2.0,
            codegen.composed_elems_per_s, base_composed / 2.0,
            ">= baseline/2");
+    }
+    if (tuned_bench) {
+      // Exact bar, not a 2x band: both totals are deterministic modeled
+      // time, and the tuner's candidate slate always contains the default,
+      // so an emitted table that slows any smoke group down is a bug.
+      gate("tuned_throughput", tuned.tuned_us <= tuned.default_us,
+           tuned.tuned_us, tuned.default_us, "tuned <= default (modeled)");
+      gate("tuned_improved_groups", tuned.improved >= 3,
+           static_cast<double>(tuned.improved), 3.0,
+           ">= 3 improved smoke groups");
     }
     if (!failed.empty()) {
       std::cerr << "micro_engine: regression vs baseline " << baseline_path

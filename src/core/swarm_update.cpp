@@ -5,6 +5,7 @@
 
 #include "core/kernels_registry.h"
 #include "vgpu/block.h"
+#include "vgpu/tuned.h"
 #include "vgpu/prof/prof.h"
 #include "vgpu/san/tracked.h"
 #include "vgpu/wmma.h"
@@ -111,13 +112,24 @@ void update_shared(vgpu::Device& device, const LaunchPolicy& policy,
   const int n = state.n;
   const int d = state.d;
   const std::int64_t elements = state.elements();
-  const std::int64_t tile_rows = (n + kTileSize - 1) / kTileSize;
-  const std::int64_t tile_cols = (d + kTileSize - 1) / kTileSize;
+  // Tile edge is tunable geometry (DESIGN.md §13): the tile only
+  // partitions the matrix — each element's arithmetic is identical at any
+  // edge, so retuning it never changes results. tile^2 threads per block
+  // must stay within the device limit.
+  const int max_tile = static_cast<int>(
+      std::sqrt(static_cast<double>(device.spec().max_threads_per_block)));
+  const int tile = std::clamp(
+      vgpu::tuned::lookup(vgpu::tuned::shape_key("swarm_tile", elements) +
+                              "/tile",
+                          kTileSize),
+      2, max_tile);
+  const std::int64_t tile_rows = (n + tile - 1) / tile;
+  const std::int64_t tile_cols = (d + tile - 1) / tile;
   const std::int64_t tiles = tile_rows * tile_cols;
 
-  // One block per tile (grid-stride over tiles), kTileSize^2 threads each.
+  // One block per tile (grid-stride over tiles), tile^2 threads each.
   vgpu::LaunchConfig cfg;
-  cfg.block = kTileSize * kTileSize;
+  cfg.block = tile * tile;
   cfg.grid = std::min<std::int64_t>(
       tiles, policy.thread_cap() / cfg.block + (policy.thread_cap() % cfg.block != 0));
   cfg.grid = std::max<std::int64_t>(cfg.grid, 1);
@@ -142,36 +154,36 @@ void update_shared(vgpu::Device& device, const LaunchPolicy& policy,
   device.launch_blocks(
       cfg, update_cost(elements, d, static_cast<int>(2 * trips), false),
       [&](vgpu::BlockCtx& blk) {
-        constexpr int kTileElems = kTileSize * kTileSize;
-        auto sh_v = san::track_shared(blk.shared_array<float>(kTileElems),
+        const int tile_elems = tile * tile;
+        auto sh_v = san::track_shared(blk.shared_array<float>(tile_elems),
                                       "sh_v");
-        auto sh_p = san::track_shared(blk.shared_array<float>(kTileElems),
+        auto sh_p = san::track_shared(blk.shared_array<float>(tile_elems),
                                       "sh_p");
-        auto sh_l = san::track_shared(blk.shared_array<float>(kTileElems),
+        auto sh_l = san::track_shared(blk.shared_array<float>(tile_elems),
                                       "sh_l");
-        auto sh_g = san::track_shared(blk.shared_array<float>(kTileElems),
+        auto sh_g = san::track_shared(blk.shared_array<float>(tile_elems),
                                       "sh_g");
-        auto sh_pb = san::track_shared(blk.shared_array<float>(kTileElems),
+        auto sh_pb = san::track_shared(blk.shared_array<float>(tile_elems),
                                        "sh_pb");
-        auto sh_gb = san::track_shared(blk.shared_array<float>(kTileSize),
+        auto sh_gb = san::track_shared(blk.shared_array<float>(tile),
                                        "sh_gb");
 
-        for (std::int64_t tile = blk.block_idx(); tile < tiles;
-             tile += blk.grid_dim()) {
-          const std::int64_t row0 = (tile / tile_cols) * kTileSize;
-          const std::int64_t col0 = (tile % tile_cols) * kTileSize;
+        for (std::int64_t t_idx = blk.block_idx(); t_idx < tiles;
+             t_idx += blk.grid_dim()) {
+          const std::int64_t row0 = (t_idx / tile_cols) * tile;
+          const std::int64_t col0 = (t_idx % tile_cols) * tile;
           const int rows = static_cast<int>(
-              std::min<std::int64_t>(kTileSize, n - row0));
+              std::min<std::int64_t>(tile, n - row0));
           const int cols = static_cast<int>(
-              std::min<std::int64_t>(kTileSize, d - col0));
+              std::min<std::int64_t>(tile, d - col0));
 
           // Phase 1: stage the tile into shared memory.
           blk.for_each_thread([&](const vgpu::ThreadCtx& t) {
-            const int r = t.thread_idx / kTileSize;
-            const int c = t.thread_idx % kTileSize;
+            const int r = t.thread_idx / tile;
+            const int c = t.thread_idx % tile;
             if (r < rows && c < cols) {
               const std::int64_t src = (row0 + r) * d + (col0 + c);
-              const int dst = r * kTileSize + c;
+              const int dst = r * tile + c;
               sh_v[dst] = velocities[src];
               sh_p[dst] = positions[src];
               sh_l[dst] = l[src];
@@ -186,10 +198,10 @@ void update_shared(vgpu::Device& device, const LaunchPolicy& policy,
 
           // Phase 2: element-wise update inside shared memory.
           blk.for_each_thread([&](const vgpu::ThreadCtx& t) {
-            const int r = t.thread_idx / kTileSize;
-            const int c = t.thread_idx % kTileSize;
+            const int r = t.thread_idx / tile;
+            const int c = t.thread_idx % tile;
             if (r < rows && c < cols) {
-              const int idx = r * kTileSize + c;
+              const int idx = r * tile + c;
               update_element(sh_v[idx], sh_p[idx], sh_l[idx], sh_g[idx],
                              sh_pb[idx], sh_gb[c], coeff);
             }
@@ -198,11 +210,11 @@ void update_shared(vgpu::Device& device, const LaunchPolicy& policy,
 
           // Phase 3: write the tile back to global memory.
           blk.for_each_thread([&](const vgpu::ThreadCtx& t) {
-            const int r = t.thread_idx / kTileSize;
-            const int c = t.thread_idx % kTileSize;
+            const int r = t.thread_idx / tile;
+            const int c = t.thread_idx % tile;
             if (r < rows && c < cols) {
               const std::int64_t dst = (row0 + r) * d + (col0 + c);
-              const int src = r * kTileSize + c;
+              const int src = r * tile + c;
               velocities[dst] = sh_v[src];
               positions[dst] = sh_p[src];
             }

@@ -1,0 +1,75 @@
+#include "tune/shapes.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "vgpu/tuned.h"
+
+namespace fastpso::tune {
+
+std::string ShapeGroup::key() const {
+  return kernel + "/b" + std::to_string(bucket);
+}
+
+std::vector<ShapeGroup> group_shapes(std::vector<WorkloadShape> shapes) {
+  std::map<std::pair<std::string, int>, ShapeGroup> groups;
+  for (WorkloadShape& shape : shapes) {
+    const int bucket = vgpu::tuned::elements_bucket(shape.elements);
+    auto [it, inserted] =
+        groups.try_emplace({shape.kernel, bucket}, ShapeGroup{});
+    ShapeGroup& group = it->second;
+    if (inserted) {
+      group.kernel = shape.kernel;
+      group.bucket = bucket;
+    }
+    group.shapes.push_back(std::move(shape));
+  }
+
+  std::vector<ShapeGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    auto order = [](const WorkloadShape& a, const WorkloadShape& b) {
+      return std::tie(a.elements, a.dim, a.swarm) <
+             std::tie(b.elements, b.dim, b.swarm);
+    };
+    std::sort(group.shapes.begin(), group.shapes.end(), order);
+    group.shapes.erase(std::unique(group.shapes.begin(), group.shapes.end()),
+                       group.shapes.end());
+    // Largest member represents the group (the bucket's lookup serves it
+    // too, and the big shape dominates the bucket's runtime); the sort puts
+    // the smaller dim first among equal element counts.
+    for (const WorkloadShape& shape : group.shapes) {
+      if (shape.elements > group.representative.elements ||
+          group.representative.kernel.empty()) {
+        group.representative = shape;
+      }
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+std::vector<WorkloadShape> smoke_shapes() {
+  // The Table 1 smoke geometries used across the bench suite, plus the
+  // paper-scale run.
+  struct Geometry {
+    int swarm;
+    int dim;
+  };
+  constexpr Geometry kGeometries[] = {
+      {256, 16}, {512, 32}, {1024, 50}, {2048, 64}, {5000, 200}};
+
+  std::vector<WorkloadShape> shapes;
+  for (const Geometry& g : kGeometries) {
+    const std::int64_t elements =
+        static_cast<std::int64_t>(g.swarm) * g.dim;
+    // Element-wise update launches over n*d; reductions over n.
+    shapes.push_back({"launch_policy", elements, g.dim, g.swarm});
+    shapes.push_back({"swarm_tile", elements, g.dim, g.swarm});
+    shapes.push_back({"reduce", g.swarm, g.dim, g.swarm});
+  }
+  return shapes;
+}
+
+}  // namespace fastpso::tune

@@ -1,0 +1,140 @@
+#include "tune/space.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fastpso::tune {
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 0.999999); }
+
+/// Index of `value` in `axis.values` (-1 if absent).
+int value_index(const Axis& axis, int value) {
+  for (std::size_t i = 0; i < axis.values.size(); ++i) {
+    if (axis.values[i] == value) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+JoinedSpace& JoinedSpace::add_axis(std::string name, std::vector<int> values) {
+  FASTPSO_CHECK(!values.empty());
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+  return *this;
+}
+
+JoinedSpace& JoinedSpace::add_predicate(
+    std::string name, std::function<bool(const Point&)> ok) {
+  predicates_.push_back(Predicate{std::move(name), std::move(ok)});
+  return *this;
+}
+
+int JoinedSpace::axis_index(std::string_view name) const {
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::int64_t JoinedSpace::cardinality() const {
+  std::int64_t total = 1;
+  for (const Axis& axis : axes_) {
+    total *= static_cast<std::int64_t>(axis.values.size());
+  }
+  return total;
+}
+
+bool JoinedSpace::valid(const Point& point) const {
+  return first_violation(point).empty();
+}
+
+std::string JoinedSpace::first_violation(const Point& point) const {
+  if (point.size() != axes_.size()) {
+    return "arity";
+  }
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (value_index(axes_[i], point[i]) < 0) {
+      return "domain/" + axes_[i].name;
+    }
+  }
+  for (const Predicate& predicate : predicates_) {
+    if (!predicate.ok(point)) {
+      return predicate.name;
+    }
+  }
+  return "";
+}
+
+Point JoinedSpace::decode(std::span<const float> position) const {
+  FASTPSO_CHECK(!position.empty());
+  Point point(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    const double x =
+        clamp01(static_cast<double>(position[i % position.size()]));
+    const auto& values = axes_[i].values;
+    point[i] = values[static_cast<std::size_t>(x * values.size())];
+  }
+  return point;
+}
+
+std::vector<Point> JoinedSpace::enumerate_valid() const {
+  std::vector<Point> out;
+  Point point(axes_.size());
+  // Odometer over axis value indices, most-significant axis first, so the
+  // output order is lexicographic and deterministic.
+  std::vector<std::size_t> idx(axes_.size(), 0);
+  while (true) {
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+      point[i] = axes_[i].values[idx[i]];
+    }
+    if (valid(point)) {
+      out.push_back(point);
+    }
+    std::size_t carry = axes_.size();
+    while (carry > 0) {
+      --carry;
+      if (++idx[carry] < axes_[carry].values.size()) {
+        break;
+      }
+      idx[carry] = 0;
+      if (carry == 0) {
+        return out;
+      }
+    }
+  }
+}
+
+std::vector<Point> JoinedSpace::neighbors(const Point& point) const {
+  std::vector<Point> out;
+  if (point.size() != axes_.size()) {
+    return out;
+  }
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    const int idx = value_index(axes_[i], point[i]);
+    if (idx < 0) {
+      continue;
+    }
+    for (const int step : {-1, 1}) {
+      const int other = idx + step;
+      if (other < 0 ||
+          other >= static_cast<int>(axes_[i].values.size())) {
+        continue;
+      }
+      Point neighbor = point;
+      neighbor[i] = axes_[i].values[static_cast<std::size_t>(other)];
+      if (valid(neighbor)) {
+        out.push_back(std::move(neighbor));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fastpso::tune

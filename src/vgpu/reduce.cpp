@@ -1,7 +1,6 @@
 #include "vgpu/reduce.h"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -10,31 +9,56 @@
 #include "vgpu/buffer.h"
 #include "vgpu/prof/prof.h"
 #include "vgpu/san/tracked.h"
+#include "vgpu/tuned.h"
 
 namespace fastpso::vgpu {
 namespace {
 
 constexpr int kReduceBlock = 256;
+constexpr int kReduceMaxBlocks = 1024;
+
+/// The shared-memory tree needs a power-of-two width; tuned entries are
+/// emitted from a power-of-two axis, but the store is user-writable so
+/// sanitize anyway: round down to a power of two within [32, device max].
+int sanitize_block(int block, const GpuSpec& spec) {
+  block = std::clamp(block, 32, spec.max_threads_per_block);
+  int pow2 = 32;
+  while (pow2 * 2 <= block) {
+    pow2 *= 2;
+  }
+  return pow2;
+}
+
+/// Tuned tree width for a reduction over n elements (default kReduceBlock).
+/// Geometry-only for argmin — the result is "first strict minimum in
+/// ascending index order" at any width — so retuning it never moves gbest.
+int reduce_block(const GpuSpec& spec, std::int64_t n) {
+  const int block =
+      tuned::lookup(tuned::shape_key("reduce", n) + "/block", kReduceBlock);
+  return block == kReduceBlock ? kReduceBlock : sanitize_block(block, spec);
+}
 
 /// Launch shape for a reduction over n elements: one block per
-/// kReduceBlock-element chunk, capped so the partial array stays small.
-LaunchConfig reduce_config(const GpuSpec& spec, std::int64_t n) {
-  auto cfg = LaunchConfig::for_elements(spec, n, kReduceBlock,
-                                        /*max_blocks=*/1024);
+/// `block`-element chunk, capped so the partial array stays small.
+LaunchConfig reduce_config(const GpuSpec& spec, std::int64_t n, int block) {
+  const int max_blocks = std::max(
+      1, tuned::lookup(tuned::shape_key("reduce", n) + "/max_blocks",
+                       kReduceMaxBlocks));
+  auto cfg = LaunchConfig::for_elements(spec, n, block, max_blocks);
   return cfg;
 }
 
 /// Cost of one reduction pass over n elements of `elem_bytes` each,
 /// emitting `out_bytes` of partial results. The flop count covers one
 /// compare/accumulate per element plus the shared-memory tree
-/// (kReduceBlock - 1 folds per block).
+/// (block - 1 folds per block).
 KernelCostSpec reduce_cost(std::int64_t n, std::size_t elem_bytes,
                            std::int64_t blocks, std::size_t out_bytes,
-                           int barriers) {
+                           int barriers, int block) {
   KernelCostSpec cost;
   cost.flops = static_cast<double>(n) +
                (barriers > 0
-                    ? static_cast<double>(blocks) * (kReduceBlock - 1)
+                    ? static_cast<double>(blocks) * (block - 1)
                     : 0.0);
   cost.dram_read_bytes = static_cast<double>(n) * elem_bytes;
   cost.dram_write_bytes = static_cast<double>(blocks) * out_bytes;
@@ -54,7 +78,8 @@ int log2_ceil(int x) {
 
 ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
   FASTPSO_CHECK(n > 0);
-  const auto cfg = reduce_config(device.spec(), n);
+  const int block = reduce_block(device.spec(), n);
+  const auto cfg = reduce_config(device.spec(), n, block);
   const auto blocks = cfg.grid;
 
   if (use_fast_path()) {
@@ -68,7 +93,7 @@ ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
       device.account_launch(
           cfg, reduce_cost(n, sizeof(float), blocks,
                            sizeof(float) + sizeof(std::int64_t),
-                           log2_ceil(kReduceBlock)));
+                           log2_ceil(block), block));
       // Footprint: reductions never fuse (barriers), but declaring the
       // input read keeps the node non-opaque so the fusion pass's
       // outside-reader analysis sees exactly what it consumes (the fast
@@ -96,7 +121,7 @@ ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
       device.account_launch(
           final_cfg,
           reduce_cost(blocks, sizeof(float) + sizeof(std::int64_t), blocks,
-                      0, 0));
+                      0, 0, block));
       // The fast path folds in place — the final pass touches no device
       // buffer, declared as an empty (non-opaque) footprint.
       if (device.capturing()) {
@@ -124,12 +149,12 @@ ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
         cfg,
         reduce_cost(n, sizeof(float), blocks,
                     sizeof(float) + sizeof(std::int64_t),
-                    log2_ceil(kReduceBlock)),
+                    log2_ceil(block), block),
         [&](BlockCtx& blk) {
           auto sh_val = san::track_shared(
-              blk.shared_array<float>(kReduceBlock), "sh_val");
+              blk.shared_array<float>(block), "sh_val");
           auto sh_idx = san::track_shared(
-              blk.shared_array<std::int64_t>(kReduceBlock), "sh_idx");
+              blk.shared_array<std::int64_t>(block), "sh_idx");
           // Phase 1: each thread folds its grid-stride slice.
           blk.for_each_thread([&](const ThreadCtx& t) {
             float best = std::numeric_limits<float>::infinity();
@@ -147,7 +172,7 @@ ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
             sh_idx[t.thread_idx] = best_i;
           });
           // Phase 2..log2(block): shared-memory tree reduction.
-          for (int stride = kReduceBlock / 2; stride > 0; stride /= 2) {
+          for (int stride = block / 2; stride > 0; stride /= 2) {
             blk.sync();
             blk.for_each_thread([&](const ThreadCtx& t) {
               if (t.thread_idx < stride) {
@@ -193,7 +218,7 @@ ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
   san::KernelScope scope("reduce/argmin_final");
   device.launch(final_cfg,
                 reduce_cost(blocks, sizeof(float) + sizeof(std::int64_t),
-                            blocks, 0, 0),
+                            blocks, 0, 0, block),
                 [&](const ThreadCtx&) {
                   for (std::int64_t b = 0; b < blocks; ++b) {
                     san::count_flops(1.0);
@@ -224,7 +249,8 @@ float reduce_min(Device& device, const float* data, std::int64_t n) {
 
 double reduce_sum(Device& device, const float* data, std::int64_t n) {
   FASTPSO_CHECK(n > 0);
-  const auto cfg = reduce_config(device.spec(), n);
+  const int block = reduce_block(device.spec(), n);
+  const auto cfg = reduce_config(device.spec(), n, block);
   const auto blocks = cfg.grid;
 
   if (use_fast_path()) {
@@ -237,21 +263,21 @@ double reduce_sum(Device& device, const float* data, std::int64_t n) {
       device.account_launch(cfg,
                             reduce_cost(n, sizeof(float), blocks,
                                         sizeof(double),
-                                        log2_ceil(kReduceBlock)));
+                                        log2_ceil(block), block));
     }
     const std::int64_t stride_all =
-        blocks * static_cast<std::int64_t>(kReduceBlock);
-    std::array<double, kReduceBlock> sh;
+        blocks * static_cast<std::int64_t>(block);
+    std::vector<double> sh(static_cast<std::size_t>(block));
     std::vector<double> partial(blocks, 0.0);
     for (std::int64_t b = 0; b < blocks; ++b) {
-      for (int t = 0; t < kReduceBlock; ++t) {
+      for (int t = 0; t < block; ++t) {
         double acc = 0.0;
-        for (std::int64_t i = b * kReduceBlock + t; i < n; i += stride_all) {
+        for (std::int64_t i = b * block + t; i < n; i += stride_all) {
           acc += static_cast<double>(data[i]);
         }
         sh[t] = acc;
       }
-      for (int stride = kReduceBlock / 2; stride > 0; stride /= 2) {
+      for (int stride = block / 2; stride > 0; stride /= 2) {
         for (int t = 0; t < stride; ++t) {
           sh[t] += sh[t + stride];
         }
@@ -264,7 +290,8 @@ double reduce_sum(Device& device, const float* data, std::int64_t n) {
     {
       prof::KernelLabel klabel("reduce/sum_final");
       device.account_launch(
-          final_cfg, reduce_cost(blocks, sizeof(double), blocks, 0, 0));
+          final_cfg,
+          reduce_cost(blocks, sizeof(double), blocks, 0, 0, block));
     }
     double total = 0.0;
     for (std::int64_t b = 0; b < blocks; ++b) {
@@ -285,10 +312,10 @@ double reduce_sum(Device& device, const float* data, std::int64_t n) {
     device.launch_blocks(
         cfg,
         reduce_cost(n, sizeof(float), blocks, sizeof(double),
-                    log2_ceil(kReduceBlock)),
+                    log2_ceil(block), block),
         [&](BlockCtx& blk) {
           auto sh = san::track_shared(
-              blk.shared_array<double>(kReduceBlock), "sh_sum");
+              blk.shared_array<double>(block), "sh_sum");
           blk.for_each_thread([&](const ThreadCtx& t) {
             double acc = 0.0;
             for (std::int64_t i = t.global_id(); i < n;
@@ -298,7 +325,7 @@ double reduce_sum(Device& device, const float* data, std::int64_t n) {
             }
             sh[t.thread_idx] = acc;
           });
-          for (int stride = kReduceBlock / 2; stride > 0; stride /= 2) {
+          for (int stride = block / 2; stride > 0; stride /= 2) {
             blk.sync();
             blk.for_each_thread([&](const ThreadCtx& t) {
               if (t.thread_idx < stride) {
@@ -316,7 +343,8 @@ double reduce_sum(Device& device, const float* data, std::int64_t n) {
   final_cfg.grid = 1;
   final_cfg.block = 1;
   san::KernelScope scope("reduce/sum_final");
-  device.launch(final_cfg, reduce_cost(blocks, sizeof(double), blocks, 0, 0),
+  device.launch(final_cfg,
+                reduce_cost(blocks, sizeof(double), blocks, 0, 0, block),
                 [&](const ThreadCtx&) {
                   for (std::int64_t b = 0; b < blocks; ++b) {
                     san::count_flops(1.0);

@@ -536,7 +536,7 @@ TEST(MultiDeviceServe, PlacementAndTimelineAreDeterministicAcrossRuns) {
 // timestamps only — machine- and compiler-independent.
 //
 // Refresh after an intentional change:
-//   FASTPSO_REFRESH_GOLDEN=1 ./build/tests/test_multi_gpu \
+//   FASTPSO_REFRESH_GOLDEN=1 ./build/tests/test_multi_gpu
 //       --gtest_filter='MultiDeviceGolden.*'
 TEST(MultiDeviceGolden, CommTraceMatchesGoldenFile) {
   const bool saved_prof = vgpu::prof::active();
