@@ -11,10 +11,16 @@
 //
 //   ./serve_load [--jobs 1000] [--policy fifo|priority|fair]
 //                [--streams 4] [--max-active 32] [--seed 42]
-//                [--no-graphs] [--no-batching] [--fuse]
+//                [--no-graphs] [--no-batching] [--fuse] [--tiny]
 //                [--csv out.csv] [--json BENCH_serve.json]
 //                [--trace serve_trace.json]
 //                [--smoke]   (fixed 200-job config + acceptance gates)
+//                [--pack]    (executed-packing comparison: the tiny-job
+//                             workload runs unpacked AND packed, reporting
+//                             real launch counts and jobs/s on both the
+//                             modeled timeline and the host wall clock;
+//                             with --smoke, gates packed >= 1.3x unpacked
+//                             jobs/s and >= 30% real-launch reduction)
 
 #include <algorithm>
 #include <cstdint>
@@ -44,18 +50,40 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+struct ShapeRow {
+  const char* problem;
+  int particles;
+  int dim;
+  core::UpdateTechnique technique;
+  core::Topology topology;
+};
+
+/// The tiny-job table: the cross-job packing workload (--tiny, and the
+/// --pack smoke gate). Swarms of 8-16 particles in 2-8 dims — shapes where
+/// per-iteration fixed costs dwarf the kernel bodies, i.e. exactly the
+/// regime the Warp-Level Parallelism packing scheme targets. One ring
+/// shape keeps the neighborhood kernels in the packed differential.
+constexpr ShapeRow kTinyShapes[] = {
+    {"sphere", 8, 2, core::UpdateTechnique::kGlobalMemory,
+     core::Topology::kGlobal},
+    {"rastrigin", 8, 4, core::UpdateTechnique::kGlobalMemory,
+     core::Topology::kGlobal},
+    {"rosenbrock", 16, 2, core::UpdateTechnique::kGlobalMemory,
+     core::Topology::kGlobal},
+    {"zakharov", 16, 4, core::UpdateTechnique::kGlobalMemory,
+     core::Topology::kGlobal},
+    {"ackley", 16, 2, core::UpdateTechnique::kGlobalMemory,
+     core::Topology::kRing},
+    {"schwefel", 8, 8, core::UpdateTechnique::kGlobalMemory,
+     core::Topology::kGlobal},
+};
+
 /// The mixed workload: jobs drawn from a fixed 8-shape table (varied
 /// problems, swarm sizes, dims; one ring topology, one shared-memory
 /// shape), with seeded budgets, priorities, tenants, and an open-loop
 /// arrival ramp. Deterministic for a given (count, seed).
-std::vector<JobSpec> build_workload(int count, std::uint64_t seed) {
-  struct ShapeRow {
-    const char* problem;
-    int particles;
-    int dim;
-    core::UpdateTechnique technique;
-    core::Topology topology;
-  };
+std::vector<JobSpec> build_workload(int count, std::uint64_t seed,
+                                    bool tiny) {
   static constexpr ShapeRow kShapes[] = {
       {"sphere", 64, 16, core::UpdateTechnique::kGlobalMemory,
        core::Topology::kGlobal},
@@ -78,7 +106,9 @@ std::vector<JobSpec> build_workload(int count, std::uint64_t seed) {
   specs.reserve(static_cast<std::size_t>(count));
   std::uint64_t state = seed;
   for (int i = 0; i < count; ++i) {
-    const ShapeRow& row = kShapes[splitmix64(state) % std::size(kShapes)];
+    const ShapeRow& row =
+        tiny ? kTinyShapes[splitmix64(state) % std::size(kTinyShapes)]
+             : kShapes[splitmix64(state) % std::size(kShapes)];
     JobSpec spec;
     spec.problem = row.problem;
     spec.params.particles = row.particles;
@@ -105,6 +135,40 @@ double percentile(std::vector<double> sorted, double p) {
   return sorted[std::min(index, sorted.size() - 1)];
 }
 
+/// One serve run for the --pack comparison: same workload, pack toggled.
+struct PackRun {
+  ServeStats stats;
+  double wall_s = 0;
+  /// Jobs per second on the deterministic modeled timeline (the gated
+  /// number — wall-clock jobs/s is reported alongside but machine-bound).
+  [[nodiscard]] double jobs_per_modeled_s() const {
+    return stats.makespan_seconds > 0
+               ? static_cast<double>(stats.jobs_completed) /
+                     stats.makespan_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double jobs_per_wall_s() const {
+    return wall_s > 0
+               ? static_cast<double>(stats.jobs_completed) / wall_s
+               : 0.0;
+  }
+};
+
+PackRun run_workload(const std::vector<JobSpec>& specs,
+                     const SchedulerOptions& options) {
+  PackRun run;
+  Stopwatch wall;
+  vgpu::Device device;
+  Scheduler scheduler(device, options);
+  for (const JobSpec& spec : specs) {
+    scheduler.submit(spec);
+  }
+  scheduler.run();
+  run.wall_s = wall.elapsed_s();
+  run.stats = scheduler.stats();
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,8 +185,13 @@ int main(int argc, char** argv) {
   options.use_graphs = !args.get_bool("no-graphs", false);
   options.batching = !args.get_bool("no-batching", false);
   options.fuse = args.get_bool("fuse", false);
+  // options.pack already defaulted from FASTPSO_SERVE_PACK; --smoke pins
+  // it off below so the golden CSV is env-stable. --pack runs the
+  // executed-packing comparison on top of the primary run.
+  const bool pack_mode = args.get_bool("pack", false);
   int jobs = static_cast<int>(args.get_int("jobs", 1000));
   std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  bool tiny = args.get_bool("tiny", false);
   if (smoke) {
     // The ISSUE acceptance workload: mixed 200-job load, fixed seed.
     jobs = 200;
@@ -133,9 +202,10 @@ int main(int argc, char** argv) {
     options.use_graphs = true;
     options.batching = true;
     options.fuse = false;
+    options.pack = false;  // env-stable golden; --pack compares below
   }
 
-  const auto specs = build_workload(jobs, seed);
+  const auto specs = build_workload(jobs, seed, tiny);
 
   Stopwatch wall;
   vgpu::Device device;
@@ -173,6 +243,10 @@ int main(int argc, char** argv) {
   table.add_row({"batched launch reduction",
                  fmt_fixed(stats.batch_launch_reduction() * 100.0, 1) +
                      "%"});
+  table.add_row({"launches real (executed)",
+                 std::to_string(stats.launches_real)});
+  table.add_row({"real launch reduction",
+                 fmt_fixed(stats.real_launch_reduction() * 100.0, 1) + "%"});
   table.add_row({"modeled makespan (s)",
                  fmt_fixed(stats.makespan_seconds, 6)});
   table.add_row({"modeled serial (s)", fmt_fixed(stats.serial_seconds, 6)});
@@ -192,10 +266,78 @@ int main(int argc, char** argv) {
                  "to solo runs (see tests/test_serve.cpp)");
   table.print(std::cout);
 
+  // --pack: executed-packing comparison. The tiny-job workload (the regime
+  // packing targets) runs twice — unpacked and packed — on fresh devices;
+  // jobs/s on the modeled timeline is the deterministic, gated number, and
+  // wall-clock jobs/s rides along for the host-overhead view.
+  PackRun unpacked, packed;
+  int pack_jobs = 0;
+  if (pack_mode) {
+    pack_jobs = smoke ? 800 : jobs;
+    const int pack_active = smoke ? 128 : options.max_active;
+    const std::uint64_t pack_seed = smoke ? 42 : seed;
+    const auto pack_specs = build_workload(pack_jobs, pack_seed,
+                                           /*tiny=*/true);
+    SchedulerOptions pack_options = options;
+    if (smoke) {
+      pack_options.policy = Policy::kFifo;
+      pack_options.streams = 4;
+    }
+    pack_options.max_active = pack_active;
+    pack_options.use_graphs = true;
+    pack_options.batching = true;
+    pack_options.pack = false;
+    unpacked = run_workload(pack_specs, pack_options);
+    pack_options.pack = true;
+    packed = run_workload(pack_specs, pack_options);
+
+    TextTable pt("serve_load --pack: executed cross-job packing vs "
+                 "unpacked (tiny-job workload)");
+    pt.set_header({"metric", "unpacked", "packed"});
+    pt.add_row({"jobs", std::to_string(pack_jobs),
+                std::to_string(pack_jobs)});
+    pt.add_row({"launches issued",
+                std::to_string(unpacked.stats.launches_issued),
+                std::to_string(packed.stats.launches_issued)});
+    pt.add_row({"launches real (executed)",
+                std::to_string(unpacked.stats.launches_real),
+                std::to_string(packed.stats.launches_real)});
+    pt.add_row({"real launch reduction",
+                fmt_fixed(unpacked.stats.real_launch_reduction() * 100.0, 1)
+                    + "%",
+                fmt_fixed(packed.stats.real_launch_reduction() * 100.0, 1) +
+                    "%"});
+    pt.add_row({"packed dispatches", "0",
+                std::to_string(packed.stats.packed_dispatches)});
+    pt.add_row({"warp-per-job dispatches", "0",
+                std::to_string(packed.stats.packed_warp_dispatches)});
+    pt.add_row({"modeled makespan (s)",
+                fmt_fixed(unpacked.stats.makespan_seconds, 6),
+                fmt_fixed(packed.stats.makespan_seconds, 6)});
+    pt.add_row({"jobs/s (modeled)",
+                fmt_fixed(unpacked.jobs_per_modeled_s(), 1),
+                fmt_fixed(packed.jobs_per_modeled_s(), 1)});
+    pt.add_row({"jobs/s (wall)", fmt_fixed(unpacked.jobs_per_wall_s(), 1),
+                fmt_fixed(packed.jobs_per_wall_s(), 1)});
+    pt.add_row({"batch credit saved (s)",
+                fmt_fixed(unpacked.stats.batch_modeled_seconds_saved, 6) +
+                    " (priced)",
+                fmt_fixed(packed.stats.batch_modeled_seconds_saved, 6) +
+                    " (executed)"});
+    pt.add_note("packed speedup (modeled jobs/s): " +
+                fmt_fixed(packed.jobs_per_modeled_s() /
+                              std::max(unpacked.jobs_per_modeled_s(), 1e-12),
+                          3) +
+                "x — the executed credit lands on the shared timeline; "
+                "per-job results stay bitwise-equal-to-solo");
+    pt.print(std::cout);
+  }
+
   CsvWriter csv({"jobs", "policy", "streams", "max_active", "iterations",
                  "cache_lookups", "cache_hits", "hit_rate",
                  "graphs_captured", "launches_issued", "launches_batched",
-                 "batch_reduction", "batch_rounds", "makespan_s",
+                 "batch_reduction", "batch_rounds", "launches_real",
+                 "real_reduction", "makespan_s",
                  "serial_s", "graph_saved_s", "batch_saved_s",
                  "fusion_saved_s", "p50_latency_s", "p99_latency_s",
                  "wall_s"});
@@ -211,6 +353,8 @@ int main(int argc, char** argv) {
                std::to_string(stats.launches_batched),
                fmt_fixed(stats.batch_launch_reduction(), 4),
                std::to_string(stats.batch_rounds),
+               std::to_string(stats.launches_real),
+               fmt_fixed(stats.real_launch_reduction(), 4),
                fmt_fixed(stats.makespan_seconds, 6),
                fmt_fixed(stats.serial_seconds, 6),
                fmt_fixed(stats.graph_modeled_seconds_saved, 6),
@@ -235,7 +379,7 @@ int main(int argc, char** argv) {
     json.setf(std::ios::fixed);
     json.precision(6);
     json << "{\n"
-         << "  \"schema\": \"fastpso-bench-serve-v1\",\n"
+         << "  \"schema\": \"fastpso-bench-serve-v2\",\n"
          << "  \"jobs\": " << jobs << ",\n"
          << "  \"policy\": \"" << to_string(options.policy) << "\",\n"
          << "  \"streams\": " << options.streams << ",\n"
@@ -263,8 +407,35 @@ int main(int argc, char** argv) {
          << ",\n"
          << "  \"p50_latency_seconds\": " << p50 << ",\n"
          << "  \"p99_latency_seconds\": " << p99 << ",\n"
-         << "  \"wall_seconds\": " << wall_s << "\n"
-         << "}\n";
+         << "  \"wall_seconds\": " << wall_s;
+    if (pack_mode) {
+      // Executed-packing comparison block (the --pack tiny-job workload).
+      json << ",\n"
+           << "  \"packed_jobs\": " << pack_jobs << ",\n"
+           << "  \"unpacked_jobs_per_second\": "
+           << unpacked.jobs_per_modeled_s() << ",\n"
+           << "  \"packed_jobs_per_second\": "
+           << packed.jobs_per_modeled_s() << ",\n"
+           << "  \"packed_speedup\": "
+           << packed.jobs_per_modeled_s() /
+                  std::max(unpacked.jobs_per_modeled_s(), 1e-12)
+           << ",\n"
+           << "  \"packed_launches_issued\": "
+           << packed.stats.launches_issued << ",\n"
+           << "  \"packed_launches_real\": " << packed.stats.launches_real
+           << ",\n"
+           << "  \"packed_real_launch_reduction\": "
+           << packed.stats.real_launch_reduction() << ",\n"
+           << "  \"packed_dispatches\": " << packed.stats.packed_dispatches
+           << ",\n"
+           << "  \"packed_warp_dispatches\": "
+           << packed.stats.packed_warp_dispatches << ",\n"
+           << "  \"packed_executed_seconds_saved\": "
+           << packed.stats.batch_modeled_seconds_saved << ",\n"
+           << "  \"packed_wall_seconds\": " << packed.wall_s << ",\n"
+           << "  \"unpacked_wall_seconds\": " << unpacked.wall_s;
+    }
+    json << "\n}\n";
     std::ofstream file(json_path);
     file << json.str();
     std::cout << (file ? "json written: " : "json write FAILED: ")
@@ -285,6 +456,21 @@ int main(int argc, char** argv) {
     gate("all_jobs_completed",
          stats.jobs_completed == static_cast<std::uint64_t>(jobs));
     gate("no_poisoned_graphs", stats.graphs_poisoned == 0);
+    if (pack_mode) {
+      // Executed-packing acceptance gates (this PR): packed beats unpacked
+      // on modeled jobs/s by >= 1.3x and actually-executed launches drop by
+      // >= 30% on the tiny-job workload.
+      const double speedup =
+          packed.jobs_per_modeled_s() /
+          std::max(unpacked.jobs_per_modeled_s(), 1e-12);
+      gate("packed_speedup >= 1.3", speedup >= 1.3);
+      gate("packed_real_launch_reduction >= 0.3",
+           packed.stats.real_launch_reduction() >= 0.3);
+      gate("packed_all_jobs_completed",
+           packed.stats.jobs_completed ==
+               static_cast<std::uint64_t>(pack_jobs));
+      gate("packed_dispatches > 0", packed.stats.packed_dispatches > 0);
+    }
     if (!ok) {
       return 1;
     }

@@ -11,8 +11,13 @@ namespace san = vgpu::san;
 
 PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
                         SwarmState& state) {
+  update_pbest_compare(device, policy, state);
+  return update_pbest_finish(device, policy, state);
+}
+
+void update_pbest_compare(vgpu::Device& device, const LaunchPolicy& policy,
+                          SwarmState& state) {
   const int n = state.n;
-  const int d = state.d;
   const LaunchDecision decision = policy.for_particles(n);
 
   // Pass 1: compare and flag. Only scalar traffic.
@@ -77,10 +82,20 @@ PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
       note_footprint();
     }
   }
+}
+
+PbestStats update_pbest_finish(vgpu::Device& device,
+                               const LaunchPolicy& policy,
+                               SwarmState& state) {
+  const int n = state.n;
+  const int d = state.d;
+  const LaunchDecision decision = policy.for_particles(n);
 
   // The improved count feeds the second launch's cost declaration. In real
   // CUDA this is a fused kernel; reading the flag array here is simulator
-  // bookkeeping, not a modeled transfer.
+  // bookkeeping, not a modeled transfer. Under packing the compare pass may
+  // still sit deferred on this job's lane — flush before reading the flags.
+  device.pack_flush_lane();
   std::int64_t improved_count = 0;
   for (int i = 0; i < n; ++i) {
     improved_count += state.improved[i];

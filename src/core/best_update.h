@@ -25,6 +25,17 @@ struct PbestStats {
 PbestStats update_pbest(vgpu::Device& device, const LaunchPolicy& policy,
                         SwarmState& state);
 
+/// The two halves of update_pbest, split at its host read-back: `compare`
+/// launches pass 1 (flag + pbest_err select), `finish` reads the flag
+/// array on the host to size pass 2's cost declaration and launches the
+/// gather. update_pbest == compare; finish — the serve layer's packed
+/// lockstep stepping uses the halves directly so the host read sits after
+/// a cohort flush barrier. Accounting is identical by construction.
+void update_pbest_compare(vgpu::Device& device, const LaunchPolicy& policy,
+                          SwarmState& state);
+PbestStats update_pbest_finish(vgpu::Device& device,
+                               const LaunchPolicy& policy, SwarmState& state);
+
 /// Finds the swarm minimum over pbest_err and refreshes gbest_err /
 /// gbest_pos when it improved. Returns the (possibly unchanged) gbest error.
 float update_gbest(vgpu::Device& device, SwarmState& state);

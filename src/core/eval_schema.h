@@ -87,6 +87,21 @@ inline void evaluate_positions(vgpu::Device& device,
     const LaunchDecision decision = policy.for_particles(n);
     device.account_launch(decision.config, cost);
     note_footprint();
+    // Batch objectives evaluate particle rows independently (the
+    // multi-device particle split already splits a batch mid-stream), so a
+    // sub-range dispatch is legal: offer the launch to the cross-job
+    // packing engine (vgpu/pack.h; no-op without an attached sink). The
+    // span captures a pointer to the objective's batch_fn — the objective
+    // outlives the cohort round's flush barrier.
+    if (device.pack_offer_range(
+            n, cost,
+            [batch = &objective.batch_fn, positions, d,
+             out](std::int64_t b, std::int64_t e) {
+              (*batch)(positions + b * d, static_cast<int>(e - b), d,
+                       out + b);
+            })) {
+      return;
+    }
     if (vgpu::prof::active()) [[unlikely]] {
       Stopwatch wall;
       objective.batch_fn(positions, static_cast<int>(n), d, out);

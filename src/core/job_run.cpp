@@ -87,12 +87,16 @@ JobRun::JobRun(vgpu::Device& device, const PsoParams& params,
 }
 
 void JobRun::step() {
+  step_front();
+  step_middle();
+  step_back();
+}
+
+void JobRun::step_front() {
   FASTPSO_CHECK_MSG(!done_ && !finished_, "step() on a completed run");
   const int iter = completed_;
   const int n = params_.particles;
   const int d = params_.dim;
-  vgpu::DeviceArray<float> l_mat;
-  vgpu::DeviceArray<float> g_mat;
   if (params_.overlap_init) {
     // ---- Step (i), overlapped: next iteration's weights on stream 1 ----
     if (iter + 1 < params_.max_iter) {
@@ -108,15 +112,11 @@ void JobRun::step() {
     // ---- Step (i) continued: per-iteration weight matrices -------------
     device_.set_phase("init");
     ScopedTimer timer(wall_, "init");
-    l_mat = vgpu::DeviceArray<float>(device_, state_.elements());
-    g_mat = vgpu::DeviceArray<float>(device_, state_.elements());
+    iter_l_ = vgpu::DeviceArray<float>(device_, state_.elements());
+    iter_g_ = vgpu::DeviceArray<float>(device_, state_.elements());
     generate_weights(device_, policy_, state_.elements(), params_.seed,
-                     iter, l_mat, g_mat);
+                     iter, iter_l_, iter_g_);
   }
-  vgpu::DeviceArray<float>& l_cur =
-      params_.overlap_init ? l_buf_[iter % 2] : l_mat;
-  vgpu::DeviceArray<float>& g_cur =
-      params_.overlap_init ? g_buf_[iter % 2] : g_mat;
 
   // ---- Step (ii): evaluation through the kernel schema -----------------
   {
@@ -126,12 +126,25 @@ void JobRun::step() {
                        eval_cost_, perror_);
   }
 
-  // ---- Step (iii): pbest + gbest ---------------------------------------
+  // ---- Step (iii), pass 1: pbest compare -------------------------------
   {
     vgpu::prof::Scope phase(device_, "pbest");
     ScopedTimer timer(wall_, "pbest");
-    update_pbest(device_, policy_, state_);
+    update_pbest_compare(device_, policy_, state_);
   }
+}
+
+void JobRun::step_middle() {
+  // ---- Step (iii), host read-back + pass 2: pbest gather ---------------
+  // Same "pbest" phase as the compare pass; prof::Scope only sets the
+  // phase string, so two scopes account identically to the old single one.
+  vgpu::prof::Scope phase(device_, "pbest");
+  ScopedTimer timer(wall_, "pbest");
+  update_pbest_finish(device_, policy_, state_);
+}
+
+void JobRun::step_back() {
+  const int iter = completed_;
   {
     vgpu::prof::Scope phase(device_, "gbest");
     ScopedTimer timer(wall_, "gbest");
@@ -142,6 +155,10 @@ void JobRun::step() {
   if (params_.overlap_init) {
     device_.sync_streams();  // the weights must have landed
   }
+  vgpu::DeviceArray<float>& l_cur =
+      params_.overlap_init ? l_buf_[iter % 2] : iter_l_;
+  vgpu::DeviceArray<float>& g_cur =
+      params_.overlap_init ? g_buf_[iter % 2] : iter_g_;
   // Plain set_phase, not a prof::Scope: "swarm" must persist past the
   // block so the end-of-iteration weight-matrix frees stay attributed to
   // it, exactly as before.
@@ -166,6 +183,10 @@ void JobRun::step() {
   if (completed_ >= params_.max_iter || stop_.should_stop(state_.gbest_err)) {
     done_ = true;
   }
+  // Free the per-iteration weights g then l — the order the old step()
+  // locals' reverse destruction produced (phase is still "swarm").
+  iter_g_.reset();
+  iter_l_.reset();
 }
 
 Result JobRun::finish() {
@@ -208,6 +229,8 @@ std::vector<std::pair<const void*, std::size_t>> JobRun::buffer_spans()
   note(state_.improved.data(), state_.improved.bytes());
   note(state_.gbest_pos.data(), state_.gbest_pos.bytes());
   note(nbest_idx_.data(), nbest_idx_.bytes());
+  note(iter_l_.data(), iter_l_.bytes());
+  note(iter_g_.data(), iter_g_.bytes());
   for (int b = 0; b < 2; ++b) {
     note(l_buf_[b].data(), l_buf_[b].bytes());
     note(g_buf_[b].data(), g_buf_[b].bytes());

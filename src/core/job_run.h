@@ -57,6 +57,17 @@ class JobRun {
   /// done() — the run stops at max_iter or the early-stop condition.
   void step();
 
+  /// One iteration in three sub-steps; step() == front; middle; back. The
+  /// cuts sit exactly at the iteration's two host read-backs (the pbest
+  /// improved-count loop and the gbest argmin fold), so the serve layer's
+  /// packed lockstep stepping can run every cohort job's front, flush the
+  /// packed launches, then every middle, flush, then every back — each
+  /// job still issues the identical device-op sequence a solo step()
+  /// would, keeping results bitwise equal. Call strictly in order.
+  void step_front();
+  void step_middle();
+  void step_back();
+
   [[nodiscard]] bool done() const { return done_; }
   /// Iterations completed so far.
   [[nodiscard]] int iterations() const { return completed_; }
@@ -94,6 +105,12 @@ class JobRun {
   // matrices + a second stream.
   vgpu::DeviceArray<float> l_buf_[2];
   vgpu::DeviceArray<float> g_buf_[2];
+  // Non-overlapped per-iteration weight matrices. Members (not step()
+  // locals) so they live across the front/middle/back sub-steps; freed at
+  // the end of step_back in the g-then-l order the old locals' reverse
+  // destruction gave, keeping the pool-cache sequence bitwise identical.
+  vgpu::DeviceArray<float> iter_l_;
+  vgpu::DeviceArray<float> iter_g_;
   vgpu::Device::StreamId gen_stream_ = 0;
   StopTracker stop_;
   TimeBreakdown wall_;

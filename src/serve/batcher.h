@@ -1,19 +1,26 @@
-// Cross-job batch packing model for the serve layer (reported-only).
+// Cross-job batch packing PRICE model for the serve layer.
 //
-// When k same-shape jobs replay their (identical) iteration in the same
-// scheduling round, a real serving stack would pack each element kernel of
-// those k iterations into ONE launch: every job contributes its own blocks
-// (block-per-job packing, the same replication trick the paper's warp-level
-// kernels use within a launch), the per-job buffers are disjoint and the
-// per-job Philox streams are counter-based, so the packed kernel computes
-// exactly what the k separate kernels compute. What changes is the modeled
-// cost: one launch overhead instead of k, and k× the resident threads —
-// which lifts occupancy precisely where Section 3.4's element-wise argument
-// says small solo launches leave the device idle.
+// This is the *priced* leg of the batching tri-state (see serve/stats.h):
+// with executed packing off (options.pack = false), the Batcher models what
+// packing a same-shape cohort's launches would save. With options.pack on,
+// the scheduler bypasses this model entirely and the CohortQueue
+// (serve/packed.h) actually executes the merged dispatches — the saving
+// then lands on the shared timeline instead of being a counterfactual.
 //
-// Like the graph and fusion credits, the packing saving is *reported*
-// through ServeStats and never folded into any clock or counter — jobs stay
-// bitwise identical to their solo runs. The per-node pricing uses the
+// The model: when k same-shape jobs replay their (identical) iteration in
+// the same scheduling round, each element kernel of those k iterations can
+// ride ONE launch — every job contributes its own blocks (block-per-job
+// packing, the same replication trick the paper's warp-level kernels use
+// within a launch), the per-job buffers are disjoint and the per-job
+// Philox streams are counter-based, so the packed kernel computes exactly
+// what the k separate kernels compute. What changes is the modeled cost:
+// one launch overhead instead of k, and k× the resident threads — which
+// lifts occupancy precisely where Section 3.4's element-wise argument says
+// small solo launches leave the device idle.
+//
+// In priced mode the saving is *reported* through ServeStats and never
+// folded into any clock or counter — jobs stay bitwise identical to their
+// solo runs either way. The per-node pricing uses the
 // cached graph's capture-time cost specs (the one data-dependent cost, the
 // pbest second pass, varies per iteration; the model prices the captured
 // representative), and both sides of the comparison come from the same

@@ -68,6 +68,20 @@ const vgpu::graph::GraphExec* GraphCache::exec(const JobShape& shape) const {
   return it->second.exec.get();
 }
 
+vgpu::graph::GraphExec* GraphCache::exec_mutable(const JobShape& shape) {
+  const auto it = entries_.find(shape);
+  if (it == entries_.end() || it->second.poisoned) {
+    return nullptr;
+  }
+  return it->second.exec.get();
+}
+
+void GraphCache::poison(const JobShape& shape) {
+  const auto it = entries_.find(shape);
+  FASTPSO_CHECK_MSG(it != entries_.end(), "poison for unknown shape");
+  it->second.poisoned = true;
+}
+
 std::uint64_t GraphCache::graphs_captured() const {
   std::uint64_t count = 0;
   for (const auto& [shape, entry] : entries_) {

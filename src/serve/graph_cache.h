@@ -60,6 +60,16 @@ class GraphCache {
   [[nodiscard]] const vgpu::graph::GraphExec* exec(const JobShape& shape)
       const;
 
+  /// Mutable exec for the packed-cohort path (serve/packed.h), which opens
+  /// a per-job ReplaySession on the shared exec instead of the exec-level
+  /// begin_iteration bracket. Same nullptr contract as exec().
+  [[nodiscard]] vgpu::graph::GraphExec* exec_mutable(const JobShape& shape);
+
+  /// Poisons `shape` (forces eager from now on). The packed path drives
+  /// replays through per-job sessions, so it reports divergence here
+  /// rather than through end_iteration.
+  void poison(const JobShape& shape);
+
   /// True when the next begin_iteration for `shape` would replay.
   [[nodiscard]] bool ready(const JobShape& shape) const {
     return exec(shape) != nullptr;

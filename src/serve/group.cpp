@@ -8,6 +8,10 @@ namespace fastpso::serve {
 
 GroupScheduler::GroupScheduler(vgpu::comm::DeviceGroup& group,
                                SchedulerOptions options) {
+  // Mirror the per-device scheduler's effective pack gate: placement only
+  // discounts for cohorts the schedulers will actually execute packed.
+  pack_ = options.pack && options.batching && options.use_graphs;
+  max_cohort_ = PackOptions{}.max_cohort;
   parts_.reserve(static_cast<std::size_t>(group.size()));
   for (int i = 0; i < group.size(); ++i) {
     Part part;
@@ -29,15 +33,33 @@ int GroupScheduler::submit(JobSpec spec) {
   // run() drains the queues).
   const double estimate = static_cast<double>(spec.params.particles) *
                           spec.params.dim * spec.params.max_iter;
+  // Packed-aware marginal cost: a job joining k same-shape jobs already on
+  // a device rides their merged cohort dispatches, so it adds ~1/(k+1) of
+  // its solo load (capped at the default cohort width). This both models
+  // the cheaper load and steers same-shape jobs together — bigger cohorts
+  // pack better. With packing off the marginal cost is the full estimate
+  // on every device and the choice reduces to plain least-load.
+  const JobShape shape = JobShape::of(spec);
+  const auto marginal = [&](const Part& part) {
+    if (!pack_) {
+      return estimate;
+    }
+    const auto it = part.shape_counts.find(shape);
+    const int cohort = 1 + (it != part.shape_counts.end() ? it->second : 0);
+    return estimate / static_cast<double>(std::min(cohort, max_cohort_));
+  };
   int device = 0;
   for (int i = 1; i < size(); ++i) {
-    if (parts_[static_cast<std::size_t>(i)].estimated_load <
-        parts_[static_cast<std::size_t>(device)].estimated_load) {
+    const Part& candidate = parts_[static_cast<std::size_t>(i)];
+    const Part& best = parts_[static_cast<std::size_t>(device)];
+    if (candidate.estimated_load + marginal(candidate) <
+        best.estimated_load + marginal(best)) {
       device = i;  // strict <: ties keep the lowest device index
     }
   }
   Part& part = parts_[static_cast<std::size_t>(device)];
-  part.estimated_load += estimate;
+  part.estimated_load += marginal(part);
+  ++part.shape_counts[shape];
   Placement placement;
   placement.device = device;
   placement.local_id = part.scheduler->submit(std::move(spec));
@@ -90,6 +112,12 @@ ServeStats GroupScheduler::stats() const {
     total.launches_issued += s.launches_issued;
     total.launches_batched += s.launches_batched;
     total.batch_rounds += s.batch_rounds;
+    total.launches_real += s.launches_real;
+    total.packed_cohort_rounds += s.packed_cohort_rounds;
+    total.packed_iterations += s.packed_iterations;
+    total.packed_deferred_launches += s.packed_deferred_launches;
+    total.packed_dispatches += s.packed_dispatches;
+    total.packed_warp_dispatches += s.packed_warp_dispatches;
     total.batch_modeled_seconds_saved += s.batch_modeled_seconds_saved;
     total.graph_modeled_seconds_saved += s.graph_modeled_seconds_saved;
     total.fusion_modeled_seconds_saved += s.fusion_modeled_seconds_saved;

@@ -1,12 +1,16 @@
 // PSO-as-a-service across a device group (DESIGN.md §12).
 //
 // GroupScheduler fronts one serve::Scheduler per device of a
-// comm::DeviceGroup and places each submitted job on the device with the
-// least estimated load — a deterministic function of the submission
-// sequence alone (estimated work = particles * dim * max_iter; ties go to
-// the lowest device index), never of modeled clocks or pointer order, so a
-// submission sequence always produces the same placement, the same
-// schedules and the same bitwise results.
+// comm::DeviceGroup and places each submitted job on the device where it
+// adds the least estimated load — a deterministic function of the
+// submission sequence alone (estimated work = particles * dim * max_iter;
+// ties go to the lowest device index), never of modeled clocks or pointer
+// order, so a submission sequence always produces the same placement, the
+// same schedules and the same bitwise results. When executed packing is on
+// (options.pack, serve/packed.h), the marginal cost of a job is discounted
+// by the same-shape cohort it would join (~1/k of solo load, capped at the
+// default cohort width): packed cohorts genuinely cost less device time,
+// and the discount steers same-shape jobs together so cohorts grow.
 //
 // Jobs never span devices (a job is one swarm on one device; the
 // multi-device decomposition of a single swarm is core::MultiDeviceOptimizer),
@@ -16,9 +20,11 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
 #include "common/trace_export.h"
+#include "serve/packed.h"
 #include "serve/scheduler.h"
 #include "vgpu/comm/comm.h"
 
@@ -66,7 +72,9 @@ class GroupScheduler {
  private:
   struct Part {
     std::unique_ptr<Scheduler> scheduler;
-    double estimated_load = 0;  ///< sum of placed jobs' estimated work
+    double estimated_load = 0;  ///< sum of placed jobs' marginal work
+    /// Jobs placed here per shape — sizes the packed-cohort discount.
+    std::map<JobShape, int> shape_counts;
   };
   struct Placement {
     int device = 0;
@@ -77,6 +85,8 @@ class GroupScheduler {
 
   std::vector<Part> parts_;
   std::vector<Placement> placements_;  ///< indexed by group-wide job id
+  bool pack_ = false;   ///< effective pack gate (pack && batching && graphs)
+  int max_cohort_ = 1;  ///< discount cap, from the default PackOptions
 };
 
 }  // namespace fastpso::serve

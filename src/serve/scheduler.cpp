@@ -49,7 +49,8 @@ Scheduler::Scheduler(vgpu::Device& device, SchedulerOptions options)
     : device_(device),
       options_(options),
       cache_(device, options.fuse),
-      batcher_(device.perf()) {
+      batcher_(device.perf()),
+      queue_(device.perf()) {
   FASTPSO_CHECK_MSG(options_.streams >= 1, "need at least one stream");
   FASTPSO_CHECK_MSG(options_.max_active >= 1, "need max_active >= 1");
   while (device_.stream_count() < options_.streams) {
@@ -219,6 +220,18 @@ void Scheduler::round() {
   }
 
   for (auto& [shape, members] : cohorts) {
+    // Executed packing path: a cohort of >= 2 replay-ready jobs steps in
+    // lockstep and its element launches run as merged dispatches. The
+    // sanitizer needs every launch inline and tracked, so it forces the
+    // solo path (packing is an optimization, never a semantics change).
+    if (options_.pack && options_.batching && options_.use_graphs &&
+        members.size() >= 2 && !vgpu::san::active()) {
+      if (vgpu::graph::GraphExec* exec = cache_.exec_mutable(shape)) {
+        round_packed(shape, members, *exec);
+        continue;
+      }
+    }
+
     std::uint64_t issued = 0;
     std::uint64_t packed = 0;
     std::uint64_t max_replay_launches = 0;
@@ -274,6 +287,7 @@ void Scheduler::round() {
       packed += max_replay_launches;
     }
     tally_.launches_issued += issued;
+    tally_.launches_real += issued;  // every launch executed itself
     tally_.launches_batched += options_.batching ? packed : issued;
     if (options_.batching && replayers >= 2) {
       if (const auto* exec = cache_.exec(shape)) {
@@ -293,6 +307,126 @@ void Scheduler::round() {
       ++it;
     }
   }
+}
+
+std::uint64_t Scheduler::round_packed(const JobShape& shape,
+                                      const std::vector<Job*>& members,
+                                      vgpu::graph::GraphExec& exec) {
+  auto options_it = pack_options_.find(shape);
+  if (options_it == pack_options_.end()) {
+    const std::int64_t elements =
+        static_cast<std::int64_t>(shape.particles) * shape.dim;
+    options_it =
+        pack_options_.emplace(shape, PackOptions::resolve(elements)).first;
+  }
+
+  CohortRecord record;
+  record.shape = shape;
+  record.begin_seconds = now();
+
+  queue_.begin_round(device_, exec, static_cast<int>(members.size()),
+                     options_it->second);
+  vgpu::PackSink* const previous_sink = device_.set_pack_sink(&queue_);
+
+  // Lockstep substep stepping: every member runs the same sub-step of its
+  // iteration, launches matched by its own replay session defer onto its
+  // lane, and the barrier between substeps executes them packed. The cuts
+  // (JobRun::step_front/middle/back) sit exactly at the iteration's host
+  // read-backs, so no member ever reads data a deferred span still owes.
+  std::vector<std::uint64_t> launches_before(members.size());
+  bool poisoned = false;
+  for (int sub = 0; sub < 3; ++sub) {
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      Job* job = members[m];
+      if (sub == 0 && job->first_iteration) {
+        // A packed cohort only forms once the shape's exec is cached, so a
+        // member's first iteration is by definition a cache hit.
+        job->first_iteration = false;
+        ++tally_.cache_lookups;
+        ++tally_.cache_hits;
+      }
+      if (sub == 0) {
+        // Read before install: install() swaps job->counters onto the
+        // device, leaving the scheduler's own accumulators behind.
+        launches_before[m] = job->counters.launches;
+      }
+      install(*job);
+      if (sub == 0) {
+        // sticky_slots is legal: the job's breakdown nodes are stable for
+        // its lifetime (swap_accounting swaps map internals, it never
+        // clear()s), and it removes the hottest per-replay fixed cost.
+        job->session.sticky_slots = true;
+        exec.set_replay_stream(job->session, job->stream);
+        device_.begin_replay(exec, job->session);
+      } else {
+        device_.attach_replay(exec, job->session);
+      }
+      queue_.set_lane(static_cast<int>(m), job->stream);
+      switch (sub) {
+        case 0:
+          job->run->step_front();
+          break;
+        case 1:
+          job->run->step_middle();
+          break;
+        default:
+          job->run->step_back();
+          break;
+      }
+      queue_.set_lane(-1);
+      if (sub == 2) {
+        if (!device_.end_replay()) {
+          poisoned = true;
+        }
+      } else {
+        device_.detach_replay();
+      }
+      uninstall(*job);
+    }
+    queue_.flush_barrier(device_);
+  }
+
+  device_.set_pack_sink(previous_sink);
+  const PackRoundStats packed = queue_.take_round();
+
+  std::uint64_t issued = 0;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    Job* job = members[m];
+    issued += job->counters.launches - launches_before[m];
+    ++job->replayed;
+    ++tally_.iterations;
+    ++tally_.replayed_iterations;
+    ++tally_.packed_iterations;
+    record.job_ids.push_back(job->id);
+    record.streams.push_back(job->stream);
+  }
+  if (poisoned) {
+    // Same consequence as a diverged end_iteration: the shape runs eagerly
+    // (and unpacked) from the next round on; this round's numbers are
+    // unharmed — diverging launches fell through to eager accounting.
+    cache_.poison(shape);
+  }
+
+  // Executed batch accounting: launches_batched/launches_real track the
+  // dispatches that genuinely ran, and the credit is the executed saving
+  // the merged dispatches realized (primary in pack mode — the priced
+  // Batcher counterfactual never runs for packed cohorts).
+  const std::uint64_t real =
+      issued - packed.deferred + packed.dispatches + packed.inline_spans;
+  tally_.launches_issued += issued;
+  tally_.launches_batched += real;
+  tally_.launches_real += real;
+  ++tally_.batch_rounds;
+  tally_.batch_modeled_seconds_saved += packed.executed_saved_seconds;
+  ++tally_.packed_cohort_rounds;
+  tally_.packed_deferred_launches += packed.deferred;
+  tally_.packed_dispatches += packed.dispatches;
+  tally_.packed_warp_dispatches += packed.warp_dispatches;
+
+  record.end_seconds = now();
+  record.dispatches = packed.dispatches;
+  cohorts_.push_back(std::move(record));
+  return issued;
 }
 
 void Scheduler::finalize(std::unique_ptr<Job> job) {
@@ -378,6 +512,32 @@ std::vector<TraceEvent> Scheduler::trace() const {
         {"eager", std::to_string(out.eager_iterations)},
     };
     events.push_back(std::move(ev));
+  }
+  // Packed cohort rounds: one event per member lane with a shared name and
+  // identical timestamps, so the cohort reads as one bar spanning its k
+  // job lanes in the viewer. Deterministic, golden-comparable.
+  for (const CohortRecord& cohort : cohorts_) {
+    std::string jobs = "[";
+    for (std::size_t i = 0; i < cohort.job_ids.size(); ++i) {
+      jobs += (i == 0 ? "" : ",") + std::to_string(cohort.job_ids[i]);
+    }
+    jobs += "]";
+    for (std::size_t i = 0; i < cohort.job_ids.size(); ++i) {
+      TraceEvent ev;
+      ev.name = "cohort " + cohort.shape.problem + " k=" +
+                std::to_string(cohort.job_ids.size());
+      ev.cat = "pack";
+      ev.ts_us = cohort.begin_seconds * 1e6;
+      ev.dur_us = (cohort.end_seconds - cohort.begin_seconds) * 1e6;
+      ev.pid = 1;
+      ev.tid = cohort.streams[i];
+      ev.args = {
+          {"shape", "\"" + json_escape(cohort.shape.to_string()) + "\""},
+          {"jobs", jobs},
+          {"dispatches", std::to_string(cohort.dispatches)},
+      };
+      events.push_back(std::move(ev));
+    }
   }
   return events;
 }

@@ -26,9 +26,13 @@
 // Scheduling therefore changes only *where on the shared timeline* a job's
 // work lands (its stream clock), never what the work computes or accounts.
 // On top of that, the scheduler reuses one instantiated graph per JobShape
-// (serve::GraphCache) and prices cross-job batch packing (serve::Batcher);
-// both savings are reported through ServeStats in the style of
-// Result::graph_modeled_seconds() and never folded into eager numbers.
+// (serve::GraphCache) and packs same-shape cohorts' launches cross-job —
+// either for real (options.pack / FASTPSO_SERVE_PACK=1: lockstep substep
+// stepping with merged cohort dispatches, serve/packed.h) or as a priced
+// counterfactual (serve::Batcher, the default). Both credits flow through
+// ServeStats in the style of Result::graph_modeled_seconds() and are never
+// folded into any job's numbers — packed execution preserves bitwise
+// equivalence because deferral moves execution, not accounting.
 #pragma once
 
 #include <cstddef>
@@ -46,6 +50,7 @@
 #include "serve/batcher.h"
 #include "serve/graph_cache.h"
 #include "serve/job.h"
+#include "serve/packed.h"
 #include "serve/stats.h"
 #include "vgpu/device.h"
 #include "vgpu/memory_pool.h"
@@ -77,8 +82,15 @@ struct SchedulerOptions {
   bool use_graphs = true;
   /// Run the fusion pass over each cached graph (reported credit).
   bool fuse = false;
-  /// Price cross-job batch packing of same-shape cohorts (reported credit).
+  /// Price cross-job batch packing of same-shape cohorts (reported
+  /// credit). With pack on, the priced model yields to the executed one.
   bool batching = true;
+  /// EXECUTE cross-job packing (serve/packed.h): replaying same-shape
+  /// cohorts step in lockstep and their element launches run as merged
+  /// block/warp-per-job dispatches. Defaults to FASTPSO_SERVE_PACK=1.
+  /// Requires use_graphs; disabled automatically under the sanitizer
+  /// (san::active() runs need every launch inline and tracked).
+  bool pack = pack_enabled_from_env();
 };
 
 class Scheduler {
@@ -153,6 +165,21 @@ class Scheduler {
     std::uint64_t eager = 0;
     bool captured = false;
     bool first_iteration = true;
+    /// Per-job replay cursor over the shape's shared exec, for the packed
+    /// path's interleaved substep replays. sticky_slots is legal here: the
+    /// job's breakdown is never clear()ed while the job lives.
+    vgpu::graph::GraphExec::ReplaySession session;
+  };
+
+  /// One packed cohort round, for the trace view (one event spanning the
+  /// member jobs' lanes).
+  struct CohortRecord {
+    JobShape shape;
+    double begin_seconds = 0;
+    double end_seconds = 0;
+    std::uint64_t dispatches = 0;
+    std::vector<int> job_ids;
+    std::vector<int> streams;  ///< parallel to job_ids
   };
 
   [[nodiscard]] double now() const { return device_.modeled_seconds(); }
@@ -168,6 +195,11 @@ class Scheduler {
   [[nodiscard]] int pick_pending() const;
   void admit(std::size_t pending_index);
   void round();
+  /// Steps one replaying cohort in packed lockstep (front/middle/back with
+  /// flush barriers); returns the launches its members accounted.
+  std::uint64_t round_packed(const JobShape& shape,
+                             const std::vector<Job*>& members,
+                             vgpu::graph::GraphExec& exec);
   void finalize(std::unique_ptr<Job> job);
   void advance_to_next_arrival();
 
@@ -175,6 +207,9 @@ class Scheduler {
   SchedulerOptions options_;
   GraphCache cache_;
   Batcher batcher_;
+  CohortQueue queue_;
+  std::map<JobShape, PackOptions> pack_options_;  ///< resolved per shape
+  std::vector<CohortRecord> cohorts_;  ///< packed rounds, for trace()
   std::vector<vgpu::Device::StreamId> streams_;
   std::size_t next_stream_ = 0;
   std::vector<std::unique_ptr<Job>> pending_;  ///< submission order

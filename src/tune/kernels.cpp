@@ -10,6 +10,7 @@
 #include "core/params.h"
 #include "core/swarm_state.h"
 #include "core/swarm_update.h"
+#include "serve/scheduler.h"
 #include "vgpu/device.h"
 #include "vgpu/perf_model.h"
 #include "vgpu/reduce.h"
@@ -104,6 +105,38 @@ double probe_reduce(const vgpu::GpuSpec& gpu, const StoreEntries& entries,
   const double before = device.modeled_seconds();
   vgpu::reduce_argmin(device, data.data(), shape.elements);
   return (device.modeled_seconds() - before) * 1e6;
+}
+
+/// Jobs in the serve_pack mirror's (and probe's) waiting pool: a small
+/// same-shape cohort in the tiny-job regime executed packing targets.
+constexpr int kServePackPoolJobs = 12;
+
+double probe_serve_pack(const vgpu::GpuSpec& gpu, const StoreEntries& entries,
+                        const WorkloadShape& shape) {
+  ProbeGuard guard(entries);
+  // A packed serve run over the pool: PackOptions::resolve consults the
+  // installed store, so the candidate's warp threshold and cohort width
+  // drive the real cohort dispatches; the modeled makespan is the engine's
+  // own account of the packed schedule.
+  vgpu::Device device(gpu);
+  serve::SchedulerOptions options;
+  options.streams = 4;
+  options.max_active = kServePackPoolJobs;
+  options.use_graphs = true;
+  options.batching = true;
+  options.pack = true;
+  serve::Scheduler scheduler(device, options);
+  for (int j = 0; j < kServePackPoolJobs; ++j) {
+    serve::JobSpec spec;
+    spec.problem = "sphere";
+    spec.params.particles = shape.swarm;
+    spec.params.dim = shape.dim;
+    spec.params.max_iter = 6;
+    spec.params.seed = 1234u + static_cast<std::uint64_t>(j);
+    scheduler.submit(spec);
+  }
+  scheduler.run();
+  return scheduler.stats().makespan_seconds * 1e6;
 }
 
 double probe_tgbm(const tgbm::DatasetSpec& spec,
@@ -296,6 +329,74 @@ std::vector<KernelFamily> engine_families(const vgpu::GpuSpec& gpu) {
                                const WorkloadShape& shape) {
       return probe_swarm(gpu, entries, shape,
                          core::UpdateTechnique::kSharedMemory);
+    };
+    families.push_back(std::move(family));
+  }
+
+  // --- serve_pack: cross-job packing warp threshold + cohort width --------
+  {
+    KernelFamily family;
+    family.name = "serve_pack";
+    family.space.add_axis("warp_threshold_pct", {0, 25, 50, 75, 100})
+        .add_axis("max_cohort", {2, 4, 8, 16, 32, 64})
+        .add_predicate("threshold/range",
+                       [](const Point& p) {
+                         return p[0] >= 0 && p[0] <= 100;
+                       })
+        .add_predicate("max_cohort/range", [](const Point& p) {
+          return p[1] >= 1 && p[1] <= 64;
+        });
+    // The PackOptions defaults (serve/packed.h).
+    family.default_point = {50, 16};
+    family.predicted_us = [model](const Point& p,
+                                  const WorkloadShape& shape) {
+      // Mirrors serve/packed.cpp dispatch_group over a waiting pool of
+      // same-shape tiny jobs: the pool splits into cohorts of max_cohort,
+      // each cohort's element launches merge into one dispatch — warp-
+      // per-job below the threshold, block-per-job otherwise — priced by
+      // the same GpuPerfModel entry point the engine accounts with.
+      const double threshold = p[0] / 100.0;
+      const int max_cohort = p[1];
+      const std::int64_t n = shape.elements;
+      const int block = 256;  // the element-launch default geometry
+      const std::int64_t grid = (n + block - 1) / block;
+      double total = 0;
+      for (int begin = 0; begin < kServePackPoolJobs; begin += max_cohort) {
+        const int k = std::min(max_cohort, kServePackPoolJobs - begin);
+        const double per_job_threads = static_cast<double>(grid) * block;
+        const bool warp_mode =
+            k >= 2 && static_cast<double>(n) < threshold * per_job_threads &&
+            (n + 31) / 32 <= block / 32;
+        std::int64_t cfg_grid;
+        if (warp_mode) {
+          const std::int64_t warps_per_job =
+              std::max<std::int64_t>((n + 31) / 32, 1);
+          const std::int64_t jobs_per_block =
+              std::max<std::int64_t>((block / 32) / warps_per_job, 1);
+          cfg_grid = (k + jobs_per_block - 1) / jobs_per_block;
+        } else {
+          cfg_grid = grid * k;
+        }
+        const vgpu::KernelCostSpec one = swarm_cost(n, shape.dim, 0);
+        vgpu::KernelCostSpec summed;
+        summed.flops = one.flops * k;
+        summed.transcendentals = one.transcendentals * k;
+        summed.dram_read_bytes = one.dram_read_bytes * k;
+        summed.dram_write_bytes = one.dram_write_bytes * k;
+        total += model->kernel_seconds(
+            static_cast<double>(cfg_grid) * block, summed);
+      }
+      return total * 1e6;
+    };
+    family.entries = [](const Point& p, const WorkloadShape& shape) {
+      const std::string prefix =
+          vgpu::tuned::shape_key("serve_pack", shape.elements);
+      return StoreEntries{{prefix + "/warp_threshold_pct", p[0]},
+                          {prefix + "/max_cohort", p[1]}};
+    };
+    family.executed_us = [gpu](const StoreEntries& entries,
+                               const WorkloadShape& shape) {
+      return probe_serve_pack(gpu, entries, shape);
     };
     families.push_back(std::move(family));
   }

@@ -17,8 +17,10 @@
 // Families: "launch_policy" (element-wise block size + items-per-thread,
 // consumer core::LaunchPolicy), "reduce" (tree width + partial-grid cap,
 // consumer vgpu::reduce), "swarm_tile" (shared-memory tile edge, consumer
-// core::swarm_update), and one "tgbm/<site>" family per MiniGBM kernel
-// site (consumer tgbm::tuned_configs / plan_launch).
+// core::swarm_update), "serve_pack" (cross-job packing warp-utilization
+// threshold + cohort width, consumer serve::PackOptions::resolve), and one
+// "tgbm/<site>" family per MiniGBM kernel site (consumer
+// tgbm::tuned_configs / plan_launch).
 #pragma once
 
 #include <map>

@@ -69,6 +69,16 @@ std::vector<WorkloadShape> smoke_shapes() {
     shapes.push_back({"swarm_tile", elements, g.dim, g.swarm});
     shapes.push_back({"reduce", g.swarm, g.dim, g.swarm});
   }
+  // The serve layer's cross-job packing knobs tune on the tiny-job
+  // geometries (bench/serve_load --tiny table): the regime where warp-
+  // per-job sub-packing and cohort width actually matter.
+  constexpr Geometry kTinyGeometries[] = {
+      {8, 2}, {8, 4}, {16, 2}, {16, 4}, {8, 8}, {16, 8}};
+  for (const Geometry& g : kTinyGeometries) {
+    const std::int64_t elements =
+        static_cast<std::int64_t>(g.swarm) * g.dim;
+    shapes.push_back({"serve_pack", elements, g.dim, g.swarm});
+  }
   return shapes;
 }
 

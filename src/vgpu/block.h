@@ -102,6 +102,7 @@ class BlockCtx {
 template <typename Body>
 void Device::launch_blocks(const LaunchConfig& cfg, const KernelCostSpec& cost,
                            Body&& body) {
+  pack_flush_lane();  // block kernels run inline; keep per-job ordering
   account_launch(cfg, cost);
   auto run = [&] {
     if (san::active()) [[unlikely]] {

@@ -78,6 +78,7 @@ void* Device::raw_alloc(std::size_t bytes) {
 }
 
 void Device::raw_free(void* p) {
+  pack_flush_lane();  // a deferred span may still read this storage
   auto it = allocations_.find(p);
   FASTPSO_CHECK_MSG(it != allocations_.end(),
                     "device free of unknown or already-freed pointer");
@@ -94,6 +95,7 @@ void Device::raw_free(void* p) {
 }
 
 void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
+  pack_flush_lane();
   if (graph_mode_ == GraphMode::kCapturing) [[unlikely]] {
     capture_graph_->record_memcpy(graph::NodeKind::kMemcpyH2D, dst, src,
                                   static_cast<double>(bytes),
@@ -114,6 +116,7 @@ void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
 }
 
 void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
+  pack_flush_lane();
   if (graph_mode_ == GraphMode::kCapturing) [[unlikely]] {
     capture_graph_->record_memcpy(graph::NodeKind::kMemcpyD2H, dst, src,
                                   static_cast<double>(bytes),
@@ -134,6 +137,7 @@ void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
 }
 
 void Device::memcpy_d2d(void* dst, const void* src, std::size_t bytes) {
+  pack_flush_lane();
   if (graph_mode_ == GraphMode::kCapturing) [[unlikely]] {
     capture_graph_->record_memcpy(graph::NodeKind::kMemcpyD2D, dst, src,
                                   static_cast<double>(bytes),
@@ -215,6 +219,7 @@ void Device::add_modeled_host_seconds(double seconds) {
 }
 
 void Device::account_comm(const char* label, double bytes, double seconds) {
+  pack_flush_lane();
   FASTPSO_CHECK(bytes >= 0 && seconds >= 0);
   ++counters_.collectives;
   counters_.comm_bytes += bytes;
@@ -240,6 +245,7 @@ void Device::account_comm(const char* label, double bytes, double seconds) {
 
 void Device::account_launch(const LaunchConfig& cfg,
                             const KernelCostSpec& cost) {
+  last_replay_node_ = -1;  // set again by a replay match (graph_account)
   if (graph_mode_ != GraphMode::kOff) [[unlikely]] {
     if (graph_account(cfg, cost)) {
       return;
@@ -273,13 +279,15 @@ bool Device::graph_account(const LaunchConfig& cfg,
                                   cost);
     return false;  // the eager path still performs all accounting
   }
-  const graph::GraphExec::ExecNode* node = replay_exec_->match_kernel(
-      cfg.grid, cfg.block, current_stream_, phase_);
-  if (node == nullptr) {
+  const int index = replay_exec_->match_kernel(
+      *replay_session_, cfg.grid, cfg.block, current_stream_, phase_);
+  if (index < 0) {
     // Sequence diverged (or ran past the node list): eager fallback.
     replay_exec_->note_eager_launch();
     return false;
   }
+  const graph::GraphExec::ExecNode* node =
+      &replay_exec_->nodes()[static_cast<std::size_t>(index)];
   // Replay fast path. The matched node's grid/block equal this launch's, so
   // the launch-shape checks already passed at capture; cost values come
   // from the call site, and the node contributes only shape-derived
@@ -305,14 +313,18 @@ bool Device::graph_account(const LaunchConfig& cfg,
                               t_memory > t_compute);
   }
   counters_.modeled_seconds += seconds;
-  *node->slot += seconds;
+  *replay_session_->slots[static_cast<std::size_t>(index)] += seconds;
   stream_clock_[current_stream_] += seconds;
   if (node->fuse_group >= 0) {
     // Fusion is pure reporting under paired replay: the group accumulates
     // the live cost/seconds and is priced as one fused launch at
     // end_replay — nothing above changes.
-    replay_exec_->note_member(node->fuse_group, cost, seconds);
+    replay_exec_->note_member(*replay_session_, node->fuse_group, cost,
+                              seconds);
   }
+  // Deferral key for launch_elements (vgpu/pack.h).
+  last_replay_node_ = index;
+  last_replay_seconds_ = seconds;
   return true;
 }
 
@@ -365,20 +377,46 @@ void Device::end_capture() {
 }
 
 void Device::begin_replay(graph::GraphExec& exec) {
+  begin_replay(exec, exec.own_session());
+}
+
+void Device::begin_replay(graph::GraphExec& exec,
+                          graph::GraphExec::ReplaySession& session) {
   FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kOff,
                     "begin_replay during an open capture/replay");
-  exec.begin_replay(modeled_breakdown_, stream_count());
+  exec.begin_replay(session, modeled_breakdown_, stream_count());
   replay_exec_ = &exec;
+  replay_session_ = &session;
   graph_mode_ = GraphMode::kReplaying;
 }
 
 bool Device::end_replay() {
   FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kReplaying,
                     "end_replay without begin_replay");
-  const bool clean = replay_exec_->end_replay();
+  const bool clean = replay_exec_->end_replay(*replay_session_);
   replay_exec_ = nullptr;
+  replay_session_ = nullptr;
   graph_mode_ = GraphMode::kOff;
   return clean;
+}
+
+void Device::detach_replay() {
+  FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kReplaying,
+                    "detach_replay without an open replay");
+  replay_exec_ = nullptr;
+  replay_session_ = nullptr;
+  last_replay_node_ = -1;
+  graph_mode_ = GraphMode::kOff;
+}
+
+void Device::attach_replay(graph::GraphExec& exec,
+                           graph::GraphExec::ReplaySession& session) {
+  FASTPSO_CHECK_MSG(graph_mode_ == GraphMode::kOff,
+                    "attach_replay during an open capture/replay");
+  FASTPSO_CHECK_MSG(session.open, "attach_replay on a closed session");
+  replay_exec_ = &exec;
+  replay_session_ = &session;
+  graph_mode_ = GraphMode::kReplaying;
 }
 
 void Device::replay_node(const graph::GraphExec::ExecNode& en) {
@@ -623,6 +661,27 @@ void Device::prof_record_kernel_replay(std::int64_t grid, int block,
   e.memory_occupancy = memory_occupancy;
   e.limiter =
       memory_bound ? prof::Limiter::kMemory : prof::Limiter::kCompute;
+  profile_->events.push_back(std::move(e));
+}
+
+void Device::prof_record_packed(const char* label, const LaunchConfig& cfg,
+                                int jobs, double modeled_seconds) {
+  if (!profile_) {
+    profile_ = std::make_unique<prof::Profile>();
+  }
+  prof::Event e;
+  e.kind = prof::EventKind::kKernel;
+  e.label = "pack[k=" + std::to_string(jobs) + "]:" +
+            (label != nullptr ? label : "<unlabeled>");
+  e.phase = phase_;
+  e.stream = current_stream_;
+  e.grid = cfg.grid;
+  e.block = cfg.block;
+  // Decoration only: the member launches already advanced their jobs'
+  // clocks, so the cohort event carries the packed pricing without moving
+  // any clock or counter.
+  e.t_begin = stream_clock_[current_stream_];
+  e.modeled_seconds = modeled_seconds;
   profile_->events.push_back(std::move(e));
 }
 

@@ -33,6 +33,7 @@
 #include "common/stopwatch.h"
 #include "vgpu/device_spec.h"
 #include "vgpu/graph/graph.h"
+#include "vgpu/pack.h"
 #include "vgpu/perf_model.h"
 #include "vgpu/prof/hooks.h"
 #include "vgpu/san/hooks.h"
@@ -281,8 +282,21 @@ class Device {
   /// everything those bodies reference outlives the graph.
   void set_capture_bodies(bool capture) { capture_bodies_ = capture; }
   void begin_replay(graph::GraphExec& exec);
+  /// Session-carrying variant: replay state (cursor, stream retarget,
+  /// breakdown-slot cache) lives on the caller's session, so several
+  /// clients can interleave replays of ONE exec — the serve layer opens a
+  /// per-job session for every member of a packed cohort.
+  void begin_replay(graph::GraphExec& exec,
+                    graph::GraphExec::ReplaySession& session);
   /// Returns whether the replay matched cleanly (no divergence).
   bool end_replay();
+  /// Pauses/resumes a replay without closing the session: detach restores
+  /// the device to kOff (so another job's replay can be attached), attach
+  /// re-installs an OPEN session. The packed scheduler round-robins the
+  /// cohort through these between substeps.
+  void detach_replay();
+  void attach_replay(graph::GraphExec& exec,
+                     graph::GraphExec::ReplaySession& session);
   /// Standalone replay: re-executes the whole node list in order —
   /// pre-resolved accounting per node, captured bodies/memcpys re-run.
   /// Only meaningful for graphs captured with set_capture_bodies(true) (or
@@ -327,12 +341,48 @@ class Device {
   void graph_attach_bodies(std::function<void()> body,
                            std::function<void(std::int64_t)> elem_body);
 
+  // --- cross-job batch packing (vgpu/pack.h, src/serve/packed.h) ----------
+  /// Attaches/clears the deferred-execution sink. While attached and a
+  /// replay is open, matched element launches on the fast path are offered
+  /// to the sink instead of executing inline; everything else flushes the
+  /// sink's current lane first so per-job ordering is preserved. Accounting
+  /// is unaffected (see vgpu/pack.h). Returns the previous sink.
+  PackSink* set_pack_sink(PackSink* sink) {
+    PackSink* prev = pack_sink_;
+    pack_sink_ = sink;
+    return prev;
+  }
+  [[nodiscard]] PackSink* pack_sink() const { return pack_sink_; }
+
+  /// Executes one packed cohort dispatch: `run` performs the deferred spans
+  /// of `jobs` same-shape jobs as a single grid of `cfg` (the packing
+  /// engine builds `run` from its job-index indirection table). Pure
+  /// execution — every member launch was already accounted through its own
+  /// job's replay, so no counters or clocks move here; under profiling one
+  /// event labeled "pack[k=jobs]:<label>" records the cohort dispatch with
+  /// the packed modeled pricing for trace inspection.
+  template <typename Fn>
+  void packed_dispatch(const char* label, const LaunchConfig& cfg, int jobs,
+                       double modeled_seconds, Fn&& run) {
+    if (prof::active()) [[unlikely]] {
+      prof_record_packed(label, cfg, jobs, modeled_seconds);
+      Stopwatch wall;
+      run();
+      prof_note_wall(wall.elapsed_s());
+      return;
+    }
+    run();
+  }
+
   // --- kernel launch ------------------------------------------------------
   /// Launches `body` once per thread of `cfg`. The body receives a
   /// ThreadCtx and is expected to grid-stride over its work.
   template <typename Body>
   void launch(const LaunchConfig& cfg, const KernelCostSpec& cost,
               Body&& body) {
+    if (pack_sink_ != nullptr) [[unlikely]] {
+      pack_sink_->flush_lane();  // per-thread launches never defer
+    }
     account_launch(cfg, cost);
     ThreadCtx ctx;
     ctx.block_dim = cfg.block;
@@ -406,6 +456,24 @@ class Device {
             [body](std::int64_t i) mutable { body(i); });
       }
     }
+    if (pack_sink_ != nullptr) [[unlikely]] {
+      // A replay-matched launch was fully accounted above; hand its body to
+      // the packing engine and run it inside the cohort dispatch instead.
+      // Declined offers (unmatched launch, oversized body) flush the lane
+      // and run inline so per-job data ordering holds.
+      if constexpr (PackSpan::admissible<std::decay_t<Body>>) {
+        if (last_replay_node_ >= 0) {
+          PackSpan span;
+          span.bind(body);
+          if (pack_sink_->offer(last_replay_node_, n_elems, cost,
+                                last_replay_seconds_, span)) {
+            pack_defer_stream_time();
+            return;
+          }
+        }
+      }
+      pack_sink_->flush_lane();
+    }
     if (prof::active()) [[unlikely]] {
       Stopwatch wall;
       for (std::int64_t i = 0; i < n_elems; ++i) {
@@ -429,6 +497,69 @@ class Device {
   /// Accounting entry point shared by all launch styles (also used by
   /// tests to drive the model directly).
   void account_launch(const LaunchConfig& cfg, const KernelCostSpec& cost);
+
+  /// External-dispatcher deferral hook (core::evaluate_positions): offers a
+  /// range closure for the launch just accounted. Returns true when the
+  /// sink took it — the dispatcher must then skip its inline execution.
+  template <typename Fn>
+  bool pack_offer_range(std::int64_t n_elems, const KernelCostSpec& cost,
+                        const Fn& fn) {
+    if (pack_sink_ != nullptr) [[unlikely]] {
+      if constexpr (PackSpan::admissible<Fn>) {
+        if (last_replay_node_ >= 0) {
+          PackSpan span;
+          span.bind_range(fn);
+          if (pack_sink_->offer(last_replay_node_, n_elems, cost,
+                                last_replay_seconds_, span)) {
+            pack_defer_stream_time();
+            return true;
+          }
+        }
+      }
+      pack_sink_->flush_lane();
+    }
+    return false;
+  }
+
+  /// Flushes the attached sink's current lane (no-op without a sink).
+  /// Called by every non-deferrable execution style and by host-side
+  /// readers of device data (reductions, host fold loops).
+  void pack_flush_lane() {
+    if (pack_sink_ != nullptr) [[unlikely]] {
+      pack_sink_->flush_lane();
+    }
+  }
+
+  // --- packed-timeline hooks (serve/packed.h) -----------------------------
+  // A deferred launch's per-job accounting (counters, modeled_seconds,
+  // breakdown) stays exactly solo, but its stream-clock advance is
+  // retracted at offer time and re-added by whichever path executes the
+  // span: the merged cohort dispatch (pack_commit_dispatch, at the packed
+  // price) or an inline lane flush (pack_restore_stream_seconds, at the
+  // original price). Only *where on the shared timeline* the work lands
+  // moves — the scheduling freedom the serve contract grants.
+
+  /// Advances the clocks of the dispatch's member streams together: all of
+  /// them wait for the packed launch, which starts when the latest member
+  /// is ready and costs `seconds` once.
+  void pack_commit_dispatch(const StreamId* streams, int count,
+                            double seconds) {
+    double start = 0;
+    for (int i = 0; i < count; ++i) {
+      start = std::max(start,
+                       stream_clock_[static_cast<std::size_t>(streams[i])]);
+    }
+    const double finish = start + seconds;
+    for (int i = 0; i < count; ++i) {
+      stream_clock_[static_cast<std::size_t>(streams[i])] = finish;
+    }
+  }
+
+  /// Re-adds a retracted launch's time to `stream` (inline flush fallback:
+  /// the span ran unpacked after all, at its original solo price).
+  void pack_restore_stream_seconds(StreamId stream, double seconds) {
+    stream_clock_[static_cast<std::size_t>(stream)] += seconds;
+  }
 
   /// Reusable shared-memory scratch arena for BlockCtx. Grows on demand,
   /// never shrinks, and is NOT cleared between blocks — CUDA shared memory
@@ -464,6 +595,26 @@ class Device {
   bool capture_bodies_ = false;
   graph::Graph* capture_graph_ = nullptr;
   graph::GraphExec* replay_exec_ = nullptr;
+  /// Session the open replay accounts through (the exec's own session for
+  /// the exec-level begin_replay, a caller-owned one for the packed path).
+  graph::GraphExec::ReplaySession* replay_session_ = nullptr;
+
+  /// Retracts the just-accounted launch's stream-clock advance after an
+  /// accepted deferral (the account_launch replay path added exactly
+  /// last_replay_seconds_ to the current stream, stream-locally, with no
+  /// intervening clock operation). The sink owes this time back through
+  /// pack_commit_dispatch / pack_restore_stream_seconds.
+  void pack_defer_stream_time() {
+    stream_clock_[static_cast<std::size_t>(current_stream_)] -=
+        last_replay_seconds_;
+  }
+
+  /// Cross-job packing state (vgpu/pack.h). last_replay_node_ is the node
+  /// index the most recent account_launch matched during replay (-1
+  /// otherwise) — the deferral key launch_elements offers to the sink.
+  PackSink* pack_sink_ = nullptr;
+  int last_replay_node_ = -1;
+  double last_replay_seconds_ = 0;
 
   /// Capture/replay half of account_launch (device.cpp). Returns true when
   /// a replay match consumed the launch (fast-path accounting done).
@@ -496,6 +647,9 @@ class Device {
                                  double memory_occupancy, bool memory_bound);
   void prof_record_op(prof::EventKind kind, double bytes, double seconds,
                       double wall_seconds);
+  /// Packed cohort dispatch event ("pack[k=jobs]:<label>").
+  void prof_record_packed(const char* label, const LaunchConfig& cfg,
+                          int jobs, double modeled_seconds);
 };
 
 }  // namespace fastpso::vgpu

@@ -145,6 +145,9 @@ GraphExec Graph::instantiate(const GpuPerfModel& perf) const {
           static_cast<double>(node.grid) * node.block);
       ++exec.kernel_nodes_;
     }
+    exec.single_stream_ =
+        exec.single_stream_ && node.stream == nodes_.front().stream;
+    exec.max_node_stream_ = std::max(exec.max_node_stream_, node.stream);
     exec.nodes_.push_back(std::move(exec_node));
   }
   exec.launch_overhead_s_ = spec.launch_overhead_us * 1e-6;
@@ -178,79 +181,97 @@ void GraphExec::resolve_slots(TimeBreakdown& breakdown) {
   resolved_epoch_ = breakdown.epoch();
 }
 
-void GraphExec::set_replay_stream(int stream) {
-  FASTPSO_CHECK_MSG(!replay_open_,
-                    "set_replay_stream during an open replay");
-  if (stream >= 0) {
-    for (const ExecNode& n : nodes_) {
-      FASTPSO_CHECK_MSG(n.node.stream == nodes_.front().node.stream,
-                        "replay-stream retarget requires a single-stream "
-                        "graph");
+void GraphExec::resolve_session_slots(ReplaySession& session,
+                                      TimeBreakdown& breakdown) {
+  if (session.resolved_breakdown == &breakdown) {
+    // Sticky sessions trust slot stability for their lifetime (std::map
+    // nodes survive TimeBreakdown::swap; the owner guarantees no clear()).
+    if (session.sticky_slots || session.resolved_epoch == breakdown.epoch()) {
+      return;
     }
   }
-  replay_stream_ = stream;
+  session.slots.resize(nodes_.size());
+  const std::string* last_phase = nullptr;
+  double* last_slot = nullptr;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i].node;
+    if (last_phase == nullptr || *last_phase != n.phase) {
+      last_slot = breakdown.slot(n.phase);
+      last_phase = &n.phase;
+    }
+    session.slots[i] = last_slot;
+  }
+  session.resolved_breakdown = &breakdown;
+  session.resolved_epoch = breakdown.epoch();
 }
 
-void GraphExec::begin_replay(TimeBreakdown& breakdown, int stream_count) {
-  FASTPSO_CHECK_MSG(!replay_open_, "nested graph replay");
-  for (const ExecNode& n : nodes_) {
-    const int effective =
-        replay_stream_ >= 0 ? replay_stream_ : n.node.stream;
-    FASTPSO_CHECK_MSG(effective < stream_count,
-                      "graph node stream does not exist on this device");
+void GraphExec::set_replay_stream(ReplaySession& session, int stream) {
+  FASTPSO_CHECK_MSG(!session.open,
+                    "set_replay_stream during an open replay");
+  if (stream >= 0) {
+    FASTPSO_CHECK_MSG(single_stream_,
+                      "replay-stream retarget requires a single-stream "
+                      "graph");
   }
-  resolve_slots(breakdown);
-  cursor_ = 0;
-  pending_matched_ = 0;
-  replay_diverged_ = false;
-  replay_open_ = true;
-  for (FusedGroup& g : fusion_groups_) {
-    g.live_sum = KernelCostSpec{};
-    g.member_seconds = 0;
-    g.matched = 0;
-  }
+  session.replay_stream = stream;
 }
 
-const GraphExec::ExecNode* GraphExec::match_kernel(
-    std::int64_t grid, int block, int stream, const std::string& phase) {
-  if (replay_diverged_) {
-    return nullptr;
+void GraphExec::begin_replay(ReplaySession& session,
+                             TimeBreakdown& breakdown, int stream_count) {
+  FASTPSO_CHECK_MSG(!session.open, "nested graph replay on one session");
+  const int bound =
+      session.replay_stream >= 0 ? session.replay_stream : max_node_stream_;
+  FASTPSO_CHECK_MSG(bound < stream_count,
+                    "graph node stream does not exist on this device");
+  resolve_session_slots(session, breakdown);
+  session.cursor = 0;
+  session.pending_matched = 0;
+  session.diverged = false;
+  session.open = true;
+  session.groups.assign(fusion_groups_.size(), GroupAccum{});
+}
+
+int GraphExec::match_kernel(ReplaySession& session, std::int64_t grid,
+                            int block, int stream,
+                            const std::string& phase) {
+  if (session.diverged) {
+    return -1;
   }
   const std::size_t limit =
-      std::min(nodes_.size(), cursor_ + kMatchWindow + 1);
-  for (std::size_t j = cursor_; j < limit; ++j) {
-    const ExecNode& candidate = nodes_[j];
-    const Node& n = candidate.node;
-    const int node_stream = replay_stream_ >= 0 ? replay_stream_ : n.stream;
+      std::min(nodes_.size(), session.cursor + kMatchWindow + 1);
+  for (std::size_t j = session.cursor; j < limit; ++j) {
+    const Node& n = nodes_[j].node;
+    const int node_stream =
+        session.replay_stream >= 0 ? session.replay_stream : n.stream;
     if (n.kind == NodeKind::kKernel && n.grid == grid && n.block == block &&
         node_stream == stream && n.phase == phase) {
       // Everything the caller consumes from the node (occupancies,
       // breakdown slot) is a pure function of these matched keys, so even a
       // positionally mis-paired match cannot change any accounted value.
-      stats_.skipped_nodes += j - cursor_;
-      cursor_ = j + 1;
-      ++pending_matched_;
+      stats_.skipped_nodes += j - session.cursor;
+      session.cursor = j + 1;
+      ++session.pending_matched;
       ++stats_.replayed_launches;
-      return &candidate;
+      return static_cast<int>(j);
     }
   }
-  replay_diverged_ = true;
+  session.diverged = true;
   stats_.diverged = true;
-  return nullptr;
+  return -1;
 }
 
-bool GraphExec::end_replay() {
-  FASTPSO_CHECK_MSG(replay_open_, "end_replay without begin_replay");
-  replay_open_ = false;
-  stats_.skipped_nodes += nodes_.size() - cursor_;
-  if (replay_diverged_) {
+bool GraphExec::end_replay(ReplaySession& session) {
+  FASTPSO_CHECK_MSG(session.open, "end_replay without begin_replay");
+  session.open = false;
+  stats_.skipped_nodes += nodes_.size() - session.cursor;
+  if (session.diverged) {
     // A diverged iteration ran (partly) eagerly; in CUDA terms the graph
     // launch was abandoned, so no amortization credit.
     return false;
   }
   ++stats_.replays;
   stats_.modeled_seconds_saved +=
-      static_cast<double>(pending_matched_) *
+      static_cast<double>(session.pending_matched) *
           (launch_overhead_s_ - node_gap_s_) -
       graph_launch_s_;
   if (!fusion_groups_.empty()) {
@@ -262,52 +283,57 @@ bool GraphExec::end_replay() {
     // launch overheads. Partially matched groups (a conditional member was
     // skipped this iteration) earn nothing and stay unfused.
     std::uint64_t fused_away = 0;
-    for (FusedGroup& g : fusion_groups_) {
-      if (g.matched != static_cast<int>(g.members.size())) {
+    for (std::size_t i = 0; i < fusion_groups_.size(); ++i) {
+      const FusedGroup& g = fusion_groups_[i];
+      const GroupAccum& a = session.groups[i];
+      if (a.matched != static_cast<int>(g.members.size())) {
         continue;
       }
-      KernelCostSpec fused = g.live_sum;
+      KernelCostSpec fused = a.live_sum;
       fused.elide_traffic(g.elide_read_useful, g.elide_read_fetched,
                           g.elide_write_useful, g.elide_write_fetched);
       const double fused_seconds =
           fusion_perf_->kernel_seconds_resolved(g.shape, fused);
       const double member_overhead_already_credited =
-          static_cast<double>(g.matched - 1) *
+          static_cast<double>(a.matched - 1) *
           (launch_overhead_s_ - node_gap_s_);
       fusion_stats_.modeled_seconds_saved +=
-          g.member_seconds - fused_seconds -
+          a.member_seconds - fused_seconds -
           member_overhead_already_credited;
-      fused_away += static_cast<std::uint64_t>(g.matched - 1);
+      fused_away += static_cast<std::uint64_t>(a.matched - 1);
     }
     ++fusion_stats_.replays;
-    fusion_stats_.launches_eager += pending_matched_;
-    fusion_stats_.launches_fused += pending_matched_ - fused_away;
+    fusion_stats_.launches_eager += session.pending_matched;
+    fusion_stats_.launches_fused += session.pending_matched - fused_away;
   }
   return true;
 }
 
-void GraphExec::note_member(int group, const KernelCostSpec& cost,
-                            double seconds) {
-  FusedGroup& g = fusion_groups_[static_cast<std::size_t>(group)];
-  g.live_sum += cost;
-  g.member_seconds += seconds;
-  ++g.matched;
+void GraphExec::note_member(ReplaySession& session, int group,
+                            const KernelCostSpec& cost, double seconds) {
+  GroupAccum& a = session.groups[static_cast<std::size_t>(group)];
+  a.live_sum += cost;
+  a.member_seconds += seconds;
+  ++a.matched;
 }
 
 void GraphExec::begin_standalone(TimeBreakdown& breakdown, int stream_count) {
-  begin_replay(breakdown, stream_count);
+  begin_replay(own_session_, breakdown, stream_count);
+  // Standalone replay accounts through ExecNode::slot rather than the
+  // session's slot table.
+  resolve_slots(breakdown);
 }
 
 void GraphExec::end_standalone() {
   // Standalone replay executes every node in order: all kernel nodes count
   // as matched, nothing is skipped.
-  pending_matched_ = static_cast<std::uint64_t>(kernel_nodes_);
-  stats_.replayed_launches += pending_matched_;
-  cursor_ = nodes_.size();
-  replay_open_ = false;
+  own_session_.pending_matched = static_cast<std::uint64_t>(kernel_nodes_);
+  stats_.replayed_launches += own_session_.pending_matched;
+  own_session_.cursor = nodes_.size();
+  own_session_.open = false;
   ++stats_.replays;
   stats_.modeled_seconds_saved +=
-      static_cast<double>(pending_matched_) *
+      static_cast<double>(own_session_.pending_matched) *
           (launch_overhead_s_ - node_gap_s_) -
       graph_launch_s_;
 }
@@ -323,18 +349,19 @@ void GraphExec::end_standalone_fused() {
     fusion_stats_.modeled_seconds_saved +=
         g.static_member_seconds - g.static_fused_seconds;
   }
-  pending_matched_ = static_cast<std::uint64_t>(kernel_nodes_) - fused_away;
-  stats_.replayed_launches += pending_matched_;
-  cursor_ = nodes_.size();
-  replay_open_ = false;
+  own_session_.pending_matched =
+      static_cast<std::uint64_t>(kernel_nodes_) - fused_away;
+  stats_.replayed_launches += own_session_.pending_matched;
+  own_session_.cursor = nodes_.size();
+  own_session_.open = false;
   ++stats_.replays;
   stats_.modeled_seconds_saved +=
-      static_cast<double>(pending_matched_) *
+      static_cast<double>(own_session_.pending_matched) *
           (launch_overhead_s_ - node_gap_s_) -
       graph_launch_s_;
   ++fusion_stats_.replays;
   fusion_stats_.launches_eager += static_cast<std::uint64_t>(kernel_nodes_);
-  fusion_stats_.launches_fused += pending_matched_;
+  fusion_stats_.launches_fused += own_session_.pending_matched;
 }
 
 // --- IterationRecorder ----------------------------------------------------

@@ -285,10 +285,6 @@ class GraphExec {
     /// Capture-time pricing of the members vs the fused node (reporting).
     double static_member_seconds = 0;
     double static_fused_seconds = 0;
-    // Per-replay accumulators (reset by begin_replay).
-    KernelCostSpec live_sum;
-    double member_seconds = 0;
-    int matched = 0;
     /// Compiled execution plan (vgpu/graph/codegen.h), resolved once by
     /// apply_codegen when every member registered a static kernel AND
     /// carries a captured body. Empty member_spans = interpreted fallback.
@@ -297,40 +293,98 @@ class GraphExec {
     std::vector<const void*> member_args;
   };
 
+  /// Per-session accumulator for one FusedGroup's live replay (the static
+  /// plan stays on the group; the per-replay sums live with the session so
+  /// interleaved sessions don't clobber each other).
+  struct GroupAccum {
+    KernelCostSpec live_sum;
+    double member_seconds = 0;
+    int matched = 0;
+  };
+
+  /// All mutable state of one paired replay. A GraphExec is a shared,
+  /// effectively-immutable artifact during replay (only the aggregate
+  /// stats_ accumulate); every cursor-like datum lives here so several
+  /// clients — e.g. the serve layer packing a cohort of jobs over one
+  /// cached exec — can hold interleaved open replays of the SAME exec,
+  /// each on its own stream with its own breakdown-slot cache.
+  struct ReplaySession {
+    /// Stream every node is treated as issued on (-1 = capture-time
+    /// streams). Set via GraphExec::set_replay_stream (legality-checked).
+    int replay_stream = -1;
+    /// Opt-in: keep resolved breakdown slots for the life of the session as
+    /// long as the breakdown keeps its identity, skipping the epoch check.
+    /// Legal when the breakdown is never clear()ed while the session lives
+    /// (std::map nodes are stable across TimeBreakdown::swap, which bumps
+    /// the epoch conservatively) — the serve layer's per-job sessions
+    /// qualify, and this removes the hottest per-replay fixed cost.
+    bool sticky_slots = false;
+    std::size_t cursor = 0;
+    std::uint64_t pending_matched = 0;
+    bool diverged = false;
+    bool open = false;
+    /// Per-node breakdown accumulators, parallel to GraphExec::nodes().
+    std::vector<double*> slots;
+    const TimeBreakdown* resolved_breakdown = nullptr;
+    std::uint64_t resolved_epoch = 0;
+    /// Parallel to GraphExec::fused_groups() (sized at begin_replay).
+    std::vector<GroupAccum> groups;
+  };
+
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] const std::vector<ExecNode>& nodes() const { return nodes_; }
   [[nodiscard]] const GraphStats& stats() const { return stats_; }
   [[nodiscard]] int kernel_nodes() const { return kernel_nodes_; }
 
   // --- paired replay (driven by Device::begin_replay/end_replay) ---------
-  /// Rewinds the match cursor; breakdown slots are re-resolved only when
-  /// the breakdown changed identity or was clear()ed since the last replay
-  /// (epoch check), so steady-state replays skip the map lookups entirely.
-  void begin_replay(TimeBreakdown& breakdown, int stream_count);
+  /// Opens a replay on `session`. Rewinds the match cursor; breakdown slots
+  /// are re-resolved only when the breakdown changed identity or was
+  /// clear()ed since this session's last replay (epoch check — skipped
+  /// entirely under sticky_slots), so steady-state replays skip the map
+  /// lookups entirely.
+  void begin_replay(ReplaySession& session, TimeBreakdown& breakdown,
+                    int stream_count);
   /// Positional match for a re-issued kernel launch. Returns the matched
-  /// node (advancing the cursor past it, counting skipped-over nodes), or
-  /// nullptr when the sequence diverged — the caller then accounts eagerly.
-  const ExecNode* match_kernel(std::int64_t grid, int block, int stream,
-                               const std::string& phase);
+  /// node index (advancing the session cursor past it, counting skipped
+  /// nodes), or -1 when the sequence diverged — the caller then accounts
+  /// eagerly. The matched node's breakdown slot is session.slots[index].
+  int match_kernel(ReplaySession& session, std::int64_t grid, int block,
+                   int stream, const std::string& phase);
   /// Notes a launch that fell through to eager accounting during replay.
   void note_eager_launch() { ++stats_.eager_launches; }
-  /// Closes the replay: remaining nodes count as skipped; a clean
+  /// Closes the session's replay: remaining nodes count as skipped; a clean
   /// (non-diverged) replay earns the amortization credit. Returns whether
   /// the replay was clean.
-  bool end_replay();
+  bool end_replay(ReplaySession& session);
+
+  /// Exec-level convenience API over the built-in session (the solo-run
+  /// path: IterationRecorder, tests). Identical semantics.
+  void begin_replay(TimeBreakdown& breakdown, int stream_count) {
+    begin_replay(own_session_, breakdown, stream_count);
+  }
+  bool end_replay() { return end_replay(own_session_); }
+  [[nodiscard]] ReplaySession& own_session() { return own_session_; }
 
   /// Keyed-reuse hook for the serve layer's shape-indexed graph cache: one
   /// exec, captured by the first job of a shape on whatever stream that job
   /// happened to own, replays for every later same-shape job regardless of
   /// its stream assignment. Retargets replay matching so every node is
   /// treated as issued on `stream`; -1 restores capture-time streams. Legal
-  /// only for graphs whose nodes all share a single stream (checked) — the
-  /// retarget is then a pure relabeling: matching stays positional, and the
-  /// clock a matched launch advances is the live current stream's, exactly
-  /// as in eager mode. Set before each Device::begin_replay; sticky until
-  /// changed.
-  void set_replay_stream(int stream);
-  [[nodiscard]] int replay_stream() const { return replay_stream_; }
+  /// only for graphs whose nodes all share a single stream (checked once at
+  /// instantiate) — the retarget is then a pure relabeling: matching stays
+  /// positional, and the clock a matched launch advances is the live
+  /// current stream's, exactly as in eager mode. Set before each
+  /// Device::begin_replay; sticky until changed.
+  void set_replay_stream(ReplaySession& session, int stream);
+  void set_replay_stream(int stream) {
+    set_replay_stream(own_session_, stream);
+  }
+  [[nodiscard]] int replay_stream() const {
+    return own_session_.replay_stream;
+  }
+  /// Whether every node sits on one capture-time stream (the
+  /// set_replay_stream legality condition).
+  [[nodiscard]] bool single_stream() const { return single_stream_; }
 
   // --- standalone replay bookkeeping (Device::replay_graph) --------------
   void begin_standalone(TimeBreakdown& breakdown, int stream_count);
@@ -350,8 +404,10 @@ class GraphExec {
     return fusion_stats_;
   }
   /// Accumulates a matched member's live cost and modeled seconds into its
-  /// group (called by Device::graph_account during paired replay).
-  void note_member(int group, const KernelCostSpec& cost, double seconds);
+  /// group accumulator on `session` (called by Device::graph_account
+  /// during paired replay).
+  void note_member(ReplaySession& session, int group,
+                   const KernelCostSpec& cost, double seconds);
   /// Standalone fused-replay bookkeeping (Device::replay_fused): like
   /// end_standalone, but with the post-fusion launch count and the applied
   /// fusion saving recorded.
@@ -383,26 +439,30 @@ class GraphExec {
   friend class FusionPass;
   GraphExec() = default;
 
+  /// Standalone-replay slot resolution (writes ExecNode::slot; the paired
+  /// path resolves into the session instead).
   void resolve_slots(TimeBreakdown& breakdown);
+  void resolve_session_slots(ReplaySession& session,
+                             TimeBreakdown& breakdown);
 
   std::vector<ExecNode> nodes_;
   int kernel_nodes_ = 0;
   double launch_overhead_s_ = 0;
   double node_gap_s_ = 0;
   double graph_launch_s_ = 0;
+  /// Precomputed at instantiate: set_replay_stream legality and the
+  /// stream-existence bound checked at begin_replay.
+  bool single_stream_ = true;
+  int max_node_stream_ = 0;
 
-  /// Slot-resolution cache key (resolve_slots).
+  /// Slot-resolution cache key (resolve_slots, standalone path).
   const TimeBreakdown* resolved_breakdown_ = nullptr;
   std::uint64_t resolved_epoch_ = 0;
 
-  /// Stream every node is treated as issued on during paired replay
-  /// (set_replay_stream); -1 = capture-time streams.
-  int replay_stream_ = -1;
-
-  std::size_t cursor_ = 0;
-  std::uint64_t pending_matched_ = 0;
-  bool replay_diverged_ = false;
-  bool replay_open_ = false;
+  /// Built-in session backing the exec-level replay API.
+  ReplaySession own_session_;
+  /// Standalone replay reuses the paired bookkeeping fields below through
+  /// own_session_.
   GraphStats stats_;
 
   std::vector<FusedGroup> fusion_groups_;

@@ -88,6 +88,7 @@ ArgMin reduce_argmin(Device& device, const float* data, std::int64_t n) {
     // per-thread smallest index, tree prefers smaller index, NaN and the
     // all-infinity case never selected) reduces to "first strict minimum in
     // ascending index order".
+    device.pack_flush_lane();  // host fold below reads `data` directly
     {
       prof::KernelLabel klabel("reduce/argmin_partial");
       device.account_launch(
@@ -258,6 +259,7 @@ double reduce_sum(Device& device, const float* data, std::int64_t n) {
     // legacy fold order (per-thread grid-stride accumulation, then the
     // shared-memory tree, then a serial pass over the block partials) —
     // just without tracked views, hooks or ThreadCtx per virtual thread.
+    device.pack_flush_lane();  // host fold below reads `data` directly
     {
       prof::KernelLabel klabel("reduce/sum_partial");
       device.account_launch(cfg,

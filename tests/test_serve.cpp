@@ -321,13 +321,18 @@ TEST(ServeScheduler, GraphCacheHitsAfterFirstJobOfEachShape) {
 
 TEST(ServeScheduler, BatchingReducesLaunchesAndIsReportedOnly) {
   // Eight same-shape jobs admitted together: cohorts of up to 8 replaying
-  // members form every round after the capture round.
+  // members form every round after the capture round. This test pins the
+  // PRICED batching model (the union-rule counterfactual), so pack is
+  // forced off regardless of FASTPSO_SERVE_PACK; the executed engine has
+  // its own suite below (ServePacked.*).
   std::vector<JobSpec> specs;
   for (int i = 0; i < 8; ++i) {
     specs.push_back(make_spec("sphere", 32, 8, 10, 40 + i));
   }
+  SchedulerOptions priced = base_options();
+  priced.pack = false;
   ServeStats stats;
-  serve_run(specs, base_options(), &stats);
+  serve_run(specs, priced, &stats);
   EXPECT_GT(stats.batch_rounds, 0u);
   EXPECT_LT(stats.launches_batched, stats.launches_issued);
   EXPECT_GT(stats.batch_modeled_seconds_saved, 0.0);
@@ -338,8 +343,14 @@ TEST(ServeScheduler, BatchingReducesLaunchesAndIsReportedOnly) {
             stats.serial_seconds - stats.batch_modeled_seconds_saved);
   EXPECT_GT(stats.batched_modeled_seconds(), 0.0);
   EXPECT_GT(stats.graph_modeled_seconds(), 0.0);
+  // Priced mode executes every launch itself.
+  EXPECT_EQ(stats.launches_real, stats.launches_issued);
+  EXPECT_DOUBLE_EQ(stats.real_launch_reduction(), 0.0);
+  EXPECT_EQ(stats.packed_cohort_rounds, 0u);
 
   // Batching off: identical issued launches, no packing, no credit.
+  // batching=false also disables the executed engine (the tri-state's
+  // "off" leg), even when FASTPSO_SERVE_PACK=1 is set.
   SchedulerOptions off = base_options();
   off.batching = false;
   ServeStats stats_off;
@@ -347,6 +358,8 @@ TEST(ServeScheduler, BatchingReducesLaunchesAndIsReportedOnly) {
   EXPECT_EQ(stats_off.launches_issued, stats.launches_issued);
   EXPECT_EQ(stats_off.launches_batched, stats_off.launches_issued);
   EXPECT_EQ(stats_off.batch_modeled_seconds_saved, 0.0);
+  EXPECT_EQ(stats_off.launches_real, stats_off.launches_issued);
+  EXPECT_EQ(stats_off.packed_cohort_rounds, 0u);
 }
 
 TEST(ServeScheduler, ActiveJobsUseDisjointBuffers) {
@@ -405,6 +418,134 @@ TEST(ServeScheduler, RejectsUnschedulableSpecs) {
   scheduler.submit(make_spec("sphere", 16, 4, 5, 1));
   scheduler.run();
   EXPECT_EQ(scheduler.outcomes().size(), 1u);
+}
+
+// ---- executed packing (FASTPSO_SERVE_PACK / options.pack) ----------------
+
+// The packed engine's own differential suite: lockstep cohort stepping
+// with merged block/warp-per-job dispatches must leave every job's Result
+// bitwise identical to solo, across admission policies, cohort sizes and
+// the graph/fusion switches. These force pack on regardless of the env.
+
+SchedulerOptions packed_options() {
+  SchedulerOptions options = base_options();
+  options.pack = true;
+  return options;
+}
+
+std::vector<JobSpec> cohort_specs(int count) {
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < count; ++i) {
+    specs.push_back(make_spec("sphere", 32, 8, 8, 900 + i));
+  }
+  return specs;
+}
+
+TEST(ServePacked, PackedMatchesSoloBitwiseAcrossPoliciesAndCohortSizes) {
+  const auto all_specs = cohort_specs(16);
+  std::vector<core::Result> solo;
+  for (const JobSpec& spec : all_specs) {
+    solo.push_back(solo_run(spec));
+  }
+  for (const Policy policy :
+       {Policy::kFifo, Policy::kPriority, Policy::kFair}) {
+    for (const int k : {2, 4, 16}) {
+      const std::vector<JobSpec> specs(all_specs.begin(),
+                                       all_specs.begin() + k);
+      SchedulerOptions options = packed_options();
+      options.policy = policy;
+      options.max_active = 16;
+      ServeStats stats;
+      const auto served = serve_run(specs, options, &stats);
+      SCOPED_TRACE(std::string(to_string(policy)) + " k=" +
+                   std::to_string(k));
+      for (int i = 0; i < k; ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        expect_bitwise_equal(solo[static_cast<std::size_t>(i)], served
+                                 [static_cast<std::size_t>(i)]);
+      }
+      // Same-shape jobs admitted together must actually pack, and packing
+      // must remove real dispatches, not just price them.
+      EXPECT_GT(stats.packed_cohort_rounds, 0u);
+      EXPECT_GT(stats.packed_dispatches, 0u);
+      EXPECT_LT(stats.launches_real, stats.launches_issued);
+      EXPECT_GT(stats.real_launch_reduction(), 0.0);
+      EXPECT_GT(stats.batch_modeled_seconds_saved, 0.0);
+    }
+  }
+}
+
+TEST(ServePacked, MixedShapesWithFusionMatchSoloBitwise) {
+  const auto specs = mixed_specs();
+  const auto& solo = mixed_solo_results();
+  SchedulerOptions options = packed_options();
+  options.fuse = true;
+  ServeStats stats;
+  const auto served = serve_run(specs, options, &stats);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    expect_bitwise_equal(solo[i], served[i]);
+  }
+  EXPECT_GT(stats.packed_cohort_rounds, 0u);
+  EXPECT_LE(stats.launches_real, stats.launches_issued);
+}
+
+TEST(ServePacked, WarpPerJobSubPackingOnTinyShapes) {
+  // levy 8x2: every element launch spans at most 16 elements — far below
+  // the warp-utilization threshold of a 256-thread block — so each job
+  // occupies whole warps inside one shared block (warp-per-job mode).
+  std::vector<JobSpec> tiny;
+  for (int i = 0; i < 6; ++i) {
+    tiny.push_back(make_spec("levy", 8, 2, 12, 700 + i));
+  }
+  SchedulerOptions options = packed_options();
+  ServeStats stats;
+  const auto served = serve_run(tiny, options, &stats);
+  for (std::size_t i = 0; i < tiny.size(); ++i) {
+    SCOPED_TRACE("tiny job " + std::to_string(i));
+    expect_bitwise_equal(solo_run(tiny[i]), served[i]);
+  }
+  EXPECT_GT(stats.packed_warp_dispatches, 0u);
+  EXPECT_LE(stats.packed_warp_dispatches, stats.packed_dispatches);
+
+  // Threshold boundary: sphere 16x8 issues 128-element launches — exactly
+  // warp_threshold * block (0.5 * 256), which the strict `<` comparison
+  // keeps in block-per-job mode — alongside tiny per-particle launches
+  // that still sub-pack. Both modes must coexist in one cohort.
+  std::vector<JobSpec> boundary;
+  for (int i = 0; i < 4; ++i) {
+    boundary.push_back(make_spec("sphere", 16, 8, 10, 800 + i));
+  }
+  ServeStats boundary_stats;
+  const auto boundary_served = serve_run(boundary, options, &boundary_stats);
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    SCOPED_TRACE("boundary job " + std::to_string(i));
+    expect_bitwise_equal(solo_run(boundary[i]), boundary_served[i]);
+  }
+  EXPECT_GT(boundary_stats.packed_dispatches,
+            boundary_stats.packed_warp_dispatches);
+  EXPECT_GT(boundary_stats.packed_warp_dispatches, 0u);
+}
+
+TEST(ServePacked, StressFiveHundredJobsPackedSampleMatchesSolo) {
+  const auto specs = stress_specs(500, 2024);
+  SchedulerOptions options = packed_options();
+  options.max_active = 16;
+  ServeStats stats;
+  const auto served = serve_run(specs, options, &stats);
+
+  EXPECT_EQ(stats.jobs_submitted, 500u);
+  EXPECT_EQ(stats.jobs_completed, 500u);
+  EXPECT_EQ(stats.graphs_poisoned, 0u);
+  EXPECT_GT(stats.packed_cohort_rounds, 0u);
+  EXPECT_GT(stats.packed_iterations, 0u);
+  EXPECT_LT(stats.launches_real, stats.launches_issued);
+  std::uint64_t state = 31337;
+  for (int s = 0; s < 8; ++s) {
+    const std::size_t index = splitmix64(state) % specs.size();
+    SCOPED_TRACE("sampled job " + std::to_string(index));
+    expect_bitwise_equal(solo_run(specs[index]), served[index]);
+  }
 }
 
 // ---- seeded stress -------------------------------------------------------
@@ -512,6 +653,7 @@ TEST(ServeGolden, TraceMatchesGoldenFile) {
   options.policy = Policy::kFifo;
   options.streams = 2;
   options.max_active = 4;
+  options.pack = false;  // this golden pins the UNPACKED schedule
   Scheduler scheduler(device, options);
   for (const JobSpec& spec : specs) {
     scheduler.submit(spec);
@@ -538,6 +680,65 @@ TEST(ServeGolden, TraceMatchesGoldenFile) {
   EXPECT_EQ(json, golden.str())
       << "schedule trace diverged from golden; if intentional, refresh "
          "with FASTPSO_REFRESH_GOLDEN=1";
+}
+
+// The same fixed schedule with executed packing on: the trace gains one
+// "cohort <shape> k=N" event per member lane (cat "pack") spanning the
+// cohort's lockstep round, and job timings shift to the packed timeline.
+// Byte-compared against its own golden.
+TEST(ServeGolden, PackedTraceHasCohortEventsAndMatchesGolden) {
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < 10; ++i) {
+    JobSpec spec = (i % 3 == 0)
+                       ? make_spec("rastrigin", 16, 4, 4 + i % 4, 70 + i)
+                       : make_spec("sphere", 32, 8, 3 + i % 5, 50 + i);
+    spec.arrival_seconds = static_cast<double>(i) * 5e-6;
+    spec.tenant = i % 2;
+    specs.push_back(spec);
+  }
+  vgpu::Device device;
+  SchedulerOptions options;
+  options.policy = Policy::kFifo;
+  options.streams = 2;
+  options.max_active = 4;
+  options.pack = true;
+  Scheduler scheduler(device, options);
+  for (const JobSpec& spec : specs) {
+    scheduler.submit(spec);
+  }
+  scheduler.run();
+  const std::string json = chrome_trace_json(scheduler.trace());
+
+  // One pack-lane event per cohort member: a cohort of k >= 2 contributes
+  // at least two.
+  std::size_t pack_events = 0;
+  for (std::size_t pos = json.find("\"cat\": \"pack\"");
+       pos != std::string::npos;
+       pos = json.find("\"cat\": \"pack\"", pos + 1)) {
+    ++pack_events;
+  }
+  EXPECT_GE(pack_events, 2u);
+  EXPECT_NE(json.find("cohort "), std::string::npos);
+
+  const std::string path =
+      std::string(FASTPSO_GOLDEN_DIR) + "/serve_trace_packed.json";
+  const char* refresh = std::getenv("FASTPSO_REFRESH_GOLDEN");
+  if (refresh != nullptr && refresh[0] == '1') {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << json;
+    GTEST_SKIP() << "golden refreshed: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — generate with FASTPSO_REFRESH_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(json, golden.str())
+      << "packed schedule trace diverged from golden; if intentional, "
+         "refresh with FASTPSO_REFRESH_GOLDEN=1";
 }
 #endif  // FASTPSO_GOLDEN_DIR
 
